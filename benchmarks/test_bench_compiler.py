@@ -1,0 +1,56 @@
+"""Benchmark: the OpenCL-C compiler against the hand-written kernels.
+
+The FGPU's value proposition is programmability: OpenCL kernels compiled by a
+tool-chain rather than hand-written assembly.  This bench measures what that
+convenience costs on the G-GPU by running, for each of the paper's seven
+benchmarks at a reduced input size, the compiled kernel next to the
+hand-written one, on the same simulator and the same workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.cl import compile_source, get_benchmark_source
+from repro.kernels import all_kernel_names, get_kernel_spec, run_workload
+from repro.simt.gpu import GGPUSimulator
+
+BENCH_SIZE = 256
+NUM_CUS = 2
+
+
+def _measure(kernel, workload):
+    simulator = GGPUSimulator(GGPUConfig(num_cus=NUM_CUS), memory_bytes=32 * 1024 * 1024)
+    result, _ = run_workload(simulator, kernel, workload)
+    return result.cycles
+
+
+@pytest.mark.benchmark(group="compiler")
+def test_compiled_vs_handwritten_kernels(benchmark, tech):
+    def _run():
+        rows = {}
+        for name in all_kernel_names():
+            spec = get_kernel_spec(name)
+            workload = spec.workload(BENCH_SIZE, 3)
+            compiled_kernel = compile_source(get_benchmark_source(name)).to_ggpu_kernel()
+            rows[name] = (
+                _measure(compiled_kernel, workload),
+                _measure(spec.build(), workload),
+            )
+        return rows
+
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\n=== Compiled vs hand-written kernels (cycles, 2 CUs, size 256) ===")
+    print(f"{'kernel':14s} {'compiled':>10s} {'hand':>10s} {'overhead':>9s}")
+    for name, (compiled_cycles, hand_cycles) in rows.items():
+        print(
+            f"{name:14s} {compiled_cycles:10.0f} {hand_cycles:10.0f} "
+            f"{compiled_cycles / hand_cycles:8.2f}x"
+        )
+
+    for name, (compiled_cycles, hand_cycles) in rows.items():
+        # Functional equivalence is enforced by run_workload's output check;
+        # the compiler is allowed to cost cycles, but bounded ones.
+        assert 0.5 <= compiled_cycles / hand_cycles <= 3.0, name

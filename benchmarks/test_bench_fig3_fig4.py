@@ -1,0 +1,55 @@
+"""Regenerate Figs. 3 and 4: the floorplans of the four physical versions.
+
+Fig. 3 contrasts the 1CU@500MHz and 1CU@667MHz layouts; Fig. 4 contrasts the
+8CU@500MHz layout with the 8-CU version that targets 667 MHz but only closes
+~600 MHz because of the long routes between the peripheral CUs and the global
+memory controller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import build_figure3, build_figure4
+from repro.eval.paper_data import PAPER_8CU_ACHIEVED_MHZ, PAPER_DIE_DIMENSIONS_UM
+
+
+def _build(tech, layouts):
+    return build_figure3(tech, layouts), build_figure4(tech, layouts)
+
+
+@pytest.mark.benchmark(group="fig3_fig4")
+def test_fig3_fig4_layouts(benchmark, tech, physical_layouts):
+    (fig3, fig4) = benchmark.pedantic(_build, args=(tech, physical_layouts), rounds=1, iterations=1)
+    one_cu_500, one_cu_667 = fig3
+    eight_cu_500, eight_cu_667 = fig4
+
+    print("\n=== Reproduced Fig. 3 (1 CU layouts) ===")
+    print(one_cu_500.ascii_floorplan())
+    print(one_cu_667.ascii_floorplan())
+    print("\n=== Reproduced Fig. 4 (8 CU layouts) ===")
+    print(eight_cu_500.ascii_floorplan())
+    print(eight_cu_667.ascii_floorplan())
+    print("\nPaper die dimensions (um):", PAPER_DIE_DIMENSIONS_UM)
+
+    # Fig. 3: die dimensions within ~15% of the paper's 2700x2500 / 3200x2800.
+    assert one_cu_500.floorplan.die_width_um == pytest.approx(2700, rel=0.15)
+    assert one_cu_500.floorplan.die_height_um == pytest.approx(2500, rel=0.15)
+    assert one_cu_667.floorplan.die_area_mm2 > one_cu_500.floorplan.die_area_mm2
+    assert one_cu_667.timing_met  # the 1-CU version does reach 667 MHz
+    # The optimized layout contains divided ("optimized") memories, the
+    # unoptimized one does not -- the colour split of Figs. 3-4.
+    assert one_cu_500.num_divided_macros == 0
+    assert one_cu_667.num_divided_macros > 0
+
+    # Fig. 4: the 8-CU floorplan is much larger and its 667 MHz target only
+    # closes around 600 MHz.
+    assert eight_cu_500.floorplan.die_width_um == pytest.approx(7150, rel=0.15)
+    assert len(eight_cu_667.floorplan.cu_placements) == 8
+    assert not eight_cu_667.timing_met
+    assert eight_cu_667.achieved_frequency_mhz == pytest.approx(
+        PAPER_8CU_ACHIEVED_MHZ, rel=0.10
+    )
+    # The wire delay of the farthest CU is what breaks the 1.5 ns period.
+    assert max(eight_cu_667.wire_delays_ns.values()) > 0.7
+    assert max(one_cu_667.wire_delays_ns.values()) < 0.3

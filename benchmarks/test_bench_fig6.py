@@ -1,0 +1,47 @@
+"""Regenerate Fig. 6: speed-up over the RISC-V derated by the area ratio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.comparison import compute_area_ratios, compute_speedups, derate_by_area
+from repro.eval.figures import format_speedup_chart
+from repro.eval.paper_data import PAPER_AREA_RATIOS, PAPER_TABLE3, paper_speedup_per_area
+
+
+def _build(tech, table3):
+    speedups = compute_speedups(table3)
+    ratios = compute_area_ratios(tech)
+    return speedups, ratios, derate_by_area(speedups, ratios)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_speedup_derated_by_area(benchmark, tech, table3_measurements):
+    speedups, ratios, derated = benchmark.pedantic(
+        _build, args=(tech, table3_measurements), rounds=1, iterations=1
+    )
+
+    print("\n=== Reproduced area ratios (G-GPU / RISC-V) ===")
+    print({num_cus: round(ratio, 1) for num_cus, ratio in ratios.as_dict().items()})
+    print("paper:", PAPER_AREA_RATIOS)
+    print("\n=== Reproduced Fig. 6 ===")
+    print(format_speedup_chart(derated))
+    print("\n=== Paper Fig. 6 ===")
+    for kernel in PAPER_TABLE3:
+        values = {n: round(paper_speedup_per_area(kernel, n), 2) for n in (1, 2, 4, 8)}
+        print(f"{kernel:14s} {values}")
+
+    # Area ratios reproduce the paper's 6.5 / 11.6 / 21.4 / 41.0 within ~15%.
+    for num_cus, paper_ratio in PAPER_AREA_RATIOS.items():
+        assert ratios.ratio(num_cus) == pytest.approx(paper_ratio, rel=0.15)
+    # Derating compresses the advantage to low single digits for every kernel
+    # (the paper's best is 10.2x; this reproduction's raw speed-ups are lower,
+    # so its derated values are too).
+    assert derated.best() < 15.0
+    # Bandwidth-bound kernels lose their area efficiency at 8 CUs (the paper's
+    # "8-CU shows the worst results" trend).
+    for kernel in ("copy", "vec_mul", "xcorr"):
+        assert derated.value(kernel, 8) < derated.value(kernel, 1) * 1.1
+    # The serial kernels are never worth the area.
+    assert derated.value("div_int", 8) < 1.0
+    assert derated.value("parallel_sel", 8) < 1.0

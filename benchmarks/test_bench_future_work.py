@@ -1,0 +1,112 @@
+"""Benchmarks for the paper's future-work features (repro.scaling extensions).
+
+These go beyond the published tables: they quantify the two follow-ups the
+paper proposes in its future-work paragraph -- replicating the global memory
+controller to recover 667 MHz for 8 CUs, and scaling beyond 8 CUs -- plus the
+single-port-memory option, using the same synthesis and physical models as the
+Table I / Table II benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.physical.layout import PhysicalSynthesis
+from repro.planner.optimizer import TimingOptimizer
+from repro.rtl.generator import GeneratorOptions, generate_ggpu_netlist
+from repro.scaling import ClusterConfig, run_clustered_flow
+from repro.synth.logic import LogicSynthesis
+
+TARGET_MHZ = 667.0
+
+
+@pytest.mark.benchmark(group="future_work")
+def test_memctrl_replication_recovers_667mhz_for_8_cus(benchmark, tech):
+    """Monolithic 8 CUs hit the ~600 MHz wall; 2 clusters x 4 CUs close 667 MHz."""
+
+    def _run():
+        monolithic_netlist = generate_ggpu_netlist(GGPUConfig(num_cus=8), name="fw_mono8")
+        TimingOptimizer(tech).close_timing(monolithic_netlist, TARGET_MHZ)
+        synthesis = LogicSynthesis(tech).run(monolithic_netlist, TARGET_MHZ)
+        monolithic = PhysicalSynthesis(tech).run(monolithic_netlist, synthesis, TARGET_MHZ)
+        clustered = run_clustered_flow(
+            tech, ClusterConfig(num_clusters=2, cus_per_cluster=4), TARGET_MHZ
+        )
+        return synthesis, monolithic, clustered
+
+    synthesis, monolithic, clustered = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        f"\nmonolithic 8CU: achieved {monolithic.achieved_frequency_mhz:.0f} MHz, "
+        f"worst route {monolithic.floorplan.max_cu_distance_um():.0f} um, "
+        f"area {synthesis.total_area_mm2:.2f} mm2"
+    )
+    print(
+        f"2x4 clustered:  achieved {clustered.achieved_frequency_mhz:.0f} MHz, "
+        f"worst route {clustered.worst_cu_route_um:.0f} um, "
+        f"area {clustered.total_area_mm2:.2f} mm2"
+    )
+    # The paper's wall and the proposed fix.
+    assert monolithic.achieved_frequency_mhz < 630.0
+    assert clustered.achieved_frequency_mhz >= TARGET_MHZ - 1.0
+    # The fix is paid for with the second controller (a few percent of area).
+    assert clustered.total_area_mm2 > synthesis.total_area_mm2
+    assert clustered.total_area_mm2 < 1.2 * synthesis.total_area_mm2
+    assert clustered.worst_cu_route_um < 0.5 * monolithic.floorplan.max_cu_distance_um()
+
+
+@pytest.mark.benchmark(group="future_work")
+def test_scaling_to_16_cus_with_clusters(benchmark, tech):
+    """A 16-CU G-GPU (4 clusters x 4 CUs) closes 667 MHz and scales linearly in area."""
+
+    def _run():
+        eight = run_clustered_flow(tech, ClusterConfig(num_clusters=2, cus_per_cluster=4), TARGET_MHZ)
+        sixteen = run_clustered_flow(tech, ClusterConfig(num_clusters=4, cus_per_cluster=4), TARGET_MHZ)
+        return eight, sixteen
+
+    eight, sixteen = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(
+        f"\n8 CUs (2x4):  {eight.total_area_mm2:.1f} mm2, {eight.total_power_w:.1f} W, "
+        f"achieved {eight.achieved_frequency_mhz:.0f} MHz"
+    )
+    print(
+        f"16 CUs (4x4): {sixteen.total_area_mm2:.1f} mm2, {sixteen.total_power_w:.1f} W, "
+        f"achieved {sixteen.achieved_frequency_mhz:.0f} MHz"
+    )
+    assert sixteen.achieved_frequency_mhz >= TARGET_MHZ - 1.0
+    ratio = sixteen.total_area_mm2 / eight.total_area_mm2
+    assert 1.8 <= ratio <= 2.2  # area keeps scaling linearly with the CU count
+    # The in-cluster routes do not grow with the total CU count.
+    assert sixteen.worst_cu_route_um == pytest.approx(eight.worst_cu_route_um, rel=0.25)
+
+
+@pytest.mark.benchmark(group="future_work")
+def test_single_port_memory_option_saves_area_and_power(benchmark, tech):
+    """Single-port conversion of the capable memories trims area/power at no speed cost."""
+
+    def _run():
+        synthesis = LogicSynthesis(tech)
+        results = {}
+        for label, options in (
+            ("dual", None),
+            ("single", GeneratorOptions(single_port_memories=True)),
+        ):
+            netlist = generate_ggpu_netlist(GGPUConfig(num_cus=4), name=f"fw_{label}", options=options)
+            optimization = TimingOptimizer(tech).close_timing(netlist, 590.0)
+            results[label] = (synthesis.run(netlist, 590.0), optimization)
+        return results
+
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    dual, dual_opt = results["dual"]
+    single, single_opt = results["single"]
+    print(
+        f"\ndual-port  : {dual.total_area_mm2:.2f} mm2, {dual.total_power_w:.2f} W "
+        f"(timing met: {dual.timing_met})"
+    )
+    print(
+        f"single-port: {single.total_area_mm2:.2f} mm2, {single.total_power_w:.2f} W "
+        f"(timing met: {single.timing_met})"
+    )
+    assert single.timing_met and dual.timing_met
+    assert single.memory_area_mm2 < dual.memory_area_mm2
+    assert single.total_power_w < dual.total_power_w

@@ -1,0 +1,41 @@
+"""Regenerate Table II: routed wirelength per metal layer for the four
+physically implemented versions (1CU@500, 1CU@667, 8CU@500, 8CU@~600 MHz).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.paper_data import PAPER_TABLE2
+from repro.eval.tables import build_table2
+from repro.physical.report import SIGNAL_LAYERS, format_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_wirelength_per_metal_layer(benchmark, tech, physical_layouts):
+    estimates = benchmark.pedantic(
+        build_table2, args=(tech, physical_layouts), rounds=1, iterations=1
+    )
+    assert len(estimates) == 4
+
+    print("\n=== Reproduced Table II (um) ===")
+    print(format_table2(estimates))
+    print("\n=== Paper Table II (um) ===")
+    for layer in SIGNAL_LAYERS:
+        print(layer, PAPER_TABLE2[layer])
+
+    one_cu_500, one_cu_667, eight_cu_500, eight_cu_600 = estimates
+    # Wirelength grows with CU count and with the optimization level.
+    assert eight_cu_500.total_um > 5 * one_cu_500.total_um
+    assert one_cu_667.total_um > one_cu_500.total_um
+    assert eight_cu_600.total_um > eight_cu_500.total_um
+    # Per-layer distribution: M3 carries the most metal, M7 the least
+    # (same ordering as the paper's 1CU@500MHz column).
+    assert one_cu_500.layer("M3") > one_cu_500.layer("M2") > one_cu_500.layer("M7")
+    # The fourth column is reported at its achieved ~600 MHz, not at 667 MHz.
+    assert eight_cu_600.frequency_mhz < 650.0
+    # Absolute scale: within a factor of ~1.5 of the paper for the 500 MHz versions.
+    paper_1cu_total = sum(PAPER_TABLE2[layer]["1CU@500MHz"] for layer in SIGNAL_LAYERS)
+    paper_8cu_total = sum(PAPER_TABLE2[layer]["8CU@500MHz"] for layer in SIGNAL_LAYERS)
+    assert one_cu_500.total_um == pytest.approx(paper_1cu_total, rel=0.5)
+    assert eight_cu_500.total_um == pytest.approx(paper_8cu_total, rel=0.5)

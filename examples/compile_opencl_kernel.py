@@ -1,0 +1,92 @@
+"""Compile an OpenCL-C kernel for the G-GPU and for the RISC-V baseline.
+
+The FGPU (the paper's baseline architecture) is programmed with OpenCL kernels
+compiled by an LLVM back end.  This example uses the library's own OpenCL-C
+compiler (``repro.cl``) to do the same thing end to end:
+
+1. compile a small image-threshold kernel with divergent control flow,
+2. inspect how the compiler lowered the divergence (mask instructions vs.
+   plain branches),
+3. run the compiled kernel on the G-GPU simulator and check the result,
+4. compile the *same source* for the scalar RISC-V baseline and compare the
+   cycle counts -- a one-kernel preview of Table III.
+
+Run with:  python examples/compile_opencl_kernel.py
+"""
+
+import numpy as np
+
+from repro.arch.config import GGPUConfig
+from repro.arch.isa import Opcode
+from repro.arch.kernel import NDRange
+from repro.cl import compile_source
+from repro.kernels.library import GpuWorkload
+from repro.simt.gpu import GGPUSimulator
+
+THRESHOLD_KERNEL = """
+// Per-pixel threshold with a divergent branch: bright pixels are scaled,
+// dark pixels are zeroed.  The per-lane condition forces the compiler to use
+// the execution-mask instructions (PUSHM/CMASK/INVM/POPM).
+__kernel void threshold(__global int *pixels, __global int *out, int cutoff, int n) {
+    int gid = get_global_id(0);
+    int value = pixels[gid];
+    if (value > cutoff) {
+        out[gid] = (value * 3) >> 1;
+    } else {
+        out[gid] = 0;
+    }
+}
+"""
+
+
+def main() -> None:
+    n, cutoff = 1024, 128
+    rng = np.random.default_rng(7)
+    pixels = rng.integers(0, 256, size=n, dtype=np.int64)
+    expected = np.where(pixels > cutoff, (pixels * 3) >> 1, 0)
+
+    # --- front end ------------------------------------------------------- #
+    program = compile_source(THRESHOLD_KERNEL)
+    info = program.info()
+    print(f"kernel {info.name!r}: buffers={info.buffer_params} scalars={info.scalar_params}")
+
+    kernel = program.to_ggpu_kernel()
+    opcodes = [instruction.opcode for instruction in kernel.program.instructions]
+    print(f"compiled to {len(kernel.program)} G-GPU instructions")
+    print(
+        "divergence lowering: "
+        f"PUSHM x{opcodes.count(Opcode.PUSHM)}, CMASK x{opcodes.count(Opcode.CMASK)}, "
+        f"INVM x{opcodes.count(Opcode.INVM)}, POPM x{opcodes.count(Opcode.POPM)}"
+    )
+    print("\nprogram listing (first 12 instructions):")
+    for line in kernel.program.listing().splitlines()[:12]:
+        print(" ", line)
+
+    # --- run on the G-GPU ------------------------------------------------- #
+    simulator = GGPUSimulator(GGPUConfig(num_cus=2))
+    buffers = {
+        "pixels": simulator.create_buffer(pixels),
+        "out": simulator.allocate_buffer(n),
+    }
+    result = simulator.launch(
+        kernel, NDRange(n, 256), {**buffers, "cutoff": cutoff, "n": n}
+    )
+    observed = simulator.read_buffer(buffers["out"], n).astype(np.int64)
+    assert np.array_equal(observed, expected), "compiled kernel produced wrong results"
+    print(f"\nG-GPU (2 CUs): {result.cycles:.0f} cycles, outputs verified against numpy")
+
+    # --- same source on the RISC-V baseline ------------------------------- #
+    workload = GpuWorkload(
+        buffers={"pixels": pixels, "out": np.zeros(n, dtype=np.int64)},
+        scalars={"cutoff": cutoff, "n": n},
+        expected={"out": expected},
+        ndrange=NDRange(n, 256),
+    )
+    case = program.to_riscv_case(workload)
+    stats, _ = case.run(check=True)
+    print(f"RISC-V baseline: {stats.cycles} cycles ({stats.instructions} instructions)")
+    print(f"speed-up of the 2-CU G-GPU at equal work: {stats.cycles / result.cycles:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Future-work study: replicate the memory controller and scale past 8 CUs.
+
+The paper's 8-CU layout targeting 667 MHz only closes 600 MHz because the
+routes between the peripheral CUs and the single central memory controller are
+too long, and it proposes two follow-ups: replicate the controller to shorten
+those routes, and scale the architecture beyond 8 CUs.  This example runs both
+studies with the ``repro.scaling`` package:
+
+1. the paper's monolithic 8-CU design at 667 MHz (reproduces the 600 MHz wall),
+2. the same 8 CUs as 2 clusters x 4 CUs with replicated controllers,
+3. a 16-CU design (4 clusters x 4 CUs) -- beyond the baseline's 8-CU limit.
+
+Run with:  python examples/memctrl_replication.py
+"""
+
+from repro.arch.config import GGPUConfig
+from repro.physical.layout import PhysicalSynthesis
+from repro.planner.optimizer import TimingOptimizer
+from repro.rtl.generator import generate_ggpu_netlist
+from repro.scaling import ClusterConfig, run_clustered_flow
+from repro.synth.logic import LogicSynthesis
+from repro.tech.technology import default_65nm
+
+TARGET_MHZ = 667.0
+
+
+def implement_monolithic_8cu(tech):
+    """The paper's 8-CU design with a single central memory controller."""
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=8), name="8cu_monolithic")
+    TimingOptimizer(tech).close_timing(netlist, TARGET_MHZ)
+    synthesis = LogicSynthesis(tech).run(netlist, TARGET_MHZ)
+    layout = PhysicalSynthesis(tech).run(netlist, synthesis, TARGET_MHZ)
+    return synthesis, layout
+
+
+def main() -> None:
+    tech = default_65nm()
+
+    print(f"=== 1. monolithic 8 CUs @ {TARGET_MHZ:.0f} MHz (the paper's design) ===")
+    synthesis, layout = implement_monolithic_8cu(tech)
+    print(
+        f"area {synthesis.total_area_mm2:.2f} mm2, power {synthesis.total_power_w:.2f} W, "
+        f"worst CU route {layout.floorplan.max_cu_distance_um():.0f} um, "
+        f"achieved {layout.achieved_frequency_mhz:.0f} MHz"
+        + ("  <-- the 600 MHz wall" if not layout.timing_met else "")
+    )
+
+    print(f"\n=== 2. 8 CUs as 2 clusters x 4 CUs (replicated controllers) ===")
+    clustered = run_clustered_flow(tech, ClusterConfig(num_clusters=2, cus_per_cluster=4), TARGET_MHZ)
+    print(clustered.summary())
+    extra_area = clustered.total_area_mm2 - synthesis.total_area_mm2
+    print(
+        f"cost of the second controller: +{extra_area:.2f} mm2 "
+        f"({100.0 * extra_area / synthesis.total_area_mm2:.1f}% area) for "
+        f"+{clustered.achieved_frequency_mhz - layout.achieved_frequency_mhz:.0f} MHz"
+    )
+
+    print(f"\n=== 3. scaling beyond 8 CUs: 16 CUs as 4 clusters x 4 CUs ===")
+    sixteen = run_clustered_flow(tech, ClusterConfig(num_clusters=4, cus_per_cluster=4), TARGET_MHZ)
+    print(sixteen.summary())
+    print("\nFloorplan sketch of the 16-CU design:")
+    print(sixteen.layout.ascii_floorplan(columns=72, rows=20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Reproduction of "G-GPU: A Fully-Automated Generator of GPU-like ASIC
+Accelerators" (Perez et al., DATE 2022).
+
+The library has three layers:
+
+* **Architecture and execution** -- :mod:`repro.arch` (SIMT ISA, kernels,
+  configuration), :mod:`repro.simt` (cycle-approximate G-GPU simulator),
+  :mod:`repro.riscv` (the RV32IM baseline), and :mod:`repro.kernels` (the
+  seven AMD-SDK-style micro-benchmarks).
+* **GPUPlanner** -- :mod:`repro.tech` (65nm-like technology models),
+  :mod:`repro.rtl` (netlist IR, generator, memory division, pipeline
+  insertion, STA), :mod:`repro.synth` (logic synthesis), :mod:`repro.physical`
+  (floorplan/placement/routing/layout), and :mod:`repro.planner` (the
+  specification-to-GDSII flow, first-order PPA map, and design-space
+  exploration).
+* **Evaluation** -- :mod:`repro.eval` regenerates every table and figure of
+  the paper (plus an energy-efficiency extension and CSV/Markdown report
+  writers).
+* **Extensions** -- :mod:`repro.cl` (an OpenCL-C subset compiler targeting
+  both the G-GPU and the RISC-V baseline), :mod:`repro.rtl.verilog` and
+  :mod:`repro.physical.export` (Verilog / DEF / LEF / SVG hand-off artifacts),
+  and :mod:`repro.scaling` (the paper's future work: replicated memory
+  controllers, clusters beyond 8 CUs, single-port memories).
+
+Quick start::
+
+    from repro import GGPUSpec, GpuPlannerFlow, default_65nm
+    flow = GpuPlannerFlow(default_65nm())
+    result = flow.run(GGPUSpec(num_cus=2, target_frequency_mhz=590.0))
+    print(result.summary())
+"""
+
+from repro.arch.config import AxiConfig, CacheConfig, GGPUConfig
+from repro.arch.kernel import Kernel, KernelArg, KernelBuilder, NDRange
+from repro.cl import compile_kernel, compile_source
+from repro.planner.dse import DesignSpaceExplorer
+from repro.planner.flow import FlowResult, GpuPlannerFlow
+from repro.planner.spec import GGPUSpec
+from repro.scaling import ClusterConfig, run_clustered_flow
+from repro.simt.gpu import GGPUSimulator, LaunchResult
+from repro.tech.technology import Technology, default_65nm
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "AxiConfig",
+    "CacheConfig",
+    "GGPUConfig",
+    "Kernel",
+    "KernelArg",
+    "KernelBuilder",
+    "NDRange",
+    "compile_kernel",
+    "compile_source",
+    "DesignSpaceExplorer",
+    "FlowResult",
+    "GpuPlannerFlow",
+    "GGPUSpec",
+    "ClusterConfig",
+    "run_clustered_flow",
+    "GGPUSimulator",
+    "LaunchResult",
+    "Technology",
+    "default_65nm",
+    "__version__",
+]

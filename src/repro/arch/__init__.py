@@ -1,0 +1,39 @@
+"""G-GPU architecture definition.
+
+This package defines what a G-GPU *is*, independent of how it is simulated
+(``repro.simt``) or implemented in silicon (``repro.rtl`` and onwards):
+
+* :class:`~repro.arch.config.GGPUConfig` -- the user-visible architecture
+  parameters (number of CUs, wavefront size, cache geometry, AXI interfaces),
+  mirroring the customization knobs GPUPlanner exposes.
+* :mod:`repro.arch.isa` -- the SIMT instruction set executed by the compute
+  units (an FGPU-like MIPS-style ISA extended with explicit execution-mask
+  instructions for thread divergence).
+* :mod:`repro.arch.assembler` -- assembler/encoder/decoder for that ISA.
+* :mod:`repro.arch.kernel` -- OpenCL-flavoured kernel and NDRange
+  abstractions plus a structured program builder used by the kernel library.
+"""
+
+from repro.arch.config import GGPUConfig, CacheConfig, AxiConfig
+from repro.arch.isa import Instruction, Opcode, OpClass, Register, ISA
+from repro.arch.assembler import Assembler, Program, encode_instruction, decode_instruction
+from repro.arch.kernel import Kernel, KernelArg, NDRange, KernelBuilder
+
+__all__ = [
+    "GGPUConfig",
+    "CacheConfig",
+    "AxiConfig",
+    "Instruction",
+    "Opcode",
+    "OpClass",
+    "Register",
+    "ISA",
+    "Assembler",
+    "Program",
+    "encode_instruction",
+    "decode_instruction",
+    "Kernel",
+    "KernelArg",
+    "NDRange",
+    "KernelBuilder",
+]

@@ -1,0 +1,247 @@
+"""Assembler, encoder, and decoder for the G-GPU SIMT ISA.
+
+Kernels in this reproduction are written against :class:`Assembler` (directly
+or, more commonly, through the structured :class:`~repro.arch.kernel.KernelBuilder`),
+which resolves labels and produces an immutable :class:`Program`.  Programs can
+be encoded to 32-bit machine words (what the CRAM instruction memory stores)
+and decoded back, which the tests use to check the encoding is lossless.
+
+Instruction encoding (32 bits)::
+
+    register form :  opcode[31:24] rd[23:19] rs[18:14] rt[13:9]  unused[8:0]
+    immediate form:  opcode[31:24] rd[23:19] rs[18:14] imm[13:0] (14-bit signed)
+
+Immediates wider than 14 bits are built by the ``load_constant`` helper of the
+kernel builder from ``LUI``/``ORI`` pairs, the same way the FGPU compiler
+materializes large constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.isa import (
+    Instruction,
+    Opcode,
+    Register,
+    opcode_from_code,
+    to_signed32,
+)
+from repro.errors import AssemblyError
+
+IMM_BITS = 14
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+IMM_MASK = (1 << IMM_BITS) - 1
+LUI_SHIFT = IMM_BITS
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled kernel program.
+
+    Attributes
+    ----------
+    name:
+        Program name, used by reports and the runtime memory descriptor.
+    instructions:
+        The resolved instruction stream (labels replaced by absolute targets).
+    labels:
+        Label name to instruction index, kept for disassembly and debugging.
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def listing(self) -> str:
+        """Human-readable program listing with addresses and labels."""
+        by_address: Dict[int, List[str]] = {}
+        for label, address in self.labels.items():
+            by_address.setdefault(address, []).append(label)
+        lines = []
+        for address, instruction in enumerate(self.instructions):
+            for label in sorted(by_address.get(address, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {address:4d}: {instruction.text()}")
+        return "\n".join(lines)
+
+    def static_histogram(self) -> Dict[str, int]:
+        """Static instruction count per execution class (for reports)."""
+        counts: Dict[str, int] = {}
+        for instruction in self.instructions:
+            key = instruction.opcode.opclass.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+class Assembler:
+    """Incremental assembler with label support.
+
+    Typical use::
+
+        asm = Assembler("vec_add")
+        asm.label("loop")
+        asm.emit(Opcode.ADD, rd=1, rs=2, rt=3)
+        asm.emit(Opcode.JMP, label="loop")
+        program = asm.assemble()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._label_counter = 0
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    @property
+    def next_address(self) -> int:
+        """Address the next emitted instruction will occupy."""
+        return len(self._instructions)
+
+    def unique_label(self, stem: str) -> str:
+        """Generate a fresh label name with the given stem."""
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Define a label at the current address and return its name."""
+        if name is None:
+            name = self.unique_label("L")
+        if name in self._labels:
+            raise AssemblyError(f"label {name!r} is already defined")
+        self._labels[name] = self.next_address
+        return name
+
+    def emit(
+        self,
+        opcode: Opcode,
+        rd: Optional[int] = None,
+        rs: Optional[int] = None,
+        rt: Optional[int] = None,
+        imm: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> Instruction:
+        """Append one instruction and return it."""
+        instruction = Instruction(
+            opcode=opcode,
+            rd=None if rd is None else Register(rd),
+            rs=None if rs is None else Register(rs),
+            rt=None if rt is None else Register(rt),
+            imm=imm,
+            label=label,
+        )
+        self._instructions.append(instruction)
+        return instruction
+
+    def assemble(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        resolved: List[Instruction] = []
+        for instruction in self._instructions:
+            if instruction.label is not None and instruction.imm is None:
+                if instruction.label not in self._labels:
+                    raise AssemblyError(
+                        f"undefined label {instruction.label!r} in {self.name}"
+                    )
+                target = self._labels[instruction.label]
+                resolved.append(
+                    Instruction(
+                        opcode=instruction.opcode,
+                        rd=instruction.rd,
+                        rs=instruction.rs,
+                        rt=instruction.rt,
+                        imm=target,
+                        label=instruction.label,
+                    )
+                )
+            else:
+                resolved.append(instruction)
+        return Program(self.name, tuple(resolved), dict(self._labels))
+
+
+def _check_imm(value: int, opcode: Opcode) -> int:
+    if not IMM_MIN <= value <= IMM_MAX and not 0 <= value <= IMM_MASK:
+        raise AssemblyError(
+            f"immediate {value} of {opcode.mnemonic} does not fit in {IMM_BITS} bits"
+        )
+    return value & IMM_MASK
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Encode one instruction into a 32-bit machine word."""
+    info = instruction.opcode.info
+    word = info.code << 24
+    if instruction.rd is not None:
+        word |= int(instruction.rd) << 19
+    if instruction.rs is not None:
+        word |= int(instruction.rs) << 14
+    if info.has_rt:
+        if instruction.rt is not None:
+            word |= int(instruction.rt) << 9
+        if info.has_imm:
+            # Conditional branches carry rs, rt, and a 14-bit target; the
+            # target's high 5 bits reuse the (otherwise unused) rd field.
+            imm = _check_imm(instruction.imm if instruction.imm is not None else 0, instruction.opcode)
+            word |= (imm >> 9) << 19
+            word |= imm & 0x1FF
+    elif info.has_imm:
+        imm = instruction.imm if instruction.imm is not None else 0
+        word |= _check_imm(imm, instruction.opcode)
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 32-bit machine word back into an :class:`Instruction`."""
+    opcode = opcode_from_code((word >> 24) & 0xFF)
+    info = opcode.info
+    rd = Register((word >> 19) & 0x1F) if info.has_rd else None
+    rs = Register((word >> 14) & 0x1F) if info.has_rs else None
+    rt = None
+    imm = None
+    if info.has_rt:
+        rt = Register((word >> 9) & 0x1F)
+        if info.has_imm:
+            imm = (((word >> 19) & 0x1F) << 9) | (word & 0x1FF)
+    elif info.has_imm:
+        raw = word & IMM_MASK
+        # Branch/jump targets are absolute addresses, and LUI/LP immediates are
+        # bit-field selectors; both are unsigned.  Data immediates are signed.
+        if opcode.info.is_label_target or opcode in (Opcode.LUI, Opcode.LP):
+            imm = raw
+        else:
+            imm = raw - (1 << IMM_BITS) if raw & (1 << (IMM_BITS - 1)) else raw
+    return Instruction(opcode=opcode, rd=rd, rs=rs, rt=rt, imm=imm)
+
+
+def encode_program(program: Program) -> List[int]:
+    """Encode a whole program into CRAM machine words."""
+    return [encode_instruction(instruction) for instruction in program.instructions]
+
+
+def decode_program(name: str, words: Sequence[int]) -> Program:
+    """Decode CRAM machine words back into a program (labels are lost)."""
+    return Program(name, tuple(decode_instruction(word) for word in words))
+
+
+def fits_in_immediate(value: int) -> bool:
+    """Whether a constant can be carried by a single immediate field."""
+    return IMM_MIN <= value <= IMM_MAX
+
+
+def split_constant(value: int) -> Tuple[int, int]:
+    """Split a 28-bit constant into (upper, lower) halves for LUI/ORI."""
+    value = to_signed32(value)
+    if value < 0 or value >= (1 << (2 * IMM_BITS)):
+        raise AssemblyError(
+            f"constant {value} cannot be materialized with a single LUI/ORI pair"
+        )
+    return value >> LUI_SHIFT, value & IMM_MASK

@@ -1,0 +1,182 @@
+"""Architecture configuration of a G-GPU instance.
+
+The paper's GPUPlanner lets the designer customize "computation
+characteristics (e.g., number of processing units) and memory access (e.g.,
+cache sizes)".  :class:`GGPUConfig` is that parameter set.  It is consumed by
+
+* the SIMT simulator (``repro.simt``) to model performance,
+* the RTL generator (``repro.rtl``) to instantiate the hardware blocks, and
+* GPUPlanner (``repro.planner``) as part of a :class:`~repro.planner.spec.GGPUSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of the central direct-mapped write-back data cache.
+
+    The FGPU cache is central (shared by all CUs), direct mapped, multi-port,
+    and write back; the number of read/write ports it can serve per cycle and
+    the number of data movers toward the AXI interfaces are configurable.
+    """
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    ports: int = 4
+    write_back: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("cache size and line size must be positive")
+        if self.size_bytes % self.line_bytes != 0:
+            raise ConfigurationError(
+                f"cache size {self.size_bytes} is not a multiple of the line size {self.line_bytes}"
+            )
+        if self.line_bytes % 4 != 0:
+            raise ConfigurationError("cache line size must be a multiple of the 4-byte word")
+        if self.ports < 1:
+            raise ConfigurationError("the cache needs at least one port")
+        if self.num_lines & (self.num_lines - 1):
+            raise ConfigurationError("the number of cache lines must be a power of two")
+
+    @property
+    def num_lines(self) -> int:
+        """Number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def words_per_line(self) -> int:
+        """Number of 32-bit words per cache line."""
+        return self.line_bytes // 4
+
+
+@dataclass(frozen=True)
+class AxiConfig:
+    """AXI interface configuration of the global memory controller.
+
+    FGPU parallelizes data traffic on up to four AXI data interfaces; the whole
+    accelerator is controlled through one AXI control interface.
+    """
+
+    data_ports: int = 4
+    data_width_bits: int = 64
+    memory_latency_cycles: int = 36
+    control_ports: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.data_ports <= 4:
+            raise ConfigurationError(
+                f"FGPU supports 1-4 AXI data interfaces, got {self.data_ports}"
+            )
+        if self.data_width_bits not in (32, 64, 128):
+            raise ConfigurationError(
+                f"AXI data width must be 32, 64, or 128 bits, got {self.data_width_bits}"
+            )
+        if self.memory_latency_cycles < 1:
+            raise ConfigurationError("memory latency must be at least one cycle")
+        if self.control_ports != 1:
+            raise ConfigurationError("the architecture uses a single AXI control interface")
+
+    @property
+    def data_width_words(self) -> int:
+        """AXI data beat width in 32-bit words."""
+        return self.data_width_bits // 32
+
+
+@dataclass(frozen=True)
+class GGPUConfig:
+    """Top-level architecture parameters of one G-GPU instance.
+
+    Attributes
+    ----------
+    num_cus:
+        Number of Compute Units (1-8, spatially replicated).
+    pes_per_cu:
+        SIMD width of a CU; FGPU uses 8 identical Processing Elements.
+    wavefront_size:
+        Number of work-items that execute an instruction together.
+    max_wavefronts_per_cu:
+        Resident wavefronts per CU; 8 wavefronts x 64 work-items = the 512
+        work-items per CU quoted in the paper.
+    num_registers:
+        General-purpose registers per work-item.
+    cram_words:
+        Instruction memory (CRAM) depth in 32-bit words.
+    rtm_words:
+        Runtime-memory depth (kernel descriptors and parameters).
+    lram_words_per_cu:
+        Local scratchpad (LRAM) depth per CU.
+    cache / axi:
+        Memory-hierarchy configuration shared by all CUs.
+    """
+
+    num_cus: int = 1
+    pes_per_cu: int = 8
+    wavefront_size: int = 64
+    max_wavefronts_per_cu: int = 8
+    num_registers: int = 32
+    cram_words: int = 2048
+    rtm_words: int = 512
+    lram_words_per_cu: int = 2048
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    axi: AxiConfig = field(default_factory=AxiConfig)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_cus <= 8:
+            raise ConfigurationError(
+                f"GPUPlanner supports 1 to 8 CUs, got {self.num_cus}"
+            )
+        if self.pes_per_cu != 8:
+            raise ConfigurationError(
+                "the FGPU compute unit is a SIMD machine of 8 processing elements"
+            )
+        if self.wavefront_size <= 0 or self.wavefront_size % self.pes_per_cu != 0:
+            raise ConfigurationError(
+                f"wavefront size must be a positive multiple of {self.pes_per_cu} PEs, "
+                f"got {self.wavefront_size}"
+            )
+        if self.max_wavefronts_per_cu < 1:
+            raise ConfigurationError("at least one resident wavefront per CU is required")
+        if self.num_registers < 8 or self.num_registers > 64:
+            raise ConfigurationError(
+                f"register file supports 8-64 registers per work-item, got {self.num_registers}"
+            )
+        for name in ("cram_words", "rtm_words", "lram_words_per_cu"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+
+    @property
+    def work_items_per_cu(self) -> int:
+        """Maximum concurrently resident work-items per CU (512 in the paper)."""
+        return self.wavefront_size * self.max_wavefronts_per_cu
+
+    @property
+    def max_work_items(self) -> int:
+        """Maximum concurrently resident work-items in the whole G-GPU."""
+        return self.work_items_per_cu * self.num_cus
+
+    @property
+    def lanes_rounds_per_wavefront(self) -> int:
+        """Cycles needed to stream one wavefront through the PE array."""
+        return self.wavefront_size // self.pes_per_cu
+
+    def with_cus(self, num_cus: int) -> "GGPUConfig":
+        """Return a copy of this configuration with a different CU count."""
+        return GGPUConfig(
+            num_cus=num_cus,
+            pes_per_cu=self.pes_per_cu,
+            wavefront_size=self.wavefront_size,
+            max_wavefronts_per_cu=self.max_wavefronts_per_cu,
+            num_registers=self.num_registers,
+            cram_words=self.cram_words,
+            rtm_words=self.rtm_words,
+            lram_words_per_cu=self.lram_words_per_cu,
+            cache=self.cache,
+            axi=self.axi,
+        )

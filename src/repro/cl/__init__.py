@@ -1,0 +1,49 @@
+"""OpenCL-C subset compiler for the G-GPU.
+
+The FGPU that G-GPU derives from is programmed with OpenCL kernels compiled by
+an LLVM back end; the host only needs standard OpenCL API calls.  This package
+is the reproduction of that software stack: a small, self-contained compiler
+for the OpenCL-C subset the paper's seven micro-benchmarks need.
+
+Pipeline::
+
+    source text --(lexer)--> tokens --(parser)--> AST --(semantics)--> typed,
+    uniformity-annotated AST --(codegen)--> executable program
+
+Two back ends are provided, mirroring the paper's evaluation targets:
+
+* :func:`compile_kernel` lowers a kernel to the G-GPU SIMT ISA (through the
+  :class:`~repro.arch.kernel.KernelBuilder`), with divergence handled via the
+  execution-mask instructions when a condition is lane-varying and with plain
+  branches when it is wavefront-uniform.
+* :func:`compile_kernel_to_riscv_case` lowers the same kernel to a scalar
+  RV32IM program that iterates over the NDRange in a software loop -- the
+  stand-in for compiling the C version of the benchmark with GCC for the
+  RISC-V baseline.
+
+The language subset: ``__kernel void`` functions, ``__global int*``/``uint*``
+buffer parameters, scalar ``int``/``uint`` parameters, local variable
+declarations, assignments (including the compound forms), ``if``/``else``,
+``for``, ``while``, ``barrier()``, integer arithmetic/logic/comparison
+operators, array subscripting on buffer parameters, and the OpenCL work-item
+builtins (``get_global_id`` and friends).
+"""
+
+from repro.cl.compiler import (
+    CLKernelInfo,
+    CLProgram,
+    compile_kernel,
+    compile_kernel_to_riscv_case,
+    compile_source,
+)
+from repro.cl.sources import BENCHMARK_CL_SOURCES, get_benchmark_source
+
+__all__ = [
+    "CLKernelInfo",
+    "CLProgram",
+    "compile_kernel",
+    "compile_kernel_to_riscv_case",
+    "compile_source",
+    "BENCHMARK_CL_SOURCES",
+    "get_benchmark_source",
+]

@@ -1,0 +1,455 @@
+"""G-GPU back end: lower an analyzed kernel AST to the SIMT ISA.
+
+The generator drives the public :class:`~repro.arch.kernel.KernelBuilder`
+exactly like the hand-written benchmark kernels do, so the compiled code runs
+on the same simulator, through the same host API, with the same workloads.
+
+Control-flow lowering follows the uniformity annotation from
+:mod:`repro.cl.semantics`:
+
+* wavefront-uniform conditions become plain ``BEQ``/``JMP`` branches,
+* lane-varying ``if``/``else`` becomes the ``PUSHM``/``CMASK``/``INVM``/``POPM``
+  execution-mask sequence,
+* lane-varying loops become mask-constrained loops that exit when no lane is
+  active (``BEMPTY``).
+
+Expressions are evaluated into a small pool of temporary registers with the
+usual strength reductions (immediate operand forms when a constant fits the
+14-bit field, shifted adds for buffer addressing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.assembler import fits_in_immediate
+from repro.arch.isa import Opcode
+from repro.arch.kernel import Kernel, KernelArg, KernelBuilder
+from repro.cl.nodes import (
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Call,
+    CType,
+    DeclStmt,
+    Expr,
+    ForStmt,
+    IfStmt,
+    Index,
+    IntLiteral,
+    KernelDecl,
+    ReturnStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+from repro.errors import CompilationError
+
+# Builtin work-item functions that map 1:1 onto SPECIAL opcodes.
+_BUILTIN_OPCODES: Dict[str, Opcode] = {
+    "get_global_id": Opcode.GID,
+    "get_local_id": Opcode.LID,
+    "get_group_id": Opcode.WGID,
+    "get_local_size": Opcode.WGSIZE,
+    "get_global_size": Opcode.GSIZE,
+    "get_num_groups": Opcode.NWG,
+}
+
+# Binary operators with a direct three-register opcode (signed flavour).
+_DIRECT_BINOPS: Dict[str, Opcode] = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.REM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SLL,
+}
+
+# Binary operators that also have an immediate form usable when the right-hand
+# side is a small constant.
+_IMMEDIATE_BINOPS: Dict[str, Opcode] = {
+    "+": Opcode.ADDI,
+    "&": Opcode.ANDI,
+    "|": Opcode.ORI,
+    "^": Opcode.XORI,
+    "*": Opcode.MULI,
+    "<<": Opcode.SLLI,
+}
+
+
+class GGPUCodeGenerator:
+    """Generates one G-GPU :class:`~repro.arch.kernel.Kernel` from an analyzed AST."""
+
+    def __init__(self, kernel: KernelDecl) -> None:
+        self.kernel = kernel
+        args = tuple(
+            KernelArg(param.name, "buffer" if param.is_pointer else "scalar")
+            for param in kernel.params
+        )
+        self.builder = KernelBuilder(kernel.name, args=args)
+        self._var_regs: Dict[str, int] = {}
+        self._free_temps: List[int] = []
+        self._temp_regs: set = set()
+        self._num_temps = 0
+
+    # ------------------------------------------------------------------ #
+    # Register management
+    # ------------------------------------------------------------------ #
+    def _acquire(self) -> int:
+        """Get a scratch register from the pool (allocating one if needed)."""
+        if self._free_temps:
+            return self._free_temps.pop()
+        try:
+            register = self.builder.alloc(f"_t{self._num_temps}")
+        except Exception as exc:
+            raise CompilationError(
+                f"kernel {self.kernel.name!r} needs more registers than the "
+                "32-register file provides"
+            ) from exc
+        self._num_temps += 1
+        self._temp_regs.add(register)
+        return register
+
+    def _release(self, register: Optional[int]) -> None:
+        """Return a scratch register to the pool (variable registers are kept)."""
+        if register is not None and register in self._temp_regs:
+            self._free_temps.append(register)
+
+    def _var_register(self, name: str) -> int:
+        try:
+            return self._var_regs[name]
+        except KeyError as exc:
+            raise CompilationError(f"no register allocated for {name!r}") from exc
+
+    def _move(self, destination: int, source: int) -> None:
+        if destination != source:
+            self.builder.emit(Opcode.ADD, rd=destination, rs=source, rt=0)
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def generate(self) -> Kernel:
+        """Lower the kernel and return the assembled program."""
+        try:
+            self._allocate_variables()
+            self._load_parameters()
+            self._gen_statements(self.kernel.body)
+            self.builder.ret()
+            return self.builder.build()
+        except CompilationError:
+            raise
+        except Exception as exc:  # wrap assembler/builder errors with context
+            raise CompilationError(
+                f"code generation for kernel {self.kernel.name!r} failed: {exc}"
+            ) from exc
+
+    def _allocate_variables(self) -> None:
+        for param in self.kernel.params:
+            self._var_regs[param.name] = self.builder.alloc(param.name)
+        for name, symbol in self.kernel.symbols.items():
+            if not symbol.is_param:
+                self._var_regs[name] = self.builder.alloc(name)
+
+    def _load_parameters(self) -> None:
+        for param in self.kernel.params:
+            self.builder.load_arg(self._var_regs[param.name], param.name)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _gen_statements(self, statements: List[Stmt]) -> None:
+        for statement in statements:
+            self._gen_statement(statement)
+
+    def _gen_statement(self, statement: Stmt) -> None:
+        if isinstance(statement, DeclStmt):
+            for name, init in zip(statement.names, statement.inits):
+                if init is not None:
+                    self._gen_assign_to_var(name, init)
+        elif isinstance(statement, AssignStmt):
+            self._gen_assignment(statement)
+        elif isinstance(statement, IfStmt):
+            self._gen_if(statement)
+        elif isinstance(statement, WhileStmt):
+            self._gen_loop(statement.condition, statement.body, step=None)
+        elif isinstance(statement, ForStmt):
+            if statement.init is not None:
+                self._gen_statement(statement.init)
+            self._gen_loop(statement.condition, statement.body, step=statement.step)
+        elif isinstance(statement, BarrierStmt):
+            self.builder.emit(Opcode.BARRIER)
+        elif isinstance(statement, ReturnStmt):
+            pass  # the trailing RET is emitted by generate()
+        else:  # pragma: no cover - defensive
+            raise CompilationError(f"unsupported statement {type(statement).__name__}")
+
+    def _gen_assign_to_var(self, name: str, value: Expr) -> None:
+        destination = self._var_register(name)
+        register = self._eval(value, preferred=destination)
+        self._move(destination, register)
+        self._release(register)
+
+    def _gen_assignment(self, statement: AssignStmt) -> None:
+        target = statement.target
+        if isinstance(target, VarRef):
+            if statement.op == "=":
+                self._gen_assign_to_var(target.name, statement.value)
+                return
+            destination = self._var_register(target.name)
+            value = self._eval(statement.value)
+            self._emit_binop(statement.op[:-1], destination, destination, value,
+                             unsigned=self._unsigned(target, statement.value))
+            self._release(value)
+            return
+        if isinstance(target, Index):
+            address = self._element_address(target)
+            if statement.op == "=":
+                value = self._eval(statement.value)
+            else:
+                current = self._acquire()
+                self.builder.emit(Opcode.LW, rd=current, rs=address, imm=0)
+                rhs = self._eval(statement.value)
+                self._emit_binop(statement.op[:-1], current, current, rhs,
+                                 unsigned=self._unsigned(target, statement.value))
+                self._release(rhs)
+                value = current
+            self.builder.emit(Opcode.SW, rs=address, rt=value, imm=0)
+            self._release(value)
+            self._release(address)
+            return
+        raise CompilationError("assignment target must be a variable or buffer[index]")
+
+    def _gen_if(self, statement: IfStmt) -> None:
+        if statement.condition.varying:
+            condition = self._eval(statement.condition, as_bool=True)
+            if statement.has_else:
+                with self.builder.lane_if_else(condition) as branch:
+                    self._release(condition)
+                    self._gen_statements(statement.then_body)
+                    with branch.otherwise():
+                        self._gen_statements(statement.else_body)
+            else:
+                with self.builder.lane_if(condition):
+                    self._release(condition)
+                    self._gen_statements(statement.then_body)
+            return
+        # Wavefront-uniform condition: an ordinary branch.
+        condition = self._eval(statement.condition, as_bool=True)
+        else_label = self.builder.asm.unique_label("else")
+        end_label = self.builder.asm.unique_label("endif")
+        self.builder.emit(Opcode.BEQ, rs=condition, rt=0, label=else_label)
+        self._release(condition)
+        self._gen_statements(statement.then_body)
+        if statement.has_else:
+            self.builder.emit(Opcode.JMP, label=end_label)
+            self.builder.label(else_label)
+            self._gen_statements(statement.else_body)
+            self.builder.label(end_label)
+        else:
+            self.builder.label(else_label)
+
+    def _gen_loop(self, condition: Optional[Expr], body: List[Stmt], step: Optional[Stmt]) -> None:
+        if condition is None:
+            raise CompilationError("loops without a condition are not supported")
+        if condition.varying:
+            with self.builder.divergent_while() as loop:
+                register = self._eval(condition, as_bool=True)
+                loop.check(register)
+                self._release(register)
+                self._gen_statements(body)
+                if step is not None:
+                    self._gen_statement(step)
+            return
+        start = self.builder.asm.unique_label("loop")
+        end = self.builder.asm.unique_label("loop_end")
+        self.builder.label(start)
+        register = self._eval(condition, as_bool=True)
+        self.builder.emit(Opcode.BEQ, rs=register, rt=0, label=end)
+        self._release(register)
+        self._gen_statements(body)
+        if step is not None:
+            self._gen_statement(step)
+        self.builder.emit(Opcode.JMP, label=start)
+        self.builder.label(end)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _unsigned(*operands: Expr) -> bool:
+        return any(operand is not None and operand.ctype is CType.UINT for operand in operands)
+
+    def _eval(self, expr: Expr, preferred: Optional[int] = None, as_bool: bool = False) -> int:
+        """Evaluate ``expr`` into a register and return it.
+
+        The returned register is either a variable register (treat as
+        read-only) or a scratch register the caller must release.  With
+        ``as_bool`` the result is already usable as a 0/1 condition (the
+        comparison and logical operators produce that form natively; other
+        values are normalized with an unsigned "!= 0" test).
+        """
+        register = self._eval_value(expr, preferred)
+        if not as_bool:
+            return register
+        if isinstance(expr, BinaryOp) and (
+            expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||")
+        ):
+            return register
+        if isinstance(expr, UnaryOp) and expr.op == "!":
+            return register
+        normalized = self._acquire()
+        self.builder.emit(Opcode.SLTU, rd=normalized, rs=0, rt=register)
+        self._release(register)
+        return normalized
+
+    def _eval_value(self, expr: Expr, preferred: Optional[int] = None) -> int:
+        if isinstance(expr, IntLiteral):
+            destination = preferred if preferred is not None else self._acquire()
+            self.builder.load_constant(destination, expr.value)
+            return destination
+        if isinstance(expr, VarRef):
+            return self._var_register(expr.name)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, preferred)
+        if isinstance(expr, Index):
+            address = self._element_address(expr)
+            destination = preferred if preferred is not None else self._acquire()
+            self.builder.emit(Opcode.LW, rd=destination, rs=address, imm=0)
+            self._release(address)
+            return destination
+        if isinstance(expr, UnaryOp):
+            return self._eval_unary(expr, preferred)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, preferred)
+        raise CompilationError(f"unsupported expression {type(expr).__name__}")
+
+    def _eval_call(self, expr: Call, preferred: Optional[int]) -> int:
+        destination = preferred if preferred is not None else self._acquire()
+        if expr.name in _BUILTIN_OPCODES:
+            self.builder.emit(_BUILTIN_OPCODES[expr.name], rd=destination)
+            return destination
+        if expr.name in ("min", "max"):
+            left = self._eval(expr.args[0])
+            right = self._eval(expr.args[1])
+            opcode = Opcode.MIN if expr.name == "min" else Opcode.MAX
+            self.builder.emit(opcode, rd=destination, rs=left, rt=right)
+            self._release(left)
+            self._release(right)
+            return destination
+        raise CompilationError(f"unknown function {expr.name!r}")
+
+    def _eval_unary(self, expr: UnaryOp, preferred: Optional[int]) -> int:
+        operand = self._eval(expr.operand)
+        destination = preferred if preferred is not None else self._acquire()
+        if expr.op == "-":
+            self.builder.emit(Opcode.SUB, rd=destination, rs=0, rt=operand)
+        elif expr.op == "~":
+            self.builder.emit(Opcode.XORI, rd=destination, rs=operand, imm=-1)
+        elif expr.op == "!":
+            self.builder.emit(Opcode.SLTU, rd=destination, rs=0, rt=operand)
+            self.builder.emit(Opcode.XORI, rd=destination, rs=destination, imm=1)
+        else:  # pragma: no cover - the parser only produces the three above
+            raise CompilationError(f"unsupported unary operator {expr.op!r}")
+        if operand != destination:
+            self._release(operand)
+        return destination
+
+    def _eval_binary(self, expr: BinaryOp, preferred: Optional[int]) -> int:
+        op = expr.op
+        unsigned = self._unsigned(expr.left, expr.right)
+
+        # Immediate forms for small right-hand constants (what the FGPU
+        # compiler's strength reduction produces).
+        if (
+            isinstance(expr.right, IntLiteral)
+            and op in _IMMEDIATE_BINOPS
+            and fits_in_immediate(expr.right.value)
+        ):
+            left = self._eval(expr.left)
+            destination = preferred if preferred is not None else self._acquire()
+            self.builder.emit(_IMMEDIATE_BINOPS[op], rd=destination, rs=left, imm=expr.right.value)
+            if left != destination:
+                self._release(left)
+            return destination
+        if (
+            isinstance(expr.right, IntLiteral)
+            and op in ("-", ">>")
+            and fits_in_immediate(expr.right.value)
+            and fits_in_immediate(-expr.right.value)
+        ):
+            left = self._eval(expr.left)
+            destination = preferred if preferred is not None else self._acquire()
+            if op == "-":
+                self.builder.emit(Opcode.ADDI, rd=destination, rs=left, imm=-expr.right.value)
+            else:
+                shift = Opcode.SRLI if unsigned else Opcode.SRAI
+                self.builder.emit(shift, rd=destination, rs=left, imm=expr.right.value)
+            if left != destination:
+                self._release(left)
+            return destination
+
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        destination = preferred if preferred is not None else self._acquire()
+        self._emit_binop(op, destination, left, right, unsigned)
+        if left != destination:
+            self._release(left)
+        if right != destination:
+            self._release(right)
+        return destination
+
+    def _emit_binop(self, op: str, rd: int, left: int, right: int, unsigned: bool) -> None:
+        """Emit ``rd = left <op> right`` for any supported binary operator."""
+        if op in _DIRECT_BINOPS:
+            self.builder.emit(_DIRECT_BINOPS[op], rd=rd, rs=left, rt=right)
+            return
+        if op == ">>":
+            self.builder.emit(Opcode.SRL if unsigned else Opcode.SRA, rd=rd, rs=left, rt=right)
+            return
+        compare = Opcode.SLTU if unsigned else Opcode.SLT
+        if op == "<":
+            self.builder.emit(compare, rd=rd, rs=left, rt=right)
+        elif op == ">":
+            self.builder.emit(compare, rd=rd, rs=right, rt=left)
+        elif op == "<=":
+            self.builder.emit(compare, rd=rd, rs=right, rt=left)
+            self.builder.emit(Opcode.XORI, rd=rd, rs=rd, imm=1)
+        elif op == ">=":
+            self.builder.emit(compare, rd=rd, rs=left, rt=right)
+            self.builder.emit(Opcode.XORI, rd=rd, rs=rd, imm=1)
+        elif op == "==":
+            self.builder.emit(Opcode.SUB, rd=rd, rs=left, rt=right)
+            self.builder.emit(Opcode.SLTU, rd=rd, rs=0, rt=rd)
+            self.builder.emit(Opcode.XORI, rd=rd, rs=rd, imm=1)
+        elif op == "!=":
+            self.builder.emit(Opcode.SUB, rd=rd, rs=left, rt=right)
+            self.builder.emit(Opcode.SLTU, rd=rd, rs=0, rt=rd)
+        elif op in ("&&", "||"):
+            normalized_left = self._acquire()
+            self.builder.emit(Opcode.SLTU, rd=normalized_left, rs=0, rt=left)
+            self.builder.emit(Opcode.SLTU, rd=rd, rs=0, rt=right)
+            combiner = Opcode.AND if op == "&&" else Opcode.OR
+            self.builder.emit(combiner, rd=rd, rs=normalized_left, rt=rd)
+            self._release(normalized_left)
+        else:  # pragma: no cover - the parser only produces known operators
+            raise CompilationError(f"unsupported binary operator {op!r}")
+
+    def _element_address(self, expr: Index) -> int:
+        """Byte address of ``buffer[index]`` (buffers hold 32-bit words)."""
+        base = self._var_register(expr.base)
+        index = self._eval(expr.index)
+        address = self._acquire()
+        self.builder.emit(Opcode.SLLI, rd=address, rs=index, imm=2)
+        self.builder.emit(Opcode.ADD, rd=address, rs=address, rt=base)
+        if index != address:
+            self._release(index)
+        return address
+
+
+def generate_ggpu_kernel(kernel: KernelDecl) -> Kernel:
+    """Lower one analyzed kernel declaration to a G-GPU kernel."""
+    return GGPUCodeGenerator(kernel).generate()

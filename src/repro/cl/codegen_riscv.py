@@ -1,0 +1,468 @@
+"""RISC-V back end: lower an analyzed kernel AST to a scalar RV32IM program.
+
+The paper's baseline runs the C version of each benchmark on a CV32E40P-class
+RV32IM core.  This back end is the stand-in for that GCC flow: the kernel body
+is wrapped in a software loop over the NDRange (``for gid in range(global_size)``)
+and each work-item executes sequentially.  The work-item builtins are resolved
+against that loop (``get_global_id`` is the loop counter, ``get_local_id`` is
+``gid % workgroup_size``, and so on), and ``barrier()`` becomes a no-op because
+a single in-order core is always "synchronized".
+
+The generated :class:`~repro.riscv.programs.library.RiscvCase` plugs into the
+same evaluation harness as the hand-written scalar programs, so compiled and
+hand-written baselines can be compared cycle for cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cl.nodes import (
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Call,
+    CType,
+    DeclStmt,
+    Expr,
+    ForStmt,
+    IfStmt,
+    Index,
+    IntLiteral,
+    KernelDecl,
+    ReturnStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+from repro.errors import CompilationError
+from repro.kernels.library import GpuWorkload
+from repro.riscv.assembler import RvAssembler, RvProgram, ZERO
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import RiscvCase, load_workload_into_memory
+
+# Registers x5-x31 are available to the generator (x0 is the constant zero,
+# x1-x4 are left for the ABI even though the generated programs never call).
+_AVAILABLE_REGISTERS = tuple(range(5, 32))
+
+_DIRECT_BINOPS: Dict[str, RvOpcode] = {
+    "+": RvOpcode.ADD,
+    "-": RvOpcode.SUB,
+    "*": RvOpcode.MUL,
+    "/": RvOpcode.DIV,
+    "%": RvOpcode.REM,
+    "&": RvOpcode.AND,
+    "|": RvOpcode.OR,
+    "^": RvOpcode.XOR,
+    "<<": RvOpcode.SLL,
+}
+
+_IMMEDIATE_BINOPS: Dict[str, RvOpcode] = {
+    "+": RvOpcode.ADDI,
+    "&": RvOpcode.ANDI,
+    "|": RvOpcode.ORI,
+    "^": RvOpcode.XORI,
+}
+
+
+def _fits_i12(value: int) -> bool:
+    return -2048 <= value <= 2047
+
+
+class RiscvCodeGenerator:
+    """Generates a scalar RV32IM program for one kernel and one launch."""
+
+    def __init__(
+        self,
+        kernel: KernelDecl,
+        param_values: Dict[str, int],
+        global_size: int,
+        workgroup_size: int,
+        name: Optional[str] = None,
+    ) -> None:
+        if global_size <= 0 or workgroup_size <= 0:
+            raise CompilationError("NDRange sizes must be positive")
+        self.kernel = kernel
+        self.param_values = dict(param_values)
+        self.global_size = global_size
+        self.workgroup_size = workgroup_size
+        self.asm = RvAssembler(name or f"{kernel.name}_riscv")
+        self._free: List[int] = list(_AVAILABLE_REGISTERS)
+        self._var_regs: Dict[str, int] = {}
+        self._temp_regs: set = set()
+        # Loop bookkeeping registers.
+        self._gid_reg = self._reserve()
+        self._gsize_reg = self._reserve()
+        self._wgsize_reg = self._reserve()
+
+    # ------------------------------------------------------------------ #
+    # Register management
+    # ------------------------------------------------------------------ #
+    def _reserve(self) -> int:
+        if not self._free:
+            raise CompilationError(
+                f"kernel {self.kernel.name!r} needs more registers than RV32 provides"
+            )
+        return self._free.pop(0)
+
+    def _acquire(self) -> int:
+        register = self._reserve()
+        self._temp_regs.add(register)
+        return register
+
+    def _release(self, register: Optional[int]) -> None:
+        if register is not None and register in self._temp_regs:
+            self._temp_regs.discard(register)
+            self._free.insert(0, register)
+
+    def _var_register(self, name: str) -> int:
+        try:
+            return self._var_regs[name]
+        except KeyError as exc:
+            raise CompilationError(f"no register allocated for {name!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def generate(self) -> RvProgram:
+        """Emit the work-item loop and the lowered kernel body."""
+        self._allocate_variables()
+        self._load_parameters()
+        self.asm.li(self._gid_reg, 0)
+        self.asm.li(self._gsize_reg, self.global_size)
+        self.asm.li(self._wgsize_reg, self.workgroup_size)
+        loop = self.asm.unique_label("wi_loop")
+        end = self.asm.unique_label("wi_end")
+        self.asm.label(loop)
+        self.asm.emit(RvOpcode.BGE, rs1=self._gid_reg, rs2=self._gsize_reg, label=end)
+        self._gen_statements(self.kernel.body)
+        self.asm.emit(RvOpcode.ADDI, rd=self._gid_reg, rs1=self._gid_reg, imm=1)
+        self.asm.j(loop)
+        self.asm.label(end)
+        self.asm.halt()
+        return self.asm.assemble()
+
+    def _allocate_variables(self) -> None:
+        for param in self.kernel.params:
+            self._var_regs[param.name] = self._reserve()
+        for name, symbol in self.kernel.symbols.items():
+            if not symbol.is_param:
+                self._var_regs[name] = self._reserve()
+
+    def _load_parameters(self) -> None:
+        for param in self.kernel.params:
+            if param.name not in self.param_values:
+                raise CompilationError(
+                    f"no value provided for kernel parameter {param.name!r}"
+                )
+            self.asm.li(self._var_regs[param.name], int(self.param_values[param.name]))
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _gen_statements(self, statements: List[Stmt]) -> None:
+        for statement in statements:
+            self._gen_statement(statement)
+
+    def _gen_statement(self, statement: Stmt) -> None:
+        if isinstance(statement, DeclStmt):
+            for name, init in zip(statement.names, statement.inits):
+                if init is not None:
+                    self._gen_assign_to_var(name, init)
+        elif isinstance(statement, AssignStmt):
+            self._gen_assignment(statement)
+        elif isinstance(statement, IfStmt):
+            self._gen_if(statement)
+        elif isinstance(statement, WhileStmt):
+            self._gen_loop(statement.condition, statement.body, step=None)
+        elif isinstance(statement, ForStmt):
+            if statement.init is not None:
+                self._gen_statement(statement.init)
+            self._gen_loop(statement.condition, statement.body, step=statement.step)
+        elif isinstance(statement, (BarrierStmt, ReturnStmt)):
+            pass  # barriers are no-ops on a single in-order core
+        else:  # pragma: no cover - defensive
+            raise CompilationError(f"unsupported statement {type(statement).__name__}")
+
+    def _gen_assign_to_var(self, name: str, value: Expr) -> None:
+        destination = self._var_register(name)
+        register = self._eval(value, preferred=destination)
+        if register != destination:
+            self.asm.mv(destination, register)
+        self._release(register)
+
+    def _gen_assignment(self, statement: AssignStmt) -> None:
+        target = statement.target
+        if isinstance(target, VarRef):
+            if statement.op == "=":
+                self._gen_assign_to_var(target.name, statement.value)
+                return
+            destination = self._var_register(target.name)
+            value = self._eval(statement.value)
+            self._emit_binop(statement.op[:-1], destination, destination, value,
+                             unsigned=_unsigned(target, statement.value))
+            self._release(value)
+            return
+        if isinstance(target, Index):
+            address = self._element_address(target)
+            if statement.op == "=":
+                value = self._eval(statement.value)
+            else:
+                current = self._acquire()
+                self.asm.emit(RvOpcode.LW, rd=current, rs1=address, imm=0)
+                rhs = self._eval(statement.value)
+                self._emit_binop(statement.op[:-1], current, current, rhs,
+                                 unsigned=_unsigned(target, statement.value))
+                self._release(rhs)
+                value = current
+            self.asm.emit(RvOpcode.SW, rs1=address, rs2=value, imm=0)
+            self._release(value)
+            self._release(address)
+            return
+        raise CompilationError("assignment target must be a variable or buffer[index]")
+
+    def _gen_if(self, statement: IfStmt) -> None:
+        condition = self._eval(statement.condition, as_bool=True)
+        else_label = self.asm.unique_label("else")
+        end_label = self.asm.unique_label("endif")
+        self.asm.emit(RvOpcode.BEQ, rs1=condition, rs2=ZERO, label=else_label)
+        self._release(condition)
+        self._gen_statements(statement.then_body)
+        if statement.has_else:
+            self.asm.j(end_label)
+            self.asm.label(else_label)
+            self._gen_statements(statement.else_body)
+            self.asm.label(end_label)
+        else:
+            self.asm.label(else_label)
+
+    def _gen_loop(self, condition: Optional[Expr], body: List[Stmt], step: Optional[Stmt]) -> None:
+        if condition is None:
+            raise CompilationError("loops without a condition are not supported")
+        start = self.asm.unique_label("loop")
+        end = self.asm.unique_label("loop_end")
+        self.asm.label(start)
+        register = self._eval(condition, as_bool=True)
+        self.asm.emit(RvOpcode.BEQ, rs1=register, rs2=ZERO, label=end)
+        self._release(register)
+        self._gen_statements(body)
+        if step is not None:
+            self._gen_statement(step)
+        self.asm.j(start)
+        self.asm.label(end)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: Expr, preferred: Optional[int] = None, as_bool: bool = False) -> int:
+        register = self._eval_value(expr, preferred)
+        if not as_bool:
+            return register
+        if isinstance(expr, BinaryOp) and expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return register
+        if isinstance(expr, UnaryOp) and expr.op == "!":
+            return register
+        normalized = self._acquire()
+        self.asm.emit(RvOpcode.SLTU, rd=normalized, rs1=ZERO, rs2=register)
+        self._release(register)
+        return normalized
+
+    def _eval_value(self, expr: Expr, preferred: Optional[int] = None) -> int:
+        if isinstance(expr, IntLiteral):
+            destination = preferred if preferred is not None else self._acquire()
+            self.asm.li(destination, expr.value)
+            return destination
+        if isinstance(expr, VarRef):
+            return self._var_register(expr.name)
+        if isinstance(expr, Call):
+            return self._eval_call(expr, preferred)
+        if isinstance(expr, Index):
+            address = self._element_address(expr)
+            destination = preferred if preferred is not None else self._acquire()
+            self.asm.emit(RvOpcode.LW, rd=destination, rs1=address, imm=0)
+            self._release(address)
+            return destination
+        if isinstance(expr, UnaryOp):
+            return self._eval_unary(expr, preferred)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, preferred)
+        raise CompilationError(f"unsupported expression {type(expr).__name__}")
+
+    def _eval_call(self, expr: Call, preferred: Optional[int]) -> int:
+        destination = preferred if preferred is not None else self._acquire()
+        name = expr.name
+        if name == "get_global_id":
+            self.asm.mv(destination, self._gid_reg)
+        elif name == "get_global_size":
+            self.asm.mv(destination, self._gsize_reg)
+        elif name == "get_local_size":
+            self.asm.mv(destination, self._wgsize_reg)
+        elif name == "get_local_id":
+            self.asm.emit(RvOpcode.REMU, rd=destination, rs1=self._gid_reg, rs2=self._wgsize_reg)
+        elif name == "get_group_id":
+            self.asm.emit(RvOpcode.DIVU, rd=destination, rs1=self._gid_reg, rs2=self._wgsize_reg)
+        elif name == "get_num_groups":
+            self.asm.emit(RvOpcode.DIVU, rd=destination, rs1=self._gsize_reg, rs2=self._wgsize_reg)
+        elif name in ("min", "max"):
+            left = self._eval(expr.args[0])
+            right = self._eval(expr.args[1])
+            skip = self.asm.unique_label("minmax")
+            self.asm.mv(destination, right)
+            branch = RvOpcode.BGE if name == "min" else RvOpcode.BLT
+            self.asm.emit(branch, rs1=left, rs2=right, label=skip)
+            self.asm.mv(destination, left)
+            self.asm.label(skip)
+            self._release(left)
+            self._release(right)
+        else:
+            raise CompilationError(f"unknown function {name!r}")
+        return destination
+
+    def _eval_unary(self, expr: UnaryOp, preferred: Optional[int]) -> int:
+        operand = self._eval(expr.operand)
+        destination = preferred if preferred is not None else self._acquire()
+        if expr.op == "-":
+            self.asm.emit(RvOpcode.SUB, rd=destination, rs1=ZERO, rs2=operand)
+        elif expr.op == "~":
+            self.asm.emit(RvOpcode.XORI, rd=destination, rs1=operand, imm=-1)
+        elif expr.op == "!":
+            self.asm.emit(RvOpcode.SLTIU, rd=destination, rs1=operand, imm=1)
+        else:  # pragma: no cover - the parser only produces the three above
+            raise CompilationError(f"unsupported unary operator {expr.op!r}")
+        if operand != destination:
+            self._release(operand)
+        return destination
+
+    def _eval_binary(self, expr: BinaryOp, preferred: Optional[int]) -> int:
+        op = expr.op
+        unsigned = _unsigned(expr.left, expr.right)
+        if (
+            isinstance(expr.right, IntLiteral)
+            and op in _IMMEDIATE_BINOPS
+            and _fits_i12(expr.right.value)
+        ):
+            left = self._eval(expr.left)
+            destination = preferred if preferred is not None else self._acquire()
+            self.asm.emit(_IMMEDIATE_BINOPS[op], rd=destination, rs1=left, imm=expr.right.value)
+            if left != destination:
+                self._release(left)
+            return destination
+        if isinstance(expr.right, IntLiteral) and op in ("<<", ">>") and 0 <= expr.right.value < 32:
+            left = self._eval(expr.left)
+            destination = preferred if preferred is not None else self._acquire()
+            if op == "<<":
+                self.asm.emit(RvOpcode.SLLI, rd=destination, rs1=left, imm=expr.right.value)
+            else:
+                shift = RvOpcode.SRLI if unsigned else RvOpcode.SRAI
+                self.asm.emit(shift, rd=destination, rs1=left, imm=expr.right.value)
+            if left != destination:
+                self._release(left)
+            return destination
+        if (
+            isinstance(expr.right, IntLiteral)
+            and op == "-"
+            and _fits_i12(-expr.right.value)
+        ):
+            left = self._eval(expr.left)
+            destination = preferred if preferred is not None else self._acquire()
+            self.asm.emit(RvOpcode.ADDI, rd=destination, rs1=left, imm=-expr.right.value)
+            if left != destination:
+                self._release(left)
+            return destination
+
+        left = self._eval(expr.left)
+        right = self._eval(expr.right)
+        destination = preferred if preferred is not None else self._acquire()
+        self._emit_binop(op, destination, left, right, unsigned)
+        if left != destination:
+            self._release(left)
+        if right != destination:
+            self._release(right)
+        return destination
+
+    def _emit_binop(self, op: str, rd: int, left: int, right: int, unsigned: bool) -> None:
+        if op in _DIRECT_BINOPS:
+            self.asm.emit(_DIRECT_BINOPS[op], rd=rd, rs1=left, rs2=right)
+            return
+        if op == ">>":
+            self.asm.emit(RvOpcode.SRL if unsigned else RvOpcode.SRA, rd=rd, rs1=left, rs2=right)
+            return
+        compare = RvOpcode.SLTU if unsigned else RvOpcode.SLT
+        if op == "<":
+            self.asm.emit(compare, rd=rd, rs1=left, rs2=right)
+        elif op == ">":
+            self.asm.emit(compare, rd=rd, rs1=right, rs2=left)
+        elif op == "<=":
+            self.asm.emit(compare, rd=rd, rs1=right, rs2=left)
+            self.asm.emit(RvOpcode.XORI, rd=rd, rs1=rd, imm=1)
+        elif op == ">=":
+            self.asm.emit(compare, rd=rd, rs1=left, rs2=right)
+            self.asm.emit(RvOpcode.XORI, rd=rd, rs1=rd, imm=1)
+        elif op == "==":
+            self.asm.emit(RvOpcode.SUB, rd=rd, rs1=left, rs2=right)
+            self.asm.emit(RvOpcode.SLTIU, rd=rd, rs1=rd, imm=1)
+        elif op == "!=":
+            self.asm.emit(RvOpcode.SUB, rd=rd, rs1=left, rs2=right)
+            self.asm.emit(RvOpcode.SLTU, rd=rd, rs1=ZERO, rs2=rd)
+        elif op in ("&&", "||"):
+            normalized_left = self._acquire()
+            self.asm.emit(RvOpcode.SLTU, rd=normalized_left, rs1=ZERO, rs2=left)
+            self.asm.emit(RvOpcode.SLTU, rd=rd, rs1=ZERO, rs2=right)
+            combiner = RvOpcode.AND if op == "&&" else RvOpcode.OR
+            self.asm.emit(combiner, rd=rd, rs1=normalized_left, rs2=rd)
+            self._release(normalized_left)
+        else:  # pragma: no cover - the parser only produces known operators
+            raise CompilationError(f"unsupported binary operator {op!r}")
+
+    def _element_address(self, expr: Index) -> int:
+        base = self._var_register(expr.base)
+        index = self._eval(expr.index)
+        address = self._acquire()
+        self.asm.emit(RvOpcode.SLLI, rd=address, rs1=index, imm=2)
+        self.asm.emit(RvOpcode.ADD, rd=address, rs1=address, rs2=base)
+        if index != address:
+            self._release(index)
+        return address
+
+
+def _unsigned(*operands) -> bool:
+    return any(
+        operand is not None and getattr(operand, "ctype", None) is CType.UINT
+        for operand in operands
+    )
+
+
+def generate_riscv_case(
+    kernel: KernelDecl,
+    workload: GpuWorkload,
+    name: Optional[str] = None,
+    memory_bytes: int = 32 * 1024,
+) -> RiscvCase:
+    """Compile a kernel for the RISC-V baseline and bind it to a workload.
+
+    The workload's buffers are laid out in the 32 kB tightly-coupled memory,
+    buffer parameters receive the resulting base addresses, scalar parameters
+    receive the workload's scalar values, and the NDRange becomes the
+    work-item loop bounds.
+    """
+    memory, addresses = load_workload_into_memory(workload, memory_bytes)
+    values: Dict[str, int] = {}
+    for param in kernel.params:
+        if param.is_pointer:
+            if param.name not in addresses:
+                raise CompilationError(f"workload provides no buffer for parameter {param.name!r}")
+            values[param.name] = addresses[param.name]
+        else:
+            if param.name not in workload.scalars:
+                raise CompilationError(f"workload provides no value for parameter {param.name!r}")
+            values[param.name] = int(workload.scalars[param.name])
+    generator = RiscvCodeGenerator(
+        kernel,
+        values,
+        global_size=workload.ndrange.global_size,
+        workgroup_size=workload.ndrange.workgroup_size,
+        name=name,
+    )
+    program = generator.generate()
+    return RiscvCase(program.name, program, memory, addresses, workload.expected)

@@ -1,0 +1,121 @@
+"""Compiler facade: source text in, executable kernels out.
+
+:func:`compile_source` runs the front end once (lex, parse, analyze) and
+returns a :class:`CLProgram` from which individual kernels can be lowered to
+either target.  :func:`compile_kernel` / :func:`compile_kernel_to_riscv_case`
+are one-call conveniences for the common single-kernel case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.kernel import Kernel
+from repro.cl.codegen_ggpu import generate_ggpu_kernel
+from repro.cl.codegen_riscv import generate_riscv_case
+from repro.cl.nodes import KernelDecl, TranslationUnit
+from repro.cl.parser import parse
+from repro.cl.semantics import analyze
+from repro.errors import CompilationError
+from repro.kernels.library import GpuWorkload
+from repro.riscv.programs.library import RiscvCase
+
+
+@dataclass(frozen=True)
+class CLKernelInfo:
+    """Summary of one compiled kernel's interface (for reports and tests)."""
+
+    name: str
+    buffer_params: Tuple[str, ...]
+    scalar_params: Tuple[str, ...]
+    num_varying_vars: int
+
+    @property
+    def num_params(self) -> int:
+        return len(self.buffer_params) + len(self.scalar_params)
+
+
+class CLProgram:
+    """A parsed and analyzed OpenCL-C translation unit."""
+
+    def __init__(self, unit: TranslationUnit, source: str) -> None:
+        self._unit = unit
+        self.source = source
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def kernel_names(self) -> List[str]:
+        """Names of all kernels in the source, in declaration order."""
+        return [kernel.name for kernel in self._unit.kernels]
+
+    def declaration(self, kernel_name: Optional[str] = None) -> KernelDecl:
+        """The analyzed AST of one kernel (defaults to the only/first kernel)."""
+        if kernel_name is None:
+            return self._unit.kernels[0]
+        try:
+            return self._unit.kernel(kernel_name)
+        except KeyError as exc:
+            raise CompilationError(
+                f"no kernel named {kernel_name!r}; available: {self.kernel_names}"
+            ) from exc
+
+    def info(self, kernel_name: Optional[str] = None) -> CLKernelInfo:
+        """Interface summary of one kernel."""
+        declaration = self.declaration(kernel_name)
+        buffers = tuple(param.name for param in declaration.params if param.is_pointer)
+        scalars = tuple(param.name for param in declaration.params if not param.is_pointer)
+        varying = sum(1 for symbol in declaration.symbols.values() if symbol.varying)
+        return CLKernelInfo(
+            name=declaration.name,
+            buffer_params=buffers,
+            scalar_params=scalars,
+            num_varying_vars=varying,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Code generation
+    # ------------------------------------------------------------------ #
+    def to_ggpu_kernel(self, kernel_name: Optional[str] = None) -> Kernel:
+        """Lower one kernel to the G-GPU SIMT ISA."""
+        return generate_ggpu_kernel(self.declaration(kernel_name))
+
+    def to_riscv_case(
+        self,
+        workload: GpuWorkload,
+        kernel_name: Optional[str] = None,
+        name: Optional[str] = None,
+        memory_bytes: int = 32 * 1024,
+    ) -> RiscvCase:
+        """Lower one kernel to a scalar RV32IM program bound to ``workload``."""
+        return generate_riscv_case(
+            self.declaration(kernel_name), workload, name=name, memory_bytes=memory_bytes
+        )
+
+
+def compile_source(source: str) -> CLProgram:
+    """Lex, parse, and analyze OpenCL-C source text."""
+    if not source or not source.strip():
+        raise CompilationError("the kernel source is empty")
+    unit = analyze(parse(source))
+    return CLProgram(unit, source)
+
+
+def compile_kernel(source: str, kernel_name: Optional[str] = None) -> Kernel:
+    """Compile one kernel of ``source`` to the G-GPU SIMT ISA."""
+    return compile_source(source).to_ggpu_kernel(kernel_name)
+
+
+def compile_kernel_to_riscv_case(
+    source: str,
+    workload: GpuWorkload,
+    kernel_name: Optional[str] = None,
+    name: Optional[str] = None,
+    memory_bytes: int = 32 * 1024,
+) -> RiscvCase:
+    """Compile one kernel of ``source`` for the scalar RISC-V baseline."""
+    return compile_source(source).to_riscv_case(
+        workload, kernel_name=kernel_name, name=name, memory_bytes=memory_bytes
+    )

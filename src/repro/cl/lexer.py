@@ -1,0 +1,236 @@
+"""Tokenizer for the OpenCL-C subset.
+
+The lexer produces a flat list of :class:`Token` objects with line/column
+information so parse and semantic errors can point at the offending source
+location.  Comments (``//`` and ``/* */``) and whitespace are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CompilationError
+
+KEYWORDS = frozenset(
+    {
+        "__kernel",
+        "kernel",
+        "__global",
+        "global",
+        "__local",
+        "const",
+        "void",
+        "int",
+        "uint",
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "barrier",
+    }
+)
+
+# Multi-character operators must be listed longest-first so maximal munch works.
+_OPERATORS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+)
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: int = 0
+
+    def is_op(self, text: str) -> bool:
+        """Whether this token is the given operator/punctuator."""
+        return self.kind is TokenKind.OPERATOR and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        """Whether this token is the given keyword."""
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def location(self) -> str:
+        """Human-readable ``line:column`` location."""
+        return f"{self.line}:{self.column}"
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+class _Scanner:
+    """Character-level cursor with line/column tracking."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.index = 0
+        self.line = 1
+        self.column = 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.source)
+
+    def peek(self, offset: int = 0) -> str:
+        position = self.index + offset
+        return self.source[position] if position < len(self.source) else ""
+
+    def advance(self, count: int = 1) -> str:
+        text = self.source[self.index : self.index + count]
+        for char in text:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.index += count
+        return text
+
+    def error(self, message: str) -> CompilationError:
+        return CompilationError(f"lex error at {self.line}:{self.column}: {message}")
+
+
+def _skip_trivia(scanner: _Scanner) -> None:
+    """Skip whitespace and comments."""
+    while not scanner.exhausted:
+        char = scanner.peek()
+        if char in " \t\r\n":
+            scanner.advance()
+        elif char == "/" and scanner.peek(1) == "/":
+            while not scanner.exhausted and scanner.peek() != "\n":
+                scanner.advance()
+        elif char == "/" and scanner.peek(1) == "*":
+            scanner.advance(2)
+            while not scanner.exhausted and not (scanner.peek() == "*" and scanner.peek(1) == "/"):
+                scanner.advance()
+            if scanner.exhausted:
+                raise scanner.error("unterminated block comment")
+            scanner.advance(2)
+        else:
+            return
+
+
+def _lex_number(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    text = ""
+    if scanner.peek() == "0" and scanner.peek(1) in "xX":
+        text += scanner.advance(2)
+        while _is_ident_char(scanner.peek()):
+            text += scanner.advance()
+        try:
+            value = int(text, 16)
+        except ValueError as exc:
+            raise CompilationError(f"lex error at {line}:{column}: bad hex literal {text!r}") from exc
+    else:
+        while scanner.peek().isdigit():
+            text += scanner.advance()
+        value = int(text)
+    # Accept (and discard) the common integer suffixes.  The explicit truth
+    # check matters: peek() returns "" at end of input, and "" is "in" every
+    # string.
+    while scanner.peek() and scanner.peek() in "uUlL":
+        scanner.advance()
+    if _is_ident_start(scanner.peek()):
+        raise CompilationError(
+            f"lex error at {line}:{column}: identifier cannot start with a digit"
+        )
+    return Token(TokenKind.NUMBER, text, line, column, value=value)
+
+
+def _lex_word(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    text = ""
+    while _is_ident_char(scanner.peek()):
+        text += scanner.advance()
+    kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+    return Token(kind, text, line, column)
+
+
+def _lex_operator(scanner: _Scanner) -> Token:
+    line, column = scanner.line, scanner.column
+    for operator in _OPERATORS:
+        if scanner.source.startswith(operator, scanner.index):
+            scanner.advance(len(operator))
+            return Token(TokenKind.OPERATOR, operator, line, column)
+    raise scanner.error(f"unexpected character {scanner.peek()!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize OpenCL-C source text; the list always ends with an END token."""
+    scanner = _Scanner(source)
+    tokens: List[Token] = []
+    while True:
+        _skip_trivia(scanner)
+        if scanner.exhausted:
+            break
+        char = scanner.peek()
+        if char.isdigit():
+            tokens.append(_lex_number(scanner))
+        elif _is_ident_start(char):
+            tokens.append(_lex_word(scanner))
+        else:
+            tokens.append(_lex_operator(scanner))
+    tokens.append(Token(TokenKind.END, "", scanner.line, scanner.column))
+    return tokens

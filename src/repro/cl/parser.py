@@ -1,0 +1,377 @@
+"""Recursive-descent parser for the OpenCL-C subset.
+
+The grammar follows C's expression precedence.  The parser is purely
+syntactic: name resolution, type checking, and uniformity analysis happen in
+:mod:`repro.cl.semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cl.lexer import Token, TokenKind, tokenize
+from repro.cl.nodes import (
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Call,
+    CType,
+    DeclStmt,
+    Expr,
+    ForStmt,
+    IfStmt,
+    Index,
+    IntLiteral,
+    KernelDecl,
+    Param,
+    ReturnStmt,
+    SourceSpan,
+    Stmt,
+    TranslationUnit,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+from repro.errors import CompilationError
+
+ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+# Binary operator precedence levels, loosest first; each level is left
+# associative (the subset has no assignment expressions or ternaries).
+_BINARY_LEVELS: Tuple[Tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+def _span(token: Token) -> SourceSpan:
+    return SourceSpan(token.line, token.column)
+
+
+class Parser:
+    """Token-stream parser producing a :class:`TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+    # Token-stream helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.END:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> CompilationError:
+        token = token or self._peek()
+        return CompilationError(f"parse error at {token.location()}: {message}")
+
+    def _expect_op(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_op(text):
+            raise self._error(f"expected {text!r}, found {token.text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(text):
+            raise self._error(f"expected {text!r}, found {token.text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise self._error(f"expected an identifier, found {token.text!r}")
+        return self._advance()
+
+    def _accept_op(self, text: str) -> bool:
+        if self._peek().is_op(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._peek().is_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def parse_translation_unit(self) -> TranslationUnit:
+        """Parse the whole source file."""
+        unit = TranslationUnit()
+        while self._peek().kind is not TokenKind.END:
+            unit.kernels.append(self._parse_kernel())
+        if not unit.kernels:
+            raise CompilationError("the source contains no __kernel function")
+        return unit
+
+    def _parse_kernel(self) -> KernelDecl:
+        start = self._peek()
+        if not (self._accept_keyword("__kernel") or self._accept_keyword("kernel")):
+            raise self._error("expected a '__kernel' function")
+        self._expect_keyword("void")
+        name = self._expect_ident()
+        self._expect_op("(")
+        params: List[Param] = []
+        if not self._peek().is_op(")"):
+            params.append(self._parse_param())
+            while self._accept_op(","):
+                params.append(self._parse_param())
+        self._expect_op(")")
+        body = self._parse_block()
+        return KernelDecl(name=name.text, params=params, body=body, span=_span(start))
+
+    def _parse_param(self) -> Param:
+        start = self._peek()
+        is_global = self._accept_keyword("__global") or self._accept_keyword("global")
+        self._accept_keyword("const")
+        ctype = self._parse_scalar_type()
+        is_pointer = self._accept_op("*")
+        if is_global and not is_pointer:
+            raise self._error("__global parameters must be pointers", start)
+        name = self._expect_ident()
+        if is_pointer:
+            return Param(name=name.text, ctype=CType.PTR, is_pointer=True, span=_span(start))
+        return Param(name=name.text, ctype=ctype, is_pointer=False, span=_span(start))
+
+    def _parse_scalar_type(self) -> CType:
+        token = self._peek()
+        if token.is_keyword("int"):
+            self._advance()
+            return CType.INT
+        if token.is_keyword("uint"):
+            self._advance()
+            return CType.UINT
+        raise self._error(f"expected a type, found {token.text!r}")
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _parse_block(self) -> List[Stmt]:
+        self._expect_op("{")
+        statements: List[Stmt] = []
+        while not self._peek().is_op("}"):
+            if self._peek().kind is TokenKind.END:
+                raise self._error("unterminated block")
+            statements.append(self._parse_statement())
+        self._expect_op("}")
+        return statements
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.is_op("{"):
+            # A bare block contributes its statements via an if(1)-free
+            # wrapper; representing it as an IfStmt would change semantics of
+            # declarations, so the subset simply inlines it.
+            raise self._error("nested bare blocks are not supported; use if/for/while blocks")
+        if token.is_keyword("int") or token.is_keyword("uint"):
+            statement = self._parse_declaration()
+            self._expect_op(";")
+            return statement
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("barrier"):
+            return self._parse_barrier()
+        if token.is_keyword("return"):
+            self._advance()
+            self._expect_op(";")
+            return ReturnStmt(span=_span(token))
+        statement = self._parse_assignment()
+        self._expect_op(";")
+        return statement
+
+    def _parse_declaration(self) -> DeclStmt:
+        start = self._peek()
+        ctype = self._parse_scalar_type()
+        names: List[str] = []
+        inits: List[Optional[Expr]] = []
+        while True:
+            name = self._expect_ident()
+            names.append(name.text)
+            if self._accept_op("="):
+                inits.append(self._parse_expression())
+            else:
+                inits.append(None)
+            if not self._accept_op(","):
+                break
+        return DeclStmt(ctype=ctype, names=tuple(names), inits=tuple(inits), span=_span(start))
+
+    def _parse_assignment(self) -> AssignStmt:
+        start = self._peek()
+        target = self._parse_lvalue()
+        token = self._peek()
+        if token.is_op("++") or token.is_op("--"):
+            self._advance()
+            op = "+=" if token.text == "++" else "-="
+            one = IntLiteral(1, span=_span(token))
+            return AssignStmt(target=target, op=op, value=one, span=_span(start))
+        for candidate in ASSIGN_OPS:
+            if token.is_op(candidate):
+                self._advance()
+                value = self._parse_expression()
+                return AssignStmt(target=target, op=candidate, value=value, span=_span(start))
+        raise self._error(f"expected an assignment operator, found {token.text!r}")
+
+    def _parse_lvalue(self) -> Expr:
+        name = self._expect_ident()
+        if self._accept_op("["):
+            index = self._parse_expression()
+            self._expect_op("]")
+            return Index(base=name.text, index=index, span=_span(name))
+        return VarRef(name=name.text, span=_span(name))
+
+    def _parse_if(self) -> IfStmt:
+        start = self._expect_keyword("if")
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        then_body = self._parse_body_or_single()
+        else_body: List[Stmt] = []
+        has_else = False
+        if self._accept_keyword("else"):
+            has_else = True
+            if self._peek().is_keyword("if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_body_or_single()
+        return IfStmt(
+            condition=condition,
+            then_body=then_body,
+            else_body=else_body,
+            has_else=has_else,
+            span=_span(start),
+        )
+
+    def _parse_while(self) -> WhileStmt:
+        start = self._expect_keyword("while")
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        body = self._parse_body_or_single()
+        return WhileStmt(condition=condition, body=body, span=_span(start))
+
+    def _parse_for(self) -> ForStmt:
+        start = self._expect_keyword("for")
+        self._expect_op("(")
+        init: Optional[Stmt] = None
+        if not self._peek().is_op(";"):
+            if self._peek().is_keyword("int") or self._peek().is_keyword("uint"):
+                init = self._parse_declaration()
+            else:
+                init = self._parse_assignment()
+        self._expect_op(";")
+        condition: Optional[Expr] = None
+        if not self._peek().is_op(";"):
+            condition = self._parse_expression()
+        self._expect_op(";")
+        step: Optional[Stmt] = None
+        if not self._peek().is_op(")"):
+            step = self._parse_assignment()
+        self._expect_op(")")
+        body = self._parse_body_or_single()
+        return ForStmt(init=init, condition=condition, step=step, body=body, span=_span(start))
+
+    def _parse_barrier(self) -> BarrierStmt:
+        start = self._expect_keyword("barrier")
+        self._expect_op("(")
+        # The memory-fence flag argument (CLK_LOCAL_MEM_FENCE | ...) is parsed
+        # and discarded: the G-GPU barrier synchronizes the whole workgroup.
+        while not self._peek().is_op(")"):
+            if self._peek().kind is TokenKind.END:
+                raise self._error("unterminated barrier()")
+            self._advance()
+        self._expect_op(")")
+        self._expect_op(";")
+        return BarrierStmt(span=_span(start))
+
+    def _parse_body_or_single(self) -> List[Stmt]:
+        if self._peek().is_op("{"):
+            return self._parse_block()
+        return [self._parse_statement()]
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            matched = None
+            for op in _BINARY_LEVELS[level]:
+                if token.is_op(op):
+                    matched = op
+                    break
+            if matched is None:
+                return left
+            self._advance()
+            right = self._parse_binary(level + 1)
+            left = BinaryOp(op=matched, left=left, right=right, span=_span(token))
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        for op in ("-", "!", "~", "+"):
+            if token.is_op(op):
+                self._advance()
+                operand = self._parse_unary()
+                if op == "+":
+                    return operand
+                return UnaryOp(op=op, operand=operand, span=_span(token))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return IntLiteral(token.value, span=_span(token))
+        if token.is_op("("):
+            self._advance()
+            inner = self._parse_expression()
+            self._expect_op(")")
+            return inner
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._accept_op("("):
+                args: List[Expr] = []
+                if not self._peek().is_op(")"):
+                    args.append(self._parse_expression())
+                    while self._accept_op(","):
+                        args.append(self._parse_expression())
+                self._expect_op(")")
+                return Call(name=token.text, args=tuple(args), span=_span(token))
+            if self._accept_op("["):
+                index = self._parse_expression()
+                self._expect_op("]")
+                return Index(base=token.text, index=index, span=_span(token))
+            return VarRef(name=token.text, span=_span(token))
+        raise self._error(f"expected an expression, found {token.text!r}")
+
+
+def parse(source: str) -> TranslationUnit:
+    """Tokenize and parse OpenCL-C source text."""
+    return Parser(tokenize(source)).parse_translation_unit()

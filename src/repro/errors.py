@@ -1,0 +1,56 @@
+"""Exception hierarchy for the G-GPU / GPUPlanner reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can catch
+library-specific failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture or planner configuration is invalid."""
+
+
+class TechnologyError(ReproError):
+    """A technology query cannot be satisfied (e.g. macro out of compiler range)."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad mnemonic, operand, or label)."""
+
+
+class CompilationError(ReproError):
+    """An OpenCL-C kernel source could not be compiled (lexing, parsing,
+    semantic analysis, or code generation failed)."""
+
+
+class SimulationError(ReproError):
+    """A functional or timing simulation failed (trap, bad access, deadlock)."""
+
+
+class KernelError(ReproError):
+    """A kernel definition or launch is invalid."""
+
+
+class NetlistError(ReproError):
+    """A netlist construction or transformation is invalid."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failed or a timing constraint cannot be expressed."""
+
+
+class SynthesisError(ReproError):
+    """Logic synthesis could not complete for the given design."""
+
+
+class PhysicalDesignError(ReproError):
+    """Floorplanning, placement, or routing failed."""
+
+
+class PlanningError(ReproError):
+    """GPUPlanner could not produce a design meeting the specification."""

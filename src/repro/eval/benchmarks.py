@@ -1,0 +1,174 @@
+"""Benchmark runner: the measurements behind Table III.
+
+The paper measures seven kernels on a RISC-V (at the largest input that still
+fits its 32 kB memory) and on the G-GPU with 1/2/4/8 CUs (at inputs large
+enough to fill the compute units).  ``run_table3`` reproduces that protocol;
+``BenchmarkSizes.scaled`` lets tests and quick demos run the same protocol at
+a fraction of the paper's input sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.config import GGPUConfig
+from repro.errors import KernelError
+from repro.kernels import all_kernel_names, get_kernel_spec, run_workload
+from repro.riscv.programs import get_riscv_program_spec
+from repro.simt.gpu import GGPUSimulator
+from repro.simt.trace import KernelRunStats
+from repro.riscv.cpu import CpuStats
+
+DEFAULT_SEED = 2022
+
+
+@dataclass(frozen=True)
+class BenchmarkSizes:
+    """Input sizes for one kernel (RISC-V and G-GPU sides)."""
+
+    kernel: str
+    riscv_size: int
+    gpu_size: int
+
+    @classmethod
+    def paper(cls, kernel: str) -> "BenchmarkSizes":
+        """The sizes used in the paper's Table III."""
+        spec = get_kernel_spec(kernel)
+        return cls(kernel, spec.paper_riscv_size, spec.paper_gpu_size)
+
+    def scaled(self, factor: float) -> "BenchmarkSizes":
+        """Scale both sizes down (rounded to the 64-work-item granularity)."""
+        if factor <= 0 or factor > 1:
+            raise KernelError(f"scale factor must be in (0, 1], got {factor}")
+
+        def _scale(size: int) -> int:
+            scaled = max(64, int(size * factor))
+            return max(64, (scaled // 64) * 64)
+
+        return BenchmarkSizes(self.kernel, _scale(self.riscv_size), _scale(self.gpu_size))
+
+
+@dataclass
+class GpuMeasurement:
+    """One G-GPU benchmark run."""
+
+    kernel: str
+    num_cus: int
+    input_size: int
+    cycles: float
+    stats: KernelRunStats
+
+    @property
+    def kcycles(self) -> float:
+        return self.cycles / 1.0e3
+
+
+@dataclass
+class RiscvMeasurement:
+    """One RISC-V benchmark run."""
+
+    kernel: str
+    input_size: int
+    cycles: float
+    stats: CpuStats
+
+    @property
+    def kcycles(self) -> float:
+        return self.cycles / 1.0e3
+
+
+@dataclass
+class Table3Row:
+    """One kernel's row of Table III."""
+
+    kernel: str
+    riscv: RiscvMeasurement
+    gpu: Dict[int, GpuMeasurement] = field(default_factory=dict)
+
+    @property
+    def riscv_size(self) -> int:
+        return self.riscv.input_size
+
+    @property
+    def gpu_size(self) -> int:
+        return next(iter(self.gpu.values())).input_size
+
+    def gpu_kcycles(self, num_cus: int) -> float:
+        return self.gpu[num_cus].kcycles
+
+
+@dataclass
+class Table3Data:
+    """The whole regenerated Table III."""
+
+    rows: Dict[str, Table3Row] = field(default_factory=dict)
+    cu_counts: Sequence[int] = (1, 2, 4, 8)
+
+    def row(self, kernel: str) -> Table3Row:
+        try:
+            return self.rows[kernel]
+        except KeyError as exc:
+            raise KernelError(f"Table III has no row for kernel {kernel!r}") from exc
+
+    @property
+    def kernels(self) -> List[str]:
+        return list(self.rows)
+
+
+def measure_gpu_kernel(
+    kernel_name: str,
+    num_cus: int,
+    input_size: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    check: bool = True,
+) -> GpuMeasurement:
+    """Run one kernel on a G-GPU with ``num_cus`` CUs and measure its cycles."""
+    spec = get_kernel_spec(kernel_name)
+    size = input_size if input_size is not None else spec.paper_gpu_size
+    workload = spec.workload(size, seed)
+    simulator = GGPUSimulator(GGPUConfig(num_cus=num_cus))
+    result, _ = run_workload(simulator, spec.build(), workload, check=check)
+    return GpuMeasurement(
+        kernel=kernel_name,
+        num_cus=num_cus,
+        input_size=size,
+        cycles=result.cycles,
+        stats=result.stats,
+    )
+
+
+def measure_riscv_program(
+    kernel_name: str,
+    input_size: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    check: bool = True,
+) -> RiscvMeasurement:
+    """Run one benchmark on the RISC-V baseline and measure its cycles."""
+    spec = get_riscv_program_spec(kernel_name)
+    size = input_size if input_size is not None else spec.paper_size
+    case = spec.build_case(size, seed)
+    stats, _ = case.run(check=check)
+    return RiscvMeasurement(kernel=kernel_name, input_size=size, cycles=stats.cycles, stats=stats)
+
+
+def run_table3(
+    kernels: Optional[Sequence[str]] = None,
+    cu_counts: Sequence[int] = (1, 2, 4, 8),
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    check: bool = True,
+) -> Table3Data:
+    """Measure every kernel on the RISC-V and on G-GPUs with ``cu_counts`` CUs."""
+    names = list(kernels) if kernels is not None else all_kernel_names()
+    table = Table3Data(cu_counts=tuple(cu_counts))
+    for name in names:
+        sizes = BenchmarkSizes.paper(name)
+        if scale != 1.0:
+            sizes = sizes.scaled(scale)
+        riscv = measure_riscv_program(name, sizes.riscv_size, seed, check)
+        row = Table3Row(kernel=name, riscv=riscv)
+        for num_cus in cu_counts:
+            row.gpu[num_cus] = measure_gpu_kernel(name, num_cus, sizes.gpu_size, seed, check)
+        table.rows[name] = row
+    return table

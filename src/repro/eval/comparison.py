@@ -1,0 +1,111 @@
+"""Speed-up and speed-up-per-area computation (Figs. 5 and 6).
+
+The paper's methodology: because the RISC-V could not run the G-GPU input
+sizes (they crash its 32 kB memory and its compiler), it "takes a pessimistic
+approach for G-GPU" and scales the RISC-V cycle count by the G-GPU/RISC-V
+input-size ratio before dividing.  Fig. 6 then derates the speed-up by the
+G-GPU/RISC-V *area* ratio, which is what a designer trading silicon for
+throughput cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import KernelError
+from repro.eval.benchmarks import Table3Data
+from repro.planner.spec import GGPUSpec
+from repro.planner.optimizer import TimingOptimizer
+from repro.rtl.generator import generate_ggpu_netlist, riscv_reference_netlist
+from repro.synth.logic import LogicSynthesis
+from repro.tech.technology import Technology
+
+
+@dataclass
+class SpeedupSeries:
+    """Speed-up of every kernel for every CU count (one figure's bar data)."""
+
+    metric: str
+    cu_counts: Sequence[int]
+    values: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def value(self, kernel: str, num_cus: int) -> float:
+        try:
+            return self.values[kernel][num_cus]
+        except KeyError as exc:
+            raise KernelError(f"no {self.metric} value for {kernel!r} at {num_cus} CU(s)") from exc
+
+    @property
+    def kernels(self) -> List[str]:
+        return list(self.values)
+
+    def best(self) -> float:
+        """Largest value in the whole series (the paper's headline numbers)."""
+        return max(max(per_cu.values()) for per_cu in self.values.values())
+
+    def best_kernel(self) -> str:
+        """Kernel achieving the largest value."""
+        return max(self.values, key=lambda kernel: max(self.values[kernel].values()))
+
+
+@dataclass(frozen=True)
+class AreaRatios:
+    """G-GPU/RISC-V area ratio for every CU count (the derating factor of Fig. 6)."""
+
+    riscv_area_mm2: float
+    ggpu_area_mm2: Dict[int, float]
+
+    def ratio(self, num_cus: int) -> float:
+        try:
+            return self.ggpu_area_mm2[num_cus] / self.riscv_area_mm2
+        except KeyError as exc:
+            raise KernelError(f"no synthesized area for {num_cus} CU(s)") from exc
+
+    def as_dict(self) -> Dict[int, float]:
+        return {num_cus: self.ratio(num_cus) for num_cus in sorted(self.ggpu_area_mm2)}
+
+
+def compute_speedups(table3: Table3Data) -> SpeedupSeries:
+    """Fig. 5: raw speed-up over the RISC-V, input-size-ratio scaled."""
+    series = SpeedupSeries(metric="speedup", cu_counts=tuple(table3.cu_counts))
+    for kernel, row in table3.rows.items():
+        scale = row.gpu_size / row.riscv_size
+        series.values[kernel] = {
+            num_cus: row.riscv.cycles * scale / row.gpu[num_cus].cycles
+            for num_cus in table3.cu_counts
+        }
+    return series
+
+
+def derate_by_area(speedups: SpeedupSeries, ratios: AreaRatios) -> SpeedupSeries:
+    """Fig. 6: speed-up divided by the G-GPU/RISC-V area ratio."""
+    series = SpeedupSeries(metric="speedup_per_area", cu_counts=tuple(speedups.cu_counts))
+    for kernel, per_cu in speedups.values.items():
+        series.values[kernel] = {
+            num_cus: value / ratios.ratio(num_cus) for num_cus, value in per_cu.items()
+        }
+    return series
+
+
+def compute_area_ratios(
+    tech: Technology,
+    cu_counts: Iterable[int] = (1, 2, 4, 8),
+    frequency_mhz: float = 667.0,
+    optimizer: Optional[TimingOptimizer] = None,
+) -> AreaRatios:
+    """Synthesize the G-GPU versions and the RISC-V baseline and compare areas.
+
+    The paper compares both architectures synthesized in the same technology at
+    667 MHz, the G-GPU in its largest configuration per CU count.
+    """
+    synthesis = LogicSynthesis(tech)
+    optimizer = optimizer or TimingOptimizer(tech)
+    areas: Dict[int, float] = {}
+    for num_cus in cu_counts:
+        spec = GGPUSpec(num_cus=num_cus, target_frequency_mhz=frequency_mhz)
+        netlist = generate_ggpu_netlist(spec.architecture(), name=spec.label)
+        optimizer.close_timing(netlist, frequency_mhz)
+        areas[num_cus] = synthesis.run(netlist, frequency_mhz).total_area_mm2
+    riscv_area = synthesis.run(riscv_reference_netlist(), frequency_mhz).total_area_mm2
+    return AreaRatios(riscv_area_mm2=riscv_area, ggpu_area_mm2=areas)

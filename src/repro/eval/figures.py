@@ -1,0 +1,85 @@
+"""Regeneration of the paper's figures.
+
+* Fig. 3 -- layouts of the 1CU@500MHz and 1CU@667MHz versions.
+* Fig. 4 -- layouts of the 8CU@500MHz and 8CU@600MHz versions.
+* Fig. 5 -- speed-up over the RISC-V per kernel and CU count.
+* Fig. 6 -- the same speed-up derated by the G-GPU/RISC-V area ratio.
+
+The "figures" are data objects (layouts and bar series); ``format_*`` helpers
+render them as text so the benchmark harness can print the same information
+the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.eval.benchmarks import Table3Data, run_table3
+from repro.eval.comparison import (
+    AreaRatios,
+    SpeedupSeries,
+    compute_area_ratios,
+    compute_speedups,
+    derate_by_area,
+)
+from repro.eval.tables import build_physical_versions
+from repro.physical.layout import LayoutResult
+from repro.tech.technology import Technology
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 3 and 4: layouts
+# --------------------------------------------------------------------------- #
+def build_figure3(tech: Technology, layouts: Optional[List[LayoutResult]] = None) -> Tuple[LayoutResult, LayoutResult]:
+    """The two 1-CU layouts contrasted in Fig. 3 (500 MHz vs 667 MHz)."""
+    layouts = layouts if layouts is not None else build_physical_versions(tech)
+    single_cu = [layout for layout in layouts if layout.floorplan.cu_placements and len(layout.floorplan.cu_placements) == 1]
+    if len(single_cu) < 2:
+        raise KernelError("figure 3 needs the two physically implemented 1-CU versions")
+    single_cu.sort(key=lambda layout: layout.target_frequency_mhz)
+    return single_cu[0], single_cu[-1]
+
+
+def build_figure4(tech: Technology, layouts: Optional[List[LayoutResult]] = None) -> Tuple[LayoutResult, LayoutResult]:
+    """The two 8-CU layouts contrasted in Fig. 4 (500 MHz vs the 600 MHz limit)."""
+    layouts = layouts if layouts is not None else build_physical_versions(tech)
+    eight_cu = [layout for layout in layouts if len(layout.floorplan.cu_placements) == 8]
+    if len(eight_cu) < 2:
+        raise KernelError("figure 4 needs the two physically implemented 8-CU versions")
+    eight_cu.sort(key=lambda layout: layout.target_frequency_mhz)
+    return eight_cu[0], eight_cu[-1]
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 5 and 6: speed-up bar charts
+# --------------------------------------------------------------------------- #
+def build_figure5(table3: Optional[Table3Data] = None, scale: float = 1.0) -> SpeedupSeries:
+    """Raw speed-up over the RISC-V (Fig. 5)."""
+    table3 = table3 if table3 is not None else run_table3(scale=scale)
+    return compute_speedups(table3)
+
+
+def build_figure6(
+    tech: Technology,
+    table3: Optional[Table3Data] = None,
+    scale: float = 1.0,
+    ratios: Optional[AreaRatios] = None,
+) -> SpeedupSeries:
+    """Speed-up derated by the synthesized area ratio (Fig. 6)."""
+    speedups = build_figure5(table3, scale)
+    ratios = ratios if ratios is not None else compute_area_ratios(tech)
+    return derate_by_area(speedups, ratios)
+
+
+def format_speedup_chart(series: SpeedupSeries, width: int = 40) -> str:
+    """Text bar chart of a speed-up series (one group of bars per kernel)."""
+    best = max(series.best(), 1e-9)
+    lines = [f"{series.metric} (x over RISC-V), bar scale: {best:.1f} = full width"]
+    for kernel in series.kernels:
+        lines.append(kernel)
+        for num_cus in series.cu_counts:
+            value = series.value(kernel, num_cus)
+            bar = "#" * max(1, int(round(width * value / best)))
+            lines.append(f"  {num_cus}CU {value:10.2f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Reference numbers transcribed from the paper.
+
+These are used only for comparison (shape checks in EXPERIMENTS.md and in the
+benchmark output); nothing in the library is fitted to them at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# Table I: 12 versions after logic synthesis in Cadence Genus.
+# label -> (total area mm2, memory area mm2, #FF, #Comb, #Memory,
+#           leakage mW, dynamic W, total W)
+# ---------------------------------------------------------------------------
+PAPER_TABLE1: Dict[str, Tuple[float, float, int, int, int, float, float, float]] = {
+    "1@500MHz": (4.19, 2.68, 119778, 127826, 51, 4.62, 1.97, 2.055),
+    "2@500MHz": (7.45, 4.64, 229171, 214243, 93, 8.54, 3.63, 3.77),
+    "4@500MHz": (13.84, 8.56, 437318, 387246, 177, 16.07, 6.88, 7.14),
+    "8@500MHz": (26.51, 16.39, 852094, 714256, 345, 30.79, 13.33, 13.86),
+    "1@590MHz": (4.66, 3.15, 120035, 128894, 68, 4.73, 2.57, 2.66),
+    "2@590MHz": (8.16, 5.34, 229172, 221946, 120, 8.73, 4.63, 4.81),
+    "4@590MHz": (15.03, 9.72, 436807, 397995, 224, 16.41, 8.70, 9.02),
+    "8@590MHz": (28.65, 18.49, 850559, 737232, 432, 31.25, 16.81, 17.40),
+    "1@667MHz": (4.77, 3.26, 120035, 130802, 71, 4.65, 2.62, 2.72),
+    "2@667MHz": (8.27, 5.45, 229172, 222028, 123, 8.72, 4.69, 4.87),
+    "4@667MHz": (15.15, 9.83, 436807, 398124, 227, 16.43, 8.75, 9.07),
+    "8@667MHz": (28.69, 18.60, 848511, 730506, 435, 30.21, 19.10, 19.76),
+}
+
+# ---------------------------------------------------------------------------
+# Table II: routed wirelength per metal layer (um).
+# layer -> {version label: wirelength}
+# ---------------------------------------------------------------------------
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "M2": {"1CU@500MHz": 3185110, "1CU@667MHz": 15340072, "8CU@500MHz": 20314957, "8CU@600MHz": 25637608},
+    "M3": {"1CU@500MHz": 5132356, "1CU@667MHz": 21219705, "8CU@500MHz": 27928578, "8CU@600MHz": 34890963},
+    "M4": {"1CU@500MHz": 2987163, "1CU@667MHz": 9866798, "8CU@500MHz": 19209669, "8CU@600MHz": 22387405},
+    "M5": {"1CU@500MHz": 2713788, "1CU@667MHz": 11293663, "8CU@500MHz": 21953276, "8CU@600MHz": 26355211},
+    "M6": {"1CU@500MHz": 1430594, "1CU@667MHz": 8801517, "8CU@500MHz": 14074944, "8CU@600MHz": 11111664},
+    "M7": {"1CU@500MHz": 616666, "1CU@667MHz": 2915533, "8CU@500MHz": 6316321, "8CU@600MHz": 5315697},
+}
+
+# ---------------------------------------------------------------------------
+# Table III: benchmark input sizes and cycle counts (k-cycles).
+# kernel -> (riscv size, gpu size, riscv kcycles, {cus: gpu kcycles})
+# ---------------------------------------------------------------------------
+PAPER_TABLE3: Dict[str, Tuple[int, int, float, Dict[int, float]]] = {
+    "mat_mul": (128, 2048, 202.0, {1: 48.0, 2: 28.0, 4: 18.0, 8: 14.0}),
+    "copy": (512, 32768, 71.0, {1: 73.0, 2: 36.0, 4: 24.0, 8: 22.0}),
+    "vec_mul": (1024, 65536, 78.0, {1: 100.0, 2: 49.0, 4: 31.0, 8: 26.0}),
+    "fir": (128, 4096, 542.0, {1: 694.0, 2: 358.0, 4: 185.0, 8: 169.0}),
+    "div_int": (512, 4096, 32.0, {1: 209.0, 2: 105.0, 4: 57.0, 8: 62.0}),
+    "xcorr": (256, 4096, 542.0, {1: 5343.0, 2: 2802.0, 4: 1467.0, 8: 2079.0}),
+    "parallel_sel": (128, 2048, 765.0, {1: 5979.0, 2: 3157.0, 4: 1656.0, 8: 1660.0}),
+}
+
+# ---------------------------------------------------------------------------
+# Fig. 6: G-GPU / RISC-V area ratios per CU count.
+# ---------------------------------------------------------------------------
+PAPER_AREA_RATIOS: Dict[int, float] = {1: 6.5, 2: 11.6, 4: 21.4, 8: 41.0}
+
+# Headline numbers quoted in the abstract / discussion.
+PAPER_MAX_SPEEDUP = 223.0
+PAPER_MAX_SPEEDUP_PER_AREA = 10.2
+PAPER_8CU_ACHIEVED_MHZ = 600.0
+
+# Die dimensions (um) read from Figs. 3 and 4.
+PAPER_DIE_DIMENSIONS_UM: Dict[str, Tuple[float, float]] = {
+    "1CU@500MHz": (2700.0, 2500.0),
+    "1CU@667MHz": (3200.0, 2800.0),
+    "8CU@500MHz": (7150.0, 6250.0),
+    "8CU@600MHz": (8350.0, 7450.0),
+}
+
+
+def paper_speedup(kernel: str, num_cus: int) -> float:
+    """Speed-up over RISC-V implied by Table III (the bars of Fig. 5)."""
+    riscv_size, gpu_size, riscv_kcycles, gpu = PAPER_TABLE3[kernel]
+    scale = gpu_size / riscv_size
+    return riscv_kcycles * scale / gpu[num_cus]
+
+
+def paper_speedup_per_area(kernel: str, num_cus: int) -> float:
+    """Speed-up derated by the area ratio (the bars of Fig. 6)."""
+    return paper_speedup(kernel, num_cus) / PAPER_AREA_RATIOS[num_cus]

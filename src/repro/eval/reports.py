@@ -1,0 +1,236 @@
+"""CSV and Markdown exporters for every regenerated table and figure.
+
+The benchmark harness prints its tables to the terminal; this module writes
+the same data as files so results can be archived, diffed between runs, or
+dropped into a paper.  Every exporter takes the already-computed data object
+(synthesis results, routing estimates, Table-III measurements, speed-up
+series) -- nothing is recomputed here -- and :func:`write_report_bundle`
+writes one directory with everything it is given.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.eval.benchmarks import Table3Data
+from repro.eval.comparison import SpeedupSeries
+from repro.eval.energy import EnergyComparison
+from repro.physical.routing import RoutingEstimate
+from repro.synth.logic import SynthesisResult
+from repro.synth.report import SynthesisReportRow
+
+METAL_LAYERS = ("M2", "M3", "M4", "M5", "M6", "M7")
+
+
+def _csv_text(header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def _markdown_table(header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    lines = [
+        "| " + " | ".join(str(cell) for cell in header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+_TABLE1_HEADER = (
+    "version",
+    "total_area_mm2",
+    "memory_area_mm2",
+    "num_ff",
+    "num_comb",
+    "num_memory",
+    "leakage_mw",
+    "dynamic_w",
+    "total_w",
+)
+
+
+def _table1_rows(results: Iterable[SynthesisResult]) -> List[Sequence]:
+    rows = []
+    for result in results:
+        row = SynthesisReportRow.from_result(result)
+        rows.append(
+            (
+                row.label,
+                f"{row.total_area_mm2:.2f}",
+                f"{row.memory_area_mm2:.2f}",
+                row.num_ff,
+                row.num_comb,
+                row.num_memory,
+                f"{row.leakage_mw:.2f}",
+                f"{row.dynamic_w:.2f}",
+                f"{row.total_w:.3f}",
+            )
+        )
+    return rows
+
+
+def table1_to_csv(results: Iterable[SynthesisResult]) -> str:
+    """Table I as CSV text."""
+    return _csv_text(_TABLE1_HEADER, _table1_rows(results))
+
+
+def table1_to_markdown(results: Iterable[SynthesisResult]) -> str:
+    """Table I as a Markdown table."""
+    return _markdown_table(_TABLE1_HEADER, _table1_rows(results))
+
+
+# --------------------------------------------------------------------------- #
+# Table II
+# --------------------------------------------------------------------------- #
+def _table2_rows(estimates: Sequence[RoutingEstimate]) -> List[Sequence]:
+    rows = []
+    for layer in METAL_LAYERS:
+        row: List = [layer]
+        for estimate in estimates:
+            row.append(f"{estimate.layer(layer):.0f}")
+        rows.append(row)
+    return rows
+
+
+def _table2_header(estimates: Sequence[RoutingEstimate]) -> List[str]:
+    return ["metal_layer"] + [
+        f"{estimate.design}@{estimate.frequency_mhz:.0f}MHz_um" for estimate in estimates
+    ]
+
+
+def table2_to_csv(estimates: Sequence[RoutingEstimate]) -> str:
+    """Table II (wirelength per metal layer) as CSV text."""
+    return _csv_text(_table2_header(estimates), _table2_rows(estimates))
+
+
+def table2_to_markdown(estimates: Sequence[RoutingEstimate]) -> str:
+    """Table II as a Markdown table."""
+    return _markdown_table(_table2_header(estimates), _table2_rows(estimates))
+
+
+# --------------------------------------------------------------------------- #
+# Table III
+# --------------------------------------------------------------------------- #
+def _table3_header(table: Table3Data) -> List[str]:
+    return (
+        ["kernel", "riscv_size", "gpu_size", "riscv_kcycles"]
+        + [f"gpu_{num_cus}cu_kcycles" for num_cus in table.cu_counts]
+    )
+
+
+def _table3_rows(table: Table3Data) -> List[Sequence]:
+    rows = []
+    for kernel, row in table.rows.items():
+        cells: List = [kernel, row.riscv_size, row.gpu_size, f"{row.riscv.kcycles:.1f}"]
+        cells.extend(f"{row.gpu_kcycles(num_cus):.1f}" for num_cus in table.cu_counts)
+        rows.append(cells)
+    return rows
+
+
+def table3_to_csv(table: Table3Data) -> str:
+    """Table III (input sizes and cycle counts) as CSV text."""
+    return _csv_text(_table3_header(table), _table3_rows(table))
+
+
+def table3_to_markdown(table: Table3Data) -> str:
+    """Table III as a Markdown table."""
+    return _markdown_table(_table3_header(table), _table3_rows(table))
+
+
+# --------------------------------------------------------------------------- #
+# Figs. 5 / 6 and the energy extension
+# --------------------------------------------------------------------------- #
+def speedups_to_csv(series: SpeedupSeries) -> str:
+    """A speed-up (or energy-gain) series as CSV text."""
+    header = ["kernel"] + [f"{num_cus}cu" for num_cus in series.cu_counts]
+    rows = []
+    for kernel in series.kernels:
+        rows.append(
+            [kernel] + [f"{series.value(kernel, num_cus):.2f}" for num_cus in series.cu_counts]
+        )
+    return _csv_text(header, rows)
+
+
+def speedups_to_markdown(series: SpeedupSeries) -> str:
+    """A speed-up (or energy-gain) series as a Markdown table."""
+    header = ["kernel"] + [f"{num_cus} CU" for num_cus in series.cu_counts]
+    rows = []
+    for kernel in series.kernels:
+        rows.append(
+            [kernel] + [f"{series.value(kernel, num_cus):.2f}" for num_cus in series.cu_counts]
+        )
+    return _markdown_table(header, rows)
+
+
+def energy_to_csv(comparison: EnergyComparison) -> str:
+    """The energy comparison (per-run energy and gain) as CSV text."""
+    header = ["kernel", "riscv_energy_mj"]
+    for num_cus in comparison.cu_counts:
+        header.extend([f"gpu_{num_cus}cu_energy_mj", f"gpu_{num_cus}cu_gain"])
+    rows = []
+    for kernel in comparison.kernels:
+        cells: List = [kernel, f"{comparison.riscv[kernel].energy_mj:.4f}"]
+        for num_cus in comparison.cu_counts:
+            cells.append(f"{comparison.gpu[kernel][num_cus].energy_mj:.4f}")
+            cells.append(f"{comparison.gain(kernel, num_cus):.2f}")
+        rows.append(cells)
+    return _csv_text(header, rows)
+
+
+# --------------------------------------------------------------------------- #
+# Bundle writer
+# --------------------------------------------------------------------------- #
+def write_report_bundle(
+    directory: str,
+    table1: Optional[Iterable[SynthesisResult]] = None,
+    table2: Optional[Sequence[RoutingEstimate]] = None,
+    table3: Optional[Table3Data] = None,
+    figure5: Optional[SpeedupSeries] = None,
+    figure6: Optional[SpeedupSeries] = None,
+    energy: Optional[EnergyComparison] = None,
+) -> Dict[str, str]:
+    """Write every provided table/figure as CSV (and Markdown) into ``directory``.
+
+    Returns the mapping from artifact name to file path; artifacts whose data
+    was not provided are simply skipped.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: Dict[str, str] = {}
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        written[name] = path
+
+    if table1 is not None:
+        results = list(table1)
+        _write("table1.csv", table1_to_csv(results))
+        _write("table1.md", table1_to_markdown(results))
+    if table2 is not None:
+        _write("table2.csv", table2_to_csv(table2))
+        _write("table2.md", table2_to_markdown(table2))
+    if table3 is not None:
+        _write("table3.csv", table3_to_csv(table3))
+        _write("table3.md", table3_to_markdown(table3))
+    if figure5 is not None:
+        _write("figure5_speedup.csv", speedups_to_csv(figure5))
+        _write("figure5_speedup.md", speedups_to_markdown(figure5))
+    if figure6 is not None:
+        _write("figure6_speedup_per_area.csv", speedups_to_csv(figure6))
+        _write("figure6_speedup_per_area.md", speedups_to_markdown(figure6))
+    if energy is not None:
+        _write("energy_extension.csv", energy_to_csv(energy))
+        _write("energy_extension.md", speedups_to_markdown(energy.gain_series()))
+    return written

@@ -1,0 +1,106 @@
+"""Regeneration of the paper's three tables.
+
+* Table I -- the 12 versions after logic synthesis.
+* Table II -- wirelength per metal layer for the 4 physically implemented
+  versions (the 8-CU 667 MHz target is reported at its achieved 600 MHz).
+* Table III -- benchmark input sizes and cycle counts for the RISC-V and the
+  G-GPU with 1/2/4/8 CUs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.eval.benchmarks import Table3Data, run_table3
+from repro.physical.layout import LayoutResult, PhysicalSynthesis
+from repro.physical.routing import RoutingEstimate
+from repro.planner.dse import DesignPoint, DesignSpaceExplorer
+from repro.planner.optimizer import TimingOptimizer
+from repro.planner.spec import GGPUSpec
+from repro.planner.versions import (
+    PAPER_CU_COUNTS,
+    PAPER_FREQUENCIES_MHZ,
+    PHYSICAL_VERSION_SPECS,
+)
+from repro.rtl.generator import generate_ggpu_netlist
+from repro.synth.logic import LogicSynthesis, SynthesisResult
+from repro.tech.technology import Technology
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+def build_table1(
+    tech: Technology,
+    cu_counts: Sequence[int] = PAPER_CU_COUNTS,
+    frequencies_mhz: Sequence[float] = PAPER_FREQUENCIES_MHZ,
+) -> List[SynthesisResult]:
+    """Synthesize every (frequency, CU count) version, in Table I's row order."""
+    explorer = DesignSpaceExplorer(tech)
+    results: List[SynthesisResult] = []
+    for frequency in frequencies_mhz:
+        for num_cus in cu_counts:
+            point: DesignPoint = explorer.explore_point(
+                GGPUSpec(num_cus=num_cus, target_frequency_mhz=frequency)
+            )
+            results.append(point.synthesis)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Table II (and the layouts of Figs. 3-4)
+# --------------------------------------------------------------------------- #
+def build_physical_versions(tech: Technology) -> List[LayoutResult]:
+    """Run physical synthesis for the paper's four extreme versions."""
+    optimizer = TimingOptimizer(tech)
+    synthesis = LogicSynthesis(tech)
+    physical = PhysicalSynthesis(tech)
+    layouts: List[LayoutResult] = []
+    for spec in PHYSICAL_VERSION_SPECS:
+        netlist = generate_ggpu_netlist(spec.architecture(), name=f"{spec.num_cus}CU")
+        optimizer.close_timing(netlist, spec.target_frequency_mhz)
+        synth_result = synthesis.run(netlist, spec.target_frequency_mhz)
+        layouts.append(physical.run(netlist, synth_result, spec.target_frequency_mhz))
+    return layouts
+
+
+def build_table2(tech: Technology, layouts: Optional[List[LayoutResult]] = None) -> List[RoutingEstimate]:
+    """Per-layer wirelength of the four physical versions.
+
+    The routing estimate is labelled with the *achieved* frequency, matching
+    the paper's convention of listing the fourth column as 8CU@600MHz.
+    """
+    layouts = layouts if layouts is not None else build_physical_versions(tech)
+    estimates: List[RoutingEstimate] = []
+    for layout in layouts:
+        estimate = layout.routing
+        estimate.frequency_mhz = layout.achieved_frequency_mhz
+        estimates.append(estimate)
+    return estimates
+
+
+# --------------------------------------------------------------------------- #
+# Table III
+# --------------------------------------------------------------------------- #
+def build_table3(scale: float = 1.0, cu_counts: Sequence[int] = (1, 2, 4, 8)) -> Table3Data:
+    """Measure the benchmark cycle counts (``scale`` < 1 shrinks the inputs)."""
+    return run_table3(cu_counts=cu_counts, scale=scale)
+
+
+def format_table3(table: Table3Data) -> str:
+    """Render Table III as fixed-width text (cycle counts in k-cycles)."""
+    cu_counts = list(table.cu_counts)
+    header_cells = ["Kernel".ljust(14), "RISC-V size".rjust(12), "G-GPU size".rjust(12), "RISC-V".rjust(10)]
+    header_cells += [f"{num_cus}CU".rjust(10) for num_cus in cu_counts]
+    header = " ".join(header_cells)
+    lines = [header, "-" * len(header)]
+    for kernel, row in table.rows.items():
+        cells = [
+            kernel.ljust(14),
+            f"{row.riscv_size}".rjust(12),
+            f"{row.gpu_size}".rjust(12),
+            f"{row.riscv.kcycles:.0f}".rjust(10),
+        ]
+        cells += [f"{row.gpu_kcycles(num_cus):.0f}".rjust(10) for num_cus in cu_counts]
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""The seven micro-benchmark kernels used in the paper's evaluation.
+
+The paper takes seven micro-benchmarks from the AMD OpenCL SDK (mat_mul, copy,
+vec_mul, fir, div_int, xcorr, parallel_sel), runs them on the G-GPU with
+1/2/4/8 CUs and on a RISC-V CPU, and reports cycle counts (Table III) and
+speed-ups (Figs. 5-6).  This package contains the G-GPU implementations of
+those kernels, written against the public :class:`~repro.arch.kernel.KernelBuilder`
+API, together with numpy reference implementations used to verify functional
+correctness and workload generators that produce the input data.
+
+The matching RISC-V programs live in :mod:`repro.riscv.programs`.
+"""
+
+from repro.kernels.library import (
+    GpuWorkload,
+    KernelSpec,
+    all_kernel_names,
+    get_kernel_spec,
+    run_workload,
+)
+from repro.kernels import (
+    copy,
+    div_int,
+    fir,
+    mat_mul,
+    parallel_sel,
+    vec_mul,
+    xcorr,
+)
+
+__all__ = [
+    "GpuWorkload",
+    "KernelSpec",
+    "all_kernel_names",
+    "get_kernel_spec",
+    "run_workload",
+    "copy",
+    "div_int",
+    "fir",
+    "mat_mul",
+    "parallel_sel",
+    "vec_mul",
+    "xcorr",
+]

@@ -1,0 +1,141 @@
+"""Kernel registry and workload plumbing shared by the seven benchmarks.
+
+Each benchmark module registers a :class:`KernelSpec` describing how to build
+its G-GPU kernel, how to generate a workload of a given size, and the default
+sizes used by the paper (Table III lists separate input sizes for the RISC-V
+and the G-GPU runs).  :func:`run_workload` is the host-side glue: it allocates
+buffers on a simulator, launches the kernel, checks the outputs against the
+numpy reference, and returns the launch statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.arch.kernel import Kernel, NDRange
+from repro.errors import KernelError
+from repro.simt.gpu import GGPUSimulator, LaunchResult
+
+
+@dataclass
+class GpuWorkload:
+    """Host-side description of one kernel launch.
+
+    Attributes
+    ----------
+    buffers:
+        Name to initial contents for every global-memory buffer argument
+        (outputs are usually zero-filled).
+    scalars:
+        Name to value for every scalar argument.
+    expected:
+        Name to expected final contents for the buffers that the kernel
+        writes; used to verify functional correctness.
+    ndrange:
+        Launch geometry.
+    """
+
+    buffers: Dict[str, np.ndarray]
+    scalars: Dict[str, int]
+    expected: Dict[str, np.ndarray]
+    ndrange: NDRange
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Registry entry for one benchmark kernel."""
+
+    name: str
+    description: str
+    build: Callable[[], Kernel]
+    workload: Callable[[int, int], GpuWorkload]
+    paper_gpu_size: int
+    paper_riscv_size: int
+    parallel_friendly: bool
+
+    def default_workload(self, seed: int = 2022) -> GpuWorkload:
+        """Workload at the G-GPU input size used in the paper."""
+        return self.workload(self.paper_gpu_size, seed)
+
+
+_REGISTRY: Dict[str, KernelSpec] = {}
+
+
+def register_kernel(spec: KernelSpec) -> KernelSpec:
+    """Add a kernel to the global registry (called by the benchmark modules)."""
+    if spec.name in _REGISTRY:
+        raise KernelError(f"kernel {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def all_kernel_names() -> List[str]:
+    """Names of all registered benchmark kernels, in the paper's table order."""
+    order = ["mat_mul", "copy", "vec_mul", "fir", "div_int", "xcorr", "parallel_sel"]
+    known = [name for name in order if name in _REGISTRY]
+    extras = sorted(name for name in _REGISTRY if name not in order)
+    return known + extras
+
+
+def get_kernel_spec(name: str) -> KernelSpec:
+    """Look a benchmark kernel up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KernelError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def run_workload(
+    simulator: GGPUSimulator,
+    kernel: Kernel,
+    workload: GpuWorkload,
+    check: bool = True,
+) -> Tuple[LaunchResult, Dict[str, np.ndarray]]:
+    """Allocate buffers, launch the kernel, and (optionally) verify outputs.
+
+    Returns the launch result and the final contents of every buffer listed in
+    ``workload.expected``.
+    """
+    addresses: Dict[str, int] = {}
+    args: Dict[str, int] = {}
+    for name, contents in workload.buffers.items():
+        address = simulator.create_buffer(np.asarray(contents, dtype=np.int64) & 0xFFFFFFFF)
+        addresses[name] = address
+        args[name] = address
+    args.update({name: int(value) for name, value in workload.scalars.items()})
+
+    result = simulator.launch(kernel, workload.ndrange, args)
+
+    outputs: Dict[str, np.ndarray] = {}
+    for name, expected in workload.expected.items():
+        if name not in addresses:
+            raise KernelError(f"expected output {name!r} is not a buffer argument")
+        observed = simulator.read_buffer(addresses[name], len(expected))
+        outputs[name] = observed
+        if check:
+            expected_u32 = np.asarray(expected, dtype=np.int64) & 0xFFFFFFFF
+            if not np.array_equal(observed.astype(np.int64), expected_u32):
+                mismatches = int(np.sum(observed.astype(np.int64) != expected_u32))
+                raise KernelError(
+                    f"kernel {kernel.name!r} produced {mismatches} wrong values in {name!r}"
+                )
+    return result, outputs
+
+
+def pick_workgroup_size(global_size: int, preferred: int = 256) -> int:
+    """Largest workgroup size (multiple of 64, <= preferred) dividing ``global_size``."""
+    candidate = min(preferred, global_size)
+    while candidate >= 64:
+        if global_size % candidate == 0 and candidate % 64 == 0:
+            return candidate
+        candidate -= 64
+    if global_size % 64 == 0:
+        return 64
+    raise KernelError(
+        f"global size {global_size} is not a multiple of the 64-lane wavefront"
+    )

@@ -1,0 +1,284 @@
+"""Physical-design exchange formats: DEF, LEF, and SVG exports of a layout.
+
+The paper's GPUPlanner hands a tapeout-ready GDSII to the integrator.  A GDSII
+writer needs the foundry's layer map, which is not something an offline
+reproduction can ship, so this module exports the three views that carry the
+same information at the floorplan level and that real flows exchange anyway:
+
+* **DEF** (:func:`write_def`) -- the die area, the partition rows, and every
+  placed SRAM macro as a ``COMPONENTS`` entry with its location and
+  orientation.  This is the placement view of Figs. 3-4.
+* **LEF** (:func:`write_lef`) -- the abstract of every distinct macro geometry
+  (size, pin layer) so the DEF can be interpreted without the memory
+  compiler.
+* **SVG** (:func:`render_svg`) -- a human-viewable rendering of the floorplan
+  with the paper's colour coding: untouched macros vs. macros of divided
+  (optimized) memory groups, per partition.
+
+All three are text formats, deterministic for a given layout, and covered by
+round-trip tests that parse them back.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PhysicalDesignError
+from repro.physical.layout import LayoutResult
+from repro.rtl.netlist import Netlist, Partition
+from repro.tech.sram import SramMacroSpec, SramPort
+from repro.tech.technology import Technology
+
+# DEF distances are expressed in database units; 1000 DBU per micrometre is
+# the convention of most 65nm enablements.
+DEF_UNITS_PER_UM = 1000
+
+# Colour coding of the SVG rendering, mirroring Figs. 3-4 of the paper:
+# untouched macros are grey, divided macros are coloured per partition.
+SVG_COLOURS = {
+    "untouched": "#b8b8b8",
+    Partition.CU: "#3cb44b",  # green  (CU optimized memories)
+    Partition.MEMORY_CONTROLLER: "#ffe119",  # yellow (memory-controller optimized)
+    Partition.TOP: "#4363d8",  # blue   (top-level optimized)
+    "outline": "#404040",
+}
+
+
+def _macro_name_of(group_name: str, netlist: Netlist) -> SramMacroSpec:
+    return netlist.memory_groups[group_name].macro
+
+
+def _def_component_name(macro_name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_\[\]]", "_", macro_name)
+
+
+def macro_cell_name(spec: SramMacroSpec) -> str:
+    """LEF/DEF cell name of one compiled macro geometry."""
+    port_tag = "DP" if spec.ports is SramPort.DUAL else "SP"
+    return f"SRAM_{port_tag}_{spec.words}X{spec.bits}"
+
+
+# --------------------------------------------------------------------------- #
+# LEF
+# --------------------------------------------------------------------------- #
+def build_lef(netlist: Netlist, tech: Technology) -> str:
+    """LEF abstract library of every distinct macro geometry in the design."""
+    seen: Dict[str, SramMacroSpec] = {}
+    for group in netlist.memory_group_list():
+        seen.setdefault(macro_cell_name(group.macro), group.macro)
+    lines: List[str] = [
+        "VERSION 5.8 ;",
+        "BUSBITCHARS \"[]\" ;",
+        "DIVIDERCHAR \"/\" ;",
+        f"UNITS DATABASE MICRONS {DEF_UNITS_PER_UM} ; END UNITS",
+        "",
+    ]
+    for name, spec in sorted(seen.items()):
+        width, height = tech.sram.footprint_um(spec)
+        lines.extend(
+            [
+                f"MACRO {name}",
+                "  CLASS BLOCK ;",
+                "  ORIGIN 0 0 ;",
+                f"  SIZE {width:.3f} BY {height:.3f} ;",
+                "  SYMMETRY X Y ;",
+                "  PIN CLK DIRECTION INPUT ; USE CLOCK ; END CLK",
+                "  PIN Q DIRECTION OUTPUT ; USE SIGNAL ; END Q",
+                f"END {name}",
+                "",
+            ]
+        )
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def write_lef(netlist: Netlist, tech: Technology, path: str) -> None:
+    """Write the LEF abstract library to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(build_lef(netlist, tech))
+
+
+# --------------------------------------------------------------------------- #
+# DEF
+# --------------------------------------------------------------------------- #
+def build_def(layout: LayoutResult, netlist: Netlist) -> str:
+    """DEF placement view of one implemented G-GPU version."""
+    if not layout.macro_placements:
+        raise PhysicalDesignError("the layout has no placed macros to export")
+    die_w = int(round(layout.floorplan.die_width_um * DEF_UNITS_PER_UM))
+    die_h = int(round(layout.floorplan.die_height_um * DEF_UNITS_PER_UM))
+    lines: List[str] = [
+        "VERSION 5.8 ;",
+        "DIVIDERCHAR \"/\" ;",
+        "BUSBITCHARS \"[]\" ;",
+        f"DESIGN {re.sub(r'[^A-Za-z0-9_]', '_', layout.design)} ;",
+        f"UNITS DISTANCE MICRONS {DEF_UNITS_PER_UM} ;",
+        f"DIEAREA ( 0 0 ) ( {die_w} {die_h} ) ;",
+        "",
+        f"REGIONS {len(layout.floorplan.placements)} ;",
+    ]
+    for placement in layout.floorplan.placements:
+        x0 = int(round(placement.rect.x * DEF_UNITS_PER_UM))
+        y0 = int(round(placement.rect.y * DEF_UNITS_PER_UM))
+        x1 = int(round((placement.rect.x + placement.rect.width) * DEF_UNITS_PER_UM))
+        y1 = int(round((placement.rect.y + placement.rect.height) * DEF_UNITS_PER_UM))
+        lines.append(
+            f"  - {placement.name} ( {x0} {y0} ) ( {x1} {y1} ) + TYPE FENCE ;"
+        )
+    lines.extend(["END REGIONS", "", f"COMPONENTS {len(layout.macro_placements)} ;"])
+    for macro in layout.macro_placements:
+        spec = _macro_name_of(macro.group, netlist)
+        x = int(round(macro.rect.x * DEF_UNITS_PER_UM))
+        y = int(round(macro.rect.y * DEF_UNITS_PER_UM))
+        lines.append(
+            f"  - {_def_component_name(macro.name)} {macro_cell_name(spec)}"
+            f" + PLACED ( {x} {y} ) N ;"
+        )
+    lines.extend(["END COMPONENTS", "", "END DESIGN"])
+    return "\n".join(lines) + "\n"
+
+
+def write_def(layout: LayoutResult, netlist: Netlist, path: str) -> None:
+    """Write the DEF placement view to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(build_def(layout, netlist))
+
+
+def parse_def_components(text: str) -> List[Tuple[str, str, int, int]]:
+    """Parse ``(instance, cell, x, y)`` out of a DEF ``COMPONENTS`` section.
+
+    Used by the round-trip tests and by anyone who wants to re-load the
+    placement without a full DEF reader.
+    """
+    components = []
+    for match in re.finditer(
+        r"^\s*-\s+(\S+)\s+(\S+)\s+\+\s+PLACED\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)", text, flags=re.MULTILINE
+    ):
+        components.append(
+            (match.group(1), match.group(2), int(match.group(3)), int(match.group(4)))
+        )
+    return components
+
+
+def parse_def_die_area_um(text: str) -> Tuple[float, float]:
+    """Die width/height in micrometres from a DEF produced by :func:`build_def`."""
+    match = re.search(r"DIEAREA \( 0 0 \) \( (\d+) (\d+) \) ;", text)
+    if match is None:
+        raise PhysicalDesignError("the DEF text has no DIEAREA statement")
+    return int(match.group(1)) / DEF_UNITS_PER_UM, int(match.group(2)) / DEF_UNITS_PER_UM
+
+
+# --------------------------------------------------------------------------- #
+# SVG
+# --------------------------------------------------------------------------- #
+def render_svg(
+    layout: LayoutResult,
+    netlist: Optional[Netlist] = None,
+    width_px: int = 800,
+) -> str:
+    """Render the floorplan as an SVG drawing (the Figs. 3-4 artifact).
+
+    Partitions are drawn as outlined regions; every placed macro is filled
+    grey when its memory group is untouched and with its partition's colour
+    when the group was divided by the optimizer, matching the paper's legend.
+    """
+    if width_px < 100:
+        raise PhysicalDesignError("the SVG rendering needs at least 100 pixels of width")
+    floorplan = layout.floorplan
+    scale = width_px / floorplan.die_width_um
+    height_px = math.ceil(floorplan.die_height_um * scale)
+
+    def x_of(value: float) -> float:
+        return value * scale
+
+    def y_of(value: float, height: float = 0.0) -> float:
+        # SVG's y axis points down; layouts use y up.
+        return height_px - (value + height) * scale
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px + 40}" '
+        f'viewBox="0 0 {width_px} {height_px + 40}">',
+        f'<rect x="0" y="0" width="{width_px}" height="{height_px}" fill="#f4f4f4" '
+        f'stroke="{SVG_COLOURS["outline"]}" stroke-width="2"/>',
+        f"<!-- {layout.design}: {floorplan.die_width_um:.0f} x {floorplan.die_height_um:.0f} um, "
+        f"{layout.achieved_frequency_mhz:.0f} MHz achieved -->",
+    ]
+    for placement in floorplan.placements:
+        parts.append(
+            f'<rect x="{x_of(placement.rect.x):.1f}" '
+            f'y="{y_of(placement.rect.y, placement.rect.height):.1f}" '
+            f'width="{placement.rect.width * scale:.1f}" '
+            f'height="{placement.rect.height * scale:.1f}" '
+            f'fill="none" stroke="{SVG_COLOURS["outline"]}" stroke-width="1.5" '
+            f'class="partition" data-name="{placement.name}"/>'
+        )
+    group_partitions: Dict[str, Partition] = {}
+    if netlist is not None:
+        group_partitions = {name: group.partition for name, group in netlist.memory_groups.items()}
+    for macro in layout.macro_placements:
+        if macro.divided:
+            partition = group_partitions.get(macro.group, Partition.CU)
+            colour = SVG_COLOURS[partition]
+        else:
+            colour = SVG_COLOURS["untouched"]
+        parts.append(
+            f'<rect x="{x_of(macro.rect.x):.1f}" '
+            f'y="{y_of(macro.rect.y, macro.rect.height):.1f}" '
+            f'width="{max(1.0, macro.rect.width * scale):.1f}" '
+            f'height="{max(1.0, macro.rect.height * scale):.1f}" '
+            f'fill="{colour}" stroke="#202020" stroke-width="0.3" '
+            f'class="macro" data-group="{macro.group}"/>'
+        )
+    legend = (
+        f'<text x="4" y="{height_px + 16}" font-size="12" font-family="monospace">'
+        f"{layout.design}: grey = untouched memories, green/yellow/blue = divided memories "
+        f"(CU / mem. ctrl. / top)</text>"
+        f'<text x="4" y="{height_px + 32}" font-size="12" font-family="monospace">'
+        f"die {floorplan.die_width_um:.0f} x {floorplan.die_height_um:.0f} um, "
+        f"achieved {layout.achieved_frequency_mhz:.0f} MHz</text>"
+    )
+    parts.append(legend)
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_svg(
+    layout: LayoutResult,
+    path: str,
+    netlist: Optional[Netlist] = None,
+    width_px: int = 800,
+) -> None:
+    """Write the SVG floorplan rendering to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(layout, netlist, width_px))
+
+
+def export_layout_bundle(
+    layout: LayoutResult,
+    netlist: Netlist,
+    tech: Technology,
+    directory: str,
+) -> Dict[str, str]:
+    """Write DEF + LEF + SVG + JSON for one layout into ``directory``.
+
+    Returns the mapping from artifact kind to file path.  This is the
+    "tapeout-ready IP hand-off" of the paper's flow, at the abstraction level
+    this reproduction models.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_]+", "_", layout.design).strip("_") or "ggpu"
+    paths = {
+        "def": os.path.join(directory, f"{stem}.def"),
+        "lef": os.path.join(directory, f"{stem}_macros.lef"),
+        "svg": os.path.join(directory, f"{stem}_floorplan.svg"),
+        "json": os.path.join(directory, f"{stem}_layout.json"),
+    }
+    write_def(layout, netlist, paths["def"])
+    write_lef(netlist, tech, paths["lef"])
+    write_svg(layout, paths["svg"], netlist)
+    layout.write_json(paths["json"])
+    return paths

@@ -1,0 +1,262 @@
+"""Partition floorplanning.
+
+The floorplanner sizes each partition from its synthesized cell and macro
+area and the density targets the paper uses (70% for the CU and the global
+memory controller, 30% for the top), arranges the CU partitions around the
+memory controller on a grid, and reserves whitespace that grows with the
+target frequency (the 667 MHz variants in Fig. 3 are visibly larger than
+their synthesized area alone would require, because the router needs room).
+
+The geometry feeds three consumers: the layout artifact (Figs. 3-4), the
+wirelength estimator (Table II), and the wire delays of the CU-to-memory-
+controller paths that limit the 8-CU version to 600 MHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PhysicalDesignError
+from repro.rtl.netlist import Partition
+from repro.synth.logic import SynthesisResult
+from repro.units import um2_to_mm2
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle in micrometres."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise PhysicalDesignError(f"degenerate rectangle {self.width} x {self.height}")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def manhattan_distance_to(self, other: "Rect") -> float:
+        """Manhattan distance between the centers of two rectangles."""
+        cx, cy = self.center
+        ox, oy = other.center
+        return abs(cx - ox) + abs(cy - oy)
+
+
+@dataclass(frozen=True)
+class PartitionPlacement:
+    """One placed partition instance."""
+
+    name: str
+    kind: Partition
+    rect: Rect
+    density: float
+
+
+@dataclass
+class Floorplan:
+    """A complete die floorplan."""
+
+    design: str
+    target_frequency_mhz: float
+    die_width_um: float
+    die_height_um: float
+    placements: List[PartitionPlacement] = field(default_factory=list)
+
+    @property
+    def die_area_mm2(self) -> float:
+        return um2_to_mm2(self.die_width_um * self.die_height_um)
+
+    @property
+    def cu_placements(self) -> List[PartitionPlacement]:
+        """The CU partition instances, in index order."""
+        return sorted(
+            (placement for placement in self.placements if placement.kind is Partition.CU),
+            key=lambda placement: placement.name,
+        )
+
+    def placement(self, name: str) -> PartitionPlacement:
+        """Look a placed partition up by name."""
+        for candidate in self.placements:
+            if candidate.name == name:
+                return candidate
+        raise PhysicalDesignError(f"no partition named {name!r} in the floorplan")
+
+    def memory_controller(self) -> PartitionPlacement:
+        """The global-memory-controller partition."""
+        for candidate in self.placements:
+            if candidate.kind is Partition.MEMORY_CONTROLLER:
+                return candidate
+        raise PhysicalDesignError("floorplan has no memory-controller partition")
+
+    def cu_to_memctrl_distance_um(self, cu_name: str) -> float:
+        """Manhattan route length between a CU and the memory controller."""
+        return self.placement(cu_name).rect.manhattan_distance_to(self.memory_controller().rect)
+
+    def max_cu_distance_um(self) -> float:
+        """Distance of the farthest CU from the memory controller."""
+        distances = [
+            self.cu_to_memctrl_distance_um(placement.name) for placement in self.cu_placements
+        ]
+        return max(distances) if distances else 0.0
+
+    def summary(self) -> str:
+        """One-line description matching the style of Figs. 3-4 captions."""
+        return (
+            f"{self.design}: die {self.die_width_um:.0f} x {self.die_height_um:.0f} um "
+            f"({self.die_area_mm2:.2f} mm2), {len(self.cu_placements)} CU partition(s), "
+            f"target {self.target_frequency_mhz:.0f} MHz"
+        )
+
+
+class Floorplanner:
+    """Produces a :class:`Floorplan` from a synthesis result."""
+
+    def __init__(
+        self,
+        cu_density: float = 0.70,
+        memctrl_density: float = 0.70,
+        top_density: float = 0.30,
+        base_whitespace: float = 1.15,
+        congestion_whitespace: float = 0.20,
+        aspect_ratio: float = 1.10,
+        reference_frequency_mhz: float = 500.0,
+        frequency_span_mhz: float = 167.0,
+    ) -> None:
+        for name, value in (
+            ("cu_density", cu_density),
+            ("memctrl_density", memctrl_density),
+            ("top_density", top_density),
+        ):
+            if not 0.05 <= value <= 1.0:
+                raise PhysicalDesignError(f"{name} must be in [0.05, 1.0], got {value}")
+        self.cu_density = cu_density
+        self.memctrl_density = memctrl_density
+        self.top_density = top_density
+        self.base_whitespace = base_whitespace
+        self.congestion_whitespace = congestion_whitespace
+        self.aspect_ratio = aspect_ratio
+        self.reference_frequency_mhz = reference_frequency_mhz
+        self.frequency_span_mhz = frequency_span_mhz
+
+    # ------------------------------------------------------------------ #
+    # Sizing helpers
+    # ------------------------------------------------------------------ #
+    def whitespace_factor(self, frequency_mhz: float) -> float:
+        """Extra die area reserved for routing at higher target frequencies."""
+        overdrive = max(0.0, frequency_mhz - self.reference_frequency_mhz) / self.frequency_span_mhz
+        return self.base_whitespace + self.congestion_whitespace * overdrive
+
+    def partition_footprints(self, synthesis: SynthesisResult) -> Dict[Partition, float]:
+        """Placed area (um^2) of one instance of each partition kind."""
+        cu_area = synthesis.partitions[Partition.CU]
+        memctrl_area = synthesis.partitions[Partition.MEMORY_CONTROLLER]
+        top_area = synthesis.partitions[Partition.TOP]
+        num_cus = max(1, synthesis.num_cus)
+        return {
+            Partition.CU: cu_area.total_area_um2 / num_cus / self.cu_density,
+            Partition.MEMORY_CONTROLLER: memctrl_area.total_area_um2 / self.memctrl_density,
+            Partition.TOP: top_area.total_area_um2 / self.top_density,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self, synthesis: SynthesisResult, frequency_mhz: Optional[float] = None) -> Floorplan:
+        """Floorplan the design for the given (or the synthesized) frequency."""
+        frequency = frequency_mhz if frequency_mhz is not None else synthesis.frequency_mhz
+        footprints = self.partition_footprints(synthesis)
+        num_cus = synthesis.num_cus
+        whitespace = self.whitespace_factor(frequency)
+
+        content_area = (
+            num_cus * footprints[Partition.CU]
+            + footprints[Partition.MEMORY_CONTROLLER]
+            + footprints[Partition.TOP]
+        )
+        die_area = content_area * whitespace
+        die_height = math.sqrt(die_area / self.aspect_ratio)
+        die_width = die_area / die_height
+
+        floorplan = Floorplan(
+            design=synthesis.design,
+            target_frequency_mhz=frequency,
+            die_width_um=die_width,
+            die_height_um=die_height,
+        )
+
+        # The memory controller sits at the die centre; the CU partitions are
+        # arranged on a ring/grid around it (cloned CU layouts, as in Fig. 4).
+        mc_side = math.sqrt(footprints[Partition.MEMORY_CONTROLLER])
+        mc_rect = Rect(
+            x=(die_width - mc_side) / 2.0,
+            y=(die_height - mc_side) / 2.0,
+            width=mc_side,
+            height=mc_side,
+        )
+        floorplan.placements.append(
+            PartitionPlacement("memctrl", Partition.MEMORY_CONTROLLER, mc_rect, self.memctrl_density)
+        )
+
+        cu_area = footprints[Partition.CU]
+        cu_height = math.sqrt(cu_area / 1.25)
+        cu_width = cu_area / cu_height
+        for index, (cx, cy) in enumerate(self._cu_slots(num_cus, die_width, die_height, mc_rect)):
+            rect = Rect(
+                x=min(max(cx - cu_width / 2.0, 0.0), die_width - cu_width),
+                y=min(max(cy - cu_height / 2.0, 0.0), die_height - cu_height),
+                width=cu_width,
+                height=cu_height,
+            )
+            floorplan.placements.append(
+                PartitionPlacement(f"cu{index}", Partition.CU, rect, self.cu_density)
+            )
+
+        # The top partition is the low-density glue that fills the remaining
+        # die area; it is represented as a frame-like region anchored at the
+        # die origin with the equivalent area.
+        top_area = footprints[Partition.TOP]
+        top_height = max(top_area / die_width, die_height * 0.05, 200.0)
+        floorplan.placements.append(
+            PartitionPlacement(
+                "top",
+                Partition.TOP,
+                Rect(x=0.0, y=0.0, width=die_width, height=top_height),
+                self.top_density,
+            )
+        )
+        return floorplan
+
+    @staticmethod
+    def _cu_slots(
+        num_cus: int, die_width: float, die_height: float, mc_rect: Rect
+    ) -> List[Tuple[float, float]]:
+        """Centre coordinates for the CU partitions around the memory controller."""
+        mcx, mcy = mc_rect.center
+        # Offsets are expressed as fractions of the die half-extent; the first
+        # slots are the ones adjacent to the controller, later slots move to
+        # the corners (which is what makes the peripheral CUs of the 8-CU
+        # floorplan far from the controller).
+        ring = [
+            (-0.55, 0.0),
+            (0.55, 0.0),
+            (0.0, -0.60),
+            (0.0, 0.60),
+            (-0.66, -0.66),
+            (0.66, -0.66),
+            (-0.66, 0.66),
+            (0.66, 0.66),
+        ]
+        slots = []
+        for dx, dy in ring[:num_cus]:
+            slots.append((mcx + dx * die_width / 2.0, mcy + dy * die_height / 2.0))
+        return slots

@@ -1,0 +1,100 @@
+"""SRAM macro placement inside the floorplanned partitions.
+
+Figs. 3 and 4 of the paper highlight where the block memories end up in each
+layout and distinguish the "untouched" macros from the ones that were divided
+to raise the clock frequency (CU, memory-controller, and top-level optimized
+memories are coloured differently).  This module reproduces that artifact: it
+packs every macro of every memory group into its partition's rectangle using
+a simple shelf packer and tags each placed macro with whether its group was
+divided, so the layout export can colour it the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import PhysicalDesignError
+from repro.physical.floorplan import Floorplan, Rect
+from repro.rtl.netlist import Netlist, Partition
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class MacroPlacement:
+    """One placed SRAM macro instance."""
+
+    name: str
+    group: str
+    partition_instance: str
+    rect: Rect
+    divided: bool
+
+
+def _partition_instance_for(group_name: str, partition: Partition) -> str:
+    """Map a memory group to the floorplan partition instance holding it.
+
+    CU and memory-controller groups are named ``<instance>/<role>``; using the
+    first path component keeps this working both for the paper's single
+    controller (``memctrl/...``) and for the replicated controllers of a
+    clustered design (``memctrl0/...``, ``memctrl1/...``).
+    """
+    if partition in (Partition.CU, Partition.MEMORY_CONTROLLER):
+        return group_name.split("/")[0]
+    return "top"
+
+
+class _ShelfPacker:
+    """Packs rectangles into a region row by row (a classic shelf packer)."""
+
+    def __init__(self, region: Rect, margin: float = 10.0) -> None:
+        self.region = region
+        self.margin = margin
+        self._cursor_x = region.x + margin
+        self._cursor_y = region.y + margin
+        self._shelf_height = 0.0
+
+    def place(self, width: float, height: float) -> Rect:
+        if width > self.region.width - 2 * self.margin:
+            # Rotate macros that are wider than the partition.
+            width, height = height, width
+        if self._cursor_x + width > self.region.x + self.region.width - self.margin:
+            self._cursor_x = self.region.x + self.margin
+            self._cursor_y += self._shelf_height + self.margin
+            self._shelf_height = 0.0
+        if self._cursor_y + height > self.region.y + 2.5 * max(self.region.height, height):
+            # The floorplanner sized each partition from its synthesized area,
+            # so macros always fit area-wise; the shelf packer is not optimal,
+            # though, so allow a generous vertical overflow before failing
+            # loudly (a real flow would legalize the placement instead).
+            raise PhysicalDesignError(
+                f"macros overflow partition at ({self._cursor_x:.0f}, {self._cursor_y:.0f})"
+            )
+        rect = Rect(self._cursor_x, self._cursor_y, width, height)
+        self._cursor_x += width + self.margin
+        self._shelf_height = max(self._shelf_height, height)
+        return rect
+
+
+def place_macros(netlist: Netlist, floorplan: Floorplan, tech: Technology) -> List[MacroPlacement]:
+    """Place every macro of every memory group inside its partition."""
+    packers: Dict[str, _ShelfPacker] = {}
+    placements: List[MacroPlacement] = []
+    for group in netlist.memory_group_list():
+        instance = _partition_instance_for(group.name, group.partition)
+        if instance not in packers:
+            packers[instance] = _ShelfPacker(floorplan.placement(instance).rect)
+        packer = packers[instance]
+        width, height = tech.sram.footprint_um(group.macro)
+        for index in range(group.num_macros):
+            rect = packer.place(width, height)
+            placements.append(
+                MacroPlacement(
+                    name=f"{group.name}[{index}]",
+                    group=group.name,
+                    partition_instance=instance,
+                    rect=rect,
+                    divided=group.mux_levels > 0,
+                )
+            )
+    return placements

@@ -1,0 +1,45 @@
+"""Table-II-style routing report.
+
+Table II of the paper lists, for four physically implemented versions
+(1CU@500MHz, 1CU@667MHz, 8CU@500MHz, 8CU@600MHz), the routed wirelength on
+each signal metal layer M2-M7.  :func:`format_table2` renders the same matrix
+from this reproduction's :class:`~repro.physical.routing.RoutingEstimate`
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.physical.routing import RoutingEstimate
+
+SIGNAL_LAYERS: Sequence[str] = ("M2", "M3", "M4", "M5", "M6", "M7")
+
+
+def table2_matrix(estimates: Iterable[RoutingEstimate]) -> Dict[str, Dict[str, float]]:
+    """Per-layer wirelength keyed by layer then by design label."""
+    matrix: Dict[str, Dict[str, float]] = {layer: {} for layer in SIGNAL_LAYERS}
+    for estimate in estimates:
+        label = f"{estimate.design}@{estimate.frequency_mhz:.0f}MHz"
+        for layer in SIGNAL_LAYERS:
+            matrix[layer][label] = estimate.layer(layer)
+    return matrix
+
+
+def format_table2(estimates: Iterable[RoutingEstimate]) -> str:
+    """Render the regenerated Table II as fixed-width text (lengths in um)."""
+    estimates = list(estimates)
+    labels: List[str] = [
+        f"{estimate.design}@{estimate.frequency_mhz:.0f}MHz" for estimate in estimates
+    ]
+    label_width = max([len(label) for label in labels] + [12]) + 2
+    header = "Metal layer".ljust(12) + "".join(label.rjust(label_width) for label in labels)
+    lines = [header, "-" * len(header)]
+    for layer in SIGNAL_LAYERS:
+        cells = "".join(
+            f"{estimate.layer(layer):.0f}".rjust(label_width) for estimate in estimates
+        )
+        lines.append(layer.ljust(12) + cells)
+    totals = "".join(f"{estimate.total_um:.0f}".rjust(label_width) for estimate in estimates)
+    lines.append("total".ljust(12) + totals)
+    return "\n".join(lines)

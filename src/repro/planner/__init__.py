@@ -1,0 +1,48 @@
+"""GPUPlanner: the automated G-GPU generator (the paper's core contribution).
+
+The flow mirrors Fig. 2 of the paper:
+
+1. the designer writes a :class:`~repro.planner.spec.GGPUSpec` (number of CUs,
+   target frequency, optional area/power budgets),
+2. the first-order estimator (:mod:`repro.planner.estimator`, the paper's
+   "dynamic spreadsheet" map) predicts the achievable frequency from the
+   memory-block delays and says which memories to divide and where pipelines
+   are needed,
+3. the generator builds the netlist and the timing optimizer
+   (:mod:`repro.planner.optimizer`) applies memory division and on-demand
+   pipeline insertion until the target frequency closes,
+4. logic synthesis and physical synthesis produce the PPA numbers and the
+   tapeout-ready layout, and
+5. the resulting PPA is checked against the specification.
+
+:mod:`repro.planner.versions` captures the 12 logic-synthesis versions and the
+4 physically implemented versions evaluated in the paper.
+"""
+
+from repro.planner.spec import GGPUSpec
+from repro.planner.optimizer import OptimizationResult, TimingOptimizer
+from repro.planner.estimator import FirstOrderEstimate, PpaMap
+from repro.planner.dse import DesignPoint, DesignSpaceExplorer
+from repro.planner.flow import FlowResult, GpuPlannerFlow
+from repro.planner.versions import (
+    PAPER_FREQUENCIES_MHZ,
+    PAPER_CU_COUNTS,
+    PHYSICAL_VERSION_SPECS,
+    paper_version_specs,
+)
+
+__all__ = [
+    "GGPUSpec",
+    "OptimizationResult",
+    "TimingOptimizer",
+    "FirstOrderEstimate",
+    "PpaMap",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "FlowResult",
+    "GpuPlannerFlow",
+    "PAPER_FREQUENCIES_MHZ",
+    "PAPER_CU_COUNTS",
+    "PHYSICAL_VERSION_SPECS",
+    "paper_version_specs",
+]

@@ -1,0 +1,107 @@
+"""Design-space exploration over CU counts and operating frequencies.
+
+The paper exercises GPUPlanner over 1/2/4/8 CUs and 500/590/667 MHz, keeping
+the 12 versions "worth the PPA trade-off".  :class:`DesignSpaceExplorer`
+automates that sweep: for every (CU count, frequency) point it generates the
+netlist, closes timing with the optimizer, runs logic synthesis, and collects
+the PPA so the caller can pick versions, plot trade-offs, or extract the
+Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import PlanningError
+from repro.planner.optimizer import OptimizationResult, TimingOptimizer
+from repro.planner.spec import GGPUSpec
+from repro.rtl.generator import generate_ggpu_netlist
+from repro.rtl.netlist import Netlist
+from repro.synth.logic import LogicSynthesis, SynthesisResult
+from repro.tech.technology import Technology
+
+
+@dataclass
+class DesignPoint:
+    """One explored (CU count, frequency) point."""
+
+    spec: GGPUSpec
+    netlist: Netlist
+    optimization: OptimizationResult
+    synthesis: SynthesisResult
+
+    @property
+    def met(self) -> bool:
+        """Whether the point closed timing at its target frequency."""
+        return self.optimization.met and self.synthesis.timing_met
+
+    @property
+    def area_mm2(self) -> float:
+        return self.synthesis.total_area_mm2
+
+    @property
+    def power_w(self) -> float:
+        return self.synthesis.total_power_w
+
+    @property
+    def throughput_proxy(self) -> float:
+        """CU count times frequency: a first-order compute-throughput metric."""
+        return self.spec.num_cus * self.spec.target_frequency_mhz
+
+    @property
+    def efficiency_proxy(self) -> float:
+        """Throughput proxy per mm^2 (what Fig. 6 derates by)."""
+        if self.area_mm2 <= 0:
+            return 0.0
+        return self.throughput_proxy / self.area_mm2
+
+    def label(self) -> str:
+        return self.spec.label
+
+
+class DesignSpaceExplorer:
+    """Sweeps GPUPlanner over CU counts and frequencies."""
+
+    def __init__(self, tech: Technology, optimizer: Optional[TimingOptimizer] = None) -> None:
+        self.tech = tech
+        self.optimizer = optimizer or TimingOptimizer(tech)
+        self.synthesis = LogicSynthesis(tech)
+
+    def explore_point(self, spec: GGPUSpec) -> DesignPoint:
+        """Generate, optimize, and synthesize one specification."""
+        netlist = generate_ggpu_netlist(spec.architecture(), name=spec.label)
+        optimization = self.optimizer.close_timing(netlist, spec.target_frequency_mhz)
+        synthesis = self.synthesis.run(netlist, spec.target_frequency_mhz)
+        return DesignPoint(spec=spec, netlist=netlist, optimization=optimization, synthesis=synthesis)
+
+    def explore(
+        self,
+        cu_counts: Sequence[int] = (1, 2, 4, 8),
+        frequencies_mhz: Sequence[float] = (500.0, 590.0, 667.0),
+    ) -> List[DesignPoint]:
+        """Sweep the full grid of CU counts and frequencies."""
+        if not cu_counts or not frequencies_mhz:
+            raise PlanningError("the design-space sweep needs at least one CU count and frequency")
+        points = []
+        for num_cus in cu_counts:
+            for frequency in frequencies_mhz:
+                points.append(self.explore_point(GGPUSpec(num_cus, frequency)))
+        return points
+
+    @staticmethod
+    def feasible_points(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+        """Points that closed timing at their target frequency."""
+        return [point for point in points if point.met]
+
+    @staticmethod
+    def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+        """Area/throughput Pareto-optimal points (smaller area, higher throughput)."""
+        candidates = sorted(points, key=lambda point: (point.area_mm2, -point.throughput_proxy))
+        frontier: List[DesignPoint] = []
+        best_throughput = -1.0
+        for point in candidates:
+            if point.throughput_proxy > best_throughput:
+                frontier.append(point)
+                best_throughput = point.throughput_proxy
+        return frontier

@@ -1,0 +1,288 @@
+"""First-order PPA estimation: the paper's "dynamic spreadsheet" map.
+
+Before running any synthesis, GPUPlanner gives the designer a map from the
+memory-block access delays to (a) the maximum frequency of the unoptimized
+design, (b) which memories have to be divided -- and how many times -- to
+reach a target frequency, and (c) where pipelines are needed because the
+critical path is logic rather than a macro.  The designer can override the
+memory delays with the numbers of their own technology ("the user inputs the
+delay of the memory blocks"), which keeps the map technology-agnostic.
+
+The estimate is *first order*: area and power are computed from the structural
+inventory (one CU's contribution times the CU count, plus the shared memory
+controller and top), without running the netlist-level optimizer or synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlanningError
+from repro.planner.spec import GGPUSpec
+from repro.rtl.generator import (
+    CU_LOGIC,
+    CU_LOGIC_PATHS,
+    CU_MEMORIES,
+    MEMCTRL_LOGIC,
+    MEMCTRL_LOGIC_PATHS,
+    MEMCTRL_MEMORIES,
+    TOP_LOGIC,
+    TOP_MEMORIES,
+    MemoryInventoryEntry,
+)
+from repro.tech.sram import SramMacroSpec
+from repro.tech.technology import Technology
+from repro.units import um2_to_mm2
+
+
+@dataclass(frozen=True)
+class DivisionRecommendation:
+    """How often one kind of memory must be divided for the target frequency."""
+
+    role: str
+    instances: int
+    divisions: int
+    unoptimized_delay_ns: float
+    optimized_delay_ns: float
+
+    @property
+    def extra_macros(self) -> int:
+        """Additional macros this recommendation costs."""
+        return self.instances * ((2**self.divisions) - 1)
+
+
+@dataclass
+class FirstOrderEstimate:
+    """Result of the map for one specification."""
+
+    spec: GGPUSpec
+    feasible: bool
+    unoptimized_frequency_mhz: float
+    achievable_frequency_mhz: float
+    divisions: List[DivisionRecommendation] = field(default_factory=list)
+    pipeline_paths: List[str] = field(default_factory=list)
+    estimated_area_mm2: float = 0.0
+    estimated_memory_area_mm2: float = 0.0
+    estimated_macros: int = 0
+    estimated_power_w: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def total_extra_macros(self) -> int:
+        """Macros added by all recommended divisions."""
+        return sum(recommendation.extra_macros for recommendation in self.divisions)
+
+    def summary(self) -> str:
+        """Human-readable map entry for the designer."""
+        lines = [
+            f"specification {self.spec.label}: "
+            f"{'feasible' if self.feasible else 'NOT feasible as specified'}",
+            f"  unoptimized design closes {self.unoptimized_frequency_mhz:.0f} MHz; "
+            f"with the recommended changes {self.achievable_frequency_mhz:.0f} MHz",
+            f"  estimated area {self.estimated_area_mm2:.2f} mm2 "
+            f"({self.estimated_macros} macros), power {self.estimated_power_w:.2f} W",
+        ]
+        for recommendation in self.divisions:
+            lines.append(
+                f"  divide {recommendation.role} x{recommendation.instances} "
+                f"{recommendation.divisions} time(s): "
+                f"{recommendation.unoptimized_delay_ns:.2f} ns -> "
+                f"{recommendation.optimized_delay_ns:.2f} ns per access"
+            )
+        for path in self.pipeline_paths:
+            lines.append(f"  insert pipeline stage(s) on {path}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+class PpaMap:
+    """The technology-agnostic map from memory delays to achievable PPA."""
+
+    def __init__(
+        self,
+        tech: Technology,
+        memory_delay_overrides_ns: Optional[Dict[str, float]] = None,
+        max_divisions: int = 4,
+        max_pipeline_stages: int = 4,
+    ) -> None:
+        self.tech = tech
+        self.memory_delay_overrides_ns = dict(memory_delay_overrides_ns or {})
+        self.max_divisions = max_divisions
+        self.max_pipeline_stages = max_pipeline_stages
+
+    # ------------------------------------------------------------------ #
+    # Memory-delay handling (the user-editable column of the spreadsheet)
+    # ------------------------------------------------------------------ #
+    def memory_delay_ns(self, entry: MemoryInventoryEntry, divisions: int = 0) -> float:
+        """Access delay of one memory role after ``divisions`` divisions."""
+        words = max(self.tech.sram.min_words, entry.words >> divisions)
+        if entry.role in self.memory_delay_overrides_ns and divisions == 0:
+            return self.memory_delay_overrides_ns[entry.role]
+        base = self.tech.sram.access_delay_ns(SramMacroSpec(words, entry.bits, entry.ports))
+        if entry.role in self.memory_delay_overrides_ns:
+            # Scale the user-provided unoptimized delay by the model's ratio.
+            model_base = self.tech.sram.access_delay_ns(
+                SramMacroSpec(entry.words, entry.bits, entry.ports)
+            )
+            return self.memory_delay_overrides_ns[entry.role] * base / model_base
+        return base
+
+    def _inventories(self) -> Tuple[Tuple[MemoryInventoryEntry, ...], ...]:
+        return (CU_MEMORIES, MEMCTRL_MEMORIES, TOP_MEMORIES)
+
+    # ------------------------------------------------------------------ #
+    # Frequency analysis
+    # ------------------------------------------------------------------ #
+    def unoptimized_frequency_mhz(self) -> float:
+        """Maximum frequency of the design with no divisions and no pipelines."""
+        worst = 0.0
+        for inventory in self._inventories():
+            for entry in inventory:
+                delay = self.memory_delay_ns(entry) + self.tech.stdcells.path_delay(
+                    entry.read_logic_levels
+                )
+                worst = max(worst, delay)
+        for paths in (CU_LOGIC_PATHS, MEMCTRL_LOGIC_PATHS):
+            for _, levels, _ in paths:
+                worst = max(worst, self.tech.stdcells.path_delay(levels))
+        overhead = self.tech.stdcells.register_to_register_overhead() + self.tech.clock_uncertainty_ns
+        return 1.0e3 / (worst + overhead)
+
+    def _plan_entry(
+        self, entry: MemoryInventoryEntry, budget_ns: float
+    ) -> Tuple[int, int, bool]:
+        """(divisions, pipeline_stages, feasible) needed for one memory role."""
+        logic = self.tech.stdcells.path_delay(entry.read_logic_levels)
+        threshold = budget_ns - self.tech.stdcells.path_delay(2)
+        divisions = 0
+        while divisions < self.max_divisions:
+            macro_stage = self.memory_delay_ns(entry, divisions) + self.tech.stdcells.path_delay(
+                0, divisions
+            )
+            if macro_stage <= threshold:
+                break
+            divisions += 1
+        macro_stage = self.memory_delay_ns(entry, divisions) + self.tech.stdcells.path_delay(0, divisions)
+        if macro_stage + logic <= budget_ns:
+            return divisions, 0, True
+        for stages in range(1, self.max_pipeline_stages + 1):
+            if macro_stage + logic / (stages + 1) <= budget_ns:
+                return divisions, stages, True
+        return divisions, 0, macro_stage <= budget_ns
+
+    # ------------------------------------------------------------------ #
+    # The map
+    # ------------------------------------------------------------------ #
+    def estimate(self, spec: GGPUSpec) -> FirstOrderEstimate:
+        """Produce the first-order estimate and recommendations for a spec."""
+        try:
+            budget = self.tech.timing_budget_ns(spec.target_frequency_mhz)
+        except Exception as exc:
+            raise PlanningError(str(exc)) from exc
+
+        divisions: List[DivisionRecommendation] = []
+        pipeline_paths: List[str] = []
+        notes: List[str] = []
+        feasible = True
+
+        inventories = (
+            (CU_MEMORIES, spec.num_cus, "cu"),
+            (MEMCTRL_MEMORIES, 1, "memctrl"),
+            (TOP_MEMORIES, 1, "top"),
+        )
+        total_macros = 0
+        memory_area_um2 = 0.0
+        leakage_mw = 0.0
+        dynamic_mw = 0.0
+        for inventory, multiplicity, prefix in inventories:
+            for entry in inventory:
+                needed_divisions, stages, ok = self._plan_entry(entry, budget)
+                if not ok:
+                    feasible = False
+                    notes.append(
+                        f"{prefix}/{entry.role}: no division/pipeline combination closes "
+                        f"{spec.target_frequency_mhz:.0f} MHz"
+                    )
+                if needed_divisions:
+                    divisions.append(
+                        DivisionRecommendation(
+                            role=f"{prefix}/{entry.role}",
+                            instances=entry.count * multiplicity,
+                            divisions=needed_divisions,
+                            unoptimized_delay_ns=self.memory_delay_ns(entry),
+                            optimized_delay_ns=self.memory_delay_ns(entry, needed_divisions),
+                        )
+                    )
+                if stages:
+                    pipeline_paths.append(f"{prefix}/{entry.role}__read (+{stages} stage(s))")
+                macros_per_group = 2**needed_divisions
+                words = max(self.tech.sram.min_words, entry.words >> needed_divisions)
+                macro = SramMacroSpec(words, entry.bits, entry.ports)
+                count = entry.count * multiplicity * macros_per_group
+                total_macros += count
+                memory_area_um2 += count * self.tech.sram.area_um2(macro)
+                leakage_mw += count * self.tech.sram.leakage_mw(macro)
+                dynamic_mw += count * self.tech.sram.dynamic_mw(
+                    macro, spec.target_frequency_mhz, 0.7
+                )
+
+        for paths, multiplicity, prefix in (
+            (CU_LOGIC_PATHS, spec.num_cus, "cu"),
+            (MEMCTRL_LOGIC_PATHS, 1, "memctrl"),
+        ):
+            for suffix, levels, _ in paths:
+                delay = self.tech.stdcells.path_delay(levels)
+                if delay > budget:
+                    stages_needed = 0
+                    for stages in range(1, self.max_pipeline_stages + 1):
+                        if delay / (stages + 1) <= budget:
+                            stages_needed = stages
+                            break
+                    if stages_needed:
+                        pipeline_paths.append(f"{prefix}/{suffix} (+{stages_needed} stage(s))")
+                    else:
+                        feasible = False
+                        notes.append(f"{prefix}/{suffix}: logic depth cannot be pipelined to fit")
+
+        num_ff = 0
+        num_gates = 0
+        for blocks, multiplicity in ((CU_LOGIC, spec.num_cus), (MEMCTRL_LOGIC, 1), (TOP_LOGIC, 1)):
+            for block in blocks:
+                num_ff += block.num_ff * multiplicity
+                num_gates += block.num_gates * multiplicity
+        logic_area_um2 = self.tech.stdcells.logic_area(num_ff, num_gates)
+        leakage_mw += self.tech.stdcells.logic_leakage_mw(num_ff, num_gates)
+        dynamic_mw += self.tech.stdcells.logic_dynamic_mw(
+            num_ff, num_gates, spec.target_frequency_mhz
+        )
+
+        unoptimized = self.unoptimized_frequency_mhz()
+        achievable = spec.target_frequency_mhz if feasible else unoptimized
+        estimate = FirstOrderEstimate(
+            spec=spec,
+            feasible=feasible,
+            unoptimized_frequency_mhz=unoptimized,
+            achievable_frequency_mhz=achievable,
+            divisions=divisions,
+            pipeline_paths=pipeline_paths,
+            estimated_area_mm2=um2_to_mm2(memory_area_um2 + logic_area_um2),
+            estimated_memory_area_mm2=um2_to_mm2(memory_area_um2),
+            estimated_macros=total_macros,
+            estimated_power_w=(leakage_mw + dynamic_mw) / 1.0e3,
+            notes=notes,
+        )
+        if spec.max_area_mm2 is not None and estimate.estimated_area_mm2 > spec.max_area_mm2:
+            estimate.feasible = False
+            estimate.notes.append(
+                f"estimated area {estimate.estimated_area_mm2:.2f} mm2 exceeds the "
+                f"{spec.max_area_mm2:.2f} mm2 budget"
+            )
+        if spec.max_power_w is not None and estimate.estimated_power_w > spec.max_power_w:
+            estimate.feasible = False
+            estimate.notes.append(
+                f"estimated power {estimate.estimated_power_w:.2f} W exceeds the "
+                f"{spec.max_power_w:.2f} W budget"
+            )
+        return estimate

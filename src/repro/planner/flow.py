@@ -1,0 +1,142 @@
+"""The full GPUPlanner flow: specification to tapeout-ready layout (Fig. 2).
+
+``GpuPlannerFlow.run`` executes, for one :class:`~repro.planner.spec.GGPUSpec`:
+
+1. first-order estimation (the map),
+2. netlist generation,
+3. timing closure (memory division + on-demand pipeline insertion),
+4. logic synthesis (Table-I metrics),
+5. physical synthesis (floorplan, macro placement, routing, post-route STA),
+6. the PPA check against the specification.
+
+"From a single push of a button, our framework can perform logic and physical
+synthesis of the list of designs" -- that is :meth:`GpuPlannerFlow.run_many`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import PlanningError
+from repro.planner.estimator import FirstOrderEstimate, PpaMap
+from repro.planner.optimizer import OptimizationResult, TimingOptimizer
+from repro.planner.spec import GGPUSpec
+from repro.physical.layout import LayoutResult, PhysicalSynthesis
+from repro.rtl.generator import generate_ggpu_netlist
+from repro.rtl.netlist import Netlist
+from repro.synth.logic import LogicSynthesis, SynthesisResult
+from repro.tech.technology import Technology
+
+
+@dataclass
+class FlowResult:
+    """Everything one run of the flow produced for one specification."""
+
+    spec: GGPUSpec
+    estimate: FirstOrderEstimate
+    netlist: Netlist
+    optimization: OptimizationResult
+    synthesis: SynthesisResult
+    layout: Optional[LayoutResult] = None
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def meets_specification(self) -> bool:
+        """Whether the implemented design satisfies the full specification."""
+        return not self.issues
+
+    @property
+    def achieved_frequency_mhz(self) -> float:
+        """Post-layout frequency when physical synthesis ran, else post-synthesis."""
+        if self.layout is not None:
+            return self.layout.achieved_frequency_mhz
+        return self.optimization.achieved_frequency_mhz
+
+    def summary(self) -> str:
+        """Multi-line report of the run."""
+        lines = [
+            f"== GPUPlanner flow: {self.spec.label} ==",
+            self.optimization.summary(),
+            (
+                f"logic synthesis: {self.synthesis.total_area_mm2:.2f} mm2, "
+                f"{self.synthesis.num_macros} macros, "
+                f"{self.synthesis.total_power_w:.2f} W"
+            ),
+        ]
+        if self.layout is not None:
+            lines.append(self.layout.summary())
+        if self.issues:
+            lines.append("specification issues:")
+            lines.extend(f"  - {issue}" for issue in self.issues)
+        else:
+            lines.append("specification met; layout is ready for integration as an IP")
+        return "\n".join(lines)
+
+
+class GpuPlannerFlow:
+    """RTL-to-GDSII automation for G-GPU instances."""
+
+    def __init__(
+        self,
+        tech: Technology,
+        run_physical: bool = True,
+        optimizer: Optional[TimingOptimizer] = None,
+        physical: Optional[PhysicalSynthesis] = None,
+        ppa_map: Optional[PpaMap] = None,
+    ) -> None:
+        self.tech = tech
+        self.run_physical = run_physical
+        self.optimizer = optimizer or TimingOptimizer(tech)
+        self.synthesis = LogicSynthesis(tech)
+        self.physical = physical or PhysicalSynthesis(tech)
+        self.ppa_map = ppa_map or PpaMap(tech)
+
+    def run(self, spec: GGPUSpec) -> FlowResult:
+        """Run the complete flow for one specification."""
+        estimate = self.ppa_map.estimate(spec)
+        netlist = generate_ggpu_netlist(spec.architecture(), name=spec.label)
+        optimization = self.optimizer.close_timing(netlist, spec.target_frequency_mhz)
+        synthesis = self.synthesis.run(netlist, spec.target_frequency_mhz)
+
+        layout = None
+        if self.run_physical:
+            layout = self.physical.run(netlist, synthesis, spec.target_frequency_mhz)
+
+        issues: List[str] = []
+        if not optimization.met:
+            issues.append(
+                f"logic synthesis closes only {optimization.achieved_frequency_mhz:.0f} MHz "
+                f"of the {spec.target_frequency_mhz:.0f} MHz target"
+            )
+        if layout is not None and not layout.timing_met:
+            issues.append(
+                f"post-route timing closes only {layout.achieved_frequency_mhz:.0f} MHz "
+                f"of the {spec.target_frequency_mhz:.0f} MHz target"
+            )
+        if spec.max_area_mm2 is not None and synthesis.total_area_mm2 > spec.max_area_mm2:
+            issues.append(
+                f"area {synthesis.total_area_mm2:.2f} mm2 exceeds the budget of "
+                f"{spec.max_area_mm2:.2f} mm2"
+            )
+        if spec.max_power_w is not None and synthesis.total_power_w > spec.max_power_w:
+            issues.append(
+                f"power {synthesis.total_power_w:.2f} W exceeds the budget of "
+                f"{spec.max_power_w:.2f} W"
+            )
+
+        return FlowResult(
+            spec=spec,
+            estimate=estimate,
+            netlist=netlist,
+            optimization=optimization,
+            synthesis=synthesis,
+            layout=layout,
+            issues=issues,
+        )
+
+    def run_many(self, specs: List[GGPUSpec]) -> List[FlowResult]:
+        """Run the flow for a list of specifications (the push-button sweep)."""
+        if not specs:
+            raise PlanningError("run_many needs at least one specification")
+        return [self.run(spec) for spec in specs]

@@ -1,0 +1,194 @@
+"""Timing-closure optimizer: memory division plus on-demand pipeline insertion.
+
+This is the automation the paper describes in Section III: GPUPlanner
+"continually applied the memory division strategy when the critical path
+contained a memory block", and "for solving such timing issues [when the
+critical path was not a memory], pipelines were introduced".
+
+For every violating path the optimizer:
+
+1. divides the path's memory group while the macro access (plus the division
+   muxes it already accumulated) dominates the cycle budget,
+2. then, if the path still violates, inserts the smallest number of pipeline
+   stages that makes every segment fit,
+3. falls back to further memory division when pipelining alone cannot help
+   (the macro plus mux must fit in one segment), and
+4. reports the path as infeasible when neither move works (e.g. the
+   wire-dominated inter-partition routes of the 8-CU floorplan, which the
+   paper also could not fix with pipelining).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import PlanningError
+from repro.rtl.netlist import Netlist, TimingPath
+from repro.rtl.timing import analyze_timing, max_frequency_mhz, path_segment_delays
+from repro.rtl.transforms import TransformRecord, insert_pipeline, split_memory_group
+from repro.tech.technology import Technology
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a timing-closure run."""
+
+    design: str
+    target_frequency_mhz: float
+    achieved_frequency_mhz: float
+    records: List[TransformRecord] = field(default_factory=list)
+    infeasible_paths: List[str] = field(default_factory=list)
+
+    @property
+    def met(self) -> bool:
+        """Whether the target frequency was closed."""
+        return self.achieved_frequency_mhz + 1e-6 >= self.target_frequency_mhz
+
+    @property
+    def num_divisions(self) -> int:
+        """Memory-division transforms applied."""
+        return sum(1 for record in self.records if record.kind == "memory_division")
+
+    @property
+    def num_pipelines(self) -> int:
+        """Pipeline-insertion transforms applied."""
+        return sum(1 for record in self.records if record.kind == "pipeline_insertion")
+
+    def summary(self) -> str:
+        """One-line report used by the flow log."""
+        status = "met" if self.met else "NOT met"
+        return (
+            f"{self.design} @ {self.target_frequency_mhz:.0f} MHz {status}: "
+            f"{self.num_divisions} memory divisions, {self.num_pipelines} pipeline insertions, "
+            f"achieved {self.achieved_frequency_mhz:.1f} MHz"
+        )
+
+
+class TimingOptimizer:
+    """Closes timing on a netlist by dividing memories and inserting pipelines."""
+
+    def __init__(
+        self,
+        tech: Technology,
+        split_allowance_levels: int = 2,
+        max_pipeline_stages: int = 4,
+        max_iterations: int = 64,
+    ) -> None:
+        self.tech = tech
+        self.split_allowance_levels = split_allowance_levels
+        self.max_pipeline_stages = max_pipeline_stages
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _macro_stage_delay(self, netlist: Netlist, path: TimingPath) -> float:
+        """Delay of the macro access plus its division muxes (unsplittable part)."""
+        if path.memory_group is None:
+            return 0.0
+        group = netlist.memory_groups[path.memory_group]
+        return self.tech.sram.access_delay_ns(group.macro) + self.tech.stdcells.path_delay(
+            0, group.mux_levels
+        )
+
+    def _split_threshold(self, budget_ns: float) -> float:
+        """Macros slower than this dominate the cycle and must be divided."""
+        return budget_ns - self.tech.stdcells.path_delay(self.split_allowance_levels)
+
+    def _worst_segment(self, netlist: Netlist, path: TimingPath) -> float:
+        return max(path_segment_delays(path, netlist, self.tech))
+
+    # ------------------------------------------------------------------ #
+    # Per-path closure
+    # ------------------------------------------------------------------ #
+    def _close_path(
+        self,
+        netlist: Netlist,
+        path: TimingPath,
+        budget_ns: float,
+        records: List[TransformRecord],
+    ) -> bool:
+        """Try to make one path meet the budget; returns True on success."""
+        threshold = self._split_threshold(budget_ns)
+
+        # Step 1: divide the memory while its access dominates the budget.
+        if path.memory_group is not None:
+            while self._macro_stage_delay(netlist, path) > threshold:
+                try:
+                    records.append(split_memory_group(netlist, path.memory_group, self.tech))
+                except Exception:
+                    break
+        if self._worst_segment(netlist, path) <= budget_ns:
+            return True
+
+        # Step 2: pipeline the downstream logic.
+        if path.pipelinable:
+            for extra in range(1, self.max_pipeline_stages + 1):
+                original = path.pipeline_stages
+                path.pipeline_stages = original + extra
+                fits = self._worst_segment(netlist, path) <= budget_ns
+                path.pipeline_stages = original
+                if fits:
+                    records.append(insert_pipeline(netlist, path.name, extra))
+                    return True
+
+        # Step 3: last resort -- keep dividing the memory even below the
+        # threshold (trading more area for the remaining picoseconds).
+        if path.memory_group is not None:
+            for _ in range(8):
+                try:
+                    records.append(split_memory_group(netlist, path.memory_group, self.tech))
+                except Exception:
+                    break
+                if self._worst_segment(netlist, path) <= budget_ns:
+                    return True
+                if path.pipelinable:
+                    for extra in range(1, self.max_pipeline_stages + 1):
+                        original = path.pipeline_stages
+                        path.pipeline_stages = original + extra
+                        fits = self._worst_segment(netlist, path) <= budget_ns
+                        path.pipeline_stages = original
+                        if fits:
+                            records.append(insert_pipeline(netlist, path.name, extra))
+                            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Whole-netlist closure
+    # ------------------------------------------------------------------ #
+    def close_timing(self, netlist: Netlist, target_frequency_mhz: float) -> OptimizationResult:
+        """Apply transforms (in place) until the netlist meets the target frequency."""
+        if target_frequency_mhz <= 0:
+            raise PlanningError(f"target frequency must be positive, got {target_frequency_mhz}")
+        budget = self.tech.timing_budget_ns(target_frequency_mhz)
+        records: List[TransformRecord] = []
+        infeasible: List[str] = []
+
+        for _ in range(self.max_iterations):
+            report = analyze_timing(netlist, self.tech, target_frequency_mhz)
+            open_violations = [
+                violation
+                for violation in report.violations()
+                if violation.name not in infeasible
+            ]
+            if not open_violations:
+                break
+            progressed = False
+            for violation in open_violations:
+                path = netlist.timing_paths[violation.name]
+                if self._close_path(netlist, path, budget, records):
+                    progressed = True
+                else:
+                    infeasible.append(path.name)
+            if not progressed:
+                break
+
+        achieved = max_frequency_mhz(netlist, self.tech)
+        return OptimizationResult(
+            design=netlist.name,
+            target_frequency_mhz=target_frequency_mhz,
+            achieved_frequency_mhz=achieved,
+            records=records,
+            infeasible_paths=infeasible,
+        )

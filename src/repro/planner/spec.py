@@ -1,0 +1,80 @@
+"""The designer-facing specification of a G-GPU instance.
+
+This is the "Define specifications" box of the paper's Fig. 2: the designer
+chooses the number of CUs (1-8) and the operating frequency, and optionally
+bounds the area and power the accelerator may consume in the target SoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.config import GGPUConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GGPUSpec:
+    """User specification handed to GPUPlanner.
+
+    Attributes
+    ----------
+    num_cus:
+        Number of compute units (1-8).
+    target_frequency_mhz:
+        Operating frequency the generated IP must close timing at.
+    max_area_mm2 / max_power_w:
+        Optional budgets checked after synthesis; ``None`` means unconstrained.
+    name:
+        Label used in reports; defaults to ``<cus>cu_<freq>mhz``.
+    config:
+        Full architecture configuration; defaults to the standard FGPU-derived
+        configuration with ``num_cus`` compute units.
+    """
+
+    num_cus: int
+    target_frequency_mhz: float
+    max_area_mm2: Optional[float] = None
+    max_power_w: Optional[float] = None
+    name: str = ""
+    config: Optional[GGPUConfig] = None
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_cus <= 8:
+            raise ConfigurationError(f"GPUPlanner supports 1 to 8 CUs, got {self.num_cus}")
+        if self.target_frequency_mhz <= 0:
+            raise ConfigurationError(
+                f"target frequency must be positive, got {self.target_frequency_mhz}"
+            )
+        if self.max_area_mm2 is not None and self.max_area_mm2 <= 0:
+            raise ConfigurationError("the area budget must be positive when given")
+        if self.max_power_w is not None and self.max_power_w <= 0:
+            raise ConfigurationError("the power budget must be positive when given")
+        if self.config is not None and self.config.num_cus != self.num_cus:
+            raise ConfigurationError(
+                "the provided GGPUConfig does not match the requested CU count"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short label of the version (e.g. ``2cu_590mhz``)."""
+        if self.name:
+            return self.name
+        return f"{self.num_cus}cu_{self.target_frequency_mhz:.0f}mhz"
+
+    def architecture(self) -> GGPUConfig:
+        """The architecture configuration to generate."""
+        if self.config is not None:
+            return self.config
+        return GGPUConfig(num_cus=self.num_cus)
+
+    def with_frequency(self, frequency_mhz: float) -> "GGPUSpec":
+        """Copy of this spec at a different target frequency."""
+        return GGPUSpec(
+            num_cus=self.num_cus,
+            target_frequency_mhz=frequency_mhz,
+            max_area_mm2=self.max_area_mm2,
+            max_power_w=self.max_power_w,
+            config=self.config,
+        )

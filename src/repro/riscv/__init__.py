@@ -1,0 +1,36 @@
+"""RISC-V (RV32IM) baseline used for the performance comparison.
+
+The paper compares the G-GPU against "an implementation of the popular RISC-V
+architecture" (the OpenHW CV32E40P, a 4-stage in-order RV32IM core) with 32 kB
+of memory, synthesized in the same 65nm technology at 667 MHz.  This package
+is the Python stand-in for that baseline:
+
+* :mod:`repro.riscv.isa` -- the RV32IM instruction set with its real 32-bit
+  encodings,
+* :mod:`repro.riscv.assembler` -- a label-aware assembler with the usual
+  pseudo-instructions (``li``, ``la``, ``mv``, ``j`` ...),
+* :mod:`repro.riscv.cpu` -- an instruction-set simulator with a simple
+  in-order cycle model (single-cycle ALU, branch-flush penalty, multi-cycle
+  multiply/divide, tightly-coupled single-cycle data memory),
+* :mod:`repro.riscv.programs` -- the seven micro-benchmarks written as
+  scalar loops, mirroring what a C compiler produces for the OpenCL kernels.
+"""
+
+from repro.riscv.isa import RvInstruction, RvOpcode, RvFormat, encode_rv, decode_rv
+from repro.riscv.assembler import RvAssembler, RvProgram
+from repro.riscv.memory import RvMemory
+from repro.riscv.cpu import RiscvCpu, CpuStats, RV32_SYNTH_AREA_MM2
+
+__all__ = [
+    "RvInstruction",
+    "RvOpcode",
+    "RvFormat",
+    "encode_rv",
+    "decode_rv",
+    "RvAssembler",
+    "RvProgram",
+    "RvMemory",
+    "RiscvCpu",
+    "CpuStats",
+    "RV32_SYNTH_AREA_MM2",
+]

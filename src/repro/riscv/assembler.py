@@ -1,0 +1,165 @@
+"""Label-aware RV32IM assembler with the standard pseudo-instructions.
+
+The benchmark programs are generated programmatically (the stand-in for
+compiling the C versions of the OpenCL kernels with GCC), so the assembler
+offers the conveniences a compiler back end relies on: labels, ``li``/``la``
+constant materialization, ``mv``/``j``/``nop`` pseudo-instructions, and a
+``halt`` (EBREAK) to stop the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.riscv.isa import RvInstruction, RvOpcode, encode_rv
+
+# Common ABI register names used by the program builders.
+ZERO, RA, SP, GP, TP = 0, 1, 2, 3, 4
+T0, T1, T2 = 5, 6, 7
+S0, S1 = 8, 9
+A0, A1, A2, A3, A4, A5, A6, A7 = 10, 11, 12, 13, 14, 15, 16, 17
+S2, S3, S4, S5, S6, S7, S8, S9, S10, S11 = 18, 19, 20, 21, 22, 23, 24, 25, 26, 27
+T3, T4, T5, T6 = 28, 29, 30, 31
+
+
+@dataclass(frozen=True)
+class RvProgram:
+    """An assembled RISC-V program (text section only, base address 0)."""
+
+    name: str
+    instructions: Tuple[RvInstruction, ...]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> RvInstruction:
+        return self.instructions[index]
+
+    def encode(self) -> List[int]:
+        """Machine words of the whole program."""
+        return [encode_rv(instruction) for instruction in self.instructions]
+
+    def listing(self) -> str:
+        """Human-readable listing with byte addresses."""
+        by_address: Dict[int, List[str]] = {}
+        for label, address in self.labels.items():
+            by_address.setdefault(address, []).append(label)
+        lines = []
+        for index, instruction in enumerate(self.instructions):
+            address = index * 4
+            for label in sorted(by_address.get(address, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {address:#06x}: {instruction.text()}")
+        return "\n".join(lines)
+
+
+class RvAssembler:
+    """Incremental RV32IM assembler."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._items: List[object] = []  # RvInstruction or pending-branch tuples
+        self._labels: Dict[str, int] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Labels
+    # ------------------------------------------------------------------ #
+    @property
+    def next_address(self) -> int:
+        """Byte address the next emitted instruction will occupy."""
+        return len(self._items) * 4
+
+    def unique_label(self, stem: str) -> str:
+        """Fresh label name."""
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Define a label at the current address."""
+        if name is None:
+            name = self.unique_label("L")
+        if name in self._labels:
+            raise AssemblyError(f"label {name!r} already defined")
+        self._labels[name] = self.next_address
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Raw instructions
+    # ------------------------------------------------------------------ #
+    def emit(
+        self,
+        opcode: RvOpcode,
+        rd: int = 0,
+        rs1: int = 0,
+        rs2: int = 0,
+        imm: int = 0,
+        label: Optional[str] = None,
+    ) -> None:
+        """Emit one instruction; ``label`` defers the offset to assembly time."""
+        self._items.append(RvInstruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm, label=label))
+
+    # ------------------------------------------------------------------ #
+    # Pseudo-instructions
+    # ------------------------------------------------------------------ #
+    def li(self, rd: int, value: int) -> None:
+        """Load a 32-bit constant."""
+        value = int(value)
+        if value < -(1 << 31) or value >= (1 << 32):
+            raise AssemblyError(f"li constant {value} does not fit in 32 bits")
+        if value >= (1 << 31):
+            value -= 1 << 32
+        if -2048 <= value <= 2047:
+            self.emit(RvOpcode.ADDI, rd=rd, rs1=ZERO, imm=value)
+            return
+        upper = (value + 0x800) >> 12
+        lower = value - (upper << 12)
+        self.emit(RvOpcode.LUI, rd=rd, imm=upper & 0xFFFFF)
+        if lower:
+            self.emit(RvOpcode.ADDI, rd=rd, rs1=rd, imm=lower)
+
+    def la(self, rd: int, address: int) -> None:
+        """Load an absolute data address (flat memory, so same as ``li``)."""
+        self.li(rd, address)
+
+    def mv(self, rd: int, rs: int) -> None:
+        """Register move."""
+        self.emit(RvOpcode.ADDI, rd=rd, rs1=rs, imm=0)
+
+    def nop(self) -> None:
+        """No operation."""
+        self.emit(RvOpcode.ADDI, rd=ZERO, rs1=ZERO, imm=0)
+
+    def j(self, label: str) -> None:
+        """Unconditional jump to a label."""
+        self.emit(RvOpcode.JAL, rd=ZERO, label=label)
+
+    def halt(self) -> None:
+        """Stop the simulation (EBREAK)."""
+        self.emit(RvOpcode.EBREAK)
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+    def assemble(self) -> RvProgram:
+        """Resolve label references into PC-relative offsets."""
+        resolved: List[RvInstruction] = []
+        for index, item in enumerate(self._items):
+            instruction = item
+            if instruction.label is not None:
+                if instruction.label not in self._labels:
+                    raise AssemblyError(f"undefined label {instruction.label!r} in {self.name}")
+                offset = self._labels[instruction.label] - index * 4
+                instruction = RvInstruction(
+                    instruction.opcode,
+                    rd=instruction.rd,
+                    rs1=instruction.rs1,
+                    rs2=instruction.rs2,
+                    imm=offset,
+                    label=instruction.label,
+                )
+            resolved.append(instruction)
+        return RvProgram(self.name, tuple(resolved), dict(self._labels))

@@ -1,0 +1,282 @@
+"""RV32IM instruction set: formats, opcodes, and binary encoding.
+
+Only the subset the benchmark programs need is implemented (the full RV32I
+base integer ISA minus the fence/CSR group, plus the M extension), but the
+encodings are the real ones, so programs can be encoded to machine words and
+decoded back -- the tests use this to check the assembler is self-consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import AssemblyError
+
+
+class RvFormat(enum.Enum):
+    """RISC-V instruction formats."""
+
+    R = "r"
+    I = "i"
+    S = "s"
+    B = "b"
+    U = "u"
+    J = "j"
+    SYS = "sys"
+
+
+@dataclass(frozen=True)
+class RvOpcodeInfo:
+    """Encoding fields of one RV32IM instruction."""
+
+    mnemonic: str
+    fmt: RvFormat
+    opcode: int
+    funct3: Optional[int] = None
+    funct7: Optional[int] = None
+
+
+class RvOpcode(enum.Enum):
+    """RV32IM opcodes used by the benchmark programs."""
+
+    # R-type arithmetic.
+    ADD = RvOpcodeInfo("add", RvFormat.R, 0b0110011, 0b000, 0b0000000)
+    SUB = RvOpcodeInfo("sub", RvFormat.R, 0b0110011, 0b000, 0b0100000)
+    SLL = RvOpcodeInfo("sll", RvFormat.R, 0b0110011, 0b001, 0b0000000)
+    SLT = RvOpcodeInfo("slt", RvFormat.R, 0b0110011, 0b010, 0b0000000)
+    SLTU = RvOpcodeInfo("sltu", RvFormat.R, 0b0110011, 0b011, 0b0000000)
+    XOR = RvOpcodeInfo("xor", RvFormat.R, 0b0110011, 0b100, 0b0000000)
+    SRL = RvOpcodeInfo("srl", RvFormat.R, 0b0110011, 0b101, 0b0000000)
+    SRA = RvOpcodeInfo("sra", RvFormat.R, 0b0110011, 0b101, 0b0100000)
+    OR = RvOpcodeInfo("or", RvFormat.R, 0b0110011, 0b110, 0b0000000)
+    AND = RvOpcodeInfo("and", RvFormat.R, 0b0110011, 0b111, 0b0000000)
+    # M extension.
+    MUL = RvOpcodeInfo("mul", RvFormat.R, 0b0110011, 0b000, 0b0000001)
+    MULH = RvOpcodeInfo("mulh", RvFormat.R, 0b0110011, 0b001, 0b0000001)
+    MULHU = RvOpcodeInfo("mulhu", RvFormat.R, 0b0110011, 0b011, 0b0000001)
+    DIV = RvOpcodeInfo("div", RvFormat.R, 0b0110011, 0b100, 0b0000001)
+    DIVU = RvOpcodeInfo("divu", RvFormat.R, 0b0110011, 0b101, 0b0000001)
+    REM = RvOpcodeInfo("rem", RvFormat.R, 0b0110011, 0b110, 0b0000001)
+    REMU = RvOpcodeInfo("remu", RvFormat.R, 0b0110011, 0b111, 0b0000001)
+    # I-type arithmetic.
+    ADDI = RvOpcodeInfo("addi", RvFormat.I, 0b0010011, 0b000)
+    SLTI = RvOpcodeInfo("slti", RvFormat.I, 0b0010011, 0b010)
+    SLTIU = RvOpcodeInfo("sltiu", RvFormat.I, 0b0010011, 0b011)
+    XORI = RvOpcodeInfo("xori", RvFormat.I, 0b0010011, 0b100)
+    ORI = RvOpcodeInfo("ori", RvFormat.I, 0b0010011, 0b110)
+    ANDI = RvOpcodeInfo("andi", RvFormat.I, 0b0010011, 0b111)
+    SLLI = RvOpcodeInfo("slli", RvFormat.I, 0b0010011, 0b001, 0b0000000)
+    SRLI = RvOpcodeInfo("srli", RvFormat.I, 0b0010011, 0b101, 0b0000000)
+    SRAI = RvOpcodeInfo("srai", RvFormat.I, 0b0010011, 0b101, 0b0100000)
+    # Loads / stores (32-bit words only; the benchmarks use word data).
+    LW = RvOpcodeInfo("lw", RvFormat.I, 0b0000011, 0b010)
+    SW = RvOpcodeInfo("sw", RvFormat.S, 0b0100011, 0b010)
+    # Control transfer.
+    JAL = RvOpcodeInfo("jal", RvFormat.J, 0b1101111)
+    JALR = RvOpcodeInfo("jalr", RvFormat.I, 0b1100111, 0b000)
+    BEQ = RvOpcodeInfo("beq", RvFormat.B, 0b1100011, 0b000)
+    BNE = RvOpcodeInfo("bne", RvFormat.B, 0b1100011, 0b001)
+    BLT = RvOpcodeInfo("blt", RvFormat.B, 0b1100011, 0b100)
+    BGE = RvOpcodeInfo("bge", RvFormat.B, 0b1100011, 0b101)
+    BLTU = RvOpcodeInfo("bltu", RvFormat.B, 0b1100011, 0b110)
+    BGEU = RvOpcodeInfo("bgeu", RvFormat.B, 0b1100011, 0b111)
+    # Upper immediates.
+    LUI = RvOpcodeInfo("lui", RvFormat.U, 0b0110111)
+    AUIPC = RvOpcodeInfo("auipc", RvFormat.U, 0b0010111)
+    # System: the programs use EBREAK as the halt instruction.
+    EBREAK = RvOpcodeInfo("ebreak", RvFormat.SYS, 0b1110011)
+
+    @property
+    def info(self) -> RvOpcodeInfo:
+        return self.value
+
+    @property
+    def mnemonic(self) -> str:
+        return self.value.mnemonic
+
+
+_MNEMONIC: Dict[str, RvOpcode] = {op.mnemonic: op for op in RvOpcode}
+
+
+def rv_opcode_from_mnemonic(mnemonic: str) -> RvOpcode:
+    """Look an opcode up by mnemonic."""
+    try:
+        return _MNEMONIC[mnemonic.lower()]
+    except KeyError as exc:
+        raise AssemblyError(f"unknown RISC-V mnemonic {mnemonic!r}") from exc
+
+
+@dataclass(frozen=True)
+class RvInstruction:
+    """One RISC-V instruction with resolved operands.
+
+    ``imm`` for branches and jumps is the byte offset relative to the
+    instruction's own address (as in the architecture); the assembler resolves
+    labels into such offsets.
+    """
+
+    opcode: RvOpcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if not 0 <= value < 32:
+                raise AssemblyError(f"{name} out of range in {self.opcode.mnemonic}: {value}")
+
+    def text(self) -> str:
+        """Approximate assembly text (for listings and debugging)."""
+        info = self.opcode.info
+        if info.fmt is RvFormat.R:
+            return f"{info.mnemonic} x{self.rd}, x{self.rs1}, x{self.rs2}"
+        if info.fmt is RvFormat.I:
+            if self.opcode is RvOpcode.LW:
+                return f"lw x{self.rd}, {self.imm}(x{self.rs1})"
+            return f"{info.mnemonic} x{self.rd}, x{self.rs1}, {self.imm}"
+        if info.fmt is RvFormat.S:
+            return f"sw x{self.rs2}, {self.imm}(x{self.rs1})"
+        if info.fmt is RvFormat.B:
+            target = self.label or self.imm
+            return f"{info.mnemonic} x{self.rs1}, x{self.rs2}, {target}"
+        if info.fmt is RvFormat.U:
+            return f"{info.mnemonic} x{self.rd}, {self.imm}"
+        if info.fmt is RvFormat.J:
+            target = self.label or self.imm
+            return f"jal x{self.rd}, {target}"
+        return info.mnemonic
+
+
+def _check_range(value: int, bits: int, name: str) -> None:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise AssemblyError(f"{name} immediate {value} does not fit in {bits} bits")
+
+
+def encode_rv(instruction: RvInstruction) -> int:
+    """Encode one instruction into its 32-bit RV32IM machine word."""
+    info = instruction.opcode.info
+    opcode = info.opcode
+    rd, rs1, rs2, imm = instruction.rd, instruction.rs1, instruction.rs2, instruction.imm
+
+    if info.fmt is RvFormat.R:
+        return (info.funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (info.funct3 << 12) | (rd << 7) | opcode
+    if info.fmt is RvFormat.I:
+        if instruction.opcode in (RvOpcode.SLLI, RvOpcode.SRLI, RvOpcode.SRAI):
+            if not 0 <= imm < 32:
+                raise AssemblyError(f"shift amount {imm} out of range")
+            upper = info.funct7 << 5
+            return ((upper | imm) << 20) | (rs1 << 15) | (info.funct3 << 12) | (rd << 7) | opcode
+        _check_range(imm, 12, info.mnemonic)
+        return ((imm & 0xFFF) << 20) | (rs1 << 15) | (info.funct3 << 12) | (rd << 7) | opcode
+    if info.fmt is RvFormat.S:
+        _check_range(imm, 12, info.mnemonic)
+        imm = imm & 0xFFF
+        return (
+            ((imm >> 5) << 25)
+            | (rs2 << 20)
+            | (rs1 << 15)
+            | (info.funct3 << 12)
+            | ((imm & 0x1F) << 7)
+            | opcode
+        )
+    if info.fmt is RvFormat.B:
+        _check_range(imm, 13, info.mnemonic)
+        if imm % 2:
+            raise AssemblyError("branch offsets must be even")
+        imm = imm & 0x1FFF
+        return (
+            (((imm >> 12) & 0x1) << 31)
+            | (((imm >> 5) & 0x3F) << 25)
+            | (rs2 << 20)
+            | (rs1 << 15)
+            | (info.funct3 << 12)
+            | (((imm >> 1) & 0xF) << 8)
+            | (((imm >> 11) & 0x1) << 7)
+            | opcode
+        )
+    if info.fmt is RvFormat.U:
+        if not 0 <= imm < (1 << 20):
+            raise AssemblyError(f"U-type immediate {imm} out of range")
+        return (imm << 12) | (rd << 7) | opcode
+    if info.fmt is RvFormat.J:
+        _check_range(imm, 21, info.mnemonic)
+        if imm % 2:
+            raise AssemblyError("jump offsets must be even")
+        imm = imm & 0x1FFFFF
+        return (
+            (((imm >> 20) & 0x1) << 31)
+            | (((imm >> 1) & 0x3FF) << 21)
+            | (((imm >> 11) & 0x1) << 20)
+            | (((imm >> 12) & 0xFF) << 12)
+            | (rd << 7)
+            | opcode
+        )
+    if info.fmt is RvFormat.SYS:
+        return (1 << 20) | opcode  # EBREAK
+    raise AssemblyError(f"cannot encode format {info.fmt}")  # pragma: no cover
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value ^ mask) - mask
+
+
+def decode_rv(word: int) -> RvInstruction:
+    """Decode a 32-bit machine word back into an :class:`RvInstruction`."""
+    opcode_bits = word & 0x7F
+    funct3 = (word >> 12) & 0x7
+    funct7 = (word >> 25) & 0x7F
+    rd = (word >> 7) & 0x1F
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+
+    for candidate in RvOpcode:
+        info = candidate.info
+        if info.opcode != opcode_bits:
+            continue
+        if info.fmt is RvFormat.R:
+            if info.funct3 == funct3 and info.funct7 == funct7:
+                return RvInstruction(candidate, rd=rd, rs1=rs1, rs2=rs2)
+        elif info.fmt is RvFormat.I:
+            if info.funct3 != funct3:
+                continue
+            if candidate in (RvOpcode.SLLI, RvOpcode.SRLI, RvOpcode.SRAI):
+                if info.funct7 != funct7:
+                    continue
+                return RvInstruction(candidate, rd=rd, rs1=rs1, imm=rs2)
+            imm = _sign_extend(word >> 20, 12)
+            return RvInstruction(candidate, rd=rd, rs1=rs1, imm=imm)
+        elif info.fmt is RvFormat.S:
+            if info.funct3 != funct3:
+                continue
+            imm = _sign_extend(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+            return RvInstruction(candidate, rs1=rs1, rs2=rs2, imm=imm)
+        elif info.fmt is RvFormat.B:
+            if info.funct3 != funct3:
+                continue
+            imm = (
+                (((word >> 31) & 0x1) << 12)
+                | (((word >> 7) & 0x1) << 11)
+                | (((word >> 25) & 0x3F) << 5)
+                | (((word >> 8) & 0xF) << 1)
+            )
+            return RvInstruction(candidate, rs1=rs1, rs2=rs2, imm=_sign_extend(imm, 13))
+        elif info.fmt is RvFormat.U:
+            return RvInstruction(candidate, rd=rd, imm=(word >> 12) & 0xFFFFF)
+        elif info.fmt is RvFormat.J:
+            imm = (
+                (((word >> 31) & 0x1) << 20)
+                | (((word >> 12) & 0xFF) << 12)
+                | (((word >> 20) & 0x1) << 11)
+                | (((word >> 21) & 0x3FF) << 1)
+            )
+            return RvInstruction(candidate, rd=rd, imm=_sign_extend(imm, 21))
+        elif info.fmt is RvFormat.SYS:
+            if (word >> 20) & 0xFFF == 1:
+                return RvInstruction(candidate)
+    raise AssemblyError(f"cannot decode machine word {word:#010x}")

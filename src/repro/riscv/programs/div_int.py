@@ -1,0 +1,59 @@
+"""Scalar RISC-V version of the ``div_int`` benchmark.
+
+Unlike the G-GPU, the RV32IM baseline has a hardware divider, so each element
+costs a single (multi-cycle) ``divu`` instruction.  This asymmetry is the
+reason div_int is the least favourable kernel for the G-GPU in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import div_int as gpu_div_int
+from repro.riscv.assembler import A0, A1, A2, A3, RvAssembler, T0, T1, T2, T3, T4
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "div_int"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """Build the runnable case: ``for i in range(n): q[i] = a[i] / b[i]``."""
+    workload = gpu_div_int.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+
+    asm = RvAssembler(NAME)
+    asm.li(A0, addresses["a"])
+    asm.li(A1, addresses["b"])
+    asm.li(A2, addresses["q"])
+    asm.li(A3, size)
+    asm.li(T0, 0)
+    asm.label("loop")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.emit(RvOpcode.SLLI, rd=T1, rs1=T0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=A0, rs2=T1)
+    asm.emit(RvOpcode.LW, rd=T3, rs1=T2, imm=0)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=A1, rs2=T1)
+    asm.emit(RvOpcode.LW, rd=T4, rs1=T2, imm=0)
+    asm.emit(RvOpcode.DIVU, rd=T3, rs1=T3, rs2=T4)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=A2, rs2=T1)
+    asm.emit(RvOpcode.SW, rs1=T2, rs2=T3, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("loop")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar element-wise integer division (hardware divider)",
+        build_case=build_case,
+        paper_size=512,
+    )
+)

@@ -1,0 +1,84 @@
+"""Scalar RISC-V version of the ``fir`` benchmark."""
+
+from __future__ import annotations
+
+from repro.kernels import fir as gpu_fir
+from repro.kernels.fir import NUM_TAPS
+from repro.riscv.assembler import (
+    A0,
+    A1,
+    A2,
+    A3,
+    RvAssembler,
+    S2,
+    S3,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    T6,
+)
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "fir"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """Build the runnable case: 16-tap FIR over a sliding window."""
+    workload = gpu_fir.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+
+    asm = RvAssembler(NAME)
+    asm.li(A0, addresses["x"])
+    asm.li(A1, addresses["coeff"])
+    asm.li(A2, addresses["y"])
+    asm.li(A3, size)
+    asm.li(T5, NUM_TAPS)
+    asm.li(T0, 0)  # i
+    asm.label("outer")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.li(T3, 0)  # acc
+    asm.li(T4, 0)  # tap
+    asm.label("inner")
+    asm.emit(RvOpcode.BGE, rs1=T4, rs2=T5, label="inner_end")
+    # x[i + tap]
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T0, rs2=T4)
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T6, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A0)
+    asm.emit(RvOpcode.LW, rd=S2, rs1=T6, imm=0)
+    # coeff[tap]
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T4, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A1)
+    asm.emit(RvOpcode.LW, rd=S3, rs1=T6, imm=0)
+    asm.emit(RvOpcode.MUL, rd=S2, rs1=S2, rs2=S3)
+    asm.emit(RvOpcode.ADD, rd=T3, rs1=T3, rs2=S2)
+    asm.emit(RvOpcode.ADDI, rd=T4, rs1=T4, imm=1)
+    asm.j("inner")
+    asm.label("inner_end")
+    asm.emit(RvOpcode.SLLI, rd=T1, rs1=T0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=A2, rs2=T1)
+    asm.emit(RvOpcode.SW, rs1=T2, rs2=T3, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("outer")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar 16-tap FIR filter",
+        build_case=build_case,
+        paper_size=128,
+    )
+)

@@ -1,0 +1,77 @@
+"""Scalar RISC-V version of the ``parallel_sel`` (rank sort) benchmark."""
+
+from __future__ import annotations
+
+from repro.kernels import parallel_sel as gpu_parallel_sel
+from repro.riscv.assembler import (
+    A0,
+    A1,
+    A3,
+    RvAssembler,
+    S2,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    T6,
+)
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "parallel_sel"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """Build the runnable case: rank sort with an O(N) scan per element."""
+    workload = gpu_parallel_sel.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+
+    asm = RvAssembler(NAME)
+    asm.li(A0, addresses["a"])
+    asm.li(A1, addresses["out"])
+    asm.li(A3, size)
+    asm.li(T0, 0)  # i
+    asm.label("outer")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    # my = a[i]
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A0)
+    asm.emit(RvOpcode.LW, rd=T3, rs1=T6, imm=0)
+    asm.li(T2, 0)  # rank
+    asm.li(T1, 0)  # j
+    asm.label("inner")
+    asm.emit(RvOpcode.BGE, rs1=T1, rs2=A3, label="inner_end")
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T1, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A0)
+    asm.emit(RvOpcode.LW, rd=T4, rs1=T6, imm=0)
+    asm.emit(RvOpcode.SLT, rd=S2, rs1=T4, rs2=T3)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=T2, rs2=S2)
+    asm.emit(RvOpcode.ADDI, rd=T1, rs1=T1, imm=1)
+    asm.j("inner")
+    asm.label("inner_end")
+    # out[rank] = my
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T2, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A1)
+    asm.emit(RvOpcode.SW, rs1=T6, rs2=T3, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("outer")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar rank (selection) sort",
+        build_case=build_case,
+        paper_size=128,
+    )
+)

@@ -1,0 +1,45 @@
+"""Hardware intermediate representation of a G-GPU instance.
+
+The real GPUPlanner manipulates the FGPU VHDL: it replaces inferred memories
+with instantiated SRAM macros, splits macros that sit on the critical path,
+and inserts pipeline registers on demand.  This package is the Python
+equivalent at the granularity the paper's results are reported at:
+
+* :mod:`repro.rtl.netlist` -- the IR: partitions, logical *memory groups*
+  (each implemented by one or more SRAM macros), logic blocks (FF and
+  gate-equivalent counts), and named timing paths.
+* :mod:`repro.rtl.generator` -- builds the G-GPU netlist for a given
+  :class:`~repro.arch.config.GGPUConfig` (the structural inventory of a CU,
+  the global memory controller, and the top level).
+* :mod:`repro.rtl.transforms` -- the two optimization moves GPUPlanner
+  applies: memory division and on-demand pipeline insertion.
+* :mod:`repro.rtl.timing` -- static timing analysis over the netlist's paths
+  against a :class:`~repro.tech.technology.Technology`.
+"""
+
+from repro.rtl.netlist import (
+    LogicBlock,
+    MemoryGroup,
+    Netlist,
+    Partition,
+    TimingPath,
+)
+from repro.rtl.generator import generate_ggpu_netlist, riscv_reference_netlist
+from repro.rtl.transforms import insert_pipeline, split_memory_group
+from repro.rtl.timing import PathTiming, TimingReport, analyze_timing, max_frequency_mhz
+
+__all__ = [
+    "LogicBlock",
+    "MemoryGroup",
+    "Netlist",
+    "Partition",
+    "TimingPath",
+    "generate_ggpu_netlist",
+    "riscv_reference_netlist",
+    "insert_pipeline",
+    "split_memory_group",
+    "PathTiming",
+    "TimingReport",
+    "analyze_timing",
+    "max_frequency_mhz",
+]

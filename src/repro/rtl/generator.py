@@ -1,0 +1,302 @@
+"""G-GPU netlist generator.
+
+This module is the structural heart of GPUPlanner: given a
+:class:`~repro.arch.config.GGPUConfig` it instantiates the memory groups,
+logic blocks, and timing paths of the whole accelerator -- every CU, the
+global memory controller, and the top level.  The inventory mirrors the FGPU
+micro-architecture (per-PE register-file banks, operand buffers, LRAM,
+wavefront state, CRAM, LSU FIFOs, the central cache and its tag store, AXI
+FIFOs, and the runtime memory) and is calibrated so the totals of the default
+configuration land on the scale reported in the paper's Table I
+(~42 macros, ~109k FFs and ~110k gate equivalents per CU, plus ~9 shared
+macros and ~11k shared FFs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.arch.config import GGPUConfig
+from repro.rtl.netlist import LogicBlock, MemoryGroup, Netlist, Partition, TimingPath
+from repro.tech.sram import SramMacroSpec, SramPort
+
+# Memories whose two ports are never used in the same cycle and can therefore
+# be re-implemented with single-port macros behind a small arbiter.  The paper
+# lists dual-port memories as a hard constraint of the current GPUPlanner and
+# schedules single-port support as future work; this set is that future work.
+SINGLE_PORT_CAPABLE_ROLES = frozenset(
+    {"operand_buffer", "lsu_fifo", "scoreboard", "pred_stack", "axi_fifo", "rtm"}
+)
+
+
+@dataclass(frozen=True)
+class GeneratorOptions:
+    """Optional netlist-generation features beyond the paper's baseline flow.
+
+    Attributes
+    ----------
+    single_port_memories:
+        Re-implement the roles in :data:`SINGLE_PORT_CAPABLE_ROLES` with
+        single-port macros.  Single-port macros are smaller and lower power,
+        but the request arbitration adds ``arbiter_logic_levels`` of logic to
+        the affected read paths and one arbiter block per partition.
+    arbiter_logic_levels:
+        Extra gate levels on the read path of every single-ported memory.
+    arbiter_ff / arbiter_gates:
+        Size of the per-partition port-arbitration state machine.
+    """
+
+    single_port_memories: bool = False
+    arbiter_logic_levels: int = 2
+    arbiter_ff: int = 350
+    arbiter_gates: int = 620
+
+
+@dataclass(frozen=True)
+class MemoryInventoryEntry:
+    """One kind of memory inside a partition."""
+
+    role: str
+    count: int
+    words: int
+    bits: int
+    read_logic_levels: int
+    path_width_bits: int
+    ports: SramPort = SramPort.DUAL
+
+
+@dataclass(frozen=True)
+class LogicInventoryEntry:
+    """One logic block inside a partition."""
+
+    name: str
+    num_ff: int
+    num_gates: int
+    description: str
+
+
+# --------------------------------------------------------------------------- #
+# Structural inventory of one Compute Unit
+# --------------------------------------------------------------------------- #
+CU_MEMORIES: Tuple[MemoryInventoryEntry, ...] = (
+    # One register-file bank per PE: 512 work-items x 32 registers x 32 bits
+    # spread over 8 banks = 2048 words per bank.  The read path feeds the
+    # operand-collection network (8 levels of muxing/bypass) and is the
+    # critical path of the unoptimized design.
+    MemoryInventoryEntry("register_file", 8, 2048, 32, read_logic_levels=8, path_width_bits=32),
+    MemoryInventoryEntry("operand_buffer", 8, 512, 32, read_logic_levels=4, path_width_bits=32),
+    MemoryInventoryEntry("lram", 4, 1024, 32, read_logic_levels=4, path_width_bits=32),
+    MemoryInventoryEntry("wf_state", 4, 256, 64, read_logic_levels=5, path_width_bits=64),
+    MemoryInventoryEntry("cram", 2, 2048, 32, read_logic_levels=6, path_width_bits=32),
+    MemoryInventoryEntry("lsu_fifo", 8, 256, 32, read_logic_levels=3, path_width_bits=32),
+    MemoryInventoryEntry("scoreboard", 4, 512, 16, read_logic_levels=4, path_width_bits=16),
+    MemoryInventoryEntry("pred_stack", 4, 256, 32, read_logic_levels=3, path_width_bits=32),
+)
+
+CU_LOGIC: Tuple[LogicInventoryEntry, ...] = (
+    LogicInventoryEntry("pe_datapath", 65600, 70400, "8 PEs: ALU, multiplier, bypass, pipeline registers"),
+    LogicInventoryEntry("wf_scheduler", 9500, 8200, "wavefront scheduler and scoreboarding"),
+    LogicInventoryEntry("wg_slot_control", 6200, 5400, "workgroup slot and work-item id generation"),
+    LogicInventoryEntry("lsu_array", 14200, 12500, "per-PE load/store units and coalescing"),
+    LogicInventoryEntry("divergence_unit", 5800, 4200, "execution-mask stack and reconvergence"),
+    LogicInventoryEntry("cu_control", 7500, 9000, "decode, issue, and CU-level control"),
+)
+
+# Pure-logic timing paths of a CU: (suffix, logic levels, width, description).
+CU_LOGIC_PATHS: Tuple[Tuple[str, int, int], ...] = (
+    ("wf_scheduler_select", 36, 64),
+    ("alu_bypass", 30, 32),
+    ("lsu_coalesce", 24, 64),
+)
+
+# --------------------------------------------------------------------------- #
+# Structural inventory of the global memory controller and the top level
+# --------------------------------------------------------------------------- #
+MEMCTRL_MEMORIES: Tuple[MemoryInventoryEntry, ...] = (
+    MemoryInventoryEntry("cache_data", 4, 2048, 64, read_logic_levels=7, path_width_bits=64),
+    MemoryInventoryEntry("cache_tag", 2, 1024, 24, read_logic_levels=10, path_width_bits=24),
+    MemoryInventoryEntry("axi_fifo", 2, 512, 64, read_logic_levels=4, path_width_bits=64),
+)
+
+MEMCTRL_LOGIC: Tuple[LogicInventoryEntry, ...] = (
+    LogicInventoryEntry("global_mem_ctrl", 6800, 7400, "cache control, miss handling, write-back"),
+    LogicInventoryEntry("data_movers", 2400, 2000, "AXI data movers"),
+)
+
+MEMCTRL_LOGIC_PATHS: Tuple[Tuple[str, int, int], ...] = (
+    ("request_arbiter", 26, 64),
+)
+
+TOP_MEMORIES: Tuple[MemoryInventoryEntry, ...] = (
+    MemoryInventoryEntry("rtm", 1, 512, 32, read_logic_levels=5, path_width_bits=32),
+)
+
+TOP_LOGIC: Tuple[LogicInventoryEntry, ...] = (
+    LogicInventoryEntry("axi_control", 1400, 1100, "AXI control interface and register file"),
+    LogicInventoryEntry("wg_dispatcher", 900, 1300, "workgroup dispatcher"),
+)
+
+# Logic depth of the CU <-> memory controller interface paths; after placement
+# these also pick up the wire delay of the route between the partitions.
+CROSSING_LOGIC_LEVELS = 12
+CROSSING_WIDTH_BITS = 64
+
+
+def _add_partition_memories(
+    netlist: Netlist,
+    inventory: Tuple[MemoryInventoryEntry, ...],
+    partition: Partition,
+    prefix: str,
+    options: Optional[GeneratorOptions] = None,
+) -> None:
+    options = options or GeneratorOptions()
+    used_single_port = False
+    for entry in inventory:
+        ports = entry.ports
+        extra_levels = 0
+        if options.single_port_memories and entry.role in SINGLE_PORT_CAPABLE_ROLES:
+            ports = SramPort.SINGLE
+            extra_levels = options.arbiter_logic_levels
+            used_single_port = True
+        for index in range(entry.count):
+            group_name = f"{prefix}/{entry.role}{index}"
+            netlist.add_memory_group(
+                MemoryGroup(
+                    name=group_name,
+                    partition=partition,
+                    role=entry.role,
+                    macro=SramMacroSpec(entry.words, entry.bits, ports),
+                    instance_of=f"{entry.role}{index}",
+                )
+            )
+            netlist.add_timing_path(
+                TimingPath(
+                    name=f"{group_name}__read",
+                    partition=partition,
+                    logic_levels=entry.read_logic_levels + extra_levels,
+                    memory_group=group_name,
+                    width_bits=entry.path_width_bits,
+                )
+            )
+    if used_single_port:
+        netlist.add_logic_block(
+            LogicBlock(
+                name=f"{prefix}/port_arbiter",
+                partition=partition,
+                num_ff=options.arbiter_ff,
+                num_gates=options.arbiter_gates,
+                description="request arbitration for single-port memories",
+            )
+        )
+
+
+def _add_partition_logic(
+    netlist: Netlist,
+    inventory: Tuple[LogicInventoryEntry, ...],
+    partition: Partition,
+    prefix: str,
+) -> None:
+    for entry in inventory:
+        netlist.add_logic_block(
+            LogicBlock(
+                name=f"{prefix}/{entry.name}",
+                partition=partition,
+                num_ff=entry.num_ff,
+                num_gates=entry.num_gates,
+                description=entry.description,
+            )
+        )
+
+
+def generate_ggpu_netlist(
+    config: GGPUConfig,
+    name: str = "",
+    options: Optional[GeneratorOptions] = None,
+) -> Netlist:
+    """Generate the structural netlist of a G-GPU with ``config.num_cus`` CUs."""
+    netlist_name = name or f"ggpu_{config.num_cus}cu"
+    netlist = Netlist(netlist_name, num_cus=config.num_cus)
+
+    for cu_index in range(config.num_cus):
+        prefix = f"cu{cu_index}"
+        _add_partition_memories(netlist, CU_MEMORIES, Partition.CU, prefix, options)
+        _add_partition_logic(netlist, CU_LOGIC, Partition.CU, prefix)
+        for suffix, levels, width in CU_LOGIC_PATHS:
+            netlist.add_timing_path(
+                TimingPath(
+                    name=f"{prefix}/{suffix}",
+                    partition=Partition.CU,
+                    logic_levels=levels,
+                    width_bits=width,
+                )
+            )
+        # Interface paths between this CU and the global memory controller.
+        for direction in ("request", "response"):
+            netlist.add_timing_path(
+                TimingPath(
+                    name=f"top/{prefix}_{direction}",
+                    partition=Partition.TOP,
+                    logic_levels=CROSSING_LOGIC_LEVELS,
+                    width_bits=CROSSING_WIDTH_BITS,
+                    crosses_partitions=True,
+                    # The paper reports that inserting pipelines on these long
+                    # routes was ineffective against the wire-dominated delay.
+                    pipelinable=False,
+                )
+            )
+
+    _add_partition_memories(
+        netlist, MEMCTRL_MEMORIES, Partition.MEMORY_CONTROLLER, "memctrl", options
+    )
+    _add_partition_logic(netlist, MEMCTRL_LOGIC, Partition.MEMORY_CONTROLLER, "memctrl")
+    for suffix, levels, width in MEMCTRL_LOGIC_PATHS:
+        netlist.add_timing_path(
+            TimingPath(
+                name=f"memctrl/{suffix}",
+                partition=Partition.MEMORY_CONTROLLER,
+                logic_levels=levels,
+                width_bits=width,
+            )
+        )
+
+    _add_partition_memories(netlist, TOP_MEMORIES, Partition.TOP, "top", options)
+    _add_partition_logic(netlist, TOP_LOGIC, Partition.TOP, "top")
+    return netlist
+
+
+def riscv_reference_netlist(name: str = "riscv_cv32") -> Netlist:
+    """Netlist of the RISC-V baseline (core plus 2 x 32 kB memories).
+
+    Used to compute the G-GPU/RISC-V area ratios of Fig. 6 from the same
+    synthesis model instead of hard-coding the paper's ratios.
+    """
+    netlist = Netlist(name, num_cus=0)
+    netlist.add_logic_block(
+        LogicBlock(
+            name="core",
+            partition=Partition.TOP,
+            num_ff=4800,
+            num_gates=42000,
+            description="CV32E40P-class 4-stage in-order RV32IM core",
+        )
+    )
+    for role, words, bits in (("imem", 8192, 32), ("dmem", 8192, 32)):
+        group = netlist.add_memory_group(
+            MemoryGroup(
+                name=f"top/{role}",
+                partition=Partition.TOP,
+                role=role,
+                macro=SramMacroSpec(words, bits, SramPort.SINGLE),
+            )
+        )
+        netlist.add_timing_path(
+            TimingPath(
+                name=f"{group.name}__read",
+                partition=Partition.TOP,
+                logic_levels=6,
+                memory_group=group.name,
+                width_bits=32,
+            )
+        )
+    return netlist

@@ -1,0 +1,258 @@
+"""Netlist IR: partitions, memory groups, logic blocks, and timing paths.
+
+The granularity matches what GPUPlanner reasons about and what Table I
+reports: SRAM macro instances, flip-flop counts, combinational gate counts,
+and the handful of timing paths that decide the achievable clock frequency.
+
+A *memory group* is one logical memory of the architecture (for example the
+register file bank of PE3 in CU0).  Initially it is implemented by a single
+SRAM macro; memory division re-implements it with ``2^k`` smaller macros plus
+``k`` levels of output multiplexing.  A *timing path* names a
+register-to-register path, optionally starting at a memory group's read port,
+with a combinational depth expressed in gate and mux levels; pipeline
+insertion raises its ``pipeline_stages``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.tech.sram import SramMacroSpec
+
+
+class Partition(enum.Enum):
+    """Physical-implementation partitions used by the paper's floorplan."""
+
+    CU = "cu"
+    MEMORY_CONTROLLER = "memory_controller"
+    TOP = "top"
+
+
+@dataclass
+class MemoryGroup:
+    """One logical memory, implemented by one or more identical SRAM macros."""
+
+    name: str
+    partition: Partition
+    role: str
+    macro: SramMacroSpec
+    num_macros: int = 1
+    mux_levels: int = 0
+    instance_of: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_macros < 1:
+            raise NetlistError(f"memory group {self.name!r} needs at least one macro")
+        if self.mux_levels < 0:
+            raise NetlistError(f"memory group {self.name!r} has negative mux levels")
+
+    @property
+    def total_bits(self) -> int:
+        """Storage capacity of the whole group."""
+        return self.num_macros * self.macro.capacity_bits
+
+
+@dataclass
+class LogicBlock:
+    """A synthesized logic block: flip-flop and gate-equivalent counts."""
+
+    name: str
+    partition: Partition
+    num_ff: int
+    num_gates: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_ff < 0 or self.num_gates < 0:
+            raise NetlistError(f"logic block {self.name!r} has negative instance counts")
+
+
+@dataclass
+class TimingPath:
+    """A named register-to-register timing path.
+
+    ``memory_group`` is the group whose read access starts the path (or
+    ``None`` for a pure logic path); ``logic_levels``/``mux_levels`` describe
+    the downstream combinational depth; ``width_bits`` is the datapath width
+    (used to count the flip-flops a pipeline stage costs);
+    ``crosses_partitions`` marks the top-level paths whose wires stretch
+    between a CU and the global memory controller -- the ones the physical
+    stage adds wire delay to.  ``wire_delay_ns`` is zero after logic synthesis
+    and filled in by the physical stage.
+    """
+
+    name: str
+    partition: Partition
+    logic_levels: int
+    memory_group: Optional[str] = None
+    mux_levels: int = 0
+    width_bits: int = 32
+    pipeline_stages: int = 0
+    crosses_partitions: bool = False
+    wire_delay_ns: float = 0.0
+    pipelinable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.logic_levels < 0 or self.mux_levels < 0 or self.pipeline_stages < 0:
+            raise NetlistError(f"timing path {self.name!r} has negative structure counts")
+        if self.width_bits <= 0:
+            raise NetlistError(f"timing path {self.name!r} must have a positive width")
+
+
+@dataclass
+class Netlist:
+    """A complete G-GPU design at the GPUPlanner abstraction level."""
+
+    name: str
+    memory_groups: Dict[str, MemoryGroup] = field(default_factory=dict)
+    logic_blocks: Dict[str, LogicBlock] = field(default_factory=dict)
+    timing_paths: Dict[str, TimingPath] = field(default_factory=dict)
+    num_cus: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_memory_group(self, group: MemoryGroup) -> MemoryGroup:
+        """Register a memory group (names must be unique)."""
+        if group.name in self.memory_groups:
+            raise NetlistError(f"memory group {group.name!r} already exists")
+        self.memory_groups[group.name] = group
+        return group
+
+    def add_logic_block(self, block: LogicBlock) -> LogicBlock:
+        """Register a logic block (names must be unique)."""
+        if block.name in self.logic_blocks:
+            raise NetlistError(f"logic block {block.name!r} already exists")
+        self.logic_blocks[block.name] = block
+        return block
+
+    def add_timing_path(self, path: TimingPath) -> TimingPath:
+        """Register a timing path (names must be unique, memory must exist)."""
+        if path.name in self.timing_paths:
+            raise NetlistError(f"timing path {path.name!r} already exists")
+        if path.memory_group is not None and path.memory_group not in self.memory_groups:
+            raise NetlistError(
+                f"timing path {path.name!r} references unknown memory group "
+                f"{path.memory_group!r}"
+            )
+        self.timing_paths[path.name] = path
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Queries (the numbers Table I reports)
+    # ------------------------------------------------------------------ #
+    def memory_group_list(self, partition: Optional[Partition] = None) -> List[MemoryGroup]:
+        """All memory groups, optionally filtered by partition."""
+        groups = self.memory_groups.values()
+        if partition is not None:
+            groups = (group for group in groups if group.partition is partition)
+        return sorted(groups, key=lambda group: group.name)
+
+    def logic_block_list(self, partition: Optional[Partition] = None) -> List[LogicBlock]:
+        """All logic blocks, optionally filtered by partition."""
+        blocks = self.logic_blocks.values()
+        if partition is not None:
+            blocks = (block for block in blocks if block.partition is partition)
+        return sorted(blocks, key=lambda block: block.name)
+
+    def total_macros(self, partition: Optional[Partition] = None) -> int:
+        """Number of physical SRAM macro instances."""
+        return sum(group.num_macros for group in self.memory_group_list(partition))
+
+    def pipeline_ff(self) -> int:
+        """Flip-flops added by on-demand pipeline insertion."""
+        return sum(
+            path.pipeline_stages * path.width_bits for path in self.timing_paths.values()
+        )
+
+    def mux_gates(self) -> int:
+        """Gate equivalents added by memory-division output multiplexers."""
+        total = 0
+        for group in self.memory_groups.values():
+            if group.mux_levels:
+                # A mux level multiplexes the full read word, one 2:1 mux bit
+                # per data bit per level, plus a handful of select decode gates.
+                total += group.mux_levels * (group.macro.bits + 4)
+        return total
+
+    def total_ff(self, partition: Optional[Partition] = None) -> int:
+        """Total flip-flop count, including pipeline registers."""
+        base = sum(block.num_ff for block in self.logic_block_list(partition))
+        pipeline = sum(
+            path.pipeline_stages * path.width_bits
+            for path in self.timing_paths.values()
+            if partition is None or path.partition is partition
+        )
+        return base + pipeline
+
+    def total_gates(self, partition: Optional[Partition] = None) -> int:
+        """Total combinational gate-equivalent count, including split muxes."""
+        base = sum(block.num_gates for block in self.logic_block_list(partition))
+        muxes = 0
+        for group in self.memory_groups.values():
+            if partition is not None and group.partition is not partition:
+                continue
+            if group.mux_levels:
+                muxes += group.mux_levels * (group.macro.bits + 4)
+        return base + muxes
+
+    def paths_reading(self, group_name: str) -> List[TimingPath]:
+        """Timing paths whose source is the given memory group."""
+        return [
+            path
+            for path in self.timing_paths.values()
+            if path.memory_group == group_name
+        ]
+
+    def clone(self) -> "Netlist":
+        """Deep copy (transforms mutate netlists; flows keep the original)."""
+        duplicate = Netlist(self.name, num_cus=self.num_cus)
+        for group in self.memory_groups.values():
+            duplicate.add_memory_group(
+                MemoryGroup(
+                    name=group.name,
+                    partition=group.partition,
+                    role=group.role,
+                    macro=group.macro,
+                    num_macros=group.num_macros,
+                    mux_levels=group.mux_levels,
+                    instance_of=group.instance_of,
+                )
+            )
+        for block in self.logic_blocks.values():
+            duplicate.add_logic_block(
+                LogicBlock(
+                    name=block.name,
+                    partition=block.partition,
+                    num_ff=block.num_ff,
+                    num_gates=block.num_gates,
+                    description=block.description,
+                )
+            )
+        for path in self.timing_paths.values():
+            duplicate.add_timing_path(
+                TimingPath(
+                    name=path.name,
+                    partition=path.partition,
+                    logic_levels=path.logic_levels,
+                    memory_group=path.memory_group,
+                    mux_levels=path.mux_levels,
+                    width_bits=path.width_bits,
+                    pipeline_stages=path.pipeline_stages,
+                    crosses_partitions=path.crosses_partitions,
+                    wire_delay_ns=path.wire_delay_ns,
+                    pipelinable=path.pipelinable,
+                )
+            )
+        return duplicate
+
+    def summary(self) -> str:
+        """One-line summary used by reports and examples."""
+        return (
+            f"{self.name}: {self.num_cus} CU(s), {self.total_macros()} macros, "
+            f"{self.total_ff()} FFs, {self.total_gates()} gates, "
+            f"{len(self.timing_paths)} timing paths"
+        )

@@ -1,0 +1,88 @@
+"""The two netlist transforms GPUPlanner applies to close timing.
+
+* **Memory division** (:func:`split_memory_group`): replace the macros of a
+  memory group with twice as many macros of half the size (words are split
+  first; bits when the word count reaches the compiler's minimum).  The
+  group's read data gains one 2:1-mux level, and the addressing control costs
+  a few extra gates -- exactly the trade-off the paper describes: the divided
+  memory is faster to access but larger and more power-hungry in total.
+
+* **On-demand pipeline insertion** (:func:`insert_pipeline`): add pipeline
+  registers to a path whose combinational logic (not a macro) is the problem.
+  This costs ``width_bits`` flip-flops per stage and one cycle of latency,
+  which the architecture tolerates because the FGPU is already deeply
+  pipelined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import NetlistError
+from repro.rtl.netlist import MemoryGroup, Netlist, TimingPath
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class TransformRecord:
+    """What a transform did (kept by the optimizer for its report)."""
+
+    kind: str
+    target: str
+    detail: str
+
+
+def split_memory_group(
+    netlist: Netlist, group_name: str, tech: Technology
+) -> TransformRecord:
+    """Divide a memory group once (doubling its macro count)."""
+    try:
+        group = netlist.memory_groups[group_name]
+    except KeyError as exc:
+        raise NetlistError(f"unknown memory group {group_name!r}") from exc
+    smaller = tech.sram.smallest_valid_split(group.macro)
+    before = f"{group.num_macros} x {group.macro.words}x{group.macro.bits}"
+    group.macro = smaller
+    group.num_macros *= 2
+    group.mux_levels += 1
+    after = f"{group.num_macros} x {group.macro.words}x{group.macro.bits}"
+    return TransformRecord(
+        kind="memory_division",
+        target=group_name,
+        detail=f"{before} -> {after} (+1 mux level)",
+    )
+
+
+def insert_pipeline(
+    netlist: Netlist, path_name: str, stages: int = 1
+) -> TransformRecord:
+    """Insert ``stages`` pipeline stages on a timing path."""
+    try:
+        path = netlist.timing_paths[path_name]
+    except KeyError as exc:
+        raise NetlistError(f"unknown timing path {path_name!r}") from exc
+    if stages < 1:
+        raise NetlistError("pipeline insertion needs at least one stage")
+    if not path.pipelinable:
+        raise NetlistError(
+            f"path {path_name!r} cannot be pipelined (wire-dominated inter-partition route)"
+        )
+    path.pipeline_stages += stages
+    return TransformRecord(
+        kind="pipeline_insertion",
+        target=path_name,
+        detail=f"now {path.pipeline_stages} pipeline stage(s), +{stages * path.width_bits} FFs",
+    )
+
+
+def splittable_groups(netlist: Netlist, tech: Technology) -> List[str]:
+    """Names of memory groups the compiler can still divide further."""
+    names = []
+    for name, group in netlist.memory_groups.items():
+        try:
+            tech.sram.smallest_valid_split(group.macro)
+        except Exception:  # TechnologyError: at the compiler's minimum geometry
+            continue
+        names.append(name)
+    return sorted(names)

@@ -1,0 +1,35 @@
+"""Scaling extensions of GPUPlanner (the paper's future-work section).
+
+The paper's 8-CU layout cannot close 667 MHz because the routes between the
+peripheral CUs and the single, central global memory controller are too long;
+the authors propose to fix this -- and to scale beyond 8 CUs -- by
+*replicating the general memory controller* so every CU sits next to its own
+controller.  This package implements that proposal:
+
+* :class:`~repro.scaling.cluster.ClusterConfig` describes a G-GPU built as
+  ``num_clusters`` clusters of up to 8 CUs, each cluster with its own global
+  memory controller.
+* :func:`~repro.scaling.cluster.generate_clustered_netlist` produces the
+  corresponding netlist (replicated controllers, per-cluster CU-to-controller
+  interface paths, an inter-cluster interconnect).
+* :class:`~repro.scaling.floorplan.ClusteredFloorplanner` floorplans the
+  clusters as tiles so every CU's controller is nearby, which is what removes
+  the wire-delay wall.
+* :func:`~repro.scaling.flow.run_clustered_flow` chains netlist generation,
+  timing closure, logic synthesis, and physical synthesis for a clustered
+  specification -- the clustered counterpart of
+  :class:`~repro.planner.flow.GpuPlannerFlow`.
+"""
+
+from repro.scaling.cluster import ClusterConfig, generate_clustered_netlist
+from repro.scaling.floorplan import ClusteredFloorplan, ClusteredFloorplanner
+from repro.scaling.flow import ClusteredFlowResult, run_clustered_flow
+
+__all__ = [
+    "ClusterConfig",
+    "generate_clustered_netlist",
+    "ClusteredFloorplan",
+    "ClusteredFloorplanner",
+    "ClusteredFlowResult",
+    "run_clustered_flow",
+]

@@ -1,0 +1,208 @@
+"""Clustered G-GPU configuration and netlist generation.
+
+A *clustered* G-GPU is built from ``num_clusters`` identical clusters; each
+cluster contains up to 8 CUs and one replica of the global memory controller
+(cache, tag store, data movers, AXI FIFOs).  Clusters talk to the shared top
+level (runtime memory, AXI control interface, workgroup dispatcher) over a
+pipelinable inter-cluster ring.
+
+Compared with the paper's monolithic design this changes two things:
+
+* the CU-to-controller interface paths connect each CU to its *local*
+  controller, so their routed length no longer grows with the total CU count
+  (the fix the paper proposes for the 8-CU, 667 MHz wall), and
+* the total CU count may exceed 8 (the second item of the paper's future
+  work), at the cost of one extra controller's area and power per cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.config import GGPUConfig
+from repro.errors import ConfigurationError
+from repro.rtl.generator import (
+    CROSSING_LOGIC_LEVELS,
+    CROSSING_WIDTH_BITS,
+    CU_LOGIC,
+    CU_LOGIC_PATHS,
+    CU_MEMORIES,
+    GeneratorOptions,
+    MEMCTRL_LOGIC,
+    MEMCTRL_LOGIC_PATHS,
+    MEMCTRL_MEMORIES,
+    TOP_LOGIC,
+    TOP_MEMORIES,
+    _add_partition_logic,
+    _add_partition_memories,
+)
+from repro.rtl.netlist import LogicBlock, Netlist, Partition, TimingPath
+
+# Structure of the inter-cluster interconnect (a registered ring between the
+# cluster controllers and the shared top level).
+RING_LOGIC_LEVELS = 10
+RING_WIDTH_BITS = 64
+RING_FF_PER_CLUSTER = 1400
+RING_GATES_PER_CLUSTER = 1800
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A G-GPU built as ``num_clusters`` clusters of ``cus_per_cluster`` CUs.
+
+    Attributes
+    ----------
+    num_clusters:
+        Number of clusters, each with its own global memory controller.
+    cus_per_cluster:
+        CUs per cluster; the FGPU-derived cluster keeps the paper's 1-8 limit.
+    base:
+        Per-cluster architecture configuration (cache and AXI geometry of each
+        cluster's controller).  Defaults to the standard configuration with
+        ``cus_per_cluster`` CUs.
+    """
+
+    num_clusters: int
+    cus_per_cluster: int
+    base: Optional[GGPUConfig] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ConfigurationError(f"at least one cluster is required, got {self.num_clusters}")
+        if self.num_clusters > 8:
+            raise ConfigurationError(
+                f"the clustered floorplanner supports up to 8 clusters, got {self.num_clusters}"
+            )
+        if not 1 <= self.cus_per_cluster <= 8:
+            raise ConfigurationError(
+                f"a cluster holds 1 to 8 CUs (the FGPU limit), got {self.cus_per_cluster}"
+            )
+        if self.base is not None and self.base.num_cus != self.cus_per_cluster:
+            raise ConfigurationError(
+                "the base GGPUConfig must match cus_per_cluster "
+                f"({self.base.num_cus} != {self.cus_per_cluster})"
+            )
+
+    @property
+    def total_cus(self) -> int:
+        """Total number of CUs across all clusters."""
+        return self.num_clusters * self.cus_per_cluster
+
+    @property
+    def label(self) -> str:
+        """Short identifier used in reports (e.g. ``16cu_4x4``)."""
+        return f"{self.total_cus}cu_{self.num_clusters}x{self.cus_per_cluster}"
+
+    def cluster_architecture(self) -> GGPUConfig:
+        """The architecture configuration of one cluster."""
+        if self.base is not None:
+            return self.base
+        return GGPUConfig(num_cus=self.cus_per_cluster)
+
+    def cu_names(self, cluster_index: int):
+        """Global CU instance names belonging to one cluster."""
+        start = cluster_index * self.cus_per_cluster
+        return [f"cu{start + local}" for local in range(self.cus_per_cluster)]
+
+    def controller_name(self, cluster_index: int) -> str:
+        """Partition-instance name of one cluster's memory controller."""
+        return f"memctrl{cluster_index}"
+
+    def cluster_of_cu(self, cu_name: str) -> int:
+        """Cluster index owning the named CU instance."""
+        try:
+            index = int(cu_name.removeprefix("cu"))
+        except ValueError as exc:
+            raise ConfigurationError(f"not a CU instance name: {cu_name!r}") from exc
+        if not 0 <= index < self.total_cus:
+            raise ConfigurationError(f"{cu_name!r} is outside this {self.total_cus}-CU design")
+        return index // self.cus_per_cluster
+
+
+def generate_clustered_netlist(
+    cluster: ClusterConfig,
+    name: str = "",
+    options: Optional[GeneratorOptions] = None,
+) -> Netlist:
+    """Generate the netlist of a clustered G-GPU with replicated controllers."""
+    netlist_name = name or f"ggpu_{cluster.label}"
+    netlist = Netlist(netlist_name, num_cus=cluster.total_cus)
+
+    for cluster_index in range(cluster.num_clusters):
+        controller = cluster.controller_name(cluster_index)
+        # CUs of this cluster.
+        for cu_name in cluster.cu_names(cluster_index):
+            _add_partition_memories(netlist, CU_MEMORIES, Partition.CU, cu_name, options)
+            _add_partition_logic(netlist, CU_LOGIC, Partition.CU, cu_name)
+            for suffix, levels, width in CU_LOGIC_PATHS:
+                netlist.add_timing_path(
+                    TimingPath(
+                        name=f"{cu_name}/{suffix}",
+                        partition=Partition.CU,
+                        logic_levels=levels,
+                        width_bits=width,
+                    )
+                )
+            # Interface to the *local* (same-cluster) memory controller.  The
+            # physical stage annotates these with the in-cluster route length,
+            # which stays short regardless of the total CU count.
+            for direction in ("request", "response"):
+                netlist.add_timing_path(
+                    TimingPath(
+                        name=f"top/{cu_name}_{direction}",
+                        partition=Partition.TOP,
+                        logic_levels=CROSSING_LOGIC_LEVELS,
+                        width_bits=CROSSING_WIDTH_BITS,
+                        crosses_partitions=True,
+                        pipelinable=False,
+                    )
+                )
+        # This cluster's replica of the global memory controller.
+        _add_partition_memories(
+            netlist, MEMCTRL_MEMORIES, Partition.MEMORY_CONTROLLER, controller, options
+        )
+        for block in MEMCTRL_LOGIC:
+            netlist.add_logic_block(
+                LogicBlock(
+                    name=f"{controller}/{block.name}",
+                    partition=Partition.MEMORY_CONTROLLER,
+                    num_ff=block.num_ff,
+                    num_gates=block.num_gates,
+                    description=block.description,
+                )
+            )
+        for suffix, levels, width in MEMCTRL_LOGIC_PATHS:
+            netlist.add_timing_path(
+                TimingPath(
+                    name=f"{controller}/{suffix}",
+                    partition=Partition.MEMORY_CONTROLLER,
+                    logic_levels=levels,
+                    width_bits=width,
+                )
+            )
+
+    # Shared top level: runtime memory, AXI control, dispatcher, plus the
+    # inter-cluster ring that replaces the single controller's star topology.
+    _add_partition_memories(netlist, TOP_MEMORIES, Partition.TOP, "top", options)
+    _add_partition_logic(netlist, TOP_LOGIC, Partition.TOP, "top")
+    if cluster.num_clusters > 1:
+        netlist.add_logic_block(
+            LogicBlock(
+                name="top/cluster_interconnect",
+                partition=Partition.TOP,
+                num_ff=RING_FF_PER_CLUSTER * cluster.num_clusters,
+                num_gates=RING_GATES_PER_CLUSTER * cluster.num_clusters,
+                description="registered ring between the cluster memory controllers",
+            )
+        )
+        netlist.add_timing_path(
+            TimingPath(
+                name="top/cluster_ring",
+                partition=Partition.TOP,
+                logic_levels=RING_LOGIC_LEVELS,
+                width_bits=RING_WIDTH_BITS,
+                pipelinable=True,
+            )
+        )
+    return netlist

@@ -1,0 +1,185 @@
+"""Floorplanning of clustered G-GPUs (replicated memory controllers).
+
+Each cluster becomes a rectangular tile containing its own memory controller
+at the tile centre and its CUs arranged around it; tiles are arranged on a
+near-square grid, and the low-density top-level glue keeps its strip at the
+bottom of the die.  Because every CU's controller is inside the same tile, the
+CU-to-controller route length is bounded by the tile size and no longer grows
+with the total CU count -- which is exactly the mechanism the paper proposes
+to recover 667 MHz for large CU counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PhysicalDesignError
+from repro.physical.floorplan import Floorplan, PartitionPlacement, Rect
+from repro.rtl.netlist import Partition
+from repro.scaling.cluster import ClusterConfig
+from repro.synth.logic import SynthesisResult
+
+
+@dataclass
+class ClusteredFloorplan(Floorplan):
+    """A floorplan whose CUs are served by per-cluster memory controllers.
+
+    ``cu_controller`` maps every CU instance name to the partition-instance
+    name of its local controller; the route-length queries the routing
+    estimator relies on are overridden to use that local controller instead of
+    the (single) central one assumed by the base class.
+    """
+
+    cu_controller: Dict[str, str] = field(default_factory=dict)
+
+    def cu_to_memctrl_distance_um(self, cu_name: str) -> float:
+        """Manhattan distance between a CU and its *local* memory controller."""
+        controller = self.cu_controller.get(cu_name)
+        if controller is None:
+            raise PhysicalDesignError(f"no cluster controller recorded for {cu_name!r}")
+        return self.placement(cu_name).rect.manhattan_distance_to(self.placement(controller).rect)
+
+
+class ClusteredFloorplanner:
+    """Produces a :class:`ClusteredFloorplan` from a synthesis result.
+
+    The interface matches :class:`~repro.physical.floorplan.Floorplanner` so a
+    :class:`~repro.physical.layout.PhysicalSynthesis` instance can use it as a
+    drop-in replacement.
+    """
+
+    # Relative CU slots inside a cluster tile (fractions of the tile extent
+    # from the tile centre) -- the same ring the monolithic floorplanner uses,
+    # but confined to one tile.
+    _RING: Tuple[Tuple[float, float], ...] = (
+        (-0.30, 0.0),
+        (0.30, 0.0),
+        (0.0, -0.32),
+        (0.0, 0.32),
+        (-0.33, -0.33),
+        (0.33, -0.33),
+        (-0.33, 0.33),
+        (0.33, 0.33),
+    )
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        cu_density: float = 0.70,
+        memctrl_density: float = 0.70,
+        top_density: float = 0.30,
+        base_whitespace: float = 1.15,
+        congestion_whitespace: float = 0.20,
+        reference_frequency_mhz: float = 500.0,
+        frequency_span_mhz: float = 167.0,
+    ) -> None:
+        self.cluster = cluster
+        self.cu_density = cu_density
+        self.memctrl_density = memctrl_density
+        self.top_density = top_density
+        self.base_whitespace = base_whitespace
+        self.congestion_whitespace = congestion_whitespace
+        self.reference_frequency_mhz = reference_frequency_mhz
+        self.frequency_span_mhz = frequency_span_mhz
+
+    # ------------------------------------------------------------------ #
+    # Sizing
+    # ------------------------------------------------------------------ #
+    def whitespace_factor(self, frequency_mhz: float) -> float:
+        """Extra area reserved for routing at higher target frequencies."""
+        overdrive = max(0.0, frequency_mhz - self.reference_frequency_mhz) / self.frequency_span_mhz
+        return self.base_whitespace + self.congestion_whitespace * overdrive
+
+    def _footprints(self, synthesis: SynthesisResult) -> Dict[Partition, float]:
+        cu_total = synthesis.partitions[Partition.CU].total_area_um2
+        memctrl_total = synthesis.partitions[Partition.MEMORY_CONTROLLER].total_area_um2
+        top_total = synthesis.partitions[Partition.TOP].total_area_um2
+        return {
+            Partition.CU: cu_total / max(1, self.cluster.total_cus) / self.cu_density,
+            Partition.MEMORY_CONTROLLER: memctrl_total
+            / self.cluster.num_clusters
+            / self.memctrl_density,
+            Partition.TOP: top_total / self.top_density,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self, synthesis: SynthesisResult, frequency_mhz: Optional[float] = None) -> ClusteredFloorplan:
+        """Floorplan the clustered design for the given frequency."""
+        frequency = frequency_mhz if frequency_mhz is not None else synthesis.frequency_mhz
+        footprints = self._footprints(synthesis)
+        whitespace = self.whitespace_factor(frequency)
+
+        cluster_area = (
+            self.cluster.cus_per_cluster * footprints[Partition.CU]
+            + footprints[Partition.MEMORY_CONTROLLER]
+        ) * whitespace
+        tile_height = math.sqrt(cluster_area / 1.10)
+        tile_width = cluster_area / tile_height
+
+        columns = math.ceil(math.sqrt(self.cluster.num_clusters))
+        rows = math.ceil(self.cluster.num_clusters / columns)
+        top_height = max(footprints[Partition.TOP] / (columns * tile_width), 150.0)
+        die_width = columns * tile_width
+        die_height = rows * tile_height + top_height
+
+        floorplan = ClusteredFloorplan(
+            design=synthesis.design,
+            target_frequency_mhz=frequency,
+            die_width_um=die_width,
+            die_height_um=die_height,
+        )
+        floorplan.placements.append(
+            PartitionPlacement(
+                "top",
+                Partition.TOP,
+                Rect(x=0.0, y=0.0, width=die_width, height=top_height),
+                self.top_density,
+            )
+        )
+
+        mc_side = math.sqrt(footprints[Partition.MEMORY_CONTROLLER])
+        cu_area = footprints[Partition.CU]
+        cu_height = math.sqrt(cu_area / 1.25)
+        cu_width = cu_area / cu_height
+
+        for cluster_index in range(self.cluster.num_clusters):
+            column = cluster_index % columns
+            row = cluster_index // columns
+            tile_x = column * tile_width
+            tile_y = top_height + row * tile_height
+            centre_x = tile_x + tile_width / 2.0
+            centre_y = tile_y + tile_height / 2.0
+
+            controller = self.cluster.controller_name(cluster_index)
+            floorplan.placements.append(
+                PartitionPlacement(
+                    controller,
+                    Partition.MEMORY_CONTROLLER,
+                    Rect(
+                        x=centre_x - mc_side / 2.0,
+                        y=centre_y - mc_side / 2.0,
+                        width=mc_side,
+                        height=mc_side,
+                    ),
+                    self.memctrl_density,
+                )
+            )
+            for local_index, cu_name in enumerate(self.cluster.cu_names(cluster_index)):
+                dx, dy = self._RING[local_index]
+                cx = centre_x + dx * tile_width
+                cy = centre_y + dy * tile_height
+                rect = Rect(
+                    x=min(max(cx - cu_width / 2.0, tile_x), tile_x + tile_width - cu_width),
+                    y=min(max(cy - cu_height / 2.0, tile_y), tile_y + tile_height - cu_height),
+                    width=cu_width,
+                    height=cu_height,
+                )
+                floorplan.placements.append(
+                    PartitionPlacement(cu_name, Partition.CU, rect, self.cu_density)
+                )
+                floorplan.cu_controller[cu_name] = controller
+        return floorplan

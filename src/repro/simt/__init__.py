@@ -1,0 +1,47 @@
+"""Cycle-approximate functional simulator of the G-GPU.
+
+This package is the stand-in for the FGPU RTL running on an FPGA or as an
+ASIC: it executes SIMT kernel programs functionally (so results can be checked
+against reference implementations) while tracking cycle counts with a timing
+model that reflects the paper's architecture:
+
+* each Compute Unit streams 64-lane wavefronts through 8 Processing Elements
+  (8 cycles of PE-array occupancy per wavefront instruction),
+* up to 8 wavefronts (512 work-items) are resident per CU and hide memory
+  latency from one another,
+* all CUs share one central direct-mapped write-back data cache and a global
+  memory controller whose AXI data ports bound the off-chip bandwidth, which
+  is what limits scaling from 4 to 8 CUs on memory-bound kernels,
+* full thread divergence is supported through an execution-mask stack; a
+  divergent wavefront still occupies the full PE-array slot, which is why
+  control-divergent kernels (div_int, xcorr, parallel_sel) show poor speed-ups.
+"""
+
+from repro.simt.memory import GlobalMemory, RuntimeMemory, LocalMemory
+from repro.simt.cache import DataCache, CacheStats
+from repro.simt.axi import GlobalMemoryController
+from repro.simt.registers import WavefrontRegisterFile
+from repro.simt.wavefront import Wavefront
+from repro.simt.dispatcher import WorkgroupDispatcher
+from repro.simt.scheduler import WavefrontScheduler
+from repro.simt.cu import ComputeUnit
+from repro.simt.trace import KernelRunStats, InstructionMix
+from repro.simt.gpu import GGPUSimulator, LaunchResult
+
+__all__ = [
+    "GlobalMemory",
+    "RuntimeMemory",
+    "LocalMemory",
+    "DataCache",
+    "CacheStats",
+    "GlobalMemoryController",
+    "WavefrontRegisterFile",
+    "Wavefront",
+    "WorkgroupDispatcher",
+    "WavefrontScheduler",
+    "ComputeUnit",
+    "KernelRunStats",
+    "InstructionMix",
+    "GGPUSimulator",
+    "LaunchResult",
+]

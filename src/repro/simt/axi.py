@@ -1,0 +1,85 @@
+"""Global memory controller and AXI data-interface timing model.
+
+FGPU integrates numerous data movers that parallelize global-memory traffic on
+up to four AXI data interfaces.  The controller model below is what creates
+the bandwidth wall the paper observes when scaling to 8 CUs: every cache miss
+or write-back occupies one AXI data port for the duration of the line
+transfer, so once the ports saturate, adding CUs stops helping (and extra
+contention can even hurt, as in the xcorr results of Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.config import AxiConfig, CacheConfig
+from repro.errors import SimulationError
+
+
+@dataclass
+class MemoryTrafficStats:
+    """Aggregate AXI traffic for one kernel launch."""
+
+    line_fills: int = 0
+    write_backs: int = 0
+    busy_cycles: float = 0.0
+
+    @property
+    def transactions(self) -> int:
+        return self.line_fills + self.write_backs
+
+
+class GlobalMemoryController:
+    """Timing model of the global memory controller and its AXI data ports."""
+
+    def __init__(self, axi: AxiConfig, cache: CacheConfig) -> None:
+        self.axi = axi
+        self.cache = cache
+        self._port_free: List[float] = [0.0] * axi.data_ports
+        self.stats = MemoryTrafficStats()
+
+    @property
+    def line_transfer_cycles(self) -> int:
+        """Cycles one AXI port needs to move one cache line."""
+        beats = self.cache.line_bytes // (self.axi.data_width_bits // 8)
+        return max(1, beats)
+
+    def reset(self) -> None:
+        """Clear port occupancy and statistics (new kernel launch)."""
+        self._port_free = [0.0] * self.axi.data_ports
+        self.stats = MemoryTrafficStats()
+
+    def _claim_port(self, now: float, occupancy: int) -> float:
+        """Reserve the earliest-free port starting no earlier than ``now``."""
+        port = min(range(len(self._port_free)), key=lambda i: self._port_free[i])
+        start = max(now, self._port_free[port])
+        self._port_free[port] = start + occupancy
+        self.stats.busy_cycles += occupancy
+        return start
+
+    def line_fill(self, now: float) -> float:
+        """Issue a line fill at time ``now``; returns the completion time."""
+        if now < 0:
+            raise SimulationError(f"time must be non-negative, got {now}")
+        transfer = self.line_transfer_cycles
+        start = self._claim_port(now, transfer)
+        self.stats.line_fills += 1
+        return start + self.axi.memory_latency_cycles + transfer
+
+    def write_back(self, now: float) -> float:
+        """Issue a dirty-line write-back at time ``now``; returns completion time.
+
+        Write-backs are posted: the requesting wavefront does not wait for
+        them, but they consume port bandwidth and therefore delay later fills.
+        """
+        if now < 0:
+            raise SimulationError(f"time must be non-negative, got {now}")
+        transfer = self.line_transfer_cycles
+        start = self._claim_port(now, transfer)
+        self.stats.write_backs += 1
+        return start + transfer
+
+    def earliest_free(self) -> float:
+        """Earliest time any port becomes free (used by tests and reports)."""
+        return min(self._port_free)

@@ -1,0 +1,152 @@
+"""Central direct-mapped write-back data cache (performance model).
+
+The FGPU data cache is a single cache shared by all CUs: direct mapped,
+multi-port, write back, with data movers that parallelize traffic on the AXI
+data interfaces.  Because it is the only agent in front of global memory there
+is no coherence problem, so the simulator keeps the *data* in
+:class:`~repro.simt.memory.GlobalMemory` and models the cache as tags only:
+each access reports whether it hit and whether a dirty victim line must be
+written back, and the :class:`~repro.simt.axi.GlobalMemoryController` turns
+misses and write-backs into AXI traffic and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.arch.config import CacheConfig
+from repro.errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache statistics for one kernel launch."""
+
+    read_accesses: int = 0
+    write_accesses: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    write_backs: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_accesses + self.write_accesses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served without going to global memory."""
+        if self.accesses == 0:
+            return 1.0
+        return 1.0 - self.misses / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats objects."""
+        return CacheStats(
+            read_accesses=self.read_accesses + other.read_accesses,
+            write_accesses=self.write_accesses + other.write_accesses,
+            read_misses=self.read_misses + other.read_misses,
+            write_misses=self.write_misses + other.write_misses,
+            write_backs=self.write_backs + other.write_backs,
+        )
+
+
+@dataclass(frozen=True)
+class LineAccess:
+    """Outcome of accessing one cache line."""
+
+    line_address: int
+    hit: bool
+    write_back: bool
+
+
+class DataCache:
+    """Tag-only model of the central direct-mapped write-back cache."""
+
+    def __init__(self, config: Optional[CacheConfig] = None) -> None:
+        self.config = config or CacheConfig()
+        self._tags: List[Optional[int]] = [None] * self.config.num_lines
+        self._dirty: List[bool] = [False] * self.config.num_lines
+        self.stats = CacheStats()
+        self.hit_latency_cycles = 4
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def line_address(self, byte_address: int) -> int:
+        """Address of the cache line containing ``byte_address``."""
+        return byte_address - (byte_address % self.config.line_bytes)
+
+    def coalesce(self, byte_addresses: Sequence[int]) -> List[int]:
+        """Distinct cache lines touched by a wavefront access (coalescing)."""
+        addresses = np.asarray(byte_addresses, dtype=np.int64)
+        if addresses.size == 0:
+            return []
+        lines = np.unique(addresses - (addresses % self.config.line_bytes))
+        return [int(line) for line in lines]
+
+    def _index(self, line_address: int) -> int:
+        return (line_address // self.config.line_bytes) % self.config.num_lines
+
+    # ------------------------------------------------------------------ #
+    # Accesses
+    # ------------------------------------------------------------------ #
+    def access_line(self, line_address: int, is_write: bool) -> LineAccess:
+        """Access one line, updating tags, dirty bits, and statistics."""
+        if line_address < 0 or line_address % self.config.line_bytes:
+            raise SimulationError(f"bad cache line address {line_address:#x}")
+        index = self._index(line_address)
+        hit = self._tags[index] == line_address
+        write_back = False
+        if is_write:
+            self.stats.write_accesses += 1
+        else:
+            self.stats.read_accesses += 1
+        if not hit:
+            if is_write:
+                self.stats.write_misses += 1
+            else:
+                self.stats.read_misses += 1
+            if self._tags[index] is not None and self._dirty[index]:
+                write_back = True
+                self.stats.write_backs += 1
+            self._tags[index] = line_address
+            self._dirty[index] = False
+        if is_write:
+            self._dirty[index] = True
+        return LineAccess(line_address, hit, write_back)
+
+    def access_wavefront(
+        self, byte_addresses: Sequence[int], is_write: bool
+    ) -> List[LineAccess]:
+        """Access all lines touched by one wavefront memory instruction."""
+        return [self.access_line(line, is_write) for line in self.coalesce(byte_addresses)]
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def flush(self) -> int:
+        """Write back all dirty lines (end of kernel); returns the number flushed."""
+        flushed = 0
+        for index in range(self.config.num_lines):
+            if self._tags[index] is not None and self._dirty[index]:
+                flushed += 1
+                self._dirty[index] = False
+        self.stats.write_backs += flushed
+        return flushed
+
+    def reset(self) -> None:
+        """Invalidate the whole cache and clear statistics."""
+        self._tags = [None] * self.config.num_lines
+        self._dirty = [False] * self.config.num_lines
+        self.stats = CacheStats()
+
+    def resident_lines(self) -> Set[int]:
+        """Set of line addresses currently cached (used by tests)."""
+        return {tag for tag in self._tags if tag is not None}

@@ -1,0 +1,327 @@
+"""Compute Unit: a SIMD machine of 8 Processing Elements.
+
+The CU is both the functional and the timing heart of the simulator.  Each
+call to :meth:`ComputeUnit.step` issues one instruction of one resident
+wavefront:
+
+* the instruction executes functionally for the active lanes (vectorized in
+  :mod:`repro.simt.pe`),
+* vector instructions occupy the shared PE array for
+  ``wavefront_size / pes_per_cu`` cycles (8 cycles for the default 64-lane
+  wavefront on 8 PEs),
+* loads and stores go through the shared data cache; misses and dirty
+  write-backs are turned into AXI transactions by the global memory
+  controller, whose port contention is what limits multi-CU scaling,
+* the issuing wavefront becomes ready again after the instruction's latency,
+  so other resident wavefronts can hide that latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.arch.config import GGPUConfig
+from repro.arch.assembler import Program
+from repro.arch.isa import Instruction, OpClass, Opcode
+from repro.errors import SimulationError
+from repro.simt import pe
+from repro.simt.axi import GlobalMemoryController
+from repro.simt.cache import DataCache
+from repro.simt.memory import GlobalMemory, LocalMemory, RuntimeMemory
+from repro.simt.scheduler import WavefrontScheduler
+from repro.simt.timing import TimingModel
+from repro.simt.trace import ComputeUnitStats
+from repro.simt.wavefront import Wavefront
+
+
+class ComputeUnit:
+    """One Compute Unit of the G-GPU."""
+
+    def __init__(
+        self,
+        cu_id: int,
+        config: GGPUConfig,
+        cache: DataCache,
+        memory_controller: GlobalMemoryController,
+        global_memory: GlobalMemory,
+        timing: Optional[TimingModel] = None,
+    ) -> None:
+        self.cu_id = cu_id
+        self.config = config
+        self.cache = cache
+        self.memory_controller = memory_controller
+        self.global_memory = global_memory
+        self.timing = timing or TimingModel()
+        self.local_memory = LocalMemory(config.lram_words_per_cu)
+        self.scheduler = WavefrontScheduler()
+        self.array_free_time = 0.0
+        self.stats = ComputeUnitStats(cu_id, wavefront_size=config.wavefront_size)
+        self._program: Optional[Program] = None
+        self._rtm: Optional[RuntimeMemory] = None
+        self._barrier_waiters: Dict[int, List[Wavefront]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Launch management
+    # ------------------------------------------------------------------ #
+    def bind(self, program: Program, rtm: RuntimeMemory) -> None:
+        """Attach the kernel program and runtime memory for a new launch."""
+        self._program = program
+        self._rtm = rtm
+        self.array_free_time = 0.0
+        self.scheduler = WavefrontScheduler()
+        self.stats = ComputeUnitStats(self.cu_id, wavefront_size=self.config.wavefront_size)
+        self._barrier_waiters = {}
+        self.local_memory = LocalMemory(self.config.lram_words_per_cu)
+
+    def admit(self, wavefronts: List[Wavefront]) -> None:
+        """Accept newly dispatched wavefronts."""
+        if self._program is None:
+            raise SimulationError("compute unit has no program bound")
+        if len(self.scheduler) + len(wavefronts) > self.config.max_wavefronts_per_cu:
+            raise SimulationError(
+                f"CU {self.cu_id} cannot host {len(wavefronts)} more wavefronts"
+            )
+        self.scheduler.add_all(wavefronts)
+
+    @property
+    def resident_wavefronts(self) -> int:
+        """Number of wavefronts currently resident (finished ones excluded)."""
+        return sum(1 for wavefront in self.scheduler.resident if not wavefront.done)
+
+    @property
+    def busy(self) -> bool:
+        """Whether any resident wavefront still has work."""
+        return self.resident_wavefronts > 0
+
+    def next_event_time(self) -> float:
+        """Time at which this CU can issue its next instruction."""
+        return self.scheduler.earliest_ready()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> List[Wavefront]:
+        """Issue one instruction; return the wavefronts retired by it."""
+        if self._program is None or self._rtm is None:
+            raise SimulationError("compute unit has no program bound")
+        now = self.next_event_time()
+        if now == float("inf"):
+            raise SimulationError(f"CU {self.cu_id} stepped with no ready wavefront")
+        wavefront = self.scheduler.select(now)
+        if wavefront is None:
+            raise SimulationError(f"CU {self.cu_id} found no schedulable wavefront at {now}")
+        retired = self._execute_one(wavefront, now)
+        result = []
+        for finished in retired:
+            self.scheduler.remove(finished)
+            self.stats.wavefronts_executed += 1
+            result.append(finished)
+        return result
+
+    def _execute_one(self, wavefront: Wavefront, now: float) -> List[Wavefront]:
+        program = self._program
+        if wavefront.pc >= len(program):
+            raise SimulationError(
+                f"wavefront {wavefront.wavefront_id} ran past the end of {program.name}"
+            )
+        instruction = program[wavefront.pc]
+        opclass = instruction.opcode.opclass
+
+        # --- timing: issue slot and PE-array occupancy ------------------- #
+        if self.timing.uses_pe_array(opclass):
+            issue_start = max(now, wavefront.ready_time, self.array_free_time)
+            occupancy = self.config.lanes_rounds_per_wavefront
+            self.array_free_time = issue_start + occupancy
+        else:
+            issue_start = max(now, wavefront.ready_time)
+            occupancy = 1
+        completion = issue_start + occupancy + self.timing.latency_for(opclass)
+
+        # --- statistics -------------------------------------------------- #
+        self.stats.instructions_issued += 1
+        self.stats.active_lane_issues += wavefront.num_active
+        self.stats.busy_cycles += occupancy
+        self.stats.mix.record(opclass)
+        wavefront.instructions_issued += 1
+        wavefront.active_lane_issues += wavefront.num_active
+
+        # --- functional execution ----------------------------------------- #
+        next_pc = wavefront.pc + 1
+        retired: List[Wavefront] = []
+
+        if opclass in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
+            self._execute_arithmetic(wavefront, instruction)
+        elif opclass is OpClass.SPECIAL:
+            self._execute_special(wavefront, instruction)
+        elif opclass is OpClass.PARAM:
+            value = self._rtm.read_arg(instruction.imm)
+            wavefront.registers.write(
+                int(instruction.rd),
+                np.full(wavefront.wavefront_size, value, dtype=np.int64),
+                wavefront.active_mask,
+            )
+        elif opclass is OpClass.LOAD:
+            completion = self._execute_load(wavefront, instruction, issue_start + occupancy)
+        elif opclass is OpClass.STORE:
+            completion = self._execute_store(wavefront, instruction, issue_start + occupancy)
+        elif opclass is OpClass.LOCAL:
+            self._execute_local(wavefront, instruction)
+        elif opclass is OpClass.MASK:
+            self._execute_mask(wavefront, instruction)
+        elif opclass is OpClass.BRANCH:
+            next_pc = self._execute_branch(wavefront, instruction, next_pc)
+        elif opclass is OpClass.SYNC:
+            completion, parked = self._execute_barrier(wavefront, issue_start + occupancy)
+            if parked:
+                wavefront.pc = next_pc
+                return retired
+        elif opclass is OpClass.RET:
+            wavefront.retire(completion)
+            retired.append(wavefront)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unhandled opcode class {opclass}")
+
+        wavefront.pc = next_pc
+        wavefront.ready_time = completion
+        return retired
+
+    # ------------------------------------------------------------------ #
+    # Functional helpers per instruction class
+    # ------------------------------------------------------------------ #
+    def _execute_arithmetic(self, wavefront: Wavefront, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        a = wavefront.registers.read(int(instruction.rs)) if instruction.rs is not None else None
+        if pe.is_binary_alu(opcode):
+            b = wavefront.registers.read(int(instruction.rt))
+            result = pe.execute_binary(opcode, a, b)
+        else:
+            lanes = wavefront.wavefront_size
+            result = pe.execute_immediate(opcode, a, instruction.imm or 0, lanes)
+        wavefront.registers.write(int(instruction.rd), result, wavefront.active_mask)
+
+    def _execute_special(self, wavefront: Wavefront, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        lanes = wavefront.wavefront_size
+        if opcode is Opcode.LID:
+            values = wavefront.local_ids
+        elif opcode is Opcode.WGID:
+            values = np.full(lanes, wavefront.workgroup_id, dtype=np.int64)
+        elif opcode is Opcode.WGSIZE:
+            values = np.full(lanes, wavefront.workgroup_size, dtype=np.int64)
+        elif opcode is Opcode.GID:
+            values = wavefront.global_ids
+        elif opcode is Opcode.GSIZE:
+            values = np.full(lanes, wavefront.global_size, dtype=np.int64)
+        elif opcode is Opcode.NWG:
+            values = np.full(lanes, wavefront.num_workgroups, dtype=np.int64)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
+        wavefront.registers.write(int(instruction.rd), values, wavefront.active_mask)
+
+    def _lane_addresses(self, wavefront: Wavefront, instruction: Instruction) -> np.ndarray:
+        base = wavefront.registers.read(int(instruction.rs))
+        return (base + int(instruction.imm or 0)) & 0xFFFFFFFF
+
+    def _execute_load(
+        self, wavefront: Wavefront, instruction: Instruction, access_time: float
+    ) -> float:
+        addresses = self._lane_addresses(wavefront, instruction)
+        mask = wavefront.active_mask
+        result = np.zeros(wavefront.wavefront_size, dtype=np.int64)
+        completion = access_time + self.cache.hit_latency_cycles
+        if mask.any():
+            active_addresses = addresses[mask]
+            result[mask] = self.global_memory.load_words(active_addresses)
+            completion = self._memory_timing(active_addresses, access_time, is_write=False)
+        wavefront.registers.write(int(instruction.rd), result, mask)
+        return completion
+
+    def _execute_store(
+        self, wavefront: Wavefront, instruction: Instruction, access_time: float
+    ) -> float:
+        addresses = self._lane_addresses(wavefront, instruction)
+        mask = wavefront.active_mask
+        if mask.any():
+            active_addresses = addresses[mask]
+            values = wavefront.registers.read(int(instruction.rt))[mask]
+            self.global_memory.store_words(active_addresses, values)
+            self._memory_timing(active_addresses, access_time, is_write=True)
+        return access_time + self.timing.store_latency
+
+    def _memory_timing(
+        self, addresses: np.ndarray, access_time: float, is_write: bool
+    ) -> float:
+        """Charge the cache and AXI ports for one coalesced wavefront access."""
+        completion = access_time + self.cache.hit_latency_cycles
+        for access in self.cache.access_wavefront(addresses, is_write):
+            if access.write_back:
+                self.memory_controller.write_back(access_time)
+            if not access.hit:
+                fill_done = self.memory_controller.line_fill(access_time)
+                completion = max(completion, fill_done)
+        return completion
+
+    def _execute_local(self, wavefront: Wavefront, instruction: Instruction) -> None:
+        addresses = self._lane_addresses(wavefront, instruction)
+        mask = wavefront.active_mask
+        word_indices = (addresses >> 2) % self.config.lram_words_per_cu
+        if instruction.opcode is Opcode.LLW:
+            result = np.zeros(wavefront.wavefront_size, dtype=np.int64)
+            if mask.any():
+                result[mask] = self.local_memory.load_words(word_indices[mask])
+            wavefront.registers.write(int(instruction.rd), result, mask)
+        else:
+            if mask.any():
+                values = wavefront.registers.read(int(instruction.rt))[mask]
+                self.local_memory.store_words(word_indices[mask], values)
+
+    def _execute_mask(self, wavefront: Wavefront, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        if opcode is Opcode.PUSHM:
+            wavefront.push_mask()
+        elif opcode is Opcode.CMASK:
+            condition = wavefront.registers.read(int(instruction.rs))
+            wavefront.constrain_mask(condition)
+        elif opcode is Opcode.INVM:
+            wavefront.invert_mask()
+        elif opcode is Opcode.POPM:
+            wavefront.pop_mask()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unhandled mask opcode {opcode.mnemonic}")
+
+    def _execute_branch(
+        self, wavefront: Wavefront, instruction: Instruction, fallthrough: int
+    ) -> int:
+        opcode = instruction.opcode
+        target = int(instruction.imm)
+        if opcode is Opcode.JMP:
+            return target
+        if opcode is Opcode.BEMPTY:
+            return target if not wavefront.any_active else fallthrough
+        a = wavefront.uniform_lane_value(wavefront.registers.read(int(instruction.rs)))
+        b = wavefront.uniform_lane_value(wavefront.registers.read(int(instruction.rt)))
+        signed_a = a - (1 << 32) if a & 0x80000000 else a
+        signed_b = b - (1 << 32) if b & 0x80000000 else b
+        taken = {
+            Opcode.BEQ: signed_a == signed_b,
+            Opcode.BNE: signed_a != signed_b,
+            Opcode.BLT: signed_a < signed_b,
+            Opcode.BGE: signed_a >= signed_b,
+        }[opcode]
+        return target if taken else fallthrough
+
+    def _execute_barrier(self, wavefront: Wavefront, arrival: float) -> tuple:
+        """Handle a workgroup barrier; returns (release_time, parked)."""
+        expected = wavefront.workgroup_size // wavefront.wavefront_size
+        waiters = self._barrier_waiters.setdefault(wavefront.workgroup_id, [])
+        waiters.append(wavefront)
+        if len(waiters) < expected:
+            wavefront.ready_time = float("inf")
+            return float("inf"), True
+        release = arrival + self.timing.barrier_latency
+        for waiter in waiters:
+            waiter.ready_time = release
+        del self._barrier_waiters[wavefront.workgroup_id]
+        return release, False

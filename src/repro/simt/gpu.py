@@ -1,0 +1,181 @@
+"""Top-level G-GPU simulator with an OpenCL-like host API.
+
+The host side of the FGPU only needs standard OpenCL-API procedures: allocate
+buffers, write them, set kernel arguments, enqueue an NDRange, and read the
+results back.  :class:`GGPUSimulator` exposes exactly that surface and runs
+the kernel on the configured number of Compute Units, returning the cycle
+count and the detailed statistics the evaluation harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.arch.config import GGPUConfig
+from repro.arch.kernel import Kernel, NDRange
+from repro.errors import KernelError, SimulationError
+from repro.simt.axi import GlobalMemoryController
+from repro.simt.cache import DataCache
+from repro.simt.cu import ComputeUnit
+from repro.simt.dispatcher import WorkgroupDispatcher
+from repro.simt.memory import GlobalMemory, RuntimeMemory
+from repro.simt.timing import TimingModel
+from repro.simt.trace import KernelRunStats
+
+ArgValue = Union[int, np.integer]
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    kernel_name: str
+    stats: KernelRunStats
+
+    @property
+    def cycles(self) -> float:
+        """Total cycle count of the launch (the paper's Table III metric)."""
+        return self.stats.cycles
+
+    @property
+    def kcycles(self) -> float:
+        """Cycle count in thousands of cycles."""
+        return self.stats.kcycles
+
+
+class GGPUSimulator:
+    """Functional + cycle-approximate simulator of one G-GPU instance."""
+
+    def __init__(
+        self,
+        config: Optional[GGPUConfig] = None,
+        memory_bytes: int = 64 * 1024 * 1024,
+        timing: Optional[TimingModel] = None,
+    ) -> None:
+        self.config = config or GGPUConfig()
+        self.timing = timing or TimingModel()
+        self.memory = GlobalMemory(memory_bytes)
+        self.cache = DataCache(self.config.cache)
+        self.memory_controller = GlobalMemoryController(self.config.axi, self.config.cache)
+        self.rtm = RuntimeMemory(self.config.rtm_words)
+        self.compute_units = [
+            ComputeUnit(
+                cu_id=index,
+                config=self.config,
+                cache=self.cache,
+                memory_controller=self.memory_controller,
+                global_memory=self.memory,
+                timing=self.timing,
+            )
+            for index in range(self.config.num_cus)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Host API (OpenCL flavoured)
+    # ------------------------------------------------------------------ #
+    def allocate_buffer(self, num_words: int) -> int:
+        """Allocate a global-memory buffer; returns its base byte address."""
+        return self.memory.allocate(num_words)
+
+    def write_buffer(self, base_addr: int, values: Sequence[int]) -> None:
+        """Copy host data into a buffer."""
+        self.memory.write_buffer(base_addr, values)
+
+    def read_buffer(self, base_addr: int, num_words: int) -> np.ndarray:
+        """Read a buffer back to the host."""
+        return self.memory.read_buffer(base_addr, num_words)
+
+    def create_buffer(self, values: Sequence[int]) -> int:
+        """Allocate a buffer sized for ``values`` and initialize it."""
+        values = list(values)
+        base = self.allocate_buffer(len(values))
+        self.write_buffer(base, values)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # Kernel launch
+    # ------------------------------------------------------------------ #
+    def launch(
+        self,
+        kernel: Kernel,
+        ndrange: NDRange,
+        args: Dict[str, ArgValue],
+    ) -> LaunchResult:
+        """Run ``kernel`` over ``ndrange`` with the given argument values."""
+        ordered_args = self._order_args(kernel, args)
+        if len(kernel.program) > self.config.cram_words:
+            raise KernelError(
+                f"kernel {kernel.name!r} has {len(kernel.program)} instructions but the "
+                f"CRAM holds only {self.config.cram_words}"
+            )
+        self.rtm.write_descriptor(ndrange.global_size, ndrange.workgroup_size, ordered_args)
+        self.cache.reset()
+        self.memory_controller.reset()
+        for cu in self.compute_units:
+            cu.bind(kernel.program, self.rtm)
+
+        dispatcher = WorkgroupDispatcher(self.config, ndrange)
+        for cu, wavefronts in zip(self.compute_units, dispatcher.initial_assignment(len(self.compute_units))):
+            if wavefronts:
+                cu.admit(wavefronts)
+
+        last_completion = self._run(dispatcher)
+
+        stats = KernelRunStats(
+            kernel_name=kernel.name,
+            num_cus=self.config.num_cus,
+            global_size=ndrange.global_size,
+            workgroup_size=ndrange.workgroup_size,
+            wavefront_size=self.config.wavefront_size,
+            cycles=last_completion,
+            workgroups_dispatched=dispatcher.dispatched_workgroups,
+            cu_stats=[cu.stats for cu in self.compute_units],
+            cache=self.cache.stats,
+            traffic=self.memory_controller.stats,
+        )
+        return LaunchResult(kernel.name, stats)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _order_args(self, kernel: Kernel, args: Dict[str, ArgValue]) -> List[int]:
+        missing = [arg.name for arg in kernel.args if arg.name not in args]
+        if missing:
+            raise KernelError(f"kernel {kernel.name!r} is missing arguments: {missing}")
+        unknown = [name for name in args if all(arg.name != name for arg in kernel.args)]
+        if unknown:
+            raise KernelError(f"kernel {kernel.name!r} got unexpected arguments: {unknown}")
+        return [int(args[arg.name]) for arg in kernel.args]
+
+    def _run(self, dispatcher: WorkgroupDispatcher) -> float:
+        last_completion = 0.0
+        guard = 0
+        max_steps = 200_000_000  # defensive bound against runaway kernels
+        while True:
+            busy_cus = [cu for cu in self.compute_units if cu.busy]
+            if not busy_cus:
+                if dispatcher.has_pending():
+                    # All CUs drained but work remains (tiny CU counts with
+                    # large workgroups); refill the first CU.
+                    wavefronts = dispatcher.refill(0, last_completion)
+                    if wavefronts is None:
+                        raise SimulationError("dispatcher refused to refill an idle G-GPU")
+                    self.compute_units[0].admit(wavefronts)
+                    continue
+                break
+            cu = min(busy_cus, key=lambda candidate: candidate.next_event_time())
+            if cu.next_event_time() == float("inf"):
+                raise SimulationError("deadlock: all resident wavefronts are blocked")
+            retired = cu.step()
+            guard += 1
+            if guard > max_steps:
+                raise SimulationError("simulation exceeded the maximum step count")
+            for wavefront in retired:
+                last_completion = max(last_completion, wavefront.completion_time)
+                refill = dispatcher.refill(cu.resident_wavefronts, wavefront.completion_time)
+                if refill is not None:
+                    cu.admit(refill)
+        return last_completion

@@ -1,0 +1,62 @@
+"""Per-wavefront register file.
+
+Each work-item owns ``num_registers`` 32-bit general-purpose registers; a
+wavefront's register state is therefore a ``num_registers x wavefront_size``
+array.  In the hardware this is the banked SRAM register file inside each CU
+(one of the macros GPUPlanner splits to raise the clock frequency); here it is
+a numpy array with masked writes so inactive lanes keep their values across
+divergent control flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class WavefrontRegisterFile:
+    """Registers of all lanes of one wavefront.
+
+    Register 0 is hard-wired to zero: writes to it are ignored, reads always
+    return zero, matching the ISA definition.
+    """
+
+    def __init__(self, num_registers: int, wavefront_size: int) -> None:
+        if num_registers < 1 or wavefront_size < 1:
+            raise SimulationError("register file dimensions must be positive")
+        self.num_registers = num_registers
+        self.wavefront_size = wavefront_size
+        self._values = np.zeros((num_registers, wavefront_size), dtype=np.int64)
+
+    def read(self, index: int) -> np.ndarray:
+        """Read a register for all lanes (unsigned 32-bit values in int64)."""
+        self._check(index)
+        return self._values[index].copy()
+
+    def write(self, index: int, values: np.ndarray, mask: np.ndarray) -> None:
+        """Write a register for the lanes selected by ``mask``."""
+        self._check(index)
+        if index == 0:
+            return
+        values = np.asarray(values, dtype=np.int64) & WORD_MASK
+        if np.isscalar(values) or values.ndim == 0:
+            values = np.full(self.wavefront_size, int(values), dtype=np.int64)
+        self._values[index] = np.where(mask, values, self._values[index])
+
+    def write_all_lanes(self, index: int, values: np.ndarray) -> None:
+        """Write a register unconditionally (used to seed work-item ids)."""
+        self._check(index)
+        if index == 0:
+            return
+        self._values[index] = np.asarray(values, dtype=np.int64) & WORD_MASK
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the whole register state (used by tests)."""
+        return self._values.copy()
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_registers:
+            raise SimulationError(f"register index out of range: {index}")

@@ -1,0 +1,74 @@
+"""Wavefront scheduler of a compute unit.
+
+The WF scheduler picks, every issue opportunity, one resident wavefront whose
+next instruction is ready and feeds it to the PE array.  The policy is
+round-robin among ready wavefronts (the FGPU policy), which is what lets the
+memory latency of one wavefront hide behind the arithmetic of the others.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.simt.wavefront import Wavefront
+
+
+class WavefrontScheduler:
+    """Round-robin scheduler over the wavefronts resident in one CU."""
+
+    def __init__(self) -> None:
+        self._order: Deque[Wavefront] = deque()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, wavefront: Wavefront) -> bool:
+        return wavefront in self._order
+
+    @property
+    def resident(self) -> List[Wavefront]:
+        """Wavefronts currently resident, in scheduling order."""
+        return list(self._order)
+
+    def add(self, wavefront: Wavefront) -> None:
+        """Register a newly dispatched wavefront."""
+        if wavefront in self._order:
+            raise SimulationError(
+                f"wavefront {wavefront.wavefront_id} is already resident in this CU"
+            )
+        self._order.append(wavefront)
+
+    def add_all(self, wavefronts: Iterable[Wavefront]) -> None:
+        """Register several wavefronts at once."""
+        for wavefront in wavefronts:
+            self.add(wavefront)
+
+    def remove(self, wavefront: Wavefront) -> None:
+        """Retire a finished wavefront."""
+        try:
+            self._order.remove(wavefront)
+        except ValueError as exc:
+            raise SimulationError(
+                f"wavefront {wavefront.wavefront_id} is not resident in this CU"
+            ) from exc
+
+    def earliest_ready(self) -> float:
+        """Ready time of the wavefront that becomes schedulable first."""
+        if not self._order:
+            return float("inf")
+        return min(wavefront.ready_time for wavefront in self._order if not wavefront.done)
+
+    def select(self, now: float) -> Optional[Wavefront]:
+        """Pick the next wavefront with ``ready_time <= now`` (round robin).
+
+        The selected wavefront is rotated to the back of the order so ready
+        wavefronts share the issue bandwidth fairly.
+        """
+        for _ in range(len(self._order)):
+            wavefront = self._order[0]
+            self._order.rotate(-1)
+            if not wavefront.done and wavefront.ready_time <= now:
+                return wavefront
+        return None

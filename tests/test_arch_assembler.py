@@ -1,0 +1,102 @@
+"""Assembler, label resolution, and machine-word encoding."""
+
+import pytest
+
+from repro.arch.assembler import (
+    Assembler,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    fits_in_immediate,
+    split_constant,
+)
+from repro.arch.isa import Opcode
+from repro.errors import AssemblyError
+
+
+def _sample_program():
+    asm = Assembler("sample")
+    asm.emit(Opcode.LI, rd=1, imm=10)
+    asm.label("loop")
+    asm.emit(Opcode.ADDI, rd=1, rs=1, imm=-1)
+    asm.emit(Opcode.BNE, rs=1, rt=0, label="loop")
+    asm.emit(Opcode.RET)
+    return asm.assemble()
+
+
+def test_labels_resolve_to_absolute_addresses():
+    program = _sample_program()
+    assert program.labels["loop"] == 1
+    branch = program.instructions[2]
+    assert branch.imm == 1  # resolved target address
+
+
+def test_undefined_label_raises():
+    asm = Assembler("bad")
+    asm.emit(Opcode.JMP, label="nowhere")
+    with pytest.raises(AssemblyError):
+        asm.assemble()
+
+
+def test_duplicate_label_raises():
+    asm = Assembler("dup")
+    asm.label("here")
+    with pytest.raises(AssemblyError):
+        asm.label("here")
+
+
+def test_unique_labels_are_unique():
+    asm = Assembler("uniq")
+    names = {asm.unique_label("L") for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_listing_contains_labels_and_mnemonics():
+    program = _sample_program()
+    listing = program.listing()
+    assert "loop:" in listing
+    assert "addi" in listing
+    assert "ret" in listing
+
+
+def test_static_histogram():
+    histogram = _sample_program().static_histogram()
+    assert histogram["alu"] == 2
+    assert histogram["branch"] == 1
+    assert histogram["ret"] == 1
+
+
+def test_encode_decode_round_trip_fields():
+    program = _sample_program()
+    words = encode_program(program)
+    assert all(0 <= word < 2**32 for word in words)
+    decoded = decode_program("sample", words)
+    for original, recovered in zip(program.instructions, decoded.instructions):
+        assert recovered.opcode is original.opcode
+        assert recovered.rd == original.rd
+        assert recovered.rs == original.rs
+        assert recovered.rt == original.rt
+        assert recovered.imm == (original.imm if original.imm is not None else recovered.imm)
+
+
+def test_negative_immediates_survive_encoding():
+    instruction = Assembler("neg").emit(Opcode.ADDI, rd=3, rs=3, imm=-42)
+    decoded = decode_instruction(encode_instruction(instruction))
+    assert decoded.imm == -42
+
+
+def test_immediate_overflow_rejected():
+    instruction = Assembler("big").emit(Opcode.LI, rd=1, imm=1 << 20)
+    with pytest.raises(AssemblyError):
+        encode_instruction(instruction)
+
+
+def test_fits_in_immediate_and_split_constant():
+    assert fits_in_immediate(8191)
+    assert fits_in_immediate(-8192)
+    assert not fits_in_immediate(8192)
+    upper, lower = split_constant(0x12345)
+    assert (upper << 14) | lower == 0x12345
+    with pytest.raises(AssemblyError):
+        split_constant(1 << 29)

@@ -1,0 +1,89 @@
+"""Architecture configuration (GGPUConfig, CacheConfig, AxiConfig)."""
+
+import pytest
+
+from repro.arch.config import AxiConfig, CacheConfig, GGPUConfig
+from repro.errors import ConfigurationError
+
+
+def test_default_config_matches_fgpu():
+    config = GGPUConfig()
+    assert config.num_cus == 1
+    assert config.pes_per_cu == 8
+    assert config.wavefront_size == 64
+    # "A single CU can run up to 512 work-items."
+    assert config.work_items_per_cu == 512
+    assert config.lanes_rounds_per_wavefront == 8
+
+
+def test_cu_count_range():
+    for num_cus in (1, 2, 4, 8):
+        assert GGPUConfig(num_cus=num_cus).num_cus == num_cus
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(num_cus=0)
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(num_cus=9)
+
+
+def test_pes_per_cu_is_fixed_at_8():
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(pes_per_cu=16)
+
+
+def test_wavefront_size_must_be_multiple_of_pes():
+    assert GGPUConfig(wavefront_size=32).lanes_rounds_per_wavefront == 4
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(wavefront_size=60)
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(wavefront_size=0)
+
+
+def test_register_count_range():
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(num_registers=4)
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(num_registers=128)
+
+
+def test_memory_sizes_must_be_powers_of_two():
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(cram_words=1000)
+    with pytest.raises(ConfigurationError):
+        GGPUConfig(rtm_words=0)
+
+
+def test_with_cus_copies_everything_else():
+    base = GGPUConfig(num_cus=1, lram_words_per_cu=4096)
+    grown = base.with_cus(8)
+    assert grown.num_cus == 8
+    assert grown.lram_words_per_cu == 4096
+    assert grown.max_work_items == 8 * base.work_items_per_cu
+
+
+def test_cache_config_defaults_and_validation():
+    cache = CacheConfig()
+    assert cache.num_lines * cache.line_bytes == cache.size_bytes
+    assert cache.words_per_line == cache.line_bytes // 4
+    with pytest.raises(ConfigurationError):
+        CacheConfig(size_bytes=1000, line_bytes=64)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(line_bytes=6)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(ports=0)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(size_bytes=48 * 1024, line_bytes=64)  # 768 lines, not a power of two
+
+
+def test_axi_config_matches_fgpu_limits():
+    axi = AxiConfig()
+    assert 1 <= axi.data_ports <= 4
+    assert axi.control_ports == 1
+    assert axi.data_width_words == axi.data_width_bits // 32
+    with pytest.raises(ConfigurationError):
+        AxiConfig(data_ports=5)
+    with pytest.raises(ConfigurationError):
+        AxiConfig(data_width_bits=48)
+    with pytest.raises(ConfigurationError):
+        AxiConfig(memory_latency_cycles=0)
+    with pytest.raises(ConfigurationError):
+        AxiConfig(control_ports=2)

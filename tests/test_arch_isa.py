@@ -1,0 +1,90 @@
+"""SIMT ISA definition: opcodes, registers, instructions."""
+
+import pytest
+
+from repro.arch.isa import (
+    ISA,
+    Instruction,
+    OpClass,
+    Opcode,
+    Register,
+    opcode_from_code,
+    opcode_from_mnemonic,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.errors import AssemblyError
+
+
+def test_opcode_codes_are_unique():
+    codes = [op.info.code for op in Opcode]
+    assert len(codes) == len(set(codes))
+
+
+def test_mnemonics_are_unique_and_resolvable():
+    mnemonics = [op.mnemonic for op in Opcode]
+    assert len(mnemonics) == len(set(mnemonics))
+    for op in Opcode:
+        assert opcode_from_mnemonic(op.mnemonic) is op
+        assert opcode_from_code(op.info.code) is op
+
+
+def test_unknown_mnemonic_and_code_raise():
+    with pytest.raises(AssemblyError):
+        opcode_from_mnemonic("frobnicate")
+    with pytest.raises(AssemblyError):
+        opcode_from_code(0xFF)
+
+
+def test_register_range():
+    assert int(Register(0)) == 0
+    assert int(Register(31)) == 31
+    with pytest.raises(AssemblyError):
+        Register(32)
+    with pytest.raises(AssemblyError):
+        Register(-1)
+
+
+def test_instruction_operand_validation():
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.ADD, rd=Register(1), rs=Register(2))  # missing rt
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.LW, rs=Register(2), imm=0)  # missing rd
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.JMP)  # missing target
+    with pytest.raises(AssemblyError):
+        Instruction(Opcode.RET, rd=Register(1))  # RET takes no destination
+
+
+def test_instruction_text():
+    instruction = Instruction(Opcode.ADD, rd=Register(1), rs=Register(2), rt=Register(3))
+    assert instruction.text() == "add r1, r2, r3"
+    jump = Instruction(Opcode.JMP, label="loop")
+    assert "loop" in jump.text()
+
+
+def test_opclass_assignment_examples():
+    assert Opcode.ADD.opclass is OpClass.ALU
+    assert Opcode.MUL.opclass is OpClass.MUL
+    assert Opcode.DIV.opclass is OpClass.DIV
+    assert Opcode.LW.opclass is OpClass.LOAD
+    assert Opcode.SW.opclass is OpClass.STORE
+    assert Opcode.LP.opclass is OpClass.PARAM
+    assert Opcode.PUSHM.opclass is OpClass.MASK
+    assert Opcode.BEQ.opclass is OpClass.BRANCH
+    assert Opcode.RET.opclass is OpClass.RET
+
+
+def test_isa_bundle_groups_opcodes():
+    isa = ISA()
+    assert isa.num_opcodes == len(tuple(Opcode))
+    grouped = isa.opcodes_by_class()
+    assert Opcode.ADD in grouped[OpClass.ALU]
+    assert sum(len(ops) for ops in grouped.values()) == isa.num_opcodes
+
+
+def test_signed_unsigned_conversion():
+    assert to_signed32(0xFFFFFFFF) == -1
+    assert to_signed32(0x7FFFFFFF) == 0x7FFFFFFF
+    assert to_unsigned32(-1) == 0xFFFFFFFF
+    assert to_unsigned32(2**32 + 5) == 5

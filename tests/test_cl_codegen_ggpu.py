@@ -1,0 +1,350 @@
+"""Functional tests for the G-GPU back end of the OpenCL-C compiler.
+
+Each test compiles a small kernel, runs it on the cycle-approximate simulator,
+and checks the output buffers against a numpy reference.  Divergent control
+flow (masked ifs, divergent loops) and the work-item builtins get dedicated
+coverage because those are the parts the FGPU compiler has to get right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import Opcode
+from repro.arch.kernel import NDRange
+from repro.cl import compile_kernel, compile_source
+from repro.errors import CompilationError
+from repro.simt.gpu import GGPUSimulator
+
+
+def run_compiled(source, buffers, scalars, ndrange, kernel_name=None, num_read=None):
+    """Compile ``source``, launch it, and return the final buffer contents."""
+    kernel = compile_kernel(source, kernel_name)
+    simulator = GGPUSimulator(memory_bytes=8 * 1024 * 1024)
+    args = {}
+    addresses = {}
+    for name, data in buffers.items():
+        address = simulator.create_buffer(np.asarray(data, dtype=np.int64) & 0xFFFFFFFF)
+        addresses[name] = address
+        args[name] = address
+    args.update(scalars)
+    simulator.launch(kernel, ndrange, args)
+    return {
+        name: simulator.read_buffer(address, num_read or len(buffers[name]))
+        for name, address in addresses.items()
+    }
+
+
+def test_vector_add_end_to_end():
+    n = 256
+    a = np.arange(n, dtype=np.int64)
+    b = np.arange(n, dtype=np.int64) * 3
+    out = run_compiled(
+        """
+        __kernel void vec_add(__global int *a, __global int *b, __global int *out, int n) {
+            int gid = get_global_id(0);
+            out[gid] = a[gid] + b[gid];
+        }
+        """,
+        {"a": a, "b": b, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    np.testing.assert_array_equal(out["out"], (a + b) & 0xFFFFFFFF)
+
+
+def test_expression_operators_match_python_semantics():
+    n = 64
+    a = np.array([5, -7, 123456, 0, 1, -1, 2**31 - 1, -(2**31)] * 8, dtype=np.int64)
+    b = np.array([3, 2, -5, 7, 1, 4, 13, 3] * 8, dtype=np.int64)
+    out = run_compiled(
+        """
+        __kernel void mix(__global int *a, __global int *b, __global int *out, int n) {
+            int gid = get_global_id(0);
+            int x = a[gid];
+            int y = b[gid];
+            out[gid] = ((x * 3 - y) ^ (x & y)) + ((x | 1) << 2) + (y >> 1);
+        }
+        """,
+        {"a": a, "b": b, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    x, y = a, b
+    expected = (((x * 3 - y) ^ (x & y)) + ((x | 1) << 2) + (y >> 1)) & 0xFFFFFFFF
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_comparisons_and_logical_operators():
+    n = 64
+    a = np.arange(-32, 32, dtype=np.int64)
+    out = run_compiled(
+        """
+        __kernel void classify(__global int *a, __global int *out, int n) {
+            int gid = get_global_id(0);
+            int v = a[gid];
+            out[gid] = (v > 0) * 4 + (v == 0) * 2 + (v < 0 && v > -10) + (v <= -10 || v >= 10) * 8;
+        }
+        """,
+        {"a": a, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    expected = (
+        (a > 0) * 4 + (a == 0) * 2 + ((a < 0) & (a > -10)) + ((a <= -10) | (a >= 10)) * 8
+    ).astype(np.int64)
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_unary_operators():
+    n = 64
+    a = np.arange(-32, 32, dtype=np.int64)
+    out = run_compiled(
+        """
+        __kernel void unary(__global int *a, __global int *out, int n) {
+            int gid = get_global_id(0);
+            int v = a[gid];
+            out[gid] = -v + (~v & 15) + !v;
+        }
+        """,
+        {"a": a, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    expected = ((-a) + (~a & 15) + (a == 0)) & 0xFFFFFFFF
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_min_max_builtins():
+    n = 64
+    a = np.arange(-32, 32, dtype=np.int64)
+    out = run_compiled(
+        """
+        __kernel void clamp(__global int *a, __global int *out, int n) {
+            int gid = get_global_id(0);
+            out[gid] = min(max(a[gid], -5), 5);
+        }
+        """,
+        {"a": a, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    expected = np.clip(a, -5, 5) & 0xFFFFFFFF
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_workitem_builtins_are_consistent_with_the_ndrange():
+    n, wg = 256, 64
+    out = run_compiled(
+        """
+        __kernel void ids(__global int *gid_out, __global int *lid_out, __global int *grp_out,
+                          __global int *sizes, int n) {
+            int gid = get_global_id(0);
+            gid_out[gid] = gid;
+            lid_out[gid] = get_local_id(0);
+            grp_out[gid] = get_group_id(0);
+            sizes[gid] = get_local_size(0) + get_global_size(0) * 1000 + get_num_groups(0) * 100000000;
+        }
+        """,
+        {
+            "gid_out": np.zeros(n, dtype=np.int64),
+            "lid_out": np.zeros(n, dtype=np.int64),
+            "grp_out": np.zeros(n, dtype=np.int64),
+            "sizes": np.zeros(n, dtype=np.int64),
+        },
+        {"n": n},
+        NDRange(n, wg),
+    )
+    gids = np.arange(n)
+    np.testing.assert_array_equal(out["gid_out"], gids)
+    np.testing.assert_array_equal(out["lid_out"], gids % wg)
+    np.testing.assert_array_equal(out["grp_out"], gids // wg)
+    expected_sizes = wg + n * 1000 + (n // wg) * 100000000
+    np.testing.assert_array_equal(out["sizes"], np.full(n, expected_sizes))
+
+
+def test_divergent_if_else_assigns_per_lane():
+    n = 128
+    a = np.arange(n, dtype=np.int64)
+    out = run_compiled(
+        """
+        __kernel void parity(__global int *a, __global int *out, int n) {
+            int gid = get_global_id(0);
+            int v = a[gid];
+            if (v & 1) {
+                out[gid] = v * 3;
+            } else {
+                out[gid] = v >> 1;
+            }
+        }
+        """,
+        {"a": a, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    expected = np.where(a & 1, a * 3, a >> 1)
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_nested_divergent_ifs():
+    n = 128
+    a = np.arange(n, dtype=np.int64)
+    out = run_compiled(
+        """
+        __kernel void nested(__global int *a, __global int *out, int n) {
+            int gid = get_global_id(0);
+            int v = a[gid];
+            int r = 0;
+            if (v > 32) {
+                if (v > 96) {
+                    r = 3;
+                } else {
+                    r = 2;
+                }
+            } else {
+                if (v > 8) { r = 1; }
+            }
+            out[gid] = r;
+        }
+        """,
+        {"a": a, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    expected = np.where(a > 96, 3, np.where(a > 32, 2, np.where(a > 8, 1, 0)))
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_divergent_while_loop_collatz_style():
+    n = 64
+    a = (np.arange(n, dtype=np.int64) % 13) + 1
+    out = run_compiled(
+        """
+        __kernel void count_halvings(__global int *a, __global int *out, int n) {
+            int gid = get_global_id(0);
+            int v = a[gid];
+            int steps = 0;
+            while (v > 1) {
+                v = v >> 1;
+                steps += 1;
+            }
+            out[gid] = steps;
+        }
+        """,
+        {"a": a, "out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    expected = np.array([int(v).bit_length() - 1 for v in a], dtype=np.int64)
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_uniform_for_loop_with_accumulation():
+    n = 64
+    out = run_compiled(
+        """
+        __kernel void triangle(__global int *out, int n) {
+            int gid = get_global_id(0);
+            int total = 0;
+            for (int i = 0; i < 10; i += 1) {
+                total += i * gid;
+            }
+            out[gid] = total;
+        }
+        """,
+        {"out": np.zeros(n, dtype=np.int64)},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    expected = 45 * np.arange(n)
+    np.testing.assert_array_equal(out["out"].astype(np.int64), expected)
+
+
+def test_compound_assignment_to_buffer_element():
+    n = 64
+    a = np.arange(n, dtype=np.int64)
+    out = run_compiled(
+        """
+        __kernel void scale_in_place(__global int *a, int n) {
+            int gid = get_global_id(0);
+            a[gid] *= 5;
+            a[gid] += 1;
+        }
+        """,
+        {"a": a},
+        {"n": n},
+        NDRange(n, 64),
+    )
+    np.testing.assert_array_equal(out["a"].astype(np.int64), a * 5 + 1)
+
+
+def test_barrier_compiles_to_a_barrier_instruction():
+    kernel = compile_kernel(
+        """
+        __kernel void with_barrier(__global int *a, int n) {
+            int gid = get_global_id(0);
+            a[gid] = gid;
+            barrier(CLK_GLOBAL_MEM_FENCE);
+            a[gid] += 1;
+        }
+        """
+    )
+    opcodes = [instruction.opcode for instruction in kernel.program.instructions]
+    assert Opcode.BARRIER in opcodes
+    assert opcodes[-1] is Opcode.RET
+
+
+def test_uniform_branch_avoids_mask_instructions():
+    kernel = compile_kernel(
+        """
+        __kernel void uniform_branch(__global int *a, int n) {
+            int gid = get_global_id(0);
+            if (n > 100) {
+                a[gid] = 1;
+            } else {
+                a[gid] = 2;
+            }
+        }
+        """
+    )
+    opcodes = [instruction.opcode for instruction in kernel.program.instructions]
+    assert Opcode.PUSHM not in opcodes
+    assert Opcode.BEQ in opcodes
+
+
+def test_varying_branch_uses_mask_instructions():
+    kernel = compile_kernel(
+        """
+        __kernel void varying_branch(__global int *a, int n) {
+            int gid = get_global_id(0);
+            if (gid > 100) {
+                a[gid] = 1;
+            } else {
+                a[gid] = 2;
+            }
+        }
+        """
+    )
+    opcodes = [instruction.opcode for instruction in kernel.program.instructions]
+    assert Opcode.PUSHM in opcodes
+    assert Opcode.INVM in opcodes
+    assert Opcode.POPM in opcodes
+
+
+def test_register_exhaustion_is_reported():
+    declarations = "".join(f"int v{i} = {i};" for i in range(40))
+    with pytest.raises(CompilationError, match="registers"):
+        compile_kernel(f"__kernel void too_many(__global int *a, int n) {{ {declarations} }}")
+
+
+def test_kernel_selection_by_name():
+    source = """
+    __kernel void first(__global int *a, int n) { int gid = get_global_id(0); a[gid] = 1; }
+    __kernel void second(__global int *a, int n) { int gid = get_global_id(0); a[gid] = 2; }
+    """
+    program = compile_source(source)
+    assert program.kernel_names == ["first", "second"]
+    assert program.to_ggpu_kernel("second").name == "second"
+    with pytest.raises(CompilationError, match="no kernel named"):
+        program.to_ggpu_kernel("third")

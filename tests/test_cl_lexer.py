@@ -1,0 +1,112 @@
+"""Unit tests for the OpenCL-C lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cl.lexer import Token, TokenKind, tokenize
+from repro.errors import CompilationError
+
+
+def kinds(source: str):
+    return [token.kind for token in tokenize(source)[:-1]]
+
+
+def texts(source: str):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_only_end_token():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.END
+
+
+def test_keywords_and_identifiers_are_distinguished():
+    tokens = tokenize("__kernel void foo int uint bar")
+    assert [token.kind for token in tokens[:-1]] == [
+        TokenKind.KEYWORD,
+        TokenKind.KEYWORD,
+        TokenKind.IDENT,
+        TokenKind.KEYWORD,
+        TokenKind.KEYWORD,
+        TokenKind.IDENT,
+    ]
+
+
+def test_decimal_and_hex_numbers_carry_their_value():
+    tokens = tokenize("42 0x1F 0 123456789")
+    assert [token.value for token in tokens[:-1]] == [42, 31, 0, 123456789]
+    assert all(token.kind is TokenKind.NUMBER for token in tokens[:-1])
+
+
+def test_integer_suffixes_are_accepted_and_discarded():
+    tokens = tokenize("7u 8U 9L")
+    assert [token.value for token in tokens[:-1]] == [7, 8, 9]
+
+
+def test_identifier_starting_with_digit_is_rejected():
+    with pytest.raises(CompilationError):
+        tokenize("int 3abc;")
+
+
+def test_multi_character_operators_use_maximal_munch():
+    assert texts("a <<= b >> c >= d == e && f") == [
+        "a",
+        "<<=",
+        "b",
+        ">>",
+        "c",
+        ">=",
+        "d",
+        "==",
+        "e",
+        "&&",
+        "f",
+    ]
+
+
+def test_increment_and_decrement_tokens():
+    assert texts("i++ ; j--") == ["i", "++", ";", "j", "--"]
+
+
+def test_line_comments_are_skipped():
+    assert texts("a // comment with * and /\n b") == ["a", "b"]
+
+
+def test_block_comments_are_skipped_and_may_span_lines():
+    assert texts("a /* one\n two */ b") == ["a", "b"]
+
+
+def test_unterminated_block_comment_is_an_error():
+    with pytest.raises(CompilationError):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_is_an_error():
+    with pytest.raises(CompilationError):
+        tokenize("int a = @;")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("int a;\n  b = 1;")
+    ident_b = [token for token in tokens if token.text == "b"][0]
+    assert ident_b.line == 2
+    assert ident_b.column == 3
+
+
+def test_token_helpers():
+    token = Token(TokenKind.OPERATOR, "+", 1, 1)
+    assert token.is_op("+")
+    assert not token.is_op("-")
+    assert not token.is_keyword("if")
+    assert token.location() == "1:1"
+
+
+def test_kernel_source_tokenizes_end_to_end():
+    source = "__kernel void f(__global int *a) { a[0] = 1; }"
+    token_kinds = kinds(source)
+    assert TokenKind.KEYWORD in token_kinds
+    assert TokenKind.IDENT in token_kinds
+    assert TokenKind.NUMBER in token_kinds
+    assert tokenize(source)[-1].kind is TokenKind.END

@@ -1,0 +1,189 @@
+"""Unit tests for the OpenCL-C parser (AST shape and syntax errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cl.nodes import (
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Call,
+    CType,
+    DeclStmt,
+    ForStmt,
+    IfStmt,
+    Index,
+    IntLiteral,
+    ReturnStmt,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+from repro.cl.parser import parse
+from repro.errors import CompilationError
+
+
+def parse_single_kernel(body: str, params: str = "__global int *a, int n"):
+    unit = parse(f"__kernel void k({params}) {{ {body} }}")
+    return unit.kernels[0]
+
+
+def test_kernel_signature_is_parsed():
+    kernel = parse_single_kernel("", params="__global int *buf, __global uint *out, int n, uint m")
+    assert kernel.name == "k"
+    assert [param.name for param in kernel.params] == ["buf", "out", "n", "m"]
+    assert [param.is_pointer for param in kernel.params] == [True, True, False, False]
+    assert kernel.params[2].ctype is CType.INT
+    assert kernel.params[3].ctype is CType.UINT
+
+
+def test_multiple_kernels_in_one_source():
+    unit = parse(
+        "__kernel void f(int n) { }\n__kernel void g(int n) { }"
+    )
+    assert [kernel.name for kernel in unit.kernels] == ["f", "g"]
+    assert unit.kernel("g").name == "g"
+
+
+def test_empty_source_is_rejected():
+    with pytest.raises(CompilationError):
+        parse("   ")
+
+
+def test_global_scalar_parameter_is_rejected():
+    with pytest.raises(CompilationError):
+        parse("__kernel void k(__global int a) { }")
+
+
+def test_declaration_with_multiple_declarators():
+    kernel = parse_single_kernel("int x = 1, y, z = 2;")
+    declaration = kernel.body[0]
+    assert isinstance(declaration, DeclStmt)
+    assert declaration.names == ("x", "y", "z")
+    assert isinstance(declaration.inits[0], IntLiteral)
+    assert declaration.inits[1] is None
+    assert isinstance(declaration.inits[2], IntLiteral)
+
+
+def test_operator_precedence_multiplication_binds_tighter_than_addition():
+    kernel = parse_single_kernel("int x = 1 + 2 * 3;")
+    expr = kernel.body[0].inits[0]
+    assert isinstance(expr, BinaryOp) and expr.op == "+"
+    assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+
+def test_operator_precedence_comparison_vs_logical():
+    kernel = parse_single_kernel("int x = a_var < 3 && b_var > 4;", params="int a_var, int b_var")
+    expr = kernel.body[0].inits[0]
+    assert isinstance(expr, BinaryOp) and expr.op == "&&"
+    assert expr.left.op == "<"
+    assert expr.right.op == ">"
+
+
+def test_left_associativity_of_subtraction():
+    kernel = parse_single_kernel("int x = 10 - 4 - 3;")
+    expr = kernel.body[0].inits[0]
+    assert expr.op == "-"
+    assert isinstance(expr.left, BinaryOp) and expr.left.op == "-"
+    assert isinstance(expr.right, IntLiteral) and expr.right.value == 3
+
+
+def test_parentheses_override_precedence():
+    kernel = parse_single_kernel("int x = (1 + 2) * 3;")
+    expr = kernel.body[0].inits[0]
+    assert expr.op == "*"
+    assert isinstance(expr.left, BinaryOp) and expr.left.op == "+"
+
+
+def test_unary_operators_nest():
+    kernel = parse_single_kernel("int x = -~3; int y = !n;")
+    negate = kernel.body[0].inits[0]
+    assert isinstance(negate, UnaryOp) and negate.op == "-"
+    assert isinstance(negate.operand, UnaryOp) and negate.operand.op == "~"
+    bang = kernel.body[1].inits[0]
+    assert isinstance(bang, UnaryOp) and bang.op == "!"
+
+
+def test_index_and_call_expressions():
+    kernel = parse_single_kernel("int x = a[get_global_id(0) + 1];")
+    index = kernel.body[0].inits[0]
+    assert isinstance(index, Index) and index.base == "a"
+    assert isinstance(index.index, BinaryOp)
+    assert isinstance(index.index.left, Call)
+    assert index.index.left.name == "get_global_id"
+
+
+def test_assignment_forms():
+    kernel = parse_single_kernel("int x = 0; x += 2; x <<= 1; a[x] = 3; x++; x--;")
+    ops = [stmt.op for stmt in kernel.body if isinstance(stmt, AssignStmt)]
+    assert ops == ["+=", "<<=", "=", "+=", "-="]
+    increments = [stmt for stmt in kernel.body if isinstance(stmt, AssignStmt)][-2:]
+    assert all(isinstance(stmt.value, IntLiteral) and stmt.value.value == 1 for stmt in increments)
+
+
+def test_if_else_and_else_if_chains():
+    kernel = parse_single_kernel(
+        "if (n > 0) { n = 1; } else if (n < 0) { n = 2; } else { n = 3; }"
+    )
+    outer = kernel.body[0]
+    assert isinstance(outer, IfStmt) and outer.has_else
+    nested = outer.else_body[0]
+    assert isinstance(nested, IfStmt) and nested.has_else
+
+
+def test_if_accepts_single_statement_bodies():
+    kernel = parse_single_kernel("if (n) n = 0; else n = 1;")
+    statement = kernel.body[0]
+    assert isinstance(statement, IfStmt)
+    assert len(statement.then_body) == 1
+    assert len(statement.else_body) == 1
+
+
+def test_while_and_for_loops():
+    kernel = parse_single_kernel(
+        "int s = 0; while (s < n) { s += 1; } for (int i = 0; i < n; i++) { s += i; }"
+    )
+    assert isinstance(kernel.body[1], WhileStmt)
+    loop = kernel.body[2]
+    assert isinstance(loop, ForStmt)
+    assert isinstance(loop.init, DeclStmt)
+    assert isinstance(loop.step, AssignStmt)
+
+
+def test_for_loop_parts_may_be_empty_except_reported_at_codegen():
+    kernel = parse_single_kernel("for (;;) { n = 1; }")
+    loop = kernel.body[0]
+    assert isinstance(loop, ForStmt)
+    assert loop.init is None and loop.condition is None and loop.step is None
+
+
+def test_barrier_and_return_statements():
+    kernel = parse_single_kernel("barrier(CLK_LOCAL_MEM_FENCE); return;")
+    assert isinstance(kernel.body[0], BarrierStmt)
+    assert isinstance(kernel.body[1], ReturnStmt)
+
+
+def test_missing_semicolon_is_a_parse_error():
+    with pytest.raises(CompilationError):
+        parse_single_kernel("int x = 1 int y = 2;")
+
+
+def test_unterminated_block_is_a_parse_error():
+    with pytest.raises(CompilationError):
+        parse("__kernel void k(int n) { int x = 1;")
+
+
+def test_expression_statement_without_assignment_is_rejected():
+    with pytest.raises(CompilationError):
+        parse_single_kernel("n + 1;")
+
+
+def test_bare_nested_blocks_are_rejected():
+    with pytest.raises(CompilationError):
+        parse_single_kernel("{ int x = 1; }")
+
+
+def test_missing_kernel_qualifier_is_rejected():
+    with pytest.raises(CompilationError):
+        parse("void k(int n) { }")

@@ -1,0 +1,181 @@
+"""Unit tests for semantic analysis: types, symbol tables, and uniformity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cl.compiler import compile_source
+from repro.cl.nodes import CType
+from repro.cl.parser import parse
+from repro.cl.semantics import analyze
+from repro.errors import CompilationError
+
+
+def analyze_kernel(body: str, params: str = "__global int *a, __global int *b, int n"):
+    unit = analyze(parse(f"__kernel void k({params}) {{ {body} }}"))
+    return unit.kernels[0]
+
+
+# --------------------------------------------------------------------------- #
+# Symbol table and type checking
+# --------------------------------------------------------------------------- #
+def test_symbols_cover_params_and_locals():
+    kernel = analyze_kernel("int x = 0; uint y = 1;")
+    assert set(kernel.symbols) == {"a", "b", "n", "x", "y"}
+    assert kernel.symbols["a"].is_pointer and kernel.symbols["a"].is_param
+    assert kernel.symbols["x"].ctype is CType.INT
+    assert kernel.symbols["y"].ctype is CType.UINT
+
+
+def test_undeclared_identifier_is_rejected():
+    with pytest.raises(CompilationError, match="undeclared"):
+        analyze_kernel("x = 1;")
+
+
+def test_redeclaration_is_rejected():
+    with pytest.raises(CompilationError, match="redeclaration"):
+        analyze_kernel("int x = 0; int x = 1;")
+
+
+def test_duplicate_parameter_is_rejected():
+    with pytest.raises(CompilationError, match="duplicate parameter"):
+        analyze_kernel("", params="int n, int n")
+
+
+def test_duplicate_kernel_names_are_rejected():
+    source = "__kernel void k(int n) { }\n__kernel void k(int n) { }"
+    with pytest.raises(CompilationError, match="duplicate kernel"):
+        analyze(parse(source))
+
+
+def test_indexing_a_scalar_is_rejected():
+    with pytest.raises(CompilationError, match="cannot be indexed"):
+        analyze_kernel("int x = n[0];")
+
+
+def test_arithmetic_on_a_buffer_is_rejected():
+    with pytest.raises(CompilationError, match="buffer"):
+        analyze_kernel("int x = a + 1;")
+
+
+def test_reassigning_a_buffer_parameter_is_rejected():
+    with pytest.raises(CompilationError, match="cannot be reassigned"):
+        analyze_kernel("a = b;")
+
+
+def test_unknown_function_is_rejected():
+    with pytest.raises(CompilationError, match="unknown function"):
+        analyze_kernel("int x = dot(1, 2);")
+
+
+def test_builtin_arity_is_checked():
+    with pytest.raises(CompilationError, match="argument"):
+        analyze_kernel("int x = get_global_id();")
+    with pytest.raises(CompilationError, match="argument"):
+        analyze_kernel("int x = min(1);")
+
+
+def test_only_dimension_zero_is_supported():
+    with pytest.raises(CompilationError, match="dimension 0"):
+        analyze_kernel("int x = get_global_id(1);")
+
+
+def test_return_must_be_the_last_top_level_statement():
+    with pytest.raises(CompilationError, match="last top-level"):
+        analyze_kernel("return; int x = 1;")
+    with pytest.raises(CompilationError, match="inside control flow"):
+        analyze_kernel("if (n) { return; }")
+    kernel = analyze_kernel("int x = 1; return;")
+    assert kernel.symbols["x"].ctype is CType.INT
+
+
+def test_comparison_results_are_int_typed():
+    kernel = analyze_kernel("int x = n < 3;")
+    assert kernel.body[0].inits[0].ctype is CType.INT
+
+
+def test_uint_propagates_through_arithmetic():
+    kernel = analyze_kernel("uint u = 1; int x = 0; x = u + x;")
+    assignment = kernel.body[-1]
+    assert assignment.value.ctype is CType.UINT
+
+
+# --------------------------------------------------------------------------- #
+# Uniformity analysis
+# --------------------------------------------------------------------------- #
+def test_global_id_is_varying_and_group_id_is_uniform():
+    kernel = analyze_kernel("int gid = get_global_id(0); int wg = get_group_id(0);")
+    assert kernel.symbols["gid"].varying
+    assert not kernel.symbols["wg"].varying
+
+
+def test_memory_loads_are_varying():
+    kernel = analyze_kernel("int x = a[0];")
+    assert kernel.symbols["x"].varying
+
+
+def test_scalar_parameters_and_literals_are_uniform():
+    kernel = analyze_kernel("int x = n * 2 + 1;")
+    assert not kernel.symbols["x"].varying
+
+
+def test_varyingness_propagates_through_assignments():
+    kernel = analyze_kernel(
+        "int gid = get_global_id(0); int x = 0; x = gid + 1; int y = x * 2;"
+    )
+    assert kernel.symbols["x"].varying
+    assert kernel.symbols["y"].varying
+
+
+def test_control_dependence_makes_assigned_variables_varying():
+    kernel = analyze_kernel(
+        "int gid = get_global_id(0); int flag = 0; if (gid > 4) { flag = 1; }"
+    )
+    assert kernel.symbols["flag"].varying
+
+
+def test_uniform_loop_counter_stays_uniform():
+    kernel = analyze_kernel("int s = 0; for (int i = 0; i < n; i += 1) { s += i; }")
+    assert not kernel.symbols["i"].varying
+    assert not kernel.symbols["s"].varying
+
+
+def test_varying_loop_bound_makes_body_assignments_varying():
+    kernel = analyze_kernel(
+        "int gid = get_global_id(0); int s = 0; for (int i = 0; i < gid; i += 1) { s += 1; }"
+    )
+    assert kernel.symbols["s"].varying
+    assert kernel.symbols["i"].varying
+
+
+def test_if_condition_annotated_for_codegen():
+    program = compile_source(
+        """
+        __kernel void k(__global int *a, int n) {
+            int gid = get_global_id(0);
+            if (gid < n) { a[gid] = 0; }
+            if (n > 2) { a[0] = 1; }
+        }
+        """
+    )
+    declaration = program.declaration()
+    varying_if, uniform_if = declaration.body[1], declaration.body[2]
+    assert varying_if.condition.varying
+    assert not uniform_if.condition.varying
+
+
+def test_kernel_info_summary():
+    program = compile_source(
+        """
+        __kernel void saxpy(__global int *x, __global int *y, __global int *out, int alpha, int n) {
+            int gid = get_global_id(0);
+            out[gid] = alpha * x[gid] + y[gid];
+        }
+        """
+    )
+    info = program.info()
+    assert info.name == "saxpy"
+    assert info.buffer_params == ("x", "y", "out")
+    assert info.scalar_params == ("alpha", "n")
+    assert info.num_params == 5
+    assert info.num_varying_vars >= 1

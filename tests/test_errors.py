@@ -1,0 +1,30 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exception",
+    [
+        errors.ConfigurationError,
+        errors.TechnologyError,
+        errors.AssemblyError,
+        errors.SimulationError,
+        errors.KernelError,
+        errors.NetlistError,
+        errors.TimingError,
+        errors.SynthesisError,
+        errors.PhysicalDesignError,
+        errors.PlanningError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exception):
+    assert issubclass(exception, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exception("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)

@@ -1,0 +1,126 @@
+"""Evaluation harness: Table III measurements, speed-ups, tables, and figures.
+
+All simulation here runs at strongly reduced input sizes so the suite stays
+fast; the full paper-sized regeneration lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.eval.benchmarks import (
+    BenchmarkSizes,
+    measure_gpu_kernel,
+    measure_riscv_program,
+    run_table3,
+)
+from repro.eval.comparison import (
+    AreaRatios,
+    compute_area_ratios,
+    compute_speedups,
+    derate_by_area,
+)
+from repro.eval.figures import build_figure3, build_figure4, format_speedup_chart
+from repro.eval.paper_data import (
+    PAPER_AREA_RATIOS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    paper_speedup,
+    paper_speedup_per_area,
+)
+from repro.eval.tables import build_physical_versions, build_table2, format_table3
+
+
+@pytest.fixture(scope="module")
+def small_table3():
+    return run_table3(kernels=["copy", "div_int"], cu_counts=(1, 2), scale=0.125)
+
+
+def test_benchmark_sizes_scaling():
+    sizes = BenchmarkSizes.paper("vec_mul")
+    assert sizes.riscv_size == 1024 and sizes.gpu_size == 65536
+    scaled = sizes.scaled(0.01)
+    assert scaled.riscv_size >= 64 and scaled.gpu_size >= 64
+    assert scaled.gpu_size % 64 == 0
+    with pytest.raises(KernelError):
+        sizes.scaled(2.0)
+
+
+def test_measurements_report_cycles_and_sizes():
+    gpu = measure_gpu_kernel("copy", num_cus=1, input_size=256)
+    riscv = measure_riscv_program("copy", input_size=64)
+    assert gpu.cycles > 0 and riscv.cycles > 0
+    assert gpu.kcycles == pytest.approx(gpu.cycles / 1000)
+    assert gpu.input_size == 256 and riscv.input_size == 64
+
+
+def test_table3_structure(small_table3):
+    assert small_table3.kernels == ["copy", "div_int"]
+    row = small_table3.row("copy")
+    assert row.riscv_size >= 64
+    assert set(row.gpu) == {1, 2}
+    assert row.gpu_kcycles(1) >= row.gpu_kcycles(2) * 0.9
+    with pytest.raises(KernelError):
+        small_table3.row("missing")
+    text = format_table3(small_table3)
+    assert "copy" in text and "RISC-V" in text
+
+
+def test_speedup_computation_uses_input_ratio(small_table3):
+    speedups = compute_speedups(small_table3)
+    row = small_table3.row("copy")
+    expected = row.riscv.cycles * (row.gpu_size / row.riscv_size) / row.gpu[1].cycles
+    assert speedups.value("copy", 1) == pytest.approx(expected)
+    assert speedups.best() > 0
+    assert speedups.best_kernel() in ("copy", "div_int")
+    with pytest.raises(KernelError):
+        speedups.value("copy", 8)
+    chart = format_speedup_chart(speedups)
+    assert "copy" in chart and "#" in chart
+
+
+def test_area_ratio_derating(small_table3):
+    speedups = compute_speedups(small_table3)
+    ratios = AreaRatios(riscv_area_mm2=0.5, ggpu_area_mm2={1: 2.0, 2: 4.0})
+    derated = derate_by_area(speedups, ratios)
+    assert derated.value("copy", 1) == pytest.approx(speedups.value("copy", 1) / 4.0)
+    assert ratios.ratio(2) == pytest.approx(8.0)
+    with pytest.raises(KernelError):
+        ratios.ratio(8)
+
+
+def test_computed_area_ratios_match_paper_shape(tech):
+    ratios = compute_area_ratios(tech, cu_counts=(1, 8))
+    assert ratios.ratio(1) == pytest.approx(PAPER_AREA_RATIOS[1], rel=0.15)
+    assert ratios.ratio(8) == pytest.approx(PAPER_AREA_RATIOS[8], rel=0.15)
+    assert ratios.ratio(8) > 5 * ratios.ratio(1)
+
+
+@pytest.fixture(scope="module")
+def physical_layouts(tech):
+    return build_physical_versions(tech)
+
+
+def test_table2_and_figures_3_4(tech, physical_layouts):
+    estimates = build_table2(tech, physical_layouts)
+    assert len(estimates) == 4
+    labels = [f"{estimate.design}@{estimate.frequency_mhz:.0f}MHz" for estimate in estimates]
+    assert labels[0] == "1CU@500MHz"
+    assert labels[3].startswith("8CU@")  # achieved ~600 MHz, not the 667 target
+    assert not labels[3].endswith("667MHz")
+    slow_1cu, fast_1cu = build_figure3(tech, physical_layouts)
+    assert fast_1cu.floorplan.die_area_mm2 > slow_1cu.floorplan.die_area_mm2
+    slow_8cu, fast_8cu = build_figure4(tech, physical_layouts)
+    assert len(fast_8cu.floorplan.cu_placements) == 8
+    assert fast_8cu.achieved_frequency_mhz < 667.0
+
+
+def test_paper_data_consistency():
+    assert len(PAPER_TABLE1) == 12
+    assert set(PAPER_TABLE2) == {"M2", "M3", "M4", "M5", "M6", "M7"}
+    assert len(PAPER_TABLE3) == 7
+    # The abstract's headline: up to 223x raw speed-up, up to ~10x per area.
+    assert paper_speedup("mat_mul", 8) == pytest.approx(223.0, rel=0.05)
+    assert paper_speedup_per_area("mat_mul", 1) == pytest.approx(10.2, rel=0.05)
+    # Derated by area the 8-CU configuration is the worst (paper's Fig. 6 trend).
+    assert paper_speedup_per_area("mat_mul", 8) < paper_speedup_per_area("mat_mul", 1)

@@ -1,0 +1,163 @@
+"""Property-based tests for the extension modules (Verilog, export, cl, scaling).
+
+These complement ``test_properties.py`` (which covers the core technology and
+netlist models) with invariants of the newer subsystems: the emitted Verilog
+always mirrors the netlist's structural counts, memory division is visible and
+consistent across every artifact, the DEF export round-trips its placement,
+and the compiler's uniformity analysis decides mask-based vs. branch-based
+lowering exactly as specified.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import GGPUConfig
+from repro.arch.isa import Opcode
+from repro.cl import compile_kernel
+from repro.rtl.generator import GeneratorOptions, generate_ggpu_netlist
+from repro.rtl.timing import max_frequency_mhz
+from repro.rtl.transforms import split_memory_group, splittable_groups
+from repro.rtl.verilog import emit_verilog, verilog_statistics
+from repro.tech.technology import default_65nm
+
+TECH = default_65nm()
+
+
+# --------------------------------------------------------------------------- #
+# Verilog emission invariants
+# --------------------------------------------------------------------------- #
+@settings(max_examples=10, deadline=None)
+@given(
+    num_cus=st.integers(min_value=1, max_value=4),
+    divisions=st.integers(min_value=0, max_value=6),
+    single_port=st.booleans(),
+)
+def test_verilog_statistics_always_match_the_netlist(num_cus, divisions, single_port):
+    """However the netlist was generated and transformed, the emitted Verilog
+    contains exactly one macro instantiation per physical SRAM macro and one
+    wrapper per memory group."""
+    options = GeneratorOptions(single_port_memories=single_port)
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=num_cus), name="prop_v", options=options)
+    names = splittable_groups(netlist, TECH)
+    for index in range(divisions):
+        split_memory_group(netlist, names[index % len(names)], TECH)
+    stats = verilog_statistics(emit_verilog(netlist, TECH).text())
+    assert stats["macro_instances"] == netlist.total_macros()
+    assert stats["group_wrappers"] == len(netlist.memory_groups)
+    assert stats["logic_stubs"] == len(netlist.logic_blocks)
+
+
+@settings(max_examples=10, deadline=None)
+@given(splits=st.integers(min_value=1, max_value=8))
+def test_memory_division_never_lowers_the_achievable_frequency(splits):
+    """Dividing any splittable memory keeps every path at least as fast."""
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=1), name="prop_split")
+    before = max_frequency_mhz(netlist, TECH)
+    names = splittable_groups(netlist, TECH)
+    for index in range(splits):
+        split_memory_group(netlist, names[index % len(names)], TECH)
+    after = max_frequency_mhz(netlist, TECH)
+    assert after >= before - 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(splits=st.integers(min_value=1, max_value=6))
+def test_memory_division_preserves_total_capacity(splits):
+    """Division changes the macro organization, never the stored bits."""
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=1), name="prop_bits")
+    capacity_before = {name: group.total_bits for name, group in netlist.memory_groups.items()}
+    names = splittable_groups(netlist, TECH)
+    for index in range(splits):
+        split_memory_group(netlist, names[index % len(names)], TECH)
+    for name, group in netlist.memory_groups.items():
+        assert group.total_bits == capacity_before[name]
+        assert group.num_macros == 2**group.mux_levels
+
+
+# --------------------------------------------------------------------------- #
+# Compiler lowering invariants
+# --------------------------------------------------------------------------- #
+_UNIFORM_CONDITIONS = ("n > 4", "get_group_id(0) == 1", "get_num_groups(0) < n", "n != 0")
+_VARYING_CONDITIONS = ("get_global_id(0) > 4", "a[get_global_id(0)] != 0", "get_local_id(0) < n")
+
+
+@settings(max_examples=20, deadline=None)
+@given(condition=st.sampled_from(_UNIFORM_CONDITIONS), scale=st.integers(1, 5))
+def test_uniform_conditions_never_lower_to_mask_instructions(condition, scale):
+    kernel = compile_kernel(
+        f"""
+        __kernel void k(__global int *a, int n) {{
+            int gid = get_global_id(0);
+            if ({condition}) {{ a[gid] = {scale} * gid; }} else {{ a[gid] = {scale}; }}
+        }}
+        """
+    )
+    opcodes = [instruction.opcode for instruction in kernel.program.instructions]
+    assert Opcode.PUSHM not in opcodes
+    assert Opcode.CMASK not in opcodes
+    assert Opcode.BEQ in opcodes
+
+
+@settings(max_examples=20, deadline=None)
+@given(condition=st.sampled_from(_VARYING_CONDITIONS), scale=st.integers(1, 5))
+def test_varying_conditions_always_lower_to_mask_instructions(condition, scale):
+    kernel = compile_kernel(
+        f"""
+        __kernel void k(__global int *a, int n) {{
+            int gid = get_global_id(0);
+            if ({condition}) {{ a[gid] = {scale} * gid; }}
+        }}
+        """
+    )
+    opcodes = [instruction.opcode for instruction in kernel.program.instructions]
+    assert Opcode.PUSHM in opcodes
+    assert Opcode.CMASK in opcodes
+    assert Opcode.POPM in opcodes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bound=st.integers(min_value=1, max_value=64),
+    stride=st.integers(min_value=1, max_value=8),
+)
+def test_uniform_loops_lower_to_plain_branches(bound, stride):
+    kernel = compile_kernel(
+        f"""
+        __kernel void k(__global int *a, int n) {{
+            int gid = get_global_id(0);
+            int total = 0;
+            for (int i = 0; i < {bound}; i += {stride}) {{ total += i; }}
+            a[gid] = total;
+        }}
+        """
+    )
+    opcodes = [instruction.opcode for instruction in kernel.program.instructions]
+    assert Opcode.PUSHM not in opcodes
+    assert Opcode.JMP in opcodes and Opcode.BEQ in opcodes
+
+
+# --------------------------------------------------------------------------- #
+# DEF export round trip
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("num_cus, frequency", [(1, 500.0), (2, 667.0)])
+def test_def_round_trips_every_macro_location(num_cus, frequency):
+    from repro.physical.export import DEF_UNITS_PER_UM, build_def, parse_def_components
+    from repro.physical.layout import PhysicalSynthesis
+    from repro.planner.optimizer import TimingOptimizer
+    from repro.synth.logic import LogicSynthesis
+
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=num_cus), name=f"prop_def_{num_cus}")
+    TimingOptimizer(TECH).close_timing(netlist, frequency)
+    synthesis = LogicSynthesis(TECH).run(netlist, frequency)
+    layout = PhysicalSynthesis(TECH).run(netlist, synthesis, frequency)
+
+    components = {
+        name: (x, y) for name, _, x, y in parse_def_components(build_def(layout, netlist))
+    }
+    assert len(components) == len(layout.macro_placements)
+    for macro in layout.macro_placements:
+        x, y = components[macro.name.replace("/", "_")]
+        assert x == pytest.approx(macro.rect.x * DEF_UNITS_PER_UM, abs=1)
+        assert y == pytest.approx(macro.rect.y * DEF_UNITS_PER_UM, abs=1)

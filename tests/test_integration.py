@@ -1,0 +1,87 @@
+"""Cross-module integration tests: the paper's claims end to end (scaled down)."""
+
+import pytest
+
+from repro import GGPUSpec, GpuPlannerFlow, default_65nm
+from repro.eval.benchmarks import measure_gpu_kernel, measure_riscv_program
+from repro.eval.comparison import compute_speedups
+from repro.eval.benchmarks import run_table3
+from repro.planner.dse import DesignSpaceExplorer
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return GpuPlannerFlow(default_65nm())
+
+
+def test_full_flow_produces_consistent_artifacts(flow):
+    """Spec -> estimate -> netlist -> synthesis -> layout agree with each other."""
+    result = flow.run(GGPUSpec(num_cus=2, target_frequency_mhz=590.0))
+    assert result.meets_specification
+    # The first-order estimate is within 20% of the synthesized area.
+    assert result.estimate.estimated_area_mm2 == pytest.approx(
+        result.synthesis.total_area_mm2, rel=0.20
+    )
+    # Every divided memory recommended by the map exists in the netlist with
+    # more than one macro.
+    divided_groups = [
+        group for group in result.netlist.memory_groups.values() if group.mux_levels > 0
+    ]
+    assert divided_groups
+    assert result.layout.floorplan.die_area_mm2 > result.synthesis.total_area_mm2
+    assert len(result.layout.macro_placements) == result.synthesis.num_macros
+
+
+def test_design_space_exploration_matches_paper_trends(tech):
+    """Area grows ~linearly with CUs; the 667 MHz step costs little extra area."""
+    explorer = DesignSpaceExplorer(tech)
+    points = {
+        (point.spec.num_cus, point.spec.target_frequency_mhz): point
+        for point in explorer.explore(cu_counts=(1, 2), frequencies_mhz=(500.0, 590.0, 667.0))
+    }
+    assert all(point.met for point in points.values())
+    area_500_to_590 = points[(1, 590.0)].area_mm2 / points[(1, 500.0)].area_mm2
+    area_590_to_667 = points[(1, 667.0)].area_mm2 / points[(1, 590.0)].area_mm2
+    # Paper: ~10% growth for 500->590 and ~2% for 590->667.
+    assert 1.0 < area_500_to_590 < 1.20
+    assert 1.0 <= area_590_to_667 < 1.06
+    assert area_590_to_667 < area_500_to_590
+
+
+def test_parallel_kernels_beat_serial_kernels_on_the_ggpu():
+    """The qualitative split of Fig. 5: mat_mul benefits, div_int barely does."""
+    table = run_table3(kernels=["mat_mul", "div_int"], cu_counts=(1, 2), scale=0.25)
+    speedups = compute_speedups(table)
+    assert speedups.value("mat_mul", 2) > speedups.value("mat_mul", 1)
+    assert speedups.value("mat_mul", 2) > 5 * speedups.value("div_int", 2)
+    assert speedups.value("div_int", 1) < 5.0
+
+
+def test_gpu_scaling_saturates_for_bandwidth_bound_kernels():
+    """copy gains little beyond a few CUs (AXI bandwidth wall)."""
+    one = measure_gpu_kernel("copy", num_cus=1, input_size=8192)
+    four = measure_gpu_kernel("copy", num_cus=4, input_size=8192)
+    eight = measure_gpu_kernel("copy", num_cus=8, input_size=8192)
+    assert four.cycles < one.cycles
+    gain_4_to_8 = four.cycles / eight.cycles
+    assert gain_4_to_8 < 1.6  # far from the ideal 2x
+
+
+def test_riscv_and_gpu_agree_on_results_at_scale():
+    gpu = measure_gpu_kernel("fir", num_cus=2, input_size=256)
+    riscv = measure_riscv_program("fir", input_size=256)
+    assert gpu.cycles > 0 and riscv.cycles > 0
+    # Correctness is asserted inside the measurement helpers (check=True); the
+    # cycle counts must both be positive and the GPU must need fewer cycles
+    # for the same input here (fir parallelizes well).
+    assert gpu.cycles < riscv.cycles
+
+
+def test_eight_cu_at_667_is_the_only_failing_paper_version(flow):
+    """Of the four physically implemented versions, only 8CU@667MHz misses."""
+    outcomes = {}
+    for num_cus, frequency in ((1, 500.0), (1, 667.0), (8, 500.0), (8, 667.0)):
+        result = flow.run(GGPUSpec(num_cus=num_cus, target_frequency_mhz=frequency))
+        outcomes[(num_cus, frequency)] = result.meets_specification
+    assert outcomes[(1, 500.0)] and outcomes[(1, 667.0)] and outcomes[(8, 500.0)]
+    assert not outcomes[(8, 667.0)]

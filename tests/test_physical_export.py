@@ -1,0 +1,126 @@
+"""Tests for the DEF/LEF/SVG layout exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.physical.export import (
+    DEF_UNITS_PER_UM,
+    build_def,
+    build_lef,
+    export_layout_bundle,
+    macro_cell_name,
+    parse_def_components,
+    parse_def_die_area_um,
+    render_svg,
+)
+from repro.physical.layout import PhysicalSynthesis
+from repro.planner.optimizer import TimingOptimizer
+from repro.rtl.generator import generate_ggpu_netlist
+from repro.synth.logic import LogicSynthesis
+from repro.tech.sram import SramMacroSpec, SramPort
+from repro.tech.technology import default_65nm
+
+
+@pytest.fixture(scope="module")
+def implemented():
+    """One fully implemented 1-CU, 667 MHz version (netlist + layout)."""
+    tech = default_65nm()
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=1), name="export_1cu_667")
+    TimingOptimizer(tech).close_timing(netlist, 667.0)
+    synthesis = LogicSynthesis(tech).run(netlist, 667.0)
+    layout = PhysicalSynthesis(tech).run(netlist, synthesis, 667.0)
+    return tech, netlist, layout
+
+
+def test_macro_cell_names():
+    assert macro_cell_name(SramMacroSpec(1024, 32, SramPort.DUAL)) == "SRAM_DP_1024X32"
+    assert macro_cell_name(SramMacroSpec(64, 8, SramPort.SINGLE)) == "SRAM_SP_64X8"
+
+
+def test_def_contains_every_placed_macro(implemented):
+    tech, netlist, layout = implemented
+    text = build_def(layout, netlist)
+    components = parse_def_components(text)
+    assert len(components) == len(layout.macro_placements)
+    die_w, die_h = parse_def_die_area_um(text)
+    assert die_w == pytest.approx(layout.floorplan.die_width_um, abs=0.01)
+    assert die_h == pytest.approx(layout.floorplan.die_height_um, abs=0.01)
+
+
+def test_def_component_coordinates_round_trip(implemented):
+    tech, netlist, layout = implemented
+    text = build_def(layout, netlist)
+    components = {name: (x, y) for name, _, x, y in parse_def_components(text)}
+    for macro in layout.macro_placements[:25]:
+        name = macro.name.replace("/", "_")
+        assert name in components
+        x_dbu, y_dbu = components[name]
+        assert x_dbu == pytest.approx(macro.rect.x * DEF_UNITS_PER_UM, abs=1)
+        assert y_dbu == pytest.approx(macro.rect.y * DEF_UNITS_PER_UM, abs=1)
+
+
+def test_def_components_stay_inside_the_die(implemented):
+    tech, netlist, layout = implemented
+    text = build_def(layout, netlist)
+    die_w, die_h = parse_def_die_area_um(text)
+    for _, _, x, y in parse_def_components(text):
+        assert 0 <= x <= die_w * DEF_UNITS_PER_UM
+        assert 0 <= y <= die_h * DEF_UNITS_PER_UM * 2.5  # shelf packer may overflow vertically
+
+
+def test_def_regions_cover_all_partitions(implemented):
+    tech, netlist, layout = implemented
+    text = build_def(layout, netlist)
+    for placement in layout.floorplan.placements:
+        assert f"- {placement.name} (" in text
+
+
+def test_lef_lists_every_distinct_geometry(implemented):
+    tech, netlist, layout = implemented
+    text = build_lef(netlist, tech)
+    expected = {macro_cell_name(group.macro) for group in netlist.memory_group_list()}
+    for cell in expected:
+        assert f"MACRO {cell}" in text
+        assert f"END {cell}" in text
+    assert text.count("MACRO ") == len(expected)
+    assert "SIZE" in text and "END LIBRARY" in text
+
+
+def test_svg_renders_partitions_and_macros(implemented):
+    tech, netlist, layout = implemented
+    svg = render_svg(layout, netlist)
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count('class="partition"') == len(layout.floorplan.placements)
+    assert svg.count('class="macro"') == len(layout.macro_placements)
+
+
+def test_svg_colours_divided_macros_differently(implemented):
+    tech, netlist, layout = implemented
+    svg = render_svg(layout, netlist)
+    assert 'fill="#b8b8b8"' in svg  # untouched memories
+    assert 'fill="#3cb44b"' in svg  # CU memories divided for 667 MHz
+
+
+def test_svg_width_validation(implemented):
+    tech, netlist, layout = implemented
+    with pytest.raises(Exception):
+        render_svg(layout, netlist, width_px=10)
+
+
+def test_export_bundle_writes_all_four_artifacts(tmp_path, implemented):
+    tech, netlist, layout = implemented
+    paths = export_layout_bundle(layout, netlist, tech, str(tmp_path / "ip"))
+    assert set(paths) == {"def", "lef", "svg", "json"}
+    for path in paths.values():
+        assert (tmp_path / "ip").exists()
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read().strip()
+    with open(paths["json"], "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["design"] == layout.design
+    assert len(payload["macros"]) == len(layout.macro_placements)

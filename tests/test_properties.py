@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.assembler import Assembler, decode_instruction, encode_instruction
+from repro.arch.isa import Opcode
+from repro.arch.kernel import KernelArg, KernelBuilder, NDRange
+from repro.riscv.isa import RvInstruction, RvOpcode, decode_rv, encode_rv
+from repro.simt import pe
+from repro.simt.cache import DataCache
+from repro.arch.config import CacheConfig
+from repro.tech.sram import SramCompiler, SramMacroSpec
+from repro.simt.gpu import GGPUSimulator
+from repro.arch.config import GGPUConfig
+
+WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+LANES = 8
+
+
+def _vec(values):
+    return np.array(values, dtype=np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# Lane arithmetic matches a scalar 32-bit reference model
+# --------------------------------------------------------------------------- #
+@given(st.lists(WORD, min_size=LANES, max_size=LANES), st.lists(WORD, min_size=LANES, max_size=LANES))
+@settings(max_examples=60, deadline=None)
+def test_add_sub_mul_match_scalar_reference(a_values, b_values):
+    a, b = _vec(a_values), _vec(b_values)
+    assert list(pe.execute_binary(Opcode.ADD, a, b)) == [(x + y) & 0xFFFFFFFF for x, y in zip(a_values, b_values)]
+    assert list(pe.execute_binary(Opcode.SUB, a, b)) == [(x - y) & 0xFFFFFFFF for x, y in zip(a_values, b_values)]
+    assert list(pe.execute_binary(Opcode.MUL, a, b)) == [(x * y) & 0xFFFFFFFF for x, y in zip(a_values, b_values)]
+
+
+@given(st.lists(WORD, min_size=LANES, max_size=LANES), st.lists(WORD, min_size=LANES, max_size=LANES))
+@settings(max_examples=60, deadline=None)
+def test_division_matches_truncating_reference(a_values, b_values):
+    a, b = _vec(a_values), _vec(b_values)
+    quotients = pe.to_signed(pe.execute_binary(Opcode.DIV, a, b))
+    remainders = pe.to_signed(pe.execute_binary(Opcode.REM, a, b))
+    for x, y, q, r in zip(a_values, b_values, quotients, remainders):
+        sx = x - (1 << 32) if x & 0x80000000 else x
+        sy = y - (1 << 32) if y & 0x80000000 else y
+        if sy == 0:
+            assert q == -1 and r == sx
+        else:
+            expected_q = abs(sx) // abs(sy)
+            if (sx < 0) != (sy < 0):
+                expected_q = -expected_q
+            assert q == expected_q
+            assert r == sx - expected_q * sy
+            assert sx == q * sy + r  # division invariant
+
+
+@given(st.lists(WORD, min_size=LANES, max_size=LANES), st.integers(0, 31))
+@settings(max_examples=40, deadline=None)
+def test_shift_identities(values, amount):
+    a = _vec(values)
+    shift = _vec([amount] * LANES)
+    left = pe.execute_binary(Opcode.SLL, a, shift)
+    assert list(left) == [(value << amount) & 0xFFFFFFFF for value in values]
+    right = pe.execute_binary(Opcode.SRL, a, shift)
+    assert list(right) == [value >> amount for value in values]
+
+
+# --------------------------------------------------------------------------- #
+# Encoders are lossless
+# --------------------------------------------------------------------------- #
+@given(
+    st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR, Opcode.SLT]),
+    st.integers(0, 31),
+    st.integers(0, 31),
+    st.integers(0, 31),
+)
+@settings(max_examples=60, deadline=None)
+def test_simt_rtype_encoding_round_trip(opcode, rd, rs, rt):
+    asm = Assembler("prop")
+    instruction = asm.emit(opcode, rd=rd, rs=rs, rt=rt)
+    decoded = decode_instruction(encode_instruction(instruction))
+    assert decoded.opcode is opcode
+    assert (int(decoded.rd), int(decoded.rs), int(decoded.rt)) == (rd, rs, rt)
+
+
+@given(st.integers(0, 31), st.integers(0, 31), st.integers(-8192, 8191))
+@settings(max_examples=60, deadline=None)
+def test_simt_itype_encoding_round_trip(rd, rs, imm):
+    asm = Assembler("prop")
+    instruction = asm.emit(Opcode.ADDI, rd=rd, rs=rs, imm=imm)
+    decoded = decode_instruction(encode_instruction(instruction))
+    assert decoded.imm == imm and int(decoded.rd) == rd and int(decoded.rs) == rs
+
+
+@given(st.integers(0, 31), st.integers(0, 31), st.integers(-2048, 2047))
+@settings(max_examples=60, deadline=None)
+def test_riscv_itype_round_trip(rd, rs1, imm):
+    instruction = RvInstruction(RvOpcode.ADDI, rd=rd, rs1=rs1, imm=imm)
+    decoded = decode_rv(encode_rv(instruction))
+    assert decoded.opcode is RvOpcode.ADDI
+    assert (decoded.rd, decoded.rs1, decoded.imm) == (rd, rs1, imm)
+
+
+@given(st.integers(0, 31), st.integers(0, 31), st.integers(-2048, 2047))
+@settings(max_examples=60, deadline=None)
+def test_riscv_store_round_trip(rs1, rs2, imm):
+    instruction = RvInstruction(RvOpcode.SW, rs1=rs1, rs2=rs2, imm=imm)
+    decoded = decode_rv(encode_rv(instruction))
+    assert (decoded.rs1, decoded.rs2, decoded.imm) == (rs1, rs2, imm)
+
+
+# --------------------------------------------------------------------------- #
+# SRAM compiler monotonicity
+# --------------------------------------------------------------------------- #
+@given(
+    st.sampled_from([64, 128, 256, 512, 1024, 2048, 4096]),
+    st.sampled_from([8, 16, 32, 64, 128]),
+)
+@settings(max_examples=40, deadline=None)
+def test_sram_split_always_trades_area_for_delay(words, bits):
+    compiler = SramCompiler()
+    whole = SramMacroSpec(words, bits)
+    half = compiler.smallest_valid_split(whole)
+    assert compiler.access_delay_ns(half) < compiler.access_delay_ns(whole)
+    assert 2 * compiler.area_um2(half) > compiler.area_um2(whole)
+    assert 2 * compiler.dynamic_mw(half, 500.0) > compiler.dynamic_mw(whole, 500.0)
+
+
+# --------------------------------------------------------------------------- #
+# Cache invariants
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.integers(0, 8191), min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_cache_accounting_invariants(word_indices):
+    cache = DataCache(CacheConfig(size_bytes=2048, line_bytes=64))
+    for index in word_indices:
+        cache.access_line(cache.line_address(index * 4), is_write=bool(index % 2))
+    stats = cache.stats
+    assert stats.accesses == len(word_indices)
+    assert 0 <= stats.misses <= stats.accesses
+    assert 0.0 <= stats.hit_rate <= 1.0
+    assert stats.write_backs <= stats.misses
+    assert len(cache.resident_lines()) <= cache.config.num_lines
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end kernel property: the simulator computes saxpy-like results for
+# arbitrary inputs.
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.integers(0, 2**15), min_size=64, max_size=64), st.integers(0, 255))
+@settings(max_examples=10, deadline=None)
+def test_scale_kernel_property(values, scale):
+    builder = KernelBuilder("scale", args=(KernelArg("buf"), KernelArg("k", "scalar")))
+    gid = builder.alloc("gid")
+    buf = builder.alloc("buf")
+    k = builder.alloc("k")
+    addr = builder.alloc("addr")
+    value = builder.alloc("value")
+    builder.global_id(gid)
+    builder.load_arg(buf, "buf")
+    builder.load_arg(k, "k")
+    builder.address_of_element(addr, buf, gid)
+    builder.emit(Opcode.LW, rd=value, rs=addr, imm=0)
+    builder.emit(Opcode.MUL, rd=value, rs=value, rt=k)
+    builder.emit(Opcode.SW, rs=addr, rt=value, imm=0)
+    builder.ret()
+    kernel = builder.build()
+
+    simulator = GGPUSimulator(GGPUConfig(num_cus=1), memory_bytes=1024 * 1024)
+    base = simulator.create_buffer(values)
+    simulator.launch(kernel, NDRange(64, 64), {"buf": base, "k": scale})
+    observed = simulator.read_buffer(base, 64)
+    assert list(observed) == [(value * scale) & 0xFFFFFFFF for value in values]

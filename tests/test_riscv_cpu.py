@@ -1,0 +1,138 @@
+"""RV32IM instruction-set simulator and cycle model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.riscv.assembler import A0, A1, A2, RvAssembler, T0, T1, T2, ZERO
+from repro.riscv.cpu import CpuCycleModel, CpuStats, RiscvCpu
+from repro.riscv.isa import RvOpcode
+from repro.riscv.memory import RvMemory
+
+
+def _run(asm: RvAssembler, memory: RvMemory = None) -> RiscvCpu:
+    cpu = RiscvCpu(memory or RvMemory())
+    cpu.run(asm.assemble())
+    return cpu
+
+
+def test_arithmetic_and_halt():
+    asm = RvAssembler("arith")
+    asm.li(T0, 21)
+    asm.emit(RvOpcode.ADD, rd=T1, rs1=T0, rs2=T0)
+    asm.emit(RvOpcode.MUL, rd=T2, rs1=T1, rs2=T0)
+    asm.halt()
+    cpu = _run(asm)
+    assert cpu.read_reg(T1) == 42
+    assert cpu.read_reg(T2) == 42 * 21
+    assert cpu.halted
+
+
+def test_x0_is_hardwired_to_zero():
+    asm = RvAssembler("zero")
+    asm.li(ZERO, 123)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=ZERO, imm=7)
+    asm.halt()
+    cpu = _run(asm)
+    assert cpu.read_reg(ZERO) == 0
+    assert cpu.read_reg(T0) == 7
+
+
+def test_signed_division_and_divide_by_zero():
+    asm = RvAssembler("div")
+    asm.li(T0, -7)
+    asm.li(T1, 2)
+    asm.emit(RvOpcode.DIV, rd=T2, rs1=T0, rs2=T1)
+    asm.emit(RvOpcode.REM, rd=A0, rs1=T0, rs2=T1)
+    asm.emit(RvOpcode.DIV, rd=A1, rs1=T0, rs2=ZERO)
+    asm.halt()
+    cpu = _run(asm)
+    assert cpu.read_reg(T2) == 0xFFFFFFFD  # -3
+    assert cpu.read_reg(A0) == 0xFFFFFFFF  # -1
+    assert cpu.read_reg(A1) == 0xFFFFFFFF  # div by zero -> -1
+
+
+def test_loads_stores_and_memory():
+    memory = RvMemory()
+    base = memory.allocate(4)
+    asm = RvAssembler("mem")
+    asm.li(A0, base)
+    asm.li(T0, 0xDEAD)
+    asm.emit(RvOpcode.SW, rs1=A0, rs2=T0, imm=4)
+    asm.emit(RvOpcode.LW, rd=T1, rs1=A0, imm=4)
+    asm.halt()
+    cpu = _run(asm, memory)
+    assert cpu.read_reg(T1) == 0xDEAD
+    assert cpu.stats.loads == 1 and cpu.stats.stores == 1
+
+
+def test_branch_loop_and_cycle_model():
+    asm = RvAssembler("loop")
+    asm.li(T0, 5)
+    asm.li(T1, 0)
+    asm.label("head")
+    asm.emit(RvOpcode.ADD, rd=T1, rs1=T1, rs2=T0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=-1)
+    asm.emit(RvOpcode.BNE, rs1=T0, rs2=ZERO, label="head")
+    asm.halt()
+    cpu = _run(asm)
+    assert cpu.read_reg(T1) == 5 + 4 + 3 + 2 + 1
+    assert cpu.stats.taken_branches == 4
+    # Taken branches cost more than not-taken ones.
+    model = CpuCycleModel()
+    assert model.cost(asm.assemble()[4], taken=True) > model.cost(asm.assemble()[4], taken=False)
+    assert cpu.stats.cpi > 1.0
+
+
+def test_jal_and_jalr_link_and_jump():
+    asm = RvAssembler("call")
+    asm.li(A0, 0)
+    asm.emit(RvOpcode.JAL, rd=1, label="target")
+    asm.li(A0, 111)  # skipped
+    asm.label("target")
+    asm.li(A1, 222)
+    asm.halt()
+    cpu = _run(asm)
+    assert cpu.read_reg(A0) == 0
+    assert cpu.read_reg(A1) == 222
+    assert cpu.read_reg(1) != 0  # return address was written
+
+
+def test_runaway_program_hits_instruction_limit():
+    asm = RvAssembler("spin")
+    asm.label("again")
+    asm.j("again")
+    cpu = RiscvCpu(RvMemory(), max_instructions=1000)
+    with pytest.raises(SimulationError):
+        cpu.run(asm.assemble())
+
+
+def test_pc_outside_program_raises():
+    asm = RvAssembler("fallthrough")
+    asm.nop()  # no ebreak: execution runs off the end
+    cpu = RiscvCpu(RvMemory())
+    with pytest.raises(SimulationError):
+        cpu.run(asm.assemble())
+
+
+def test_memory_bounds_and_allocation():
+    memory = RvMemory(1024)
+    with pytest.raises(SimulationError):
+        memory.allocate(10_000)
+    with pytest.raises(SimulationError):
+        memory.load_word(2000)
+    with pytest.raises(SimulationError):
+        memory.load_word(2)  # unaligned
+    base = memory.allocate(4)
+    memory.write_buffer(base, [1, 2, 3, 4])
+    assert list(memory.read_buffer(base, 4)) == [1, 2, 3, 4]
+
+
+def test_stats_kcycles_and_mnemonic_counts():
+    asm = RvAssembler("stats")
+    asm.li(T0, 1)
+    asm.emit(RvOpcode.MUL, rd=T0, rs1=T0, rs2=T0)
+    asm.halt()
+    cpu = _run(asm)
+    assert cpu.stats.mnemonic_counts["mul"] == 1
+    assert cpu.stats.kcycles == pytest.approx(cpu.stats.cycles / 1000.0)
+    assert CpuStats().cpi == 0.0

@@ -1,0 +1,118 @@
+"""RV32IM ISA encoding and assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.riscv.assembler import A0, RA, RvAssembler, T0, T1, ZERO
+from repro.riscv.isa import (
+    RvInstruction,
+    RvOpcode,
+    decode_rv,
+    encode_rv,
+    rv_opcode_from_mnemonic,
+)
+
+
+def test_known_encodings_match_the_architecture():
+    # addi x1, x0, 5  ->  0x00500093 (a standard reference encoding)
+    word = encode_rv(RvInstruction(RvOpcode.ADDI, rd=1, rs1=0, imm=5))
+    assert word == 0x00500093
+    # add x3, x1, x2 -> 0x002081B3
+    assert encode_rv(RvInstruction(RvOpcode.ADD, rd=3, rs1=1, rs2=2)) == 0x002081B3
+    # ebreak -> 0x00100073
+    assert encode_rv(RvInstruction(RvOpcode.EBREAK)) == 0x00100073
+
+
+@pytest.mark.parametrize(
+    "instruction",
+    [
+        RvInstruction(RvOpcode.ADD, rd=5, rs1=6, rs2=7),
+        RvInstruction(RvOpcode.SUB, rd=1, rs1=2, rs2=3),
+        RvInstruction(RvOpcode.MUL, rd=10, rs1=11, rs2=12),
+        RvInstruction(RvOpcode.DIVU, rd=10, rs1=11, rs2=12),
+        RvInstruction(RvOpcode.ADDI, rd=4, rs1=4, imm=-128),
+        RvInstruction(RvOpcode.SLLI, rd=4, rs1=4, imm=7),
+        RvInstruction(RvOpcode.SRAI, rd=4, rs1=4, imm=31),
+        RvInstruction(RvOpcode.LW, rd=8, rs1=2, imm=-16),
+        RvInstruction(RvOpcode.SW, rs1=2, rs2=9, imm=124),
+        RvInstruction(RvOpcode.BNE, rs1=1, rs2=2, imm=-64),
+        RvInstruction(RvOpcode.BGEU, rs1=1, rs2=2, imm=4094),
+        RvInstruction(RvOpcode.JAL, rd=1, imm=2048),
+        RvInstruction(RvOpcode.JALR, rd=0, rs1=1, imm=0),
+        RvInstruction(RvOpcode.LUI, rd=7, imm=0xFFFFF),
+        RvInstruction(RvOpcode.AUIPC, rd=7, imm=1),
+        RvInstruction(RvOpcode.EBREAK),
+    ],
+)
+def test_encode_decode_round_trip(instruction):
+    decoded = decode_rv(encode_rv(instruction))
+    assert decoded.opcode is instruction.opcode
+    assert decoded.rd == instruction.rd or not instruction.opcode.info.fmt.name == "R"
+    assert decoded.imm == instruction.imm or instruction.opcode.info.fmt.name == "R"
+
+
+def test_immediate_range_checks():
+    with pytest.raises(AssemblyError):
+        encode_rv(RvInstruction(RvOpcode.ADDI, rd=1, rs1=1, imm=5000))
+    with pytest.raises(AssemblyError):
+        encode_rv(RvInstruction(RvOpcode.BEQ, rs1=1, rs2=2, imm=3))  # odd offset
+    with pytest.raises(AssemblyError):
+        encode_rv(RvInstruction(RvOpcode.SLLI, rd=1, rs1=1, imm=40))
+    with pytest.raises(AssemblyError):
+        RvInstruction(RvOpcode.ADD, rd=40, rs1=0, rs2=0)
+
+
+def test_mnemonic_lookup():
+    assert rv_opcode_from_mnemonic("add") is RvOpcode.ADD
+    with pytest.raises(AssemblyError):
+        rv_opcode_from_mnemonic("vadd.vv")
+
+
+def test_assembler_labels_resolve_to_pc_relative_offsets():
+    asm = RvAssembler("loop")
+    asm.li(T0, 3)
+    asm.label("head")
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=-1)
+    asm.emit(RvOpcode.BNE, rs1=T0, rs2=ZERO, label="head")
+    asm.halt()
+    program = asm.assemble()
+    branch = program.instructions[2]
+    assert branch.imm == -4  # one instruction backwards
+    assert "head" in program.labels
+
+
+def test_assembler_undefined_and_duplicate_labels():
+    asm = RvAssembler("bad")
+    asm.j("missing")
+    with pytest.raises(AssemblyError):
+        asm.assemble()
+    asm2 = RvAssembler("dup")
+    asm2.label("x")
+    with pytest.raises(AssemblyError):
+        asm2.label("x")
+
+
+def test_li_handles_small_and_large_constants():
+    asm = RvAssembler("consts")
+    asm.li(A0, 42)
+    asm.li(A0, 0x12345678)
+    asm.li(A0, -1)
+    asm.li(A0, 0xFFFFFFFF)
+    program = asm.assemble()
+    # 42 -> 1 instruction; 0x12345678 -> lui+addi; -1 -> 1; 0xFFFFFFFF (== -1) -> 1.
+    assert len(program) == 5
+    with pytest.raises(AssemblyError):
+        asm.li(A0, 1 << 33)
+
+
+def test_pseudo_instructions():
+    asm = RvAssembler("pseudo")
+    asm.mv(T1, T0)
+    asm.nop()
+    asm.la(RA, 0x100)
+    asm.halt()
+    program = asm.assemble()
+    assert program.instructions[0].opcode is RvOpcode.ADDI
+    assert program.instructions[-1].opcode is RvOpcode.EBREAK
+    assert "ebreak" in program.listing()
+    assert all(isinstance(word, int) for word in program.encode())

@@ -1,0 +1,100 @@
+"""Tests for the single-port-memory generator option (paper future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.rtl.generator import (
+    SINGLE_PORT_CAPABLE_ROLES,
+    GeneratorOptions,
+    generate_ggpu_netlist,
+)
+from repro.rtl.timing import max_frequency_mhz
+from repro.synth.logic import LogicSynthesis
+from repro.tech.sram import SramPort
+
+
+@pytest.fixture(scope="module")
+def dual_and_single(tech):
+    dual = generate_ggpu_netlist(GGPUConfig(num_cus=1), name="opt_dual")
+    single = generate_ggpu_netlist(
+        GGPUConfig(num_cus=1),
+        name="opt_single",
+        options=GeneratorOptions(single_port_memories=True),
+    )
+    return dual, single
+
+
+def test_default_options_leave_the_baseline_untouched(tech):
+    baseline = generate_ggpu_netlist(GGPUConfig(num_cus=1), name="opt_baseline")
+    explicit = generate_ggpu_netlist(
+        GGPUConfig(num_cus=1), name="opt_baseline", options=GeneratorOptions()
+    )
+    assert baseline.total_macros() == explicit.total_macros()
+    assert baseline.total_ff() == explicit.total_ff()
+    assert baseline.total_gates() == explicit.total_gates()
+    assert all(
+        group.macro.ports is SramPort.DUAL for group in baseline.memory_groups.values()
+    )
+
+
+def test_single_port_option_converts_only_capable_roles(dual_and_single):
+    dual, single = dual_and_single
+    for name, group in single.memory_groups.items():
+        if group.role in SINGLE_PORT_CAPABLE_ROLES:
+            assert group.macro.ports is SramPort.SINGLE, name
+        else:
+            assert group.macro.ports is SramPort.DUAL, name
+    assert single.total_macros() == dual.total_macros()
+
+
+def test_single_port_option_adds_the_port_arbiter(dual_and_single):
+    dual, single = dual_and_single
+    arbiters = [name for name in single.logic_blocks if name.endswith("port_arbiter")]
+    assert arbiters  # at least one partition gained an arbiter
+    assert not [name for name in dual.logic_blocks if name.endswith("port_arbiter")]
+    assert single.total_ff() > dual.total_ff()
+    assert single.total_gates() > dual.total_gates()
+
+
+def test_single_port_read_paths_carry_the_arbitration_levels(dual_and_single):
+    dual, single = dual_and_single
+    converted = [
+        group.name for group in single.memory_groups.values()
+        if group.role in SINGLE_PORT_CAPABLE_ROLES
+    ]
+    assert converted
+    sample = converted[0]
+    assert (
+        single.timing_paths[f"{sample}__read"].logic_levels
+        > dual.timing_paths[f"{sample}__read"].logic_levels
+    )
+
+
+def test_single_port_memories_save_area_and_power(tech, dual_and_single):
+    dual, single = dual_and_single
+    synthesis = LogicSynthesis(tech)
+    dual_result = synthesis.run(dual, 500.0)
+    single_result = synthesis.run(single, 500.0)
+    assert single_result.memory_area_mm2 < dual_result.memory_area_mm2
+    assert single_result.total_power_w < dual_result.total_power_w
+    # The register file (dual-port, on the critical path) is untouched, so the
+    # achievable frequency stays essentially the same.
+    assert max_frequency_mhz(single, tech) == pytest.approx(max_frequency_mhz(dual, tech), rel=0.05)
+
+
+def test_single_port_option_composes_with_clustering(tech):
+    from repro.scaling import ClusterConfig, generate_clustered_netlist
+
+    netlist = generate_clustered_netlist(
+        ClusterConfig(num_clusters=2, cus_per_cluster=1),
+        options=GeneratorOptions(single_port_memories=True),
+    )
+    single_roles = {
+        group.role
+        for group in netlist.memory_groups.values()
+        if group.macro.ports is SramPort.SINGLE
+    }
+    assert single_roles.issubset(SINGLE_PORT_CAPABLE_ROLES)
+    assert single_roles

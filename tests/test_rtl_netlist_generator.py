@@ -1,0 +1,106 @@
+"""Netlist IR and the G-GPU netlist generator."""
+
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.errors import NetlistError
+from repro.rtl.generator import generate_ggpu_netlist, riscv_reference_netlist
+from repro.rtl.netlist import LogicBlock, MemoryGroup, Netlist, Partition, TimingPath
+from repro.tech.sram import SramMacroSpec
+
+
+def test_netlist_uniqueness_checks():
+    netlist = Netlist("unit")
+    group = netlist.add_memory_group(
+        MemoryGroup("m0", Partition.CU, "rf", SramMacroSpec(256, 32))
+    )
+    with pytest.raises(NetlistError):
+        netlist.add_memory_group(group)
+    block = netlist.add_logic_block(LogicBlock("b0", Partition.CU, 10, 20))
+    with pytest.raises(NetlistError):
+        netlist.add_logic_block(block)
+    netlist.add_timing_path(TimingPath("p0", Partition.CU, 4, memory_group="m0"))
+    with pytest.raises(NetlistError):
+        netlist.add_timing_path(TimingPath("p0", Partition.CU, 4))
+    with pytest.raises(NetlistError):
+        netlist.add_timing_path(TimingPath("p1", Partition.CU, 4, memory_group="ghost"))
+
+
+def test_structure_validation():
+    with pytest.raises(NetlistError):
+        MemoryGroup("m", Partition.CU, "rf", SramMacroSpec(64, 32), num_macros=0)
+    with pytest.raises(NetlistError):
+        LogicBlock("b", Partition.CU, -1, 0)
+    with pytest.raises(NetlistError):
+        TimingPath("p", Partition.CU, -1)
+    with pytest.raises(NetlistError):
+        TimingPath("p", Partition.CU, 4, width_bits=0)
+
+
+def test_generator_macro_counts_match_table1():
+    """Table I: 51/93/177/345 macros for 1/2/4/8 CUs before optimization."""
+    expected = {1: 51, 2: 93, 4: 177, 8: 345}
+    for num_cus, macros in expected.items():
+        netlist = generate_ggpu_netlist(GGPUConfig(num_cus=num_cus))
+        assert netlist.total_macros() == macros
+        assert netlist.num_cus == num_cus
+
+
+def test_generator_ff_and_gate_scale_with_paper():
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=1))
+    # Paper: 119778 FFs and 127826 combinational instances for 1 CU @ 500 MHz.
+    assert netlist.total_ff() == pytest.approx(119778, rel=0.05)
+    assert netlist.total_gates() == pytest.approx(127826, rel=0.10)
+
+
+def test_generator_partition_breakdown():
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=2))
+    cu_macros = netlist.total_macros(Partition.CU)
+    shared = netlist.total_macros(Partition.MEMORY_CONTROLLER) + netlist.total_macros(Partition.TOP)
+    assert cu_macros == 2 * 42
+    assert shared == 9
+    assert len(netlist.memory_group_list(Partition.CU)) == 2 * 42
+
+
+def test_generator_has_cross_partition_paths_per_cu():
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=4))
+    crossing = [path for path in netlist.timing_paths.values() if path.crosses_partitions]
+    assert len(crossing) == 8  # request + response per CU
+    assert all(not path.pipelinable for path in crossing)
+
+
+def test_clone_is_deep():
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=1))
+    clone = netlist.clone()
+    clone.memory_groups["cu0/register_file0"].num_macros = 99
+    clone.timing_paths["cu0/alu_bypass"].pipeline_stages = 3
+    assert netlist.memory_groups["cu0/register_file0"].num_macros == 1
+    assert netlist.timing_paths["cu0/alu_bypass"].pipeline_stages == 0
+    assert clone.total_macros() != netlist.total_macros()
+
+
+def test_pipeline_ff_and_mux_gates_accounting():
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=1))
+    assert netlist.pipeline_ff() == 0
+    assert netlist.mux_gates() == 0
+    netlist.timing_paths["cu0/alu_bypass"].pipeline_stages = 2
+    netlist.memory_groups["cu0/register_file0"].mux_levels = 1
+    assert netlist.pipeline_ff() == 2 * 32
+    assert netlist.mux_gates() == 32 + 4
+    assert netlist.total_ff() == netlist.total_ff(Partition.CU) + netlist.total_ff(
+        Partition.MEMORY_CONTROLLER
+    ) + netlist.total_ff(Partition.TOP)
+
+
+def test_paths_reading_and_summary():
+    netlist = generate_ggpu_netlist(GGPUConfig(num_cus=1))
+    readers = netlist.paths_reading("cu0/register_file3")
+    assert len(readers) == 1
+    assert "51 macros" in netlist.summary()
+
+
+def test_riscv_reference_netlist_is_small():
+    riscv = riscv_reference_netlist()
+    assert riscv.total_macros() == 2
+    assert riscv.total_ff() < 10_000
+    assert riscv.num_cus == 0

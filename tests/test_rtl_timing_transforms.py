@@ -1,0 +1,110 @@
+"""Static timing analysis and the memory-division / pipeline transforms."""
+
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.errors import NetlistError, TimingError
+from repro.rtl.generator import generate_ggpu_netlist
+from repro.rtl.netlist import Netlist, Partition, TimingPath, MemoryGroup
+from repro.rtl.timing import analyze_timing, max_frequency_mhz, path_segment_delays
+from repro.rtl.transforms import insert_pipeline, split_memory_group, splittable_groups
+from repro.tech.sram import SramMacroSpec
+
+
+@pytest.fixture
+def netlist() -> Netlist:
+    return generate_ggpu_netlist(GGPUConfig(num_cus=1))
+
+
+def test_unoptimized_design_closes_500mhz(netlist, tech):
+    """The paper: 'the value found for the standard version is 500MHz'."""
+    maximum = max_frequency_mhz(netlist, tech)
+    assert 495.0 <= maximum <= 515.0
+    assert analyze_timing(netlist, tech, 500.0).met
+    assert not analyze_timing(netlist, tech, 590.0).met
+
+
+def test_critical_path_is_a_memory_block(netlist, tech):
+    """The paper: 'the critical path ... has its starting point at a memory block'."""
+    report = analyze_timing(netlist, tech, 500.0)
+    critical = report.critical_path
+    assert critical.macro_delay_ns > 0
+    assert "register_file" in critical.name
+    assert critical.partition == "cu"
+
+
+def test_violations_sorted_worst_first(netlist, tech):
+    report = analyze_timing(netlist, tech, 667.0)
+    violations = report.violations()
+    assert violations
+    slacks = [violation.slack_ns for violation in violations]
+    assert slacks == sorted(slacks)
+    assert report.wns_ns == slacks[0]
+    assert "violations" in report.summary()
+
+
+def test_memory_division_speeds_up_the_path(netlist, tech):
+    path = netlist.timing_paths["cu0/register_file0__read"]
+    before = max(path_segment_delays(path, netlist, tech))
+    record = split_memory_group(netlist, "cu0/register_file0", tech)
+    after = max(path_segment_delays(path, netlist, tech))
+    group = netlist.memory_groups["cu0/register_file0"]
+    assert after < before
+    assert group.num_macros == 2
+    assert group.macro.words == 1024
+    assert group.mux_levels == 1
+    assert record.kind == "memory_division"
+    assert "2 x 1024x32" in record.detail
+
+
+def test_pipeline_insertion_splits_logic_but_not_the_macro(netlist, tech):
+    path = netlist.timing_paths["cu0/register_file0__read"]
+    insert_pipeline(netlist, path.name, 1)
+    segments = path_segment_delays(path, netlist, tech)
+    assert len(segments) == 2
+    # The macro access stays whole in the first segment.
+    assert segments[0] > segments[1]
+    assert netlist.pipeline_ff() == 32
+
+
+def test_pure_logic_path_pipelines_evenly(netlist, tech):
+    path = netlist.timing_paths["cu0/wf_scheduler_select"]
+    single = path_segment_delays(path, netlist, tech)[0]
+    insert_pipeline(netlist, path.name, 1)
+    halves = path_segment_delays(path, netlist, tech)
+    assert len(halves) == 2
+    assert halves[0] == pytest.approx(single / 2)
+
+
+def test_unpipelinable_path_rejected(netlist):
+    with pytest.raises(NetlistError):
+        insert_pipeline(netlist, "top/cu0_request", 1)
+    with pytest.raises(NetlistError):
+        insert_pipeline(netlist, "cu0/alu_bypass", 0)
+    with pytest.raises(NetlistError):
+        insert_pipeline(netlist, "missing/path", 1)
+    with pytest.raises(NetlistError):
+        split_memory_group(netlist, "missing/group", None)
+
+
+def test_wire_delay_is_included_in_timing(netlist, tech):
+    path = netlist.timing_paths["top/cu0_request"]
+    baseline = max(path_segment_delays(path, netlist, tech))
+    path.wire_delay_ns = 1.0
+    assert max(path_segment_delays(path, netlist, tech)) == pytest.approx(baseline + 1.0)
+
+
+def test_splittable_groups_excludes_minimum_geometry(tech):
+    netlist = Netlist("tiny")
+    netlist.add_memory_group(MemoryGroup("small", Partition.CU, "x", SramMacroSpec(16, 2)))
+    netlist.add_memory_group(MemoryGroup("big", Partition.CU, "x", SramMacroSpec(1024, 32)))
+    names = splittable_groups(netlist, tech)
+    assert names == ["big"]
+
+
+def test_empty_report_and_empty_netlist_errors(tech):
+    empty = Netlist("empty")
+    with pytest.raises(TimingError):
+        analyze_timing(empty, tech, 500.0).critical_path
+    with pytest.raises(TimingError):
+        max_frequency_mhz(empty, tech)

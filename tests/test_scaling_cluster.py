@@ -1,0 +1,175 @@
+"""Tests for the clustered (replicated-memory-controller) G-GPU extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.errors import ConfigurationError, PhysicalDesignError
+from repro.rtl.netlist import Partition
+from repro.scaling import (
+    ClusterConfig,
+    ClusteredFloorplanner,
+    generate_clustered_netlist,
+    run_clustered_flow,
+)
+from repro.planner.optimizer import TimingOptimizer
+from repro.rtl.generator import generate_ggpu_netlist
+from repro.synth.logic import LogicSynthesis
+from repro.physical.layout import PhysicalSynthesis
+
+
+# --------------------------------------------------------------------------- #
+# ClusterConfig
+# --------------------------------------------------------------------------- #
+def test_cluster_config_totals_and_names():
+    cluster = ClusterConfig(num_clusters=4, cus_per_cluster=4)
+    assert cluster.total_cus == 16
+    assert cluster.label == "16cu_4x4"
+    assert cluster.cu_names(0) == ["cu0", "cu1", "cu2", "cu3"]
+    assert cluster.cu_names(3) == ["cu12", "cu13", "cu14", "cu15"]
+    assert cluster.controller_name(2) == "memctrl2"
+    assert cluster.cluster_of_cu("cu14") == 3
+
+
+def test_cluster_config_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_clusters=0, cus_per_cluster=4)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_clusters=2, cus_per_cluster=9)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_clusters=9, cus_per_cluster=1)
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_clusters=2, cus_per_cluster=4, base=GGPUConfig(num_cus=2))
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_clusters=2, cus_per_cluster=2).cluster_of_cu("cu7")
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(num_clusters=2, cus_per_cluster=2).cluster_of_cu("memctrl0")
+
+
+def test_cluster_architecture_defaults_to_cus_per_cluster():
+    cluster = ClusterConfig(num_clusters=2, cus_per_cluster=4)
+    assert cluster.cluster_architecture().num_cus == 4
+
+
+# --------------------------------------------------------------------------- #
+# Netlist generation
+# --------------------------------------------------------------------------- #
+def test_clustered_netlist_replicates_the_memory_controller(tech):
+    cluster = ClusterConfig(num_clusters=2, cus_per_cluster=4)
+    clustered = generate_clustered_netlist(cluster)
+    monolithic = generate_ggpu_netlist(GGPUConfig(num_cus=8))
+
+    assert clustered.num_cus == 8
+    # Same number of CU macros, one extra controller's worth of shared macros.
+    assert clustered.total_macros(Partition.CU) == monolithic.total_macros(Partition.CU)
+    assert (
+        clustered.total_macros(Partition.MEMORY_CONTROLLER)
+        == 2 * monolithic.total_macros(Partition.MEMORY_CONTROLLER)
+    )
+    # Controller instances are named per cluster.
+    controller_prefixes = {
+        group.name.split("/")[0]
+        for group in clustered.memory_group_list(Partition.MEMORY_CONTROLLER)
+    }
+    assert controller_prefixes == {"memctrl0", "memctrl1"}
+    # The inter-cluster ring only exists for multi-cluster designs.
+    assert "top/cluster_ring" in clustered.timing_paths
+    single = generate_clustered_netlist(ClusterConfig(num_clusters=1, cus_per_cluster=4))
+    assert "top/cluster_ring" not in single.timing_paths
+
+
+def test_clustered_netlist_supports_more_than_eight_cus(tech):
+    cluster = ClusterConfig(num_clusters=4, cus_per_cluster=4)
+    netlist = generate_clustered_netlist(cluster)
+    assert netlist.num_cus == 16
+    cu_instances = {
+        group.name.split("/")[0] for group in netlist.memory_group_list(Partition.CU)
+    }
+    assert len(cu_instances) == 16
+
+
+def test_clustered_netlist_closes_timing_like_the_monolithic_one(tech):
+    cluster = ClusterConfig(num_clusters=2, cus_per_cluster=2)
+    netlist = generate_clustered_netlist(cluster)
+    result = TimingOptimizer(tech).close_timing(netlist, 667.0)
+    assert result.met
+    assert result.num_divisions > 0
+
+
+# --------------------------------------------------------------------------- #
+# Floorplanning
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def clustered_layout(tech):
+    cluster = ClusterConfig(num_clusters=2, cus_per_cluster=4)
+    netlist = generate_clustered_netlist(cluster, name="fixture_2x4")
+    TimingOptimizer(tech).close_timing(netlist, 667.0)
+    synthesis = LogicSynthesis(tech).run(netlist, 667.0)
+    physical = PhysicalSynthesis(tech, floorplanner=ClusteredFloorplanner(cluster))
+    return cluster, netlist, physical.run(netlist, synthesis, 667.0)
+
+
+def test_clustered_floorplan_places_every_partition(clustered_layout):
+    cluster, netlist, layout = clustered_layout
+    names = {placement.name for placement in layout.floorplan.placements}
+    assert {"top", "memctrl0", "memctrl1"}.issubset(names)
+    assert {f"cu{i}" for i in range(8)}.issubset(names)
+    assert len(layout.macro_placements) == netlist.total_macros()
+
+
+def test_every_cu_is_mapped_to_its_local_controller(clustered_layout):
+    cluster, netlist, layout = clustered_layout
+    floorplan = layout.floorplan
+    for cluster_index in range(cluster.num_clusters):
+        for cu_name in cluster.cu_names(cluster_index):
+            assert floorplan.cu_controller[cu_name] == cluster.controller_name(cluster_index)
+    with pytest.raises(PhysicalDesignError):
+        floorplan.cu_to_memctrl_distance_um("cu99")
+
+
+def test_replication_shortens_the_worst_cu_route(tech, clustered_layout):
+    cluster, netlist, clustered = clustered_layout
+    monolithic_netlist = generate_ggpu_netlist(GGPUConfig(num_cus=8), name="mono8_route")
+    TimingOptimizer(tech).close_timing(monolithic_netlist, 667.0)
+    synthesis = LogicSynthesis(tech).run(monolithic_netlist, 667.0)
+    monolithic = PhysicalSynthesis(tech).run(monolithic_netlist, synthesis, 667.0)
+    assert clustered.floorplan.max_cu_distance_um() < 0.5 * monolithic.floorplan.max_cu_distance_um()
+
+
+def test_replication_recovers_667mhz_for_eight_cus(tech, clustered_layout):
+    """The paper's future-work claim: replicating the controller fixes the 8-CU wall."""
+    cluster, netlist, clustered = clustered_layout
+    assert clustered.achieved_frequency_mhz == pytest.approx(667.0, abs=1.0)
+
+    monolithic_netlist = generate_ggpu_netlist(GGPUConfig(num_cus=8), name="mono8_wall")
+    TimingOptimizer(tech).close_timing(monolithic_netlist, 667.0)
+    synthesis = LogicSynthesis(tech).run(monolithic_netlist, 667.0)
+    monolithic = PhysicalSynthesis(tech).run(monolithic_netlist, synthesis, 667.0)
+    assert monolithic.achieved_frequency_mhz < 630.0
+
+
+# --------------------------------------------------------------------------- #
+# Full clustered flow
+# --------------------------------------------------------------------------- #
+def test_run_clustered_flow_produces_a_consistent_result(tech):
+    result = run_clustered_flow(tech, ClusterConfig(num_clusters=2, cus_per_cluster=2), 590.0)
+    assert result.meets_specification
+    assert result.achieved_frequency_mhz >= 590.0
+    assert result.total_area_mm2 > 0
+    assert result.worst_cu_route_um > 0
+    assert "clustered flow" in result.summary()
+
+
+def test_run_clustered_flow_rejects_bad_frequency(tech):
+    with pytest.raises(Exception):
+        run_clustered_flow(tech, ClusterConfig(num_clusters=1, cus_per_cluster=1), 0.0)
+
+
+def test_sixteen_cu_design_scales_area_roughly_linearly(tech):
+    small = run_clustered_flow(tech, ClusterConfig(num_clusters=2, cus_per_cluster=4), 500.0)
+    large = run_clustered_flow(tech, ClusterConfig(num_clusters=4, cus_per_cluster=4), 500.0)
+    assert large.cluster.total_cus == 16
+    ratio = large.total_area_mm2 / small.total_area_mm2
+    assert 1.8 <= ratio <= 2.2
+    assert large.achieved_frequency_mhz >= 500.0

@@ -1,0 +1,75 @@
+"""Geometric invariants of the clustered floorplanner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtl.netlist import Partition
+from repro.scaling import ClusterConfig, ClusteredFloorplanner, generate_clustered_netlist
+from repro.synth.logic import LogicSynthesis
+
+
+def _plan(tech, num_clusters: int, cus_per_cluster: int, frequency: float = 590.0):
+    cluster = ClusterConfig(num_clusters=num_clusters, cus_per_cluster=cus_per_cluster)
+    netlist = generate_clustered_netlist(cluster, name=f"fp_{cluster.label}")
+    synthesis = LogicSynthesis(tech).run(netlist, frequency)
+    return cluster, ClusteredFloorplanner(cluster).plan(synthesis, frequency)
+
+
+@pytest.mark.parametrize(
+    "num_clusters, cus_per_cluster", [(1, 2), (2, 4), (3, 3), (4, 8)]
+)
+def test_every_partition_is_placed_inside_the_die(tech, num_clusters, cus_per_cluster):
+    cluster, floorplan = _plan(tech, num_clusters, cus_per_cluster)
+    assert len(floorplan.cu_placements) == cluster.total_cus
+    controllers = [
+        placement
+        for placement in floorplan.placements
+        if placement.kind is Partition.MEMORY_CONTROLLER
+    ]
+    assert len(controllers) == cluster.num_clusters
+    for placement in floorplan.placements:
+        assert placement.rect.x >= -1e-6
+        assert placement.rect.y >= -1e-6
+        assert placement.rect.x + placement.rect.width <= floorplan.die_width_um + 1e-6
+        assert placement.rect.y + placement.rect.height <= floorplan.die_height_um + 1e-6
+
+
+@pytest.mark.parametrize("num_clusters, cus_per_cluster", [(2, 4), (4, 4), (3, 3)])
+def test_each_cu_is_closest_to_its_own_cluster_controller(tech, num_clusters, cus_per_cluster):
+    cluster, floorplan = _plan(tech, num_clusters, cus_per_cluster)
+    for cluster_index in range(cluster.num_clusters):
+        own_controller = cluster.controller_name(cluster_index)
+        for cu_name in cluster.cu_names(cluster_index):
+            own_distance = floorplan.cu_to_memctrl_distance_um(cu_name)
+            cu_rect = floorplan.placement(cu_name).rect
+            for other_index in range(cluster.num_clusters):
+                if other_index == cluster_index:
+                    continue
+                other = floorplan.placement(cluster.controller_name(other_index)).rect
+                assert own_distance < cu_rect.manhattan_distance_to(other)
+            assert floorplan.cu_controller[cu_name] == own_controller
+
+
+def test_cluster_count_does_not_stretch_the_in_cluster_routes(tech):
+    _, two = _plan(tech, 2, 4)
+    _, four = _plan(tech, 4, 4)
+    assert four.max_cu_distance_um() == pytest.approx(two.max_cu_distance_um(), rel=0.25)
+
+
+def test_whitespace_grows_with_the_target_frequency(tech):
+    cluster = ClusterConfig(num_clusters=2, cus_per_cluster=2)
+    netlist = generate_clustered_netlist(cluster, name="fp_ws")
+    synthesis = LogicSynthesis(tech).run(netlist, 500.0)
+    planner = ClusteredFloorplanner(cluster)
+    slow = planner.plan(synthesis, 500.0)
+    fast = planner.plan(synthesis, 667.0)
+    assert fast.die_area_mm2 > slow.die_area_mm2
+    assert planner.whitespace_factor(667.0) > planner.whitespace_factor(500.0)
+
+
+def test_die_area_scales_with_the_cluster_count(tech):
+    _, two = _plan(tech, 2, 4)
+    _, four = _plan(tech, 4, 4)
+    ratio = four.die_area_mm2 / two.die_area_mm2
+    assert 1.6 <= ratio <= 2.4

@@ -1,0 +1,83 @@
+"""Metal stack and technology bundle."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.metal import MetalStack
+from repro.tech.sram import SramPort
+from repro.tech.technology import Technology, default_65nm
+
+
+@pytest.fixture
+def stack() -> MetalStack:
+    return MetalStack()
+
+
+def test_nine_layer_stack_with_power_layers(stack):
+    assert len(stack.layers) == 9
+    signal_names = [layer.name for layer in stack.signal_layers]
+    # M1, M8, M9 are power-only in the paper's technology.
+    assert signal_names == ["M2", "M3", "M4", "M5", "M6", "M7"]
+
+
+def test_layer_lookup(stack):
+    assert stack.layer("M4").name == "M4"
+    with pytest.raises(TechnologyError):
+        stack.layer("M42")
+
+
+def test_signal_layer_shares_sum_to_one(stack):
+    shares = stack.signal_layer_shares()
+    assert set(shares) == {"M2", "M3", "M4", "M5", "M6", "M7"}
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_wire_delay_grows_superlinearly(stack):
+    short = stack.wire_delay_ns("M6", 1000.0)
+    long = stack.wire_delay_ns("M6", 4000.0)
+    assert long > 4 * short  # unbuffered RC grows faster than linearly
+    with pytest.raises(TechnologyError):
+        stack.wire_delay_ns("M6", -1.0)
+
+
+def test_repeated_wire_delay_is_linear(stack):
+    assert stack.repeated_wire_delay_ns(2000.0) == pytest.approx(
+        2 * stack.repeated_wire_delay_ns(1000.0)
+    )
+    with pytest.raises(TechnologyError):
+        stack.repeated_wire_delay_ns(-5.0)
+
+
+def test_default_technology_is_65nm(tech):
+    assert isinstance(tech, Technology)
+    assert tech.node_nm == 65
+    assert default_65nm().name == tech.name
+
+
+def test_timing_budget_shrinks_with_frequency(tech):
+    budget_500 = tech.timing_budget_ns(500.0)
+    budget_667 = tech.timing_budget_ns(667.0)
+    assert budget_500 > budget_667 > 0
+    assert budget_500 == pytest.approx(
+        2.0 - tech.stdcells.register_to_register_overhead() - tech.clock_uncertainty_ns
+    )
+
+
+def test_timing_budget_rejects_impossible_frequencies(tech):
+    with pytest.raises(TechnologyError):
+        tech.timing_budget_ns(0.0)
+    with pytest.raises(TechnologyError):
+        tech.timing_budget_ns(10000.0)
+
+
+def test_macro_delay_convenience(tech):
+    dual = tech.macro_delay_ns(1024, 32)
+    single = tech.macro_delay_ns(1024, 32, SramPort.SINGLE)
+    assert dual > single > 0
+
+
+def test_technology_validation():
+    with pytest.raises(TechnologyError):
+        Technology(node_nm=0)
+    with pytest.raises(TechnologyError):
+        Technology(clock_uncertainty_ns=-0.1)

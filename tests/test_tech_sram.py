@@ -1,0 +1,100 @@
+"""SRAM memory-compiler model."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.sram import SramCompiler, SramMacroSpec, SramPort
+
+
+@pytest.fixture
+def compiler() -> SramCompiler:
+    return SramCompiler()
+
+
+def test_macro_spec_validation():
+    with pytest.raises(TechnologyError):
+        SramMacroSpec(0, 32)
+    with pytest.raises(TechnologyError):
+        SramMacroSpec(128, 0)
+    spec = SramMacroSpec(2048, 32)
+    assert spec.capacity_bits == 65536
+
+
+def test_split_words_and_bits():
+    spec = SramMacroSpec(2048, 32)
+    assert spec.split_words() == SramMacroSpec(1024, 32)
+    assert spec.split_bits() == SramMacroSpec(2048, 16)
+    with pytest.raises(TechnologyError):
+        SramMacroSpec(1, 32).split_words()
+
+
+def test_compiler_range_matches_paper(compiler):
+    # The paper quotes 16-65536 words and 2-144 bits.
+    assert compiler.supports(SramMacroSpec(16, 2))
+    assert compiler.supports(SramMacroSpec(65536, 144))
+    assert not compiler.supports(SramMacroSpec(8, 32))
+    assert not compiler.supports(SramMacroSpec(1024, 256))
+
+
+def test_out_of_range_macro_rejected(compiler):
+    with pytest.raises(TechnologyError):
+        compiler.area_um2(SramMacroSpec(8, 32))
+    with pytest.raises(TechnologyError):
+        compiler.access_delay_ns(SramMacroSpec(131072, 32))
+
+
+def test_larger_macros_are_slower(compiler):
+    small = compiler.access_delay_ns(SramMacroSpec(512, 32))
+    medium = compiler.access_delay_ns(SramMacroSpec(1024, 32))
+    large = compiler.access_delay_ns(SramMacroSpec(2048, 32))
+    wide = compiler.access_delay_ns(SramMacroSpec(2048, 64))
+    assert small < medium < large < wide
+
+
+def test_division_trades_area_for_speed(compiler):
+    """Two MxN blocks are larger than one 2MxN block but each is faster."""
+    whole = SramMacroSpec(2048, 32)
+    half = whole.split_words()
+    assert 2 * compiler.area_um2(half) > compiler.area_um2(whole)
+    assert compiler.access_delay_ns(half) < compiler.access_delay_ns(whole)
+    assert 2 * compiler.leakage_mw(half) > compiler.leakage_mw(whole)
+
+
+def test_dual_port_costs_more_than_single(compiler):
+    dual = SramMacroSpec(1024, 32, SramPort.DUAL)
+    single = SramMacroSpec(1024, 32, SramPort.SINGLE)
+    assert compiler.area_um2(dual) > compiler.area_um2(single)
+    assert compiler.access_delay_ns(dual) > compiler.access_delay_ns(single)
+    assert compiler.leakage_mw(dual) > compiler.leakage_mw(single)
+
+
+def test_register_file_bank_calibration(compiler):
+    """The 2048x32 dual-port bank anchors the 500 MHz result of the paper."""
+    delay = compiler.access_delay_ns(SramMacroSpec(2048, 32))
+    assert 1.3 < delay < 1.55
+
+
+def test_dynamic_power_scales_with_frequency_and_activity(compiler):
+    spec = SramMacroSpec(1024, 32)
+    base = compiler.dynamic_mw(spec, 500.0, 1.0)
+    assert compiler.dynamic_mw(spec, 1000.0, 1.0) == pytest.approx(2 * base)
+    assert compiler.dynamic_mw(spec, 500.0, 0.5) == pytest.approx(base / 2)
+    with pytest.raises(TechnologyError):
+        compiler.dynamic_mw(spec, 500.0, 1.5)
+    with pytest.raises(TechnologyError):
+        compiler.dynamic_mw(spec, 0.0)
+
+
+def test_footprint_matches_area(compiler):
+    spec = SramMacroSpec(2048, 32)
+    width, height = compiler.footprint_um(spec)
+    assert width * height == pytest.approx(compiler.area_um2(spec))
+    assert width == pytest.approx(2 * height)
+
+
+def test_smallest_valid_split_prefers_words(compiler):
+    assert compiler.smallest_valid_split(SramMacroSpec(2048, 32)) == SramMacroSpec(1024, 32)
+    # At the minimum word count the compiler falls back to splitting bits.
+    assert compiler.smallest_valid_split(SramMacroSpec(16, 32)) == SramMacroSpec(16, 16)
+    with pytest.raises(TechnologyError):
+        compiler.smallest_valid_split(SramMacroSpec(16, 2))

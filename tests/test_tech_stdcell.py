@@ -1,0 +1,65 @@
+"""Standard-cell library model."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech.stdcell import StdCellLibrary
+
+
+@pytest.fixture
+def lib() -> StdCellLibrary:
+    return StdCellLibrary()
+
+
+def test_logic_area_scales_with_instances(lib):
+    small = lib.logic_area(1000, 1000)
+    large = lib.logic_area(2000, 2000)
+    assert large == pytest.approx(2 * small)
+    assert lib.logic_area(0, 0) == 0.0
+
+
+def test_ff_larger_than_gate(lib):
+    assert lib.ff_area_um2 > lib.gate_area_um2
+
+
+def test_logic_area_rejects_negative_counts(lib):
+    with pytest.raises(TechnologyError):
+        lib.logic_area(-1, 10)
+    with pytest.raises(TechnologyError):
+        lib.logic_area(10, -1)
+
+
+def test_leakage_positive_and_additive(lib):
+    ff_only = lib.logic_leakage_mw(1000, 0)
+    gate_only = lib.logic_leakage_mw(0, 1000)
+    both = lib.logic_leakage_mw(1000, 1000)
+    assert ff_only > 0 and gate_only > 0
+    assert both == pytest.approx(ff_only + gate_only)
+
+
+def test_dynamic_power_scales_with_frequency(lib):
+    at_500 = lib.logic_dynamic_mw(10000, 10000, 500.0)
+    at_667 = lib.logic_dynamic_mw(10000, 10000, 667.0)
+    assert at_667 == pytest.approx(at_500 * 667.0 / 500.0)
+
+
+def test_dynamic_power_rejects_bad_frequency(lib):
+    with pytest.raises(TechnologyError):
+        lib.logic_dynamic_mw(10, 10, 0.0)
+
+
+def test_path_delay_levels(lib):
+    assert lib.path_delay(0) == 0.0
+    assert lib.path_delay(10) == pytest.approx(10 * lib.gate_delay_ns)
+    assert lib.path_delay(4, 2) == pytest.approx(4 * lib.gate_delay_ns + 2 * lib.mux2_delay_ns)
+
+
+def test_path_delay_rejects_negative_levels(lib):
+    with pytest.raises(TechnologyError):
+        lib.path_delay(-1)
+
+
+def test_register_overhead_is_clk_to_q_plus_setup(lib):
+    assert lib.register_to_register_overhead() == pytest.approx(
+        lib.ff_clk_to_q_ns + lib.ff_setup_ns
+    )

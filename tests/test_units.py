@@ -1,0 +1,40 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_mhz_to_ns_round_trip():
+    assert units.mhz_to_ns(500.0) == pytest.approx(2.0)
+    assert units.ns_to_mhz(2.0) == pytest.approx(500.0)
+    assert units.ns_to_mhz(units.mhz_to_ns(667.0)) == pytest.approx(667.0)
+
+
+def test_mhz_to_ns_rejects_non_positive():
+    with pytest.raises(ValueError):
+        units.mhz_to_ns(0.0)
+    with pytest.raises(ValueError):
+        units.ns_to_mhz(-1.0)
+
+
+def test_area_conversions():
+    assert units.um2_to_mm2(1.0e6) == pytest.approx(1.0)
+    assert units.mm2_to_um2(2.5) == pytest.approx(2.5e6)
+    assert units.um2_to_mm2(units.mm2_to_um2(3.3)) == pytest.approx(3.3)
+
+
+def test_power_conversions():
+    assert units.mw_to_w(1500.0) == pytest.approx(1.5)
+    assert units.w_to_mw(2.0) == pytest.approx(2000.0)
+
+
+def test_cycles_for_rounds_up():
+    # 3 ns of work at 500 MHz (2 ns period) needs 2 cycles.
+    assert units.cycles_for(3.0, 500.0) == 2
+    assert units.cycles_for(2.0, 500.0) == 1
+    assert units.cycles_for(0.0, 500.0) == 0
+
+
+def test_kcycles():
+    assert units.kcycles(48000) == pytest.approx(48.0)
