@@ -21,18 +21,24 @@ class CacheConfig:
     """Geometry of the central direct-mapped write-back data cache.
 
     The FGPU cache is central (shared by all CUs), direct mapped, multi-port,
-    and write back; the number of read/write ports it can serve per cycle and
-    the number of data movers toward the AXI interfaces are configurable.
+    and write back; the number of read/write ports it can serve per cycle, the
+    latency of a hit, and the number of data movers toward the AXI interfaces
+    are configurable.  ``ports`` bounds how many distinct lines one coalesced
+    wavefront access can touch per cycle: accesses that span more lines are
+    serialized one ``ports``-wide wave per cycle by the timing model.
     """
 
     size_bytes: int = 32 * 1024
     line_bytes: int = 64
     ports: int = 4
+    hit_latency_cycles: int = 4
     write_back: bool = True
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0 or self.line_bytes <= 0:
             raise ConfigurationError("cache size and line size must be positive")
+        if self.hit_latency_cycles < 1:
+            raise ConfigurationError("cache hit latency must be at least one cycle")
         if self.size_bytes % self.line_bytes != 0:
             raise ConfigurationError(
                 f"cache size {self.size_bytes} is not a multiple of the line size {self.line_bytes}"

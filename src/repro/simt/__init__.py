@@ -15,6 +15,42 @@ model that reflects the paper's architecture:
 * full thread divergence is supported through an execution-mask stack; a
   divergent wavefront still occupies the full PE-array slot, which is why
   control-divergent kernels (div_int, xcorr, parallel_sel) show poor speed-ups.
+
+Simulator internals
+-------------------
+The engine is event driven rather than instruction-at-a-time:
+
+* **Global event heap.**  ``GGPUSimulator._run`` keeps a heap of
+  ``(next_event_time, cu_index)`` entries and always services the compute
+  unit with the earliest pending event, instead of re-scanning every CU and
+  every resident wavefront per issued instruction.  Stale heap entries are
+  re-validated lazily against the CU's current event time.
+* **Cached scheduler state.**  Each ``WavefrontScheduler`` caches its
+  earliest-ready time and unfinished-resident count, invalidating them on
+  add/remove/ready-time updates, so a CU's ``next_event_time`` is O(1)
+  between mutations.
+* **Pre-decoded programs.**  ``repro.simt.decode`` resolves each instruction
+  once per launch into a ``DecodedOp`` (dispatch kind, plain-int operands,
+  pre-looked-up latency/occupancy, pre-broadcast immediates, resolved ALU
+  callable); all CUs share the decode.
+* **Macro-stepping fast path.**  After issuing the selected instruction, a CU
+  keeps issuing for the same wavefront while the next instruction is
+  *macro-safe* (ALU/MUL/DIV, SPECIAL, PARAM, LOCAL, MASK — straight-line work
+  that touches no shared machine state) and the wavefront stays strictly
+  ahead of every other unfinished resident.  Such runs are batched into one
+  scheduling event with bulk timing/stats updates; this is provably
+  cycle-exact and is locked by golden regression tests
+  (``tests/test_simt_golden.py``) that compare against single-instruction
+  stepping and pin the Table III cycle counts.
+* **Posted stores.**  Global-memory stores never stall the issuing wavefront
+  beyond the fixed store pipeline latency; their line traffic still claims
+  AXI port time.  See the ``repro.simt.cu`` module docstring for the
+  rationale.
+* **Accounted memory maintenance.**  The end-of-kernel cache flush drains
+  dirty lines through the global memory controller (posted, so it adds AXI
+  traffic but not cycles), cache hit latency and per-cycle port width come
+  from ``CacheConfig``, and accesses touching more lines than the cache has
+  ports are serialized one ``ports``-wide wave per cycle.
 """
 
 from repro.simt.memory import GlobalMemory, RuntimeMemory, LocalMemory
@@ -22,6 +58,7 @@ from repro.simt.cache import DataCache, CacheStats
 from repro.simt.axi import GlobalMemoryController
 from repro.simt.registers import WavefrontRegisterFile
 from repro.simt.wavefront import Wavefront
+from repro.simt.decode import DecodedOp, DecodedProgram, predecode_program
 from repro.simt.dispatcher import WorkgroupDispatcher
 from repro.simt.scheduler import WavefrontScheduler
 from repro.simt.cu import ComputeUnit
@@ -29,6 +66,9 @@ from repro.simt.trace import KernelRunStats, InstructionMix
 from repro.simt.gpu import GGPUSimulator, LaunchResult
 
 __all__ = [
+    "DecodedOp",
+    "DecodedProgram",
+    "predecode_program",
     "GlobalMemory",
     "RuntimeMemory",
     "LocalMemory",

@@ -80,6 +80,22 @@ class GlobalMemoryController:
         self.stats.write_backs += 1
         return start + transfer
 
+    def write_back_burst(self, now: float, count: int) -> float:
+        """Issue ``count`` posted write-backs starting at ``now``.
+
+        Used by the end-of-kernel cache flush: the dirty lines drain through
+        the AXI data ports after the last wavefront completes, so the traffic
+        (and the port time it occupies) shows up in :class:`MemoryTrafficStats`
+        without extending the kernel's cycle count.  Returns the completion
+        time of the last write-back.
+        """
+        if count < 0:
+            raise SimulationError(f"write-back burst count must be non-negative, got {count}")
+        done = now
+        for _ in range(count):
+            done = self.write_back(now)
+        return done
+
     def earliest_free(self) -> float:
         """Earliest time any port becomes free (used by tests and reports)."""
         return min(self._port_free)

@@ -8,11 +8,22 @@ is no coherence problem, so the simulator keeps the *data* in
 each access reports whether it hit and whether a dirty victim line must be
 written back, and the :class:`~repro.simt.axi.GlobalMemoryController` turns
 misses and write-backs into AXI traffic and latency.
+
+The tag and dirty state is held in numpy arrays so a whole coalesced
+wavefront access (up to ``wavefront_size`` distinct lines for fully scattered
+addresses) is probed in a handful of vector operations
+(:meth:`DataCache.access_lines`); the scalar :meth:`DataCache.access_line`
+remains for single-line probes and as the replay path when one access maps
+two different lines onto the same direct-mapped set.
+
+The cache serves at most ``CacheConfig.ports`` distinct lines per cycle: the
+compute unit's timing model serializes wider accesses into one
+``ports``-wide wave per cycle (see ``ComputeUnit._memory_timing``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -66,15 +77,18 @@ class LineAccess:
     write_back: bool
 
 
+_NO_TAG = -1  # sentinel for an invalid line (line addresses are >= 0)
+
+
 class DataCache:
     """Tag-only model of the central direct-mapped write-back cache."""
 
     def __init__(self, config: Optional[CacheConfig] = None) -> None:
         self.config = config or CacheConfig()
-        self._tags: List[Optional[int]] = [None] * self.config.num_lines
-        self._dirty: List[bool] = [False] * self.config.num_lines
+        self._tags = np.full(self.config.num_lines, _NO_TAG, dtype=np.int64)
+        self._dirty = np.zeros(self.config.num_lines, dtype=bool)
         self.stats = CacheStats()
-        self.hit_latency_cycles = 4
+        self.hit_latency_cycles = self.config.hit_latency_cycles
 
     # ------------------------------------------------------------------ #
     # Address helpers
@@ -83,13 +97,16 @@ class DataCache:
         """Address of the cache line containing ``byte_address``."""
         return byte_address - (byte_address % self.config.line_bytes)
 
-    def coalesce(self, byte_addresses: Sequence[int]) -> List[int]:
-        """Distinct cache lines touched by a wavefront access (coalescing)."""
+    def coalesce_lines(self, byte_addresses: Sequence[int]) -> np.ndarray:
+        """Distinct line addresses touched by a wavefront access, ascending."""
         addresses = np.asarray(byte_addresses, dtype=np.int64)
         if addresses.size == 0:
-            return []
-        lines = np.unique(addresses - (addresses % self.config.line_bytes))
-        return [int(line) for line in lines]
+            return addresses
+        return np.unique(addresses - (addresses % self.config.line_bytes))
+
+    def coalesce(self, byte_addresses: Sequence[int]) -> List[int]:
+        """Distinct cache lines touched by a wavefront access (coalescing)."""
+        return [int(line) for line in self.coalesce_lines(byte_addresses)]
 
     def _index(self, line_address: int) -> int:
         return (line_address // self.config.line_bytes) % self.config.num_lines
@@ -113,40 +130,96 @@ class DataCache:
                 self.stats.write_misses += 1
             else:
                 self.stats.read_misses += 1
-            if self._tags[index] is not None and self._dirty[index]:
+            if self._tags[index] != _NO_TAG and self._dirty[index]:
                 write_back = True
                 self.stats.write_backs += 1
             self._tags[index] = line_address
             self._dirty[index] = False
         if is_write:
             self._dirty[index] = True
-        return LineAccess(line_address, hit, write_back)
+        return LineAccess(line_address, bool(hit), write_back)
+
+    def access_lines(
+        self, line_addresses: np.ndarray, is_write: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Access a batch of *distinct* lines (one coalesced wavefront access).
+
+        Returns ``(hits, write_backs)`` boolean arrays aligned with
+        ``line_addresses``.  Equivalent to calling :meth:`access_line` on each
+        line in order; the vector path requires the lines to map to distinct
+        direct-mapped sets (always true for contiguous accesses, and for any
+        access narrower than the cache) and falls back to the sequential
+        replay when two lines of one access collide on a set.
+        """
+        lines = np.asarray(line_addresses, dtype=np.int64)
+        count = lines.size
+        if count == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)
+        indices = (lines // self.config.line_bytes) % self.config.num_lines
+        if np.unique(indices).size != count:
+            # Two lines of the same access alias the same set: replay them
+            # sequentially so eviction order stays exact.
+            hits = np.zeros(count, dtype=bool)
+            write_backs = np.zeros(count, dtype=bool)
+            for position, line in enumerate(lines):
+                outcome = self.access_line(int(line), is_write)
+                hits[position] = outcome.hit
+                write_backs[position] = outcome.write_back
+            return hits, write_backs
+        tags = self._tags[indices]
+        hits = tags == lines
+        misses = ~hits
+        write_backs = misses & (tags != _NO_TAG) & self._dirty[indices]
+        num_misses = int(misses.sum())
+        if is_write:
+            self.stats.write_accesses += count
+            self.stats.write_misses += num_misses
+        else:
+            self.stats.read_accesses += count
+            self.stats.read_misses += num_misses
+        self.stats.write_backs += int(write_backs.sum())
+        if num_misses:
+            miss_indices = indices[misses]
+            self._tags[miss_indices] = lines[misses]
+            self._dirty[miss_indices] = False
+        if is_write:
+            self._dirty[indices] = True
+        return hits, write_backs
 
     def access_wavefront(
         self, byte_addresses: Sequence[int], is_write: bool
     ) -> List[LineAccess]:
         """Access all lines touched by one wavefront memory instruction."""
-        return [self.access_line(line, is_write) for line in self.coalesce(byte_addresses)]
+        lines = self.coalesce_lines(byte_addresses)
+        hits, write_backs = self.access_lines(lines, is_write)
+        return [
+            LineAccess(int(line), bool(hit), bool(write_back))
+            for line, hit, write_back in zip(lines, hits, write_backs)
+        ]
 
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
     def flush(self) -> int:
-        """Write back all dirty lines (end of kernel); returns the number flushed."""
-        flushed = 0
-        for index in range(self.config.num_lines):
-            if self._tags[index] is not None and self._dirty[index]:
-                flushed += 1
-                self._dirty[index] = False
+        """Write back all dirty lines (end of kernel); returns the number flushed.
+
+        Only the tag state and the cache-level counter are updated here; the
+        caller is responsible for pushing the flushed lines through the
+        global memory controller so the drain occupies AXI port time (see
+        ``GGPUSimulator.launch``).
+        """
+        dirty = (self._tags != _NO_TAG) & self._dirty
+        flushed = int(dirty.sum())
+        self._dirty[:] = False
         self.stats.write_backs += flushed
         return flushed
 
     def reset(self) -> None:
         """Invalidate the whole cache and clear statistics."""
-        self._tags = [None] * self.config.num_lines
-        self._dirty = [False] * self.config.num_lines
+        self._tags[:] = _NO_TAG
+        self._dirty[:] = False
         self.stats = CacheStats()
 
     def resident_lines(self) -> Set[int]:
         """Set of line addresses currently cached (used by tests)."""
-        return {tag for tag in self._tags if tag is not None}
+        return {int(tag) for tag in self._tags if tag != _NO_TAG}

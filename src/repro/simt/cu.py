@@ -1,8 +1,8 @@
 """Compute Unit: a SIMD machine of 8 Processing Elements.
 
 The CU is both the functional and the timing heart of the simulator.  Each
-call to :meth:`ComputeUnit.step` issues one instruction of one resident
-wavefront:
+call to :meth:`ComputeUnit.step` is one *scheduling event*: the CU selects
+one ready resident wavefront and issues at least one instruction for it:
 
 * the instruction executes functionally for the active lanes (vectorized in
   :mod:`repro.simt.pe`),
@@ -14,6 +14,36 @@ wavefront:
   controller, whose port contention is what limits multi-CU scaling,
 * the issuing wavefront becomes ready again after the instruction's latency,
   so other resident wavefronts can hide that latency.
+
+Macro-stepping fast path
+------------------------
+Programs are bound as pre-decoded instruction streams
+(:mod:`repro.simt.decode`), and after issuing the selected instruction the CU
+keeps issuing for the *same* wavefront as long as (a) the next instruction is
+macro-safe — ALU/MUL/DIV, SPECIAL, PARAM, LOCAL, or MASK, i.e. straight-line
+work that touches no shared machine state — and (b) the wavefront's next
+ready time stays strictly ahead of every other unfinished resident.  Under
+those two conditions no other wavefront (in this CU or any other: macro-safe
+instructions never touch the shared cache or the AXI ports) could have issued
+in between, so batching the whole run into one scheduling event is
+cycle-for-cycle identical to issuing one instruction per event, while
+skipping the per-instruction trips through the scheduler and the simulator's
+event heap.  Setting :attr:`ComputeUnit.macro_step` to ``False`` disables the
+batching; the regression tests assert both modes produce identical cycle
+counts and results.
+
+Posted stores
+-------------
+Global-memory stores are *posted*: the issuing wavefront only waits out the
+fixed ``TimingModel.store_latency`` pipeline latency and never stalls on the
+store's cache outcome, while the store's line traffic (write-allocate fills
+and dirty evictions) still claims AXI port time and therefore delays later
+fills.  This matches the FGPU's write-back data movers, which complete stores
+in the background.  The alternative — stalling the wavefront on store-miss
+port contention — was rejected because no later instruction depends on a
+store result, so the stall would model latency the hardware does not expose.
+The original engine computed that unused store completion time and discarded
+it; the computation is now skipped entirely.
 """
 
 from __future__ import annotations
@@ -24,16 +54,42 @@ import numpy as np
 
 from repro.arch.config import GGPUConfig
 from repro.arch.assembler import Program
-from repro.arch.isa import Instruction, OpClass, Opcode
 from repro.errors import SimulationError
-from repro.simt import pe
 from repro.simt.axi import GlobalMemoryController
 from repro.simt.cache import DataCache
+from repro.simt.decode import (
+    DecodedProgram,
+    K_ALU_BIN,
+    K_ALU_CONST,
+    K_ALU_IMM,
+    K_BCOND,
+    K_BEMPTY,
+    K_CMASK,
+    K_INVM,
+    K_JMP,
+    K_LOAD,
+    K_LOCAL_LOAD,
+    K_LOCAL_STORE,
+    K_PARAM,
+    K_POPM,
+    K_PUSHM,
+    K_RET,
+    K_SPECIAL,
+    K_STORE,
+    K_SYNC,
+    B_EQ,
+    B_NE,
+    B_LT,
+    predecode_program,
+)
+from repro.arch.isa import Opcode
 from repro.simt.memory import GlobalMemory, LocalMemory, RuntimeMemory
 from repro.simt.scheduler import WavefrontScheduler
 from repro.simt.timing import TimingModel
 from repro.simt.trace import ComputeUnitStats
 from repro.simt.wavefront import Wavefront
+
+_INFINITY = float("inf")
 
 
 class ComputeUnit:
@@ -58,16 +114,31 @@ class ComputeUnit:
         self.scheduler = WavefrontScheduler()
         self.array_free_time = 0.0
         self.stats = ComputeUnitStats(cu_id, wavefront_size=config.wavefront_size)
-        self._program: Optional[Program] = None
+        self.macro_step = True
+        self._program: Optional[DecodedProgram] = None
         self._rtm: Optional[RuntimeMemory] = None
         self._barrier_waiters: Dict[int, List[Wavefront]] = {}
+        self._occupancy = config.lanes_rounds_per_wavefront
+        self._cache_ports = config.cache.ports
+        self._lram_words = config.lram_words_per_cu
 
     # ------------------------------------------------------------------ #
     # Launch management
     # ------------------------------------------------------------------ #
-    def bind(self, program: Program, rtm: RuntimeMemory) -> None:
-        """Attach the kernel program and runtime memory for a new launch."""
-        self._program = program
+    def bind(
+        self,
+        program: Program,
+        rtm: RuntimeMemory,
+        decoded: Optional[DecodedProgram] = None,
+    ) -> None:
+        """Attach the kernel program and runtime memory for a new launch.
+
+        ``decoded`` lets the simulator share one pre-decoded program across
+        all CUs; when omitted the CU decodes the program itself.
+        """
+        if decoded is None:
+            decoded = predecode_program(program, self.timing, self.config.wavefront_size)
+        self._program = decoded
         self._rtm = rtm
         self.array_free_time = 0.0
         self.scheduler = WavefrontScheduler()
@@ -88,12 +159,12 @@ class ComputeUnit:
     @property
     def resident_wavefronts(self) -> int:
         """Number of wavefronts currently resident (finished ones excluded)."""
-        return sum(1 for wavefront in self.scheduler.resident if not wavefront.done)
+        return self.scheduler.active_count()
 
     @property
     def busy(self) -> bool:
         """Whether any resident wavefront still has work."""
-        return self.resident_wavefronts > 0
+        return self.scheduler.active_count() > 0
 
     def next_event_time(self) -> float:
         """Time at which this CU can issue its next instruction."""
@@ -102,107 +173,166 @@ class ComputeUnit:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def step(self) -> List[Wavefront]:
-        """Issue one instruction; return the wavefronts retired by it."""
-        if self._program is None or self._rtm is None:
+    def step(self, now: Optional[float] = None) -> List[Wavefront]:
+        """Run one scheduling event; return the wavefronts retired by it.
+
+        One event issues one instruction of one ready wavefront, plus — when
+        the macro-stepping conditions hold — the uncontended straight-line
+        macro-safe run that follows it.
+        """
+        program = self._program
+        if program is None or self._rtm is None:
             raise SimulationError("compute unit has no program bound")
-        now = self.next_event_time()
-        if now == float("inf"):
+        if now is None:
+            now = self.scheduler.earliest_ready()
+        if now == _INFINITY:
             raise SimulationError(f"CU {self.cu_id} stepped with no ready wavefront")
         wavefront = self.scheduler.select(now)
         if wavefront is None:
             raise SimulationError(f"CU {self.cu_id} found no schedulable wavefront at {now}")
-        retired = self._execute_one(wavefront, now)
-        result = []
-        for finished in retired:
-            self.scheduler.remove(finished)
-            self.stats.wavefronts_executed += 1
-            result.append(finished)
-        return result
 
-    def _execute_one(self, wavefront: Wavefront, now: float) -> List[Wavefront]:
-        program = self._program
-        if wavefront.pc >= len(program):
-            raise SimulationError(
-                f"wavefront {wavefront.wavefront_id} ran past the end of {program.name}"
-            )
-        instruction = program[wavefront.pc]
-        opclass = instruction.opcode.opclass
-
-        # --- timing: issue slot and PE-array occupancy ------------------- #
-        if self.timing.uses_pe_array(opclass):
-            issue_start = max(now, wavefront.ready_time, self.array_free_time)
-            occupancy = self.config.lanes_rounds_per_wavefront
-            self.array_free_time = issue_start + occupancy
-        else:
-            issue_start = max(now, wavefront.ready_time)
-            occupancy = 1
-        completion = issue_start + occupancy + self.timing.latency_for(opclass)
-
-        # --- statistics -------------------------------------------------- #
-        self.stats.instructions_issued += 1
-        self.stats.active_lane_issues += wavefront.num_active
-        self.stats.busy_cycles += occupancy
-        self.stats.mix.record(opclass)
-        wavefront.instructions_issued += 1
-        wavefront.active_lane_issues += wavefront.num_active
-
-        # --- functional execution ----------------------------------------- #
-        next_pc = wavefront.pc + 1
+        ops = program.ops
+        num_ops = len(ops)
+        others_ready = (
+            self.scheduler.earliest_ready_excluding(wavefront)
+            if self.macro_step
+            else -_INFINITY
+        )
+        occupancy_rounds = self._occupancy
+        stats = self.stats
+        mix_counts = stats.mix.counts
+        issued = 0
+        active_issues = 0
+        busy_cycles = 0.0
         retired: List[Wavefront] = []
 
-        if opclass in (OpClass.ALU, OpClass.MUL, OpClass.DIV):
-            self._execute_arithmetic(wavefront, instruction)
-        elif opclass is OpClass.SPECIAL:
-            self._execute_special(wavefront, instruction)
-        elif opclass is OpClass.PARAM:
-            value = self._rtm.read_arg(instruction.imm)
-            wavefront.registers.write(
-                int(instruction.rd),
-                np.full(wavefront.wavefront_size, value, dtype=np.int64),
-                wavefront.active_mask,
-            )
-        elif opclass is OpClass.LOAD:
-            completion = self._execute_load(wavefront, instruction, issue_start + occupancy)
-        elif opclass is OpClass.STORE:
-            completion = self._execute_store(wavefront, instruction, issue_start + occupancy)
-        elif opclass is OpClass.LOCAL:
-            self._execute_local(wavefront, instruction)
-        elif opclass is OpClass.MASK:
-            self._execute_mask(wavefront, instruction)
-        elif opclass is OpClass.BRANCH:
-            next_pc = self._execute_branch(wavefront, instruction, next_pc)
-        elif opclass is OpClass.SYNC:
-            completion, parked = self._execute_barrier(wavefront, issue_start + occupancy)
-            if parked:
-                wavefront.pc = next_pc
-                return retired
-        elif opclass is OpClass.RET:
-            wavefront.retire(completion)
-            retired.append(wavefront)
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unhandled opcode class {opclass}")
+        while True:
+            pc = wavefront.pc
+            if pc >= num_ops:
+                raise SimulationError(
+                    f"wavefront {wavefront.wavefront_id} ran past the end of {program.name}"
+                )
+            op = ops[pc]
 
-        wavefront.pc = next_pc
-        wavefront.ready_time = completion
+            # --- timing: issue slot and PE-array occupancy ---------------- #
+            issue_start = wavefront.ready_time
+            if now > issue_start:
+                issue_start = now
+            if op.uses_pe:
+                if self.array_free_time > issue_start:
+                    issue_start = self.array_free_time
+                occupancy = occupancy_rounds
+                self.array_free_time = issue_start + occupancy
+            else:
+                occupancy = 1
+            completion = issue_start + occupancy + op.latency
+
+            # --- statistics ---------------------------------------------- #
+            issued += 1
+            num_active = wavefront.num_active
+            active_issues += num_active
+            busy_cycles += occupancy
+            key = op.class_key
+            mix_counts[key] = mix_counts.get(key, 0) + 1
+            wavefront.instructions_issued += 1
+            wavefront.active_lane_issues += num_active
+
+            # --- functional execution ------------------------------------- #
+            next_pc = pc + 1
+            kind = op.kind
+            registers = wavefront.registers
+            if kind == K_ALU_BIN:
+                result = op.fn(registers.read(op.rs), registers.read(op.rt))
+                self._write_register(wavefront, op.rd, result)
+            elif kind == K_ALU_IMM:
+                result = op.fn(registers.read(op.rs), op.const)
+                self._write_register(wavefront, op.rd, result)
+            elif kind == K_ALU_CONST:
+                self._write_register(wavefront, op.rd, op.const)
+            elif kind == K_SPECIAL:
+                self._execute_special(wavefront, op)
+            elif kind == K_PARAM:
+                value = self._rtm.read_arg(op.imm)
+                self._write_register(
+                    wavefront,
+                    op.rd,
+                    np.full(wavefront.wavefront_size, value, dtype=np.int64),
+                )
+            elif kind == K_LOAD:
+                completion = self._execute_load(wavefront, op, issue_start + occupancy)
+            elif kind == K_STORE:
+                completion = self._execute_store(wavefront, op, issue_start + occupancy)
+            elif kind == K_LOCAL_LOAD or kind == K_LOCAL_STORE:
+                self._execute_local(wavefront, op, kind)
+            elif kind == K_PUSHM:
+                wavefront.push_mask()
+            elif kind == K_CMASK:
+                wavefront.constrain_mask(registers.read(op.rs))
+            elif kind == K_INVM:
+                wavefront.invert_mask()
+            elif kind == K_POPM:
+                wavefront.pop_mask()
+            elif kind == K_JMP:
+                next_pc = op.imm
+            elif kind == K_BEMPTY:
+                next_pc = op.imm if not wavefront.any_active else next_pc
+            elif kind == K_BCOND:
+                next_pc = self._execute_branch(wavefront, op, next_pc)
+            elif kind == K_SYNC:
+                completion, parked = self._execute_barrier(wavefront, issue_start + occupancy)
+                wavefront.pc = next_pc
+                if not parked:
+                    wavefront.ready_time = completion
+                # A released barrier rewrites the other waiters' ready times,
+                # a parked one leaves this wavefront unschedulable: either
+                # way the scheduling state changed, so the event ends here.
+                break
+            elif kind == K_RET:
+                wavefront.retire(completion)
+                retired.append(wavefront)
+                wavefront.pc = next_pc
+                wavefront.ready_time = completion
+                break
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unhandled instruction kind {kind}")
+
+            wavefront.pc = next_pc
+            wavefront.ready_time = completion
+
+            # --- macro-stepping continuation ------------------------------ #
+            if completion >= others_ready:
+                break
+            if next_pc >= num_ops or not ops[next_pc].macro_safe:
+                break
+            now = completion
+
+        stats.instructions_issued += issued
+        stats.active_lane_issues += active_issues
+        stats.busy_cycles += busy_cycles
+        stats.issue_events += 1
+        self.scheduler.notify_ready_changed()
+        for finished in retired:
+            self.scheduler.remove(finished)
+            stats.wavefronts_executed += 1
         return retired
 
     # ------------------------------------------------------------------ #
     # Functional helpers per instruction class
     # ------------------------------------------------------------------ #
-    def _execute_arithmetic(self, wavefront: Wavefront, instruction: Instruction) -> None:
-        opcode = instruction.opcode
-        a = wavefront.registers.read(int(instruction.rs)) if instruction.rs is not None else None
-        if pe.is_binary_alu(opcode):
-            b = wavefront.registers.read(int(instruction.rt))
-            result = pe.execute_binary(opcode, a, b)
-        else:
-            lanes = wavefront.wavefront_size
-            result = pe.execute_immediate(opcode, a, instruction.imm or 0, lanes)
-        wavefront.registers.write(int(instruction.rd), result, wavefront.active_mask)
+    def _write_register(self, wavefront: Wavefront, index: int, values: np.ndarray) -> None:
+        """Masked register write with a fast path for fully active wavefronts.
 
-    def _execute_special(self, wavefront: Wavefront, instruction: Instruction) -> None:
-        opcode = instruction.opcode
+        With every lane active the ``np.where`` merge of
+        :meth:`WavefrontRegisterFile.write` degenerates to a plain assignment,
+        which :meth:`WavefrontRegisterFile.write_all_lanes` does directly.
+        """
+        if wavefront.num_active == wavefront.wavefront_size:
+            wavefront.registers.write_all_lanes(index, values)
+        else:
+            wavefront.registers.write(index, values, wavefront.active_mask)
+
+    def _execute_special(self, wavefront: Wavefront, op) -> None:
+        opcode = op.opcode
         lanes = wavefront.wavefront_size
         if opcode is Opcode.LID:
             values = wavefront.local_ids
@@ -218,99 +348,107 @@ class ComputeUnit:
             values = np.full(lanes, wavefront.num_workgroups, dtype=np.int64)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
-        wavefront.registers.write(int(instruction.rd), values, wavefront.active_mask)
+        self._write_register(wavefront, op.rd, values)
 
-    def _lane_addresses(self, wavefront: Wavefront, instruction: Instruction) -> np.ndarray:
-        base = wavefront.registers.read(int(instruction.rs))
-        return (base + int(instruction.imm or 0)) & 0xFFFFFFFF
+    def _lane_addresses(self, wavefront: Wavefront, op) -> np.ndarray:
+        base = wavefront.registers.read(op.rs)
+        return (base + op.imm) & 0xFFFFFFFF
 
-    def _execute_load(
-        self, wavefront: Wavefront, instruction: Instruction, access_time: float
-    ) -> float:
-        addresses = self._lane_addresses(wavefront, instruction)
+    def _execute_load(self, wavefront: Wavefront, op, access_time: float) -> float:
+        addresses = self._lane_addresses(wavefront, op)
         mask = wavefront.active_mask
         result = np.zeros(wavefront.wavefront_size, dtype=np.int64)
         completion = access_time + self.cache.hit_latency_cycles
-        if mask.any():
+        if wavefront.any_active:
             active_addresses = addresses[mask]
             result[mask] = self.global_memory.load_words(active_addresses)
             completion = self._memory_timing(active_addresses, access_time, is_write=False)
-        wavefront.registers.write(int(instruction.rd), result, mask)
+        self._write_register(wavefront, op.rd, result)
         return completion
 
-    def _execute_store(
-        self, wavefront: Wavefront, instruction: Instruction, access_time: float
-    ) -> float:
-        addresses = self._lane_addresses(wavefront, instruction)
+    def _execute_store(self, wavefront: Wavefront, op, access_time: float) -> float:
+        addresses = self._lane_addresses(wavefront, op)
         mask = wavefront.active_mask
-        if mask.any():
+        if wavefront.any_active:
             active_addresses = addresses[mask]
-            values = wavefront.registers.read(int(instruction.rt))[mask]
+            values = wavefront.registers.read(op.rt)[mask]
             self.global_memory.store_words(active_addresses, values)
-            self._memory_timing(active_addresses, access_time, is_write=True)
+            # Posted store: charge the cache and the AXI ports but do not
+            # track a completion time for the wavefront (see module
+            # docstring).
+            self._memory_timing(
+                active_addresses, access_time, is_write=True, track_completion=False
+            )
         return access_time + self.timing.store_latency
 
     def _memory_timing(
-        self, addresses: np.ndarray, access_time: float, is_write: bool
+        self,
+        addresses: np.ndarray,
+        access_time: float,
+        is_write: bool,
+        track_completion: bool = True,
     ) -> float:
-        """Charge the cache and AXI ports for one coalesced wavefront access."""
-        completion = access_time + self.cache.hit_latency_cycles
-        for access in self.cache.access_wavefront(addresses, is_write):
-            if access.write_back:
-                self.memory_controller.write_back(access_time)
-            if not access.hit:
-                fill_done = self.memory_controller.line_fill(access_time)
-                completion = max(completion, fill_done)
+        """Charge the cache and AXI ports for one coalesced wavefront access.
+
+        The central cache serves at most ``CacheConfig.ports`` distinct lines
+        per cycle, so an access touching more lines is serialized into
+        ``ports``-wide waves issued one cycle apart; line ``k`` of the access
+        starts at ``access_time + k // ports``.  Dirty evictions and line
+        fills claim AXI port time at their wave's start time.
+        """
+        cache = self.cache
+        lines = cache.coalesce_lines(addresses)
+        hits, write_backs = cache.access_lines(lines, is_write)
+        ports = self._cache_ports
+        count = lines.size
+        hit_latency = cache.hit_latency_cycles
+        completion = access_time + hit_latency
+        if track_completion and count > ports:
+            hit_positions = np.flatnonzero(hits)
+            if hit_positions.size:
+                last_hit_wave = int(hit_positions[-1]) // ports
+                completion = access_time + last_hit_wave + hit_latency
+        misses = np.flatnonzero(~hits)
+        if misses.size:
+            memory_controller = self.memory_controller
+            for position in misses:
+                start = access_time + (int(position) // ports)
+                if write_backs[position]:
+                    memory_controller.write_back(start)
+                fill_done = memory_controller.line_fill(start)
+                if fill_done > completion:
+                    completion = fill_done
         return completion
 
-    def _execute_local(self, wavefront: Wavefront, instruction: Instruction) -> None:
-        addresses = self._lane_addresses(wavefront, instruction)
+    def _execute_local(self, wavefront: Wavefront, op, kind: int) -> None:
+        addresses = self._lane_addresses(wavefront, op)
         mask = wavefront.active_mask
-        word_indices = (addresses >> 2) % self.config.lram_words_per_cu
-        if instruction.opcode is Opcode.LLW:
+        word_indices = (addresses >> 2) % self._lram_words
+        if kind == K_LOCAL_LOAD:
             result = np.zeros(wavefront.wavefront_size, dtype=np.int64)
-            if mask.any():
+            if wavefront.any_active:
                 result[mask] = self.local_memory.load_words(word_indices[mask])
-            wavefront.registers.write(int(instruction.rd), result, mask)
+            wavefront.registers.write(op.rd, result, mask)
         else:
-            if mask.any():
-                values = wavefront.registers.read(int(instruction.rt))[mask]
+            if wavefront.any_active:
+                values = wavefront.registers.read(op.rt)[mask]
                 self.local_memory.store_words(word_indices[mask], values)
 
-    def _execute_mask(self, wavefront: Wavefront, instruction: Instruction) -> None:
-        opcode = instruction.opcode
-        if opcode is Opcode.PUSHM:
-            wavefront.push_mask()
-        elif opcode is Opcode.CMASK:
-            condition = wavefront.registers.read(int(instruction.rs))
-            wavefront.constrain_mask(condition)
-        elif opcode is Opcode.INVM:
-            wavefront.invert_mask()
-        elif opcode is Opcode.POPM:
-            wavefront.pop_mask()
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unhandled mask opcode {opcode.mnemonic}")
-
-    def _execute_branch(
-        self, wavefront: Wavefront, instruction: Instruction, fallthrough: int
-    ) -> int:
-        opcode = instruction.opcode
-        target = int(instruction.imm)
-        if opcode is Opcode.JMP:
-            return target
-        if opcode is Opcode.BEMPTY:
-            return target if not wavefront.any_active else fallthrough
-        a = wavefront.uniform_lane_value(wavefront.registers.read(int(instruction.rs)))
-        b = wavefront.uniform_lane_value(wavefront.registers.read(int(instruction.rt)))
+    def _execute_branch(self, wavefront: Wavefront, op, fallthrough: int) -> int:
+        a = wavefront.uniform_lane_value(wavefront.registers.read(op.rs))
+        b = wavefront.uniform_lane_value(wavefront.registers.read(op.rt))
         signed_a = a - (1 << 32) if a & 0x80000000 else a
         signed_b = b - (1 << 32) if b & 0x80000000 else b
-        taken = {
-            Opcode.BEQ: signed_a == signed_b,
-            Opcode.BNE: signed_a != signed_b,
-            Opcode.BLT: signed_a < signed_b,
-            Opcode.BGE: signed_a >= signed_b,
-        }[opcode]
-        return target if taken else fallthrough
+        code = op.fn
+        if code == B_EQ:
+            taken = signed_a == signed_b
+        elif code == B_NE:
+            taken = signed_a != signed_b
+        elif code == B_LT:
+            taken = signed_a < signed_b
+        else:  # B_GE
+            taken = signed_a >= signed_b
+        return op.imm if taken else fallthrough
 
     def _execute_barrier(self, wavefront: Wavefront, arrival: float) -> tuple:
         """Handle a workgroup barrier; returns (release_time, parked)."""
@@ -318,8 +456,8 @@ class ComputeUnit:
         waiters = self._barrier_waiters.setdefault(wavefront.workgroup_id, [])
         waiters.append(wavefront)
         if len(waiters) < expected:
-            wavefront.ready_time = float("inf")
-            return float("inf"), True
+            wavefront.ready_time = _INFINITY
+            return _INFINITY, True
         release = arrival + self.timing.barrier_latency
         for waiter in waiters:
             waiter.ready_time = release

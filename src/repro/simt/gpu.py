@@ -5,10 +5,22 @@ buffers, write them, set kernel arguments, enqueue an NDRange, and read the
 results back.  :class:`GGPUSimulator` exposes exactly that surface and runs
 the kernel on the configured number of Compute Units, returning the cycle
 count and the detailed statistics the evaluation harness consumes.
+
+The launch loop is a global event heap: every busy CU is represented by a
+``(next_event_time, cu_index)`` entry and the simulator always services the
+CU with the earliest pending event (ties break toward the lower CU index),
+instead of re-scanning every CU's resident wavefronts per issued
+instruction.  Entries are invalidated lazily — a popped entry whose CU has
+moved on is simply re-pushed at its current event time.
+
+At the end of a launch the dirty cache lines are flushed through the global
+memory controller, so the end-of-kernel drain shows up as AXI write-back
+traffic (it is posted, so it does not extend the kernel's cycle count).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -20,6 +32,7 @@ from repro.errors import KernelError, SimulationError
 from repro.simt.axi import GlobalMemoryController
 from repro.simt.cache import DataCache
 from repro.simt.cu import ComputeUnit
+from repro.simt.decode import predecode_program
 from repro.simt.dispatcher import WorkgroupDispatcher
 from repro.simt.memory import GlobalMemory, RuntimeMemory
 from repro.simt.timing import TimingModel
@@ -114,8 +127,9 @@ class GGPUSimulator:
         self.rtm.write_descriptor(ndrange.global_size, ndrange.workgroup_size, ordered_args)
         self.cache.reset()
         self.memory_controller.reset()
+        decoded = predecode_program(kernel.program, self.timing, self.config.wavefront_size)
         for cu in self.compute_units:
-            cu.bind(kernel.program, self.rtm)
+            cu.bind(kernel.program, self.rtm, decoded=decoded)
 
         dispatcher = WorkgroupDispatcher(self.config, ndrange)
         for cu, wavefronts in zip(self.compute_units, dispatcher.initial_assignment(len(self.compute_units))):
@@ -123,6 +137,14 @@ class GGPUSimulator:
                 cu.admit(wavefronts)
 
         last_completion = self._run(dispatcher)
+
+        # End-of-kernel flush: drain the dirty lines through the memory
+        # controller so the write-back traffic is accounted.  The drain is
+        # posted (it happens behind the completed kernel), so it occupies AXI
+        # port time but does not extend the cycle count.
+        flushed = self.cache.flush()
+        if flushed:
+            self.memory_controller.write_back_burst(last_completion, flushed)
 
         stats = KernelRunStats(
             kernel_name=kernel.name,
@@ -151,31 +173,79 @@ class GGPUSimulator:
         return [int(args[arg.name]) for arg in kernel.args]
 
     def _run(self, dispatcher: WorkgroupDispatcher) -> float:
+        """Drive all CUs to completion on a global event heap.
+
+        The heap holds ``(next_event_time, cu_index)`` entries for busy CUs;
+        stale entries are detected by re-reading the CU's current event time
+        and re-pushed.  CUs whose residents are all blocked (parked at a
+        barrier) drop out of the heap; if the heap drains while such a CU is
+        still busy the launch has deadlocked, matching the old per-step scan
+        which raised once every remaining CU was blocked.
+        """
+        compute_units = self.compute_units
+        infinity = float("inf")
         last_completion = 0.0
         guard = 0
         max_steps = 200_000_000  # defensive bound against runaway kernels
+        heap: List[tuple] = [
+            (cu.next_event_time(), index)
+            for index, cu in enumerate(compute_units)
+            if cu.busy
+        ]
+        heapq.heapify(heap)
         while True:
-            busy_cus = [cu for cu in self.compute_units if cu.busy]
-            if not busy_cus:
+            if not heap:
+                if any(cu.busy for cu in compute_units):
+                    raise SimulationError("deadlock: all resident wavefronts are blocked")
                 if dispatcher.has_pending():
-                    # All CUs drained but work remains (tiny CU counts with
-                    # large workgroups); refill the first CU.
-                    wavefronts = dispatcher.refill(0, last_completion)
-                    if wavefronts is None:
-                        raise SimulationError("dispatcher refused to refill an idle G-GPU")
-                    self.compute_units[0].admit(wavefronts)
+                    self._refill_idle_cus(dispatcher, last_completion, heap)
                     continue
                 break
-            cu = min(busy_cus, key=lambda candidate: candidate.next_event_time())
-            if cu.next_event_time() == float("inf"):
-                raise SimulationError("deadlock: all resident wavefronts are blocked")
-            retired = cu.step()
+            event_time, index = heapq.heappop(heap)
+            cu = compute_units[index]
+            if not cu.busy:
+                continue
+            current = cu.next_event_time()
+            if current == infinity:
+                continue  # blocked at a barrier; deadlock check on empty heap
+            if current != event_time:
+                heapq.heappush(heap, (current, index))
+                continue
+            retired = cu.step(current)
             guard += 1
             if guard > max_steps:
                 raise SimulationError("simulation exceeded the maximum step count")
             for wavefront in retired:
-                last_completion = max(last_completion, wavefront.completion_time)
+                if wavefront.completion_time > last_completion:
+                    last_completion = wavefront.completion_time
                 refill = dispatcher.refill(cu.resident_wavefronts, wavefront.completion_time)
                 if refill is not None:
                     cu.admit(refill)
+            if cu.busy:
+                heapq.heappush(heap, (cu.next_event_time(), index))
         return last_completion
+
+    def _refill_idle_cus(
+        self,
+        dispatcher: WorkgroupDispatcher,
+        now: float,
+        heap: List[tuple],
+    ) -> None:
+        """Refill every drained CU round-robin up to capacity.
+
+        Reached only when all CUs drained while workgroups are still pending
+        (tiny CU counts with large workgroups).  Workgroups are dealt one at
+        a time across the CUs — using each CU's real residency — until every
+        CU is full or the queue empties, and every refilled CU is re-entered
+        into the event heap.
+        """
+        assignment = dispatcher.refill_idle(
+            [cu.resident_wavefronts for cu in self.compute_units], now
+        )
+        if not any(assignment):
+            raise SimulationError("dispatcher refused to refill an idle G-GPU")
+        for index, wavefronts in enumerate(assignment):
+            if wavefronts:
+                cu = self.compute_units[index]
+                cu.admit(wavefronts)
+                heapq.heappush(heap, (cu.next_event_time(), index))

@@ -167,6 +167,27 @@ def execute_immediate(opcode: Opcode, a: np.ndarray, imm: int, lanes: int) -> np
     return execute_binary(base, a, broadcast)
 
 
+def binary_operation(opcode: Opcode) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Resolve the lane-arithmetic callable of a three-register opcode.
+
+    Used by the instruction pre-decoder so the per-issue path can call the
+    operation directly instead of going through the dict lookup in
+    :func:`execute_binary`.
+    """
+    try:
+        return _BINARY_OPS[opcode]
+    except KeyError as exc:
+        raise SimulationError(f"{opcode.mnemonic} is not a binary ALU operation") from exc
+
+
+def immediate_base(opcode: Opcode) -> Opcode:
+    """Three-register opcode implementing an immediate form's arithmetic."""
+    try:
+        return _IMMEDIATE_TO_BINARY[opcode]
+    except KeyError as exc:
+        raise SimulationError(f"{opcode.mnemonic} is not an immediate ALU operation") from exc
+
+
 def is_binary_alu(opcode: Opcode) -> bool:
     """Whether the opcode is a three-register arithmetic operation."""
     return opcode in _BINARY_OPS

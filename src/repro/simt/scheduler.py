@@ -4,6 +4,15 @@ The WF scheduler picks, every issue opportunity, one resident wavefront whose
 next instruction is ready and feeds it to the PE array.  The policy is
 round-robin among ready wavefronts (the FGPU policy), which is what lets the
 memory latency of one wavefront hide behind the arithmetic of the others.
+
+The earliest-ready time — the compute unit's next event time, consulted by
+the simulator's event heap on every scheduling decision — is cached and only
+recomputed after a mutation (add/remove/ready-time update) instead of being
+rebuilt with a ``min()`` scan over all residents on every call.  Code that
+changes a resident's ``ready_time`` directly must call
+:meth:`WavefrontScheduler.notify_ready_changed`; :meth:`select` also
+invalidates the cache because callers conventionally reschedule the
+wavefront they selected.
 """
 
 from __future__ import annotations
@@ -14,12 +23,18 @@ from typing import Deque, Iterable, List, Optional
 from repro.errors import SimulationError
 from repro.simt.wavefront import Wavefront
 
+_INFINITY = float("inf")
+
 
 class WavefrontScheduler:
     """Round-robin scheduler over the wavefronts resident in one CU."""
 
     def __init__(self) -> None:
         self._order: Deque[Wavefront] = deque()
+        self._earliest = _INFINITY
+        self._earliest_valid = True
+        self._active = 0
+        self._active_valid = True
 
     def __len__(self) -> int:
         return len(self._order)
@@ -39,6 +54,8 @@ class WavefrontScheduler:
                 f"wavefront {wavefront.wavefront_id} is already resident in this CU"
             )
         self._order.append(wavefront)
+        self._earliest_valid = False
+        self._active_valid = False
 
     def add_all(self, wavefronts: Iterable[Wavefront]) -> None:
         """Register several wavefronts at once."""
@@ -53,12 +70,48 @@ class WavefrontScheduler:
             raise SimulationError(
                 f"wavefront {wavefront.wavefront_id} is not resident in this CU"
             ) from exc
+        self._earliest_valid = False
+        self._active_valid = False
+
+    def notify_ready_changed(self) -> None:
+        """Invalidate the cached state after external ready/done updates."""
+        self._earliest_valid = False
+        self._active_valid = False
+
+    def active_count(self) -> int:
+        """Number of unfinished resident wavefronts (cached like the min)."""
+        if not self._active_valid:
+            self._active = sum(1 for wavefront in self._order if not wavefront.done)
+            self._active_valid = True
+        return self._active
 
     def earliest_ready(self) -> float:
         """Ready time of the wavefront that becomes schedulable first."""
-        if not self._order:
-            return float("inf")
-        return min(wavefront.ready_time for wavefront in self._order if not wavefront.done)
+        if not self._earliest_valid:
+            earliest = _INFINITY
+            for wavefront in self._order:
+                if not wavefront.done and wavefront.ready_time < earliest:
+                    earliest = wavefront.ready_time
+            self._earliest = earliest
+            self._earliest_valid = True
+        return self._earliest
+
+    def earliest_ready_excluding(self, excluded: Wavefront) -> float:
+        """Earliest ready time among the *other* unfinished residents.
+
+        Used by the compute unit's macro-stepping fast path: the selected
+        wavefront may keep issuing back-to-back only while it stays strictly
+        ahead of every other resident.
+        """
+        earliest = _INFINITY
+        for wavefront in self._order:
+            if (
+                wavefront is not excluded
+                and not wavefront.done
+                and wavefront.ready_time < earliest
+            ):
+                earliest = wavefront.ready_time
+        return earliest
 
     def select(self, now: float) -> Optional[Wavefront]:
         """Pick the next wavefront with ``ready_time <= now`` (round robin).
@@ -66,9 +119,13 @@ class WavefrontScheduler:
         The selected wavefront is rotated to the back of the order so ready
         wavefronts share the issue bandwidth fairly.
         """
-        for _ in range(len(self._order)):
-            wavefront = self._order[0]
-            self._order.rotate(-1)
+        order = self._order
+        for _ in range(len(order)):
+            wavefront = order[0]
+            order.rotate(-1)
             if not wavefront.done and wavefront.ready_time <= now:
+                # The caller is about to issue for (and therefore delay) the
+                # selected wavefront, so the cached minimum goes stale.
+                self._earliest_valid = False
                 return wavefront
         return None

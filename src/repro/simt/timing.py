@@ -55,36 +55,50 @@ class TimingModel:
         ):
             if getattr(self, name) < 1:
                 raise ConfigurationError(f"{name} must be at least one cycle")
+        # The per-class tables are consulted on every issued instruction, so
+        # they are materialized once instead of being rebuilt per call (the
+        # dataclass is frozen, hence object.__setattr__).
+        object.__setattr__(
+            self,
+            "_latency_table",
+            {
+                OpClass.ALU: self.alu_latency,
+                OpClass.MUL: self.mul_latency,
+                OpClass.DIV: self.div_latency,
+                OpClass.SPECIAL: self.special_latency,
+                OpClass.MASK: self.mask_latency,
+                OpClass.BRANCH: self.branch_latency,
+                OpClass.LOCAL: self.local_latency,
+                OpClass.PARAM: self.param_latency,
+                OpClass.STORE: self.store_latency,
+                OpClass.SYNC: self.barrier_latency,
+                OpClass.RET: 1,
+                # Loads are handled by the compute unit because their latency
+                # depends on the cache and memory controller.
+                OpClass.LOAD: self.alu_latency,
+            },
+        )
+        object.__setattr__(
+            self,
+            "_pe_array_classes",
+            frozenset(
+                (
+                    OpClass.ALU,
+                    OpClass.MUL,
+                    OpClass.DIV,
+                    OpClass.LOAD,
+                    OpClass.STORE,
+                    OpClass.LOCAL,
+                    OpClass.SPECIAL,
+                    OpClass.PARAM,
+                )
+            ),
+        )
 
     def latency_for(self, opclass: OpClass) -> int:
         """Post-occupancy latency of an instruction of the given class."""
-        mapping = {
-            OpClass.ALU: self.alu_latency,
-            OpClass.MUL: self.mul_latency,
-            OpClass.DIV: self.div_latency,
-            OpClass.SPECIAL: self.special_latency,
-            OpClass.MASK: self.mask_latency,
-            OpClass.BRANCH: self.branch_latency,
-            OpClass.LOCAL: self.local_latency,
-            OpClass.PARAM: self.param_latency,
-            OpClass.STORE: self.store_latency,
-            OpClass.SYNC: self.barrier_latency,
-            OpClass.RET: 1,
-            # Loads are handled by the compute unit because their latency
-            # depends on the cache and memory controller.
-            OpClass.LOAD: self.alu_latency,
-        }
-        return mapping[opclass]
+        return self._latency_table[opclass]
 
     def uses_pe_array(self, opclass: OpClass) -> bool:
         """Whether instructions of this class occupy the PE array."""
-        return opclass in (
-            OpClass.ALU,
-            OpClass.MUL,
-            OpClass.DIV,
-            OpClass.LOAD,
-            OpClass.STORE,
-            OpClass.LOCAL,
-            OpClass.SPECIAL,
-            OpClass.PARAM,
-        )
+        return opclass in self._pe_array_classes

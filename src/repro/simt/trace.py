@@ -57,6 +57,7 @@ class ComputeUnitStats:
     instructions_issued: int = 0
     active_lane_issues: int = 0
     busy_cycles: float = 0.0
+    issue_events: int = 0
     mix: InstructionMix = field(default_factory=InstructionMix)
 
     @property
@@ -65,6 +66,18 @@ class ComputeUnitStats:
         if self.instructions_issued == 0:
             return 1.0
         return self.active_lane_issues / (self.instructions_issued * float(self.wavefront_size))
+
+    @property
+    def macro_batching(self) -> float:
+        """Average instructions issued per scheduling event.
+
+        1.0 means every instruction needed its own trip through the event
+        loop; higher values measure how much work the macro-stepping fast
+        path batched into single scheduling decisions.
+        """
+        if self.issue_events == 0:
+            return 1.0
+        return self.instructions_issued / self.issue_events
 
 
 @dataclass

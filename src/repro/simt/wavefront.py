@@ -52,6 +52,10 @@ class Wavefront:
         # Lanes beyond the global size (possible only if the NDRange is not a
         # multiple of the wavefront size) start permanently inactive.
         self.active_mask &= self.global_ids < global_size
+        # The active-lane count is consulted on every issued instruction, so
+        # it is cached and kept current by the mask-stack operations instead
+        # of being re-reduced over the lanes per issue.
+        self._active_count = int(self.active_mask.sum())
 
         # Scheduling state (owned by the compute unit's scheduler).
         self.ready_time = 0.0
@@ -72,12 +76,12 @@ class Wavefront:
     @property
     def any_active(self) -> bool:
         """Whether at least one lane is currently active."""
-        return bool(self.active_mask.any())
+        return self._active_count > 0
 
     @property
     def num_active(self) -> int:
         """Number of currently active lanes."""
-        return int(self.active_mask.sum())
+        return self._active_count
 
     def push_mask(self) -> None:
         """Save the current execution mask (PUSHM)."""
@@ -89,18 +93,21 @@ class Wavefront:
         if condition.shape != self.active_mask.shape:
             raise SimulationError("condition vector has the wrong number of lanes")
         self.active_mask &= condition != 0
+        self._active_count = int(self.active_mask.sum())
 
     def invert_mask(self) -> None:
         """Switch to the complementary lanes of the enclosing region (INVM)."""
         if not self._mask_stack:
             raise SimulationError("INVM executed with an empty mask stack")
         self.active_mask = self._mask_stack[-1] & ~self.active_mask
+        self._active_count = int(self.active_mask.sum())
 
     def pop_mask(self) -> None:
         """Restore the saved execution mask (POPM)."""
         if not self._mask_stack:
             raise SimulationError("POPM executed with an empty mask stack")
         self.active_mask = self._mask_stack.pop()
+        self._active_count = int(self.active_mask.sum())
 
     # ------------------------------------------------------------------ #
     # Uniform values

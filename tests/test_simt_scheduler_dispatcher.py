@@ -78,6 +78,48 @@ def test_refill_respects_capacity():
     assert refill is not None and all(wf.ready_time == 10.0 for wf in refill)
 
 
+def test_earliest_ready_cache_tracks_mutations():
+    scheduler = WavefrontScheduler()
+    first, second = _wavefront(0, ready=4.0), _wavefront(1, ready=9.0)
+    scheduler.add_all([first, second])
+    assert scheduler.earliest_ready() == 4.0
+    assert scheduler.active_count() == 2
+    first.ready_time = 20.0
+    scheduler.notify_ready_changed()
+    assert scheduler.earliest_ready() == 9.0
+    assert scheduler.earliest_ready_excluding(second) == 20.0
+    scheduler.remove(second)
+    assert scheduler.earliest_ready() == 20.0
+    assert scheduler.active_count() == 1
+
+
+def test_select_invalidates_cached_earliest():
+    scheduler = WavefrontScheduler()
+    wavefront = _wavefront(0, ready=2.0)
+    scheduler.add(wavefront)
+    assert scheduler.earliest_ready() == 2.0
+    picked = scheduler.select(5.0)
+    assert picked is wavefront
+    # The conventional caller pattern: reschedule the selected wavefront.
+    picked.ready_time = 30.0
+    assert scheduler.earliest_ready() == 30.0
+
+
+def test_refill_idle_deals_workgroups_round_robin():
+    config = GGPUConfig(num_cus=4)
+    dispatcher = WorkgroupDispatcher(config, NDRange(1536, 256))  # 6 workgroups
+    assignment = dispatcher.refill_idle([0, 0, 0, 0], now=7.0)
+    # Six workgroups of 4 wavefronts dealt across four empty CUs: the first
+    # two CUs get two workgroups, the last two get one each.
+    assert [len(wavefronts) for wavefronts in assignment] == [8, 8, 4, 4]
+    assert not dispatcher.has_pending()
+    assert all(wf.ready_time == 7.0 for group in assignment for wf in group)
+    # A full CU (8 resident wavefronts) is skipped.
+    dispatcher = WorkgroupDispatcher(config, NDRange(512, 256))
+    assignment = dispatcher.refill_idle([8, 8, 0, 8], now=1.0)
+    assert [len(wavefronts) for wavefronts in assignment] == [0, 0, 8, 0]
+
+
 def test_dispatcher_rejects_oversized_workgroups():
     config = GGPUConfig(num_cus=1)
     with pytest.raises(SimulationError):
