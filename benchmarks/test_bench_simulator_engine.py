@@ -49,7 +49,7 @@ def _simulate_mix(num_cus: int = 4):
 
 
 @pytest.mark.benchmark(group="engine")
-def test_engine_simulation_throughput(benchmark):
+def test_engine_simulation_throughput(benchmark, bench_recorder):
     instructions, events, elapsed = benchmark.pedantic(
         _simulate_mix, rounds=1, iterations=1
     )
@@ -59,8 +59,19 @@ def test_engine_simulation_throughput(benchmark):
         f"({throughput:,.0f} instr/s), {events} scheduling events "
         f"(batching {instructions / events:.2f})"
     )
-    # The rewritten engine sustains ~40-60k instr/s on this mix; the seed
-    # engine managed ~11k.  Only gross regressions should trip this.
+    bench_recorder(
+        "engine",
+        {
+            "wavefront_instructions": instructions,
+            "wall_seconds": round(elapsed, 3),
+            "instructions_per_second": round(throughput),
+            "scheduling_events": events,
+            "macro_batching": round(instructions / events, 2),
+        },
+    )
+    # The rewritten engine sustains ~40-60k instr/s on this mix (the PR-2
+    # memory-path work pushed it further); the seed engine managed ~11k.
+    # Only gross regressions should trip this.
     assert throughput > 8_000
     # Macro-stepping must actually batch: strictly fewer scheduling events
     # than instructions.

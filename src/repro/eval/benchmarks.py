@@ -16,6 +16,7 @@ from repro.arch.config import GGPUConfig
 from repro.errors import KernelError
 from repro.kernels import all_kernel_names, get_kernel_spec, run_workload
 from repro.riscv.programs import get_riscv_program_spec
+from repro.runtime.parallel import parallel_map
 from repro.simt.gpu import GGPUSimulator
 from repro.simt.trace import KernelRunStats
 from repro.riscv.cpu import CpuStats
@@ -152,23 +153,46 @@ def measure_riscv_program(
     return RiscvMeasurement(kernel=kernel_name, input_size=size, cycles=stats.cycles, stats=stats)
 
 
+def _run_table3_task(task: tuple):
+    """Worker entry for one Table III measurement (module level: picklable)."""
+    kind, kernel, size, seed, check, num_cus = task
+    if kind == "riscv":
+        return measure_riscv_program(kernel, size, seed, check)
+    return measure_gpu_kernel(kernel, num_cus, size, seed, check)
+
+
 def run_table3(
     kernels: Optional[Sequence[str]] = None,
     cu_counts: Sequence[int] = (1, 2, 4, 8),
     scale: float = 1.0,
     seed: int = DEFAULT_SEED,
     check: bool = True,
+    jobs: Optional[int] = None,
 ) -> Table3Data:
-    """Measure every kernel on the RISC-V and on G-GPUs with ``cu_counts`` CUs."""
+    """Measure every kernel on the RISC-V and on G-GPUs with ``cu_counts`` CUs.
+
+    The kernel x target grid is embarrassingly parallel (every measurement
+    builds its own simulator and derives its data from ``seed``), so the
+    cells are fanned out with :func:`repro.runtime.parallel.parallel_map`;
+    ``jobs=None`` honours the ``REPRO_JOBS`` environment variable.  The
+    returned table is identical at any job count.
+    """
     names = list(kernels) if kernels is not None else all_kernel_names()
     table = Table3Data(cu_counts=tuple(cu_counts))
+    tasks = []
     for name in names:
         sizes = BenchmarkSizes.paper(name)
         if scale != 1.0:
             sizes = sizes.scaled(scale)
-        riscv = measure_riscv_program(name, sizes.riscv_size, seed, check)
-        row = Table3Row(kernel=name, riscv=riscv)
+        tasks.append(("riscv", name, sizes.riscv_size, seed, check, 0))
         for num_cus in cu_counts:
-            row.gpu[num_cus] = measure_gpu_kernel(name, num_cus, sizes.gpu_size, seed, check)
+            tasks.append(("gpu", name, sizes.gpu_size, seed, check, num_cus))
+    measurements = parallel_map(_run_table3_task, tasks, jobs=jobs)
+    stride = 1 + len(cu_counts)
+    for position, name in enumerate(names):
+        cell = position * stride
+        row = Table3Row(kernel=name, riscv=measurements[cell])
+        for offset, num_cus in enumerate(cu_counts, start=1):
+            row.gpu[num_cus] = measurements[cell + offset]
         table.rows[name] = row
     return table

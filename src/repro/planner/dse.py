@@ -16,6 +16,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.errors import PlanningError
 from repro.planner.optimizer import OptimizationResult, TimingOptimizer
 from repro.planner.spec import GGPUSpec
+from repro.runtime.parallel import parallel_map
 from repro.rtl.generator import generate_ggpu_netlist
 from repro.rtl.netlist import Netlist
 from repro.synth.logic import LogicSynthesis, SynthesisResult
@@ -79,15 +80,24 @@ class DesignSpaceExplorer:
         self,
         cu_counts: Sequence[int] = (1, 2, 4, 8),
         frequencies_mhz: Sequence[float] = (500.0, 590.0, 667.0),
+        jobs: Optional[int] = None,
     ) -> List[DesignPoint]:
-        """Sweep the full grid of CU counts and frequencies."""
+        """Sweep the full grid of CU counts and frequencies.
+
+        Each grid point generates, optimizes, and synthesizes its own
+        netlist, so the sweep is fanned out with
+        :func:`repro.runtime.parallel.parallel_map` (``jobs=None`` honours
+        ``REPRO_JOBS``); the points come back in grid order regardless of
+        the job count.
+        """
         if not cu_counts or not frequencies_mhz:
             raise PlanningError("the design-space sweep needs at least one CU count and frequency")
-        points = []
-        for num_cus in cu_counts:
-            for frequency in frequencies_mhz:
-                points.append(self.explore_point(GGPUSpec(num_cus, frequency)))
-        return points
+        specs = [
+            GGPUSpec(num_cus, frequency)
+            for num_cus in cu_counts
+            for frequency in frequencies_mhz
+        ]
+        return parallel_map(self.explore_point, specs, jobs=jobs)
 
     @staticmethod
     def feasible_points(points: Iterable[DesignPoint]) -> List[DesignPoint]:

@@ -25,6 +25,7 @@ from repro.planner.spec import GGPUSpec
 from repro.physical.layout import LayoutResult, PhysicalSynthesis
 from repro.rtl.generator import generate_ggpu_netlist
 from repro.rtl.netlist import Netlist
+from repro.runtime.parallel import parallel_map
 from repro.synth.logic import LogicSynthesis, SynthesisResult
 from repro.tech.technology import Technology
 
@@ -135,8 +136,14 @@ class GpuPlannerFlow:
             issues=issues,
         )
 
-    def run_many(self, specs: List[GGPUSpec]) -> List[FlowResult]:
-        """Run the flow for a list of specifications (the push-button sweep)."""
+    def run_many(self, specs: List[GGPUSpec], jobs: Optional[int] = None) -> List[FlowResult]:
+        """Run the flow for a list of specifications (the push-button sweep).
+
+        The specifications are independent full flow runs, so they are
+        fanned out with :func:`repro.runtime.parallel.parallel_map`
+        (``jobs=None`` honours ``REPRO_JOBS``); results come back in
+        specification order at any job count.
+        """
         if not specs:
             raise PlanningError("run_many needs at least one specification")
-        return [self.run(spec) for spec in specs]
+        return parallel_map(self.run, specs, jobs=jobs)

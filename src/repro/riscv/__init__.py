@@ -18,6 +18,7 @@ is the Python stand-in for that baseline:
 
 from repro.riscv.isa import RvInstruction, RvOpcode, RvFormat, encode_rv, decode_rv
 from repro.riscv.assembler import RvAssembler, RvProgram
+from repro.riscv.decode import RvDecodedProgram, predecode_riscv_program
 from repro.riscv.memory import RvMemory
 from repro.riscv.cpu import RiscvCpu, CpuStats, RV32_SYNTH_AREA_MM2
 
@@ -29,6 +30,8 @@ __all__ = [
     "decode_rv",
     "RvAssembler",
     "RvProgram",
+    "RvDecodedProgram",
+    "predecode_riscv_program",
     "RvMemory",
     "RiscvCpu",
     "CpuStats",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.errors import SimulationError
+from repro.riscv.decode import RvDecodedProgram, predecode_riscv_program
 from repro.riscv.isa import RvFormat, RvInstruction, RvOpcode
 from repro.riscv.assembler import RvProgram
 from repro.riscv.memory import RvMemory
@@ -90,7 +91,19 @@ def _signed(value: int) -> int:
 
 
 class RiscvCpu:
-    """Functional RV32IM simulator with the cycle model above."""
+    """Functional RV32IM simulator with the cycle model above.
+
+    Two execution paths produce bit-identical results, cycle counts, and
+    statistics:
+
+    * the *pre-decoded* path (default): the program is resolved once into
+      per-instruction handler closures (:mod:`repro.riscv.decode`) and the
+      run loop is a tight threaded dispatch with flat-array opcode counters,
+    * the *interpreted* path (``predecode = False``): the seed interpreter,
+      which re-derives the opcode class and cycle cost per executed
+      instruction.  It is kept as the reference for the equivalence tests,
+      mirroring ``ComputeUnit.macro_step``.
+    """
 
     def __init__(
         self,
@@ -105,6 +118,7 @@ class RiscvCpu:
         self.pc = 0
         self.halted = False
         self.stats = CpuStats()
+        self.predecode = True
 
     # ------------------------------------------------------------------ #
     # Register helpers
@@ -121,17 +135,110 @@ class RiscvCpu:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def run(self, program: RvProgram, entry_pc: int = 0) -> CpuStats:
-        """Execute ``program`` until EBREAK; returns the statistics."""
+    def run(
+        self,
+        program: RvProgram,
+        entry_pc: int = 0,
+        decoded: Optional[RvDecodedProgram] = None,
+    ) -> CpuStats:
+        """Execute ``program`` until EBREAK; returns the statistics.
+
+        ``decoded`` lets callers reuse one :class:`RvDecodedProgram` across
+        runs (it must have been decoded against this CPU's cycle model); when
+        omitted the program is decoded on entry, which is microseconds of
+        work for the benchmark-sized programs.
+        """
         self.pc = entry_pc
         self.halted = False
         self.stats = CpuStats()
+        if self.predecode:
+            return self._run_decoded(program, entry_pc, decoded)
+        return self._run_interpreted(program)
+
+    def _run_decoded(
+        self,
+        program: RvProgram,
+        entry_pc: int,
+        decoded: Optional[RvDecodedProgram],
+    ) -> CpuStats:
+        """Threaded-dispatch run loop over the pre-decoded handler table."""
+        if decoded is None:
+            decoded = predecode_riscv_program(program, self.cycle_model)
+        # The handlers assume masked register values (they skip the seed
+        # interpreter's per-read ``& WORD_MASK``); normalize any externally
+        # poked state once.  x0 is folded to 0 at decode time and never read
+        # or written through the register list.
+        regs = self.registers
+        for index in range(32):
+            regs[index] &= WORD_MASK
+        memory = self.memory
+        handlers = decoded.handlers
+        mnemonic_indices = decoded.mnemonic_indices
+        counts = [0] * len(decoded.mnemonics)
+        limit = self.max_instructions
+        size_bytes = 4 * len(handlers)
+        pc = entry_pc
+        instructions = 0
+        cycles = 0
+        taken_branches = 0
+        try:
+            while True:
+                if instructions >= limit:
+                    raise SimulationError("RISC-V simulation exceeded the instruction limit")
+                if not 0 <= pc < size_bytes:
+                    raise SimulationError(f"PC {pc:#x} is outside the program")
+                if pc & 3:
+                    raise SimulationError(
+                        f"misaligned PC {pc:#x}: instruction addresses must be 4-byte aligned"
+                    )
+                index = pc >> 2
+                handler = handlers[index]
+                if handler is None:  # EBREAK: halt
+                    counts[mnemonic_indices[index]] += 1
+                    instructions += 1
+                    cycles += decoded.ebreak_cost
+                    pc += 4
+                    self.halted = True
+                    break
+                next_pc, cost, taken = handler(regs, memory)
+                counts[mnemonic_indices[index]] += 1
+                instructions += 1
+                cycles += cost
+                taken_branches += taken
+                pc = next_pc
+        finally:
+            # Materialize the statistics exactly once (also on errors, so the
+            # partial counts match what the interpreted path would have
+            # accumulated instruction by instruction).
+            mnemonics = decoded.mnemonics
+            self.stats = CpuStats(
+                instructions=instructions,
+                cycles=cycles,
+                loads=counts[decoded.load_index] if decoded.load_index >= 0 else 0,
+                stores=counts[decoded.store_index] if decoded.store_index >= 0 else 0,
+                taken_branches=taken_branches,
+                mnemonic_counts={
+                    mnemonics[slot]: count for slot, count in enumerate(counts) if count
+                },
+            )
+            self.pc = pc
+        return self.stats
+
+    def _run_interpreted(self, program: RvProgram) -> CpuStats:
+        """The seed per-instruction interpreter (reference path).
+
+        Starts from ``self.pc``, which :meth:`run` set to the entry PC.
+        """
         while not self.halted:
             if self.stats.instructions >= self.max_instructions:
                 raise SimulationError("RISC-V simulation exceeded the instruction limit")
             index = self.pc // 4
             if not 0 <= index < len(program):
                 raise SimulationError(f"PC {self.pc:#x} is outside the program")
+            if self.pc % 4:
+                raise SimulationError(
+                    f"misaligned PC {self.pc:#x}: instruction addresses must be 4-byte aligned"
+                )
             instruction = program[index]
             self._execute(instruction)
         return self.stats

@@ -1,0 +1,320 @@
+"""Pre-decoded RV32IM programs for the instruction-set simulator.
+
+The seed interpreter re-derived everything per executed instruction: the
+``opcode.info`` enum-property lookup, a chain of ``if opcode is ...``
+comparisons, the cycle-model dispatch, and a ``mnemonic_counts`` dict update
+-- roughly a dozen attribute lookups and branches for a one-line ALU
+operation.  At the Table III input sizes that is ~290k ``_execute`` calls per
+sweep, and the profile showed the ISS burning a large share of the total
+measurement wall time.
+
+:func:`predecode_riscv_program` resolves all of it exactly once per program:
+every instruction becomes one *handler closure* whose free variables are the
+already-extracted operand indices, the sign-extended immediate, the absolute
+successor/target PCs (instruction addresses are static), and the pre-computed
+taken/not-taken cycle costs from the :class:`~repro.riscv.cpu.CpuCycleModel`.
+``RiscvCpu.run`` then becomes a tight threaded-dispatch loop::
+
+    next_pc, cost, taken = handlers[pc >> 2](regs, memory)
+
+with per-opcode execution counters accumulated in a flat list indexed by a
+per-program mnemonic table and materialized into ``CpuStats.mnemonic_counts``
+once at halt.  ``loads``/``stores`` are recovered from the ``lw``/``sw``
+counters (the seed incremented them exactly once per executed load/store),
+and ``taken_branches`` from the third element of the handler result, which is
+1 only for a taken conditional branch (JAL/JALR do not count, matching the
+seed).
+
+The decoded program depends only on the program and the cycle model -- not on
+the memory image or the register state -- so one decode can be shared by any
+number of runs and CPUs.  Decoding a benchmark program is microseconds of
+work against the hundreds of thousands of instructions it executes.
+
+Handler contract
+----------------
+``handler(regs, memory) -> (next_pc, cycle_cost, taken_branch)`` where
+``regs`` is the 32-entry register list (entries always masked to 32 bits) and
+``memory`` is the :class:`~repro.riscv.memory.RvMemory`.  The EBREAK slot
+holds ``None`` instead of a closure: the run loop treats it as the halt
+sentinel and charges its (ALU) cost itself.  x0 is hardwired at decode time:
+reads of ``rs == 0`` are folded to the constant 0 and writes to ``rd == 0``
+are dropped from the closure body, so the register list entry 0 is never
+touched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.riscv.assembler import RvProgram
+from repro.riscv.isa import RvFormat, RvInstruction, RvOpcode
+
+WORD_MASK = 0xFFFFFFFF
+
+Handler = Callable[..., Tuple[int, int, int]]
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+# --------------------------------------------------------------------------- #
+# Scalar 32-bit ALU semantics (identical to the seed interpreter's _alu_r /
+# _alu_i / _branch_taken chains, expressed as per-opcode callables so decode
+# resolves the operation once instead of the interpreter re-deriving it per
+# executed instruction).
+# --------------------------------------------------------------------------- #
+def _div(a: int, b: int) -> int:
+    sa, sb = _signed(a), _signed(b)
+    if sb == 0:
+        return -1
+    quotient = abs(sa) // abs(sb)
+    return -quotient if (sa < 0) != (sb < 0) else quotient
+
+
+def _rem(a: int, b: int) -> int:
+    sa, sb = _signed(a), _signed(b)
+    if sb == 0:
+        return sa
+    quotient = abs(sa) // abs(sb)
+    quotient = -quotient if (sa < 0) != (sb < 0) else quotient
+    return sa - quotient * sb
+
+
+_R_FUNCS: Dict[RvOpcode, Callable[[int, int], int]] = {
+    RvOpcode.ADD: lambda a, b: a + b,
+    RvOpcode.SUB: lambda a, b: a - b,
+    RvOpcode.SLL: lambda a, b: a << (b & 0x1F),
+    RvOpcode.SLT: lambda a, b: int(_signed(a) < _signed(b)),
+    RvOpcode.SLTU: lambda a, b: int(a < b),
+    RvOpcode.XOR: lambda a, b: a ^ b,
+    RvOpcode.SRL: lambda a, b: a >> (b & 0x1F),
+    RvOpcode.SRA: lambda a, b: _signed(a) >> (b & 0x1F),
+    RvOpcode.OR: lambda a, b: a | b,
+    RvOpcode.AND: lambda a, b: a & b,
+    RvOpcode.MUL: lambda a, b: _signed(a) * _signed(b),
+    RvOpcode.MULH: lambda a, b: (_signed(a) * _signed(b)) >> 32,
+    RvOpcode.MULHU: lambda a, b: (a * b) >> 32,
+    RvOpcode.DIV: _div,
+    RvOpcode.DIVU: lambda a, b: 0xFFFFFFFF if b == 0 else a // b,
+    RvOpcode.REM: _rem,
+    RvOpcode.REMU: lambda a, b: a if b == 0 else a % b,
+}
+
+# I-type ALU semantics: ``imm`` is the raw sign-extended immediate (the seed
+# masks it to 32 bits where it is used as a bit pattern).
+_I_FUNCS: Dict[RvOpcode, Callable[[int, int], int]] = {
+    RvOpcode.ADDI: lambda a, imm: a + imm,
+    RvOpcode.SLTI: lambda a, imm: int(_signed(a) < imm),
+    RvOpcode.SLTIU: lambda a, imm: int(a < (imm & WORD_MASK)),
+    RvOpcode.XORI: lambda a, imm: a ^ (imm & WORD_MASK),
+    RvOpcode.ORI: lambda a, imm: a | (imm & WORD_MASK),
+    RvOpcode.ANDI: lambda a, imm: a & (imm & WORD_MASK),
+    RvOpcode.SLLI: lambda a, imm: a << (imm & 0x1F),
+    RvOpcode.SRLI: lambda a, imm: a >> (imm & 0x1F),
+    RvOpcode.SRAI: lambda a, imm: _signed(a) >> (imm & 0x1F),
+}
+
+_BRANCH_FUNCS: Dict[RvOpcode, Callable[[int, int], bool]] = {
+    RvOpcode.BEQ: lambda a, b: a == b,
+    RvOpcode.BNE: lambda a, b: a != b,
+    RvOpcode.BLT: lambda a, b: _signed(a) < _signed(b),
+    RvOpcode.BGE: lambda a, b: _signed(a) >= _signed(b),
+    RvOpcode.BLTU: lambda a, b: a < b,
+    RvOpcode.BGEU: lambda a, b: a >= b,
+}
+
+
+class RvDecodedProgram:
+    """One RV32IM program resolved into flat per-instruction records.
+
+    ``handlers[i]`` executes the instruction at byte address ``4 * i`` (or is
+    ``None`` for EBREAK, the halt sentinel); ``mnemonic_indices[i]`` is the
+    index of that instruction's mnemonic in ``mnemonics``, so the run loop
+    counts executions in a flat list instead of a per-instruction dict update.
+    """
+
+    __slots__ = (
+        "name",
+        "handlers",
+        "mnemonic_indices",
+        "mnemonics",
+        "ebreak_cost",
+        "load_index",
+        "store_index",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        handlers: List[Optional[Handler]],
+        mnemonic_indices: List[int],
+        mnemonics: List[str],
+        ebreak_cost: int,
+    ) -> None:
+        self.name = name
+        self.handlers = handlers
+        self.mnemonic_indices = mnemonic_indices
+        self.mnemonics = mnemonics
+        self.ebreak_cost = ebreak_cost
+        self.load_index = mnemonics.index("lw") if "lw" in mnemonics else -1
+        self.store_index = mnemonics.index("sw") if "sw" in mnemonics else -1
+
+    def __len__(self) -> int:
+        return len(self.handlers)
+
+
+def _build_handler(
+    instruction: RvInstruction, pc: int, cost_not_taken: int, cost_taken: int
+) -> Optional[Handler]:
+    """Resolve one instruction into its handler closure (None for EBREAK)."""
+    opcode = instruction.opcode
+    fmt = opcode.info.fmt
+    rd, rs1, rs2, imm = instruction.rd, instruction.rs1, instruction.rs2, instruction.imm
+    nxt = pc + 4
+    cost = cost_not_taken
+
+    if opcode is RvOpcode.EBREAK:
+        return None
+
+    if fmt is RvFormat.R:
+        fn = _R_FUNCS[opcode]
+        if rd == 0:
+            # The result is discarded and R-type ALU evaluation has no side
+            # effects, so only the timing remains.
+            return lambda regs, memory: (nxt, cost, 0)
+        if rs1 and rs2:
+
+            def r_handler(regs, memory):
+                regs[rd] = fn(regs[rs1], regs[rs2]) & WORD_MASK
+                return (nxt, cost, 0)
+
+            return r_handler
+
+        def r_zero_handler(regs, memory):
+            regs[rd] = fn(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0) & WORD_MASK
+            return (nxt, cost, 0)
+
+        return r_zero_handler
+
+    if opcode is RvOpcode.LW:
+
+        def lw_handler(regs, memory):
+            value = memory.load_word(((regs[rs1] if rs1 else 0) + imm) & WORD_MASK)
+            if rd:
+                regs[rd] = value
+            return (nxt, cost, 0)
+
+        return lw_handler
+
+    if opcode is RvOpcode.SW:
+
+        def sw_handler(regs, memory):
+            memory.store_word(
+                ((regs[rs1] if rs1 else 0) + imm) & WORD_MASK, regs[rs2] if rs2 else 0
+            )
+            return (nxt, cost, 0)
+
+        return sw_handler
+
+    if opcode is RvOpcode.JAL:
+        target = (pc + imm) & WORD_MASK
+        if rd == 0:
+            return lambda regs, memory: (target, cost, 0)
+
+        def jal_handler(regs, memory):
+            regs[rd] = nxt
+            return (target, cost, 0)
+
+        return jal_handler
+
+    if opcode is RvOpcode.JALR:
+
+        def jalr_handler(regs, memory):
+            target = ((regs[rs1] if rs1 else 0) + imm) & ~1 & WORD_MASK
+            if rd:
+                regs[rd] = nxt
+            return (target, cost, 0)
+
+        return jalr_handler
+
+    if fmt is RvFormat.B:
+        fn = _BRANCH_FUNCS[opcode]
+        target = (pc + imm) & WORD_MASK
+        taken_cost = cost_taken
+
+        def branch_handler(regs, memory):
+            if fn(regs[rs1] if rs1 else 0, regs[rs2] if rs2 else 0):
+                return (target, taken_cost, 1)
+            return (nxt, cost, 0)
+
+        return branch_handler
+
+    if opcode in (RvOpcode.LUI, RvOpcode.AUIPC):
+        if opcode is RvOpcode.LUI:
+            value = (imm << 12) & WORD_MASK
+        else:
+            value = (pc + (imm << 12)) & WORD_MASK
+        if rd == 0:
+            return lambda regs, memory: (nxt, cost, 0)
+
+        def u_handler(regs, memory):
+            regs[rd] = value
+            return (nxt, cost, 0)
+
+        return u_handler
+
+    if fmt is RvFormat.I:
+        fn = _I_FUNCS[opcode]
+        if rd == 0:
+            return lambda regs, memory: (nxt, cost, 0)
+        if rs1:
+
+            def i_handler(regs, memory):
+                regs[rd] = fn(regs[rs1], imm) & WORD_MASK
+                return (nxt, cost, 0)
+
+            return i_handler
+        value = fn(0, imm) & WORD_MASK
+
+        def i_const_handler(regs, memory):
+            regs[rd] = value
+            return (nxt, cost, 0)
+
+        return i_const_handler
+
+    raise SimulationError(f"cannot pre-decode RISC-V opcode {opcode.mnemonic}")
+
+
+def predecode_riscv_program(program: RvProgram, cycle_model) -> RvDecodedProgram:
+    """Resolve ``program`` into an :class:`RvDecodedProgram` for ``cycle_model``.
+
+    The cycle costs are baked into the handlers via
+    :meth:`~repro.riscv.cpu.CpuCycleModel.cost`, so a decoded program is only
+    valid for the cycle model it was decoded against.
+    """
+    handlers: List[Optional[Handler]] = []
+    mnemonic_indices: List[int] = []
+    mnemonics: List[str] = []
+    index_of: Dict[str, int] = {}
+    ebreak_cost = cycle_model.cost(
+        RvInstruction(RvOpcode.EBREAK), taken=False
+    )
+    for position, instruction in enumerate(program.instructions):
+        mnemonic = instruction.opcode.mnemonic
+        slot = index_of.get(mnemonic)
+        if slot is None:
+            slot = len(mnemonics)
+            index_of[mnemonic] = slot
+            mnemonics.append(mnemonic)
+        mnemonic_indices.append(slot)
+        handlers.append(
+            _build_handler(
+                instruction,
+                pc=4 * position,
+                cost_not_taken=cycle_model.cost(instruction, taken=False),
+                cost_taken=cycle_model.cost(instruction, taken=True),
+            )
+        )
+    return RvDecodedProgram(program.name, handlers, mnemonic_indices, mnemonics, ebreak_cost)

@@ -1,0 +1,11 @@
+"""Execution runtime shared by the measurement and planning sweeps.
+
+The paper's protocol is sweep-shaped everywhere: Table III measures seven
+kernels on five targets, GPUPlanner explores a CU-count x frequency grid, and
+the push-button flow implements a list of designs.  :mod:`repro.runtime.parallel`
+provides the deterministic fan-out executor those sweeps share.
+"""
+
+from repro.runtime.parallel import default_jobs, parallel_map
+
+__all__ = ["default_jobs", "parallel_map"]

@@ -11,7 +11,7 @@ contention can even hurt, as in the xcorr results of Table III).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.arch.config import AxiConfig, CacheConfig
 from repro.errors import SimulationError
@@ -37,6 +37,11 @@ class GlobalMemoryController:
         self.axi = axi
         self.cache = cache
         self._port_free: List[float] = [0.0] * axi.data_ports
+        # The transfer width and the fill latency are consulted on every one
+        # of the hundreds of thousands of misses of a sweep; resolve them
+        # once instead of re-deriving them from the configs per transaction.
+        self._transfer_cycles = self.line_transfer_cycles
+        self._fill_latency = self.axi.memory_latency_cycles + self._transfer_cycles
         self.stats = MemoryTrafficStats()
 
     @property
@@ -48,13 +53,27 @@ class GlobalMemoryController:
     def reset(self) -> None:
         """Clear port occupancy and statistics (new kernel launch)."""
         self._port_free = [0.0] * self.axi.data_ports
+        self._transfer_cycles = self.line_transfer_cycles
+        self._fill_latency = self.axi.memory_latency_cycles + self._transfer_cycles
         self.stats = MemoryTrafficStats()
 
     def _claim_port(self, now: float, occupancy: int) -> float:
-        """Reserve the earliest-free port starting no earlier than ``now``."""
-        port = min(range(len(self._port_free)), key=lambda i: self._port_free[i])
-        start = max(now, self._port_free[port])
-        self._port_free[port] = start + occupancy
+        """Reserve the earliest-free port starting no earlier than ``now``.
+
+        Ties break toward the lower port index, like the ``min`` scan it
+        replaces; the explicit loop avoids a closure call per candidate port
+        on the hottest path of the memory model.
+        """
+        free = self._port_free
+        best = 0
+        best_time = free[0]
+        for index in range(1, len(free)):
+            time = free[index]
+            if time < best_time:
+                best_time = time
+                best = index
+        start = now if now > best_time else best_time
+        free[best] = start + occupancy
         self.stats.busy_cycles += occupancy
         return start
 
@@ -62,10 +81,9 @@ class GlobalMemoryController:
         """Issue a line fill at time ``now``; returns the completion time."""
         if now < 0:
             raise SimulationError(f"time must be non-negative, got {now}")
-        transfer = self.line_transfer_cycles
-        start = self._claim_port(now, transfer)
+        start = self._claim_port(now, self._transfer_cycles)
         self.stats.line_fills += 1
-        return start + self.axi.memory_latency_cycles + transfer
+        return start + self._fill_latency
 
     def write_back(self, now: float) -> float:
         """Issue a dirty-line write-back at time ``now``; returns completion time.
@@ -75,10 +93,76 @@ class GlobalMemoryController:
         """
         if now < 0:
             raise SimulationError(f"time must be non-negative, got {now}")
-        transfer = self.line_transfer_cycles
+        transfer = self._transfer_cycles
         start = self._claim_port(now, transfer)
         self.stats.write_backs += 1
         return start + transfer
+
+    def miss_burst(
+        self,
+        access_time: float,
+        ports: int,
+        hit_list: List[bool],
+        wb_list: List[bool],
+        completion: float,
+    ) -> "Tuple[float, int]":
+        """Claim port time for every missing line of one coalesced access.
+
+        ``hit_list``/``wb_list`` are the per-line outcomes of the cache probe
+        in position order; line ``k`` starts at ``access_time + k // ports``
+        (the cache serves ``ports`` lines per cycle).  Equivalent to calling
+        :meth:`write_back` (for dirty victims) and :meth:`line_fill` per
+        missing line, but in one call with the port state held in locals --
+        the per-miss call overhead dominated the memory path of
+        scatter-heavy kernels.  Returns the latest fill completion (starting
+        from ``completion``) and the position of the last hit (-1 if none).
+        """
+        free = self._port_free
+        num_ports = len(free)
+        transfer = self._transfer_cycles
+        fill_latency = self._fill_latency
+        fills = 0
+        write_backs = 0
+        last_hit = -1
+        # Track the current ports-wide wave incrementally instead of paying
+        # an integer division per line position.
+        wave_start = access_time
+        next_wave_position = ports
+        for position, hit in enumerate(hit_list):
+            if position == next_wave_position:
+                wave_start += 1
+                next_wave_position += ports
+            if hit:
+                last_hit = position
+                continue
+            if wb_list[position]:
+                best = 0
+                best_time = free[0]
+                for index in range(1, num_ports):
+                    time = free[index]
+                    if time < best_time:
+                        best_time = time
+                        best = index
+                start = wave_start if wave_start > best_time else best_time
+                free[best] = start + transfer
+                write_backs += 1
+            best = 0
+            best_time = free[0]
+            for index in range(1, num_ports):
+                time = free[index]
+                if time < best_time:
+                    best_time = time
+                    best = index
+            start = wave_start if wave_start > best_time else best_time
+            free[best] = start + transfer
+            fills += 1
+            fill_done = start + fill_latency
+            if fill_done > completion:
+                completion = fill_done
+        self.stats.line_fills += fills
+        self.stats.write_backs += write_backs
+        self.stats.busy_cycles += (fills + write_backs) * transfer
+        return completion, last_hit
 
     def write_back_burst(self, now: float, count: int) -> float:
         """Issue ``count`` posted write-backs starting at ``now``.

@@ -89,6 +89,12 @@ class DataCache:
         self._dirty = np.zeros(self.config.num_lines, dtype=bool)
         self.stats = CacheStats()
         self.hit_latency_cycles = self.config.hit_latency_cycles
+        self._line_bytes = self.config.line_bytes
+        self._num_lines = self.config.num_lines
+        # Any set of distinct line addresses spanning less than the cache
+        # size maps to pairwise-distinct direct-mapped sets, so the aliasing
+        # probe of access_lines reduces to one span comparison.
+        self._span_bytes = self._line_bytes * self._num_lines
 
     # ------------------------------------------------------------------ #
     # Address helpers
@@ -98,11 +104,27 @@ class DataCache:
         return byte_address - (byte_address % self.config.line_bytes)
 
     def coalesce_lines(self, byte_addresses: Sequence[int]) -> np.ndarray:
-        """Distinct line addresses touched by a wavefront access, ascending."""
+        """Distinct line addresses touched by a wavefront access, ascending.
+
+        Wavefront address patterns are overwhelmingly monotonic (affine in
+        the lane id), so the line addresses arrive already sorted and the
+        ``np.unique`` sort is wasted work: a non-decreasing run is deduped
+        with one difference pass.  Scattered patterns fall back to the sort.
+        """
         addresses = np.asarray(byte_addresses, dtype=np.int64)
-        if addresses.size == 0:
-            return addresses
-        return np.unique(addresses - (addresses % self.config.line_bytes))
+        if addresses.size <= 1:
+            return addresses - (addresses % self._line_bytes)
+        lines = addresses - (addresses % self._line_bytes)
+        steps = lines[1:] - lines[:-1]
+        smallest_step = int(steps.min())
+        if smallest_step > 0:
+            return lines  # strictly increasing: already distinct and sorted
+        if smallest_step == 0:
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(steps, 0, out=keep[1:])
+            return lines[keep]
+        return np.unique(lines)
 
     def coalesce(self, byte_addresses: Sequence[int]) -> List[int]:
         """Distinct cache lines touched by a wavefront access (coalescing)."""
@@ -155,8 +177,15 @@ class DataCache:
         count = lines.size
         if count == 0:
             return np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)
-        indices = (lines // self.config.line_bytes) % self.config.num_lines
-        if np.unique(indices).size != count:
+        indices = (lines // self._line_bytes) % self._num_lines
+        # Distinct lines alias the same direct-mapped set only when the
+        # access spans at least the whole cache, so the common case needs a
+        # span comparison, not a sorted-uniqueness probe.
+        if (
+            count > 1
+            and int(lines.max() - lines.min()) >= self._span_bytes
+            and np.unique(indices).size != count
+        ):
             # Two lines of the same access alias the same set: replay them
             # sequentially so eviction order stays exact.
             hits = np.zeros(count, dtype=bool)
@@ -185,6 +214,62 @@ class DataCache:
         if is_write:
             self._dirty[indices] = True
         return hits, write_backs
+
+    def access_sorted_lines(
+        self, lines: np.ndarray, is_write: bool
+    ) -> Tuple[Optional[List[bool]], Optional[List[bool]], int]:
+        """Probe one coalesced access whose lines are ascending and distinct.
+
+        The compute unit's memory path counterpart of :meth:`access_lines`
+        (same tag/dirty/statistics updates, same sequential replay when two
+        lines alias one direct-mapped set), shaped for the consumer: it
+        returns ``(hit_list, write_back_list, num_misses)`` with the outcomes
+        as plain Python lists -- which the port-contention walk needs anyway
+        -- and skips building them entirely for the all-hit case, returning
+        ``(None, None, 0)``.  ``lines`` must come from
+        :meth:`coalesce_lines` (ascending, distinct).
+        """
+        count = lines.size
+        if count == 0:
+            return None, None, 0
+        indices = (lines // self._line_bytes) % self._num_lines
+        if count > 1 and int(lines[-1]) - int(lines[0]) >= self._span_bytes:
+            if np.unique(indices).size != count:
+                # Aliasing inside one access: replay sequentially so the
+                # eviction order stays exact.
+                hit_list: List[bool] = []
+                wb_list: List[bool] = []
+                num_misses = 0
+                for line in lines.tolist():
+                    outcome = self.access_line(line, is_write)
+                    hit_list.append(outcome.hit)
+                    wb_list.append(outcome.write_back)
+                    if not outcome.hit:
+                        num_misses += 1
+                return hit_list, wb_list, num_misses
+        tags = self._tags[indices]
+        hits = tags == lines
+        num_misses = count - int(hits.sum())
+        stats = self.stats
+        if is_write:
+            stats.write_accesses += count
+            stats.write_misses += num_misses
+        else:
+            stats.read_accesses += count
+            stats.read_misses += num_misses
+        if num_misses == 0:
+            if is_write:
+                self._dirty[indices] = True
+            return None, None, 0
+        misses = ~hits
+        write_backs = misses & (tags != _NO_TAG) & self._dirty[indices]
+        stats.write_backs += int(write_backs.sum())
+        miss_indices = indices[misses]
+        self._tags[miss_indices] = lines[misses]
+        self._dirty[miss_indices] = False
+        if is_write:
+            self._dirty[indices] = True
+        return hits.tolist(), write_backs.tolist(), num_misses
 
     def access_wavefront(
         self, byte_addresses: Sequence[int], is_write: bool

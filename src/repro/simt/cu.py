@@ -59,6 +59,12 @@ from repro.simt.axi import GlobalMemoryController
 from repro.simt.cache import DataCache
 from repro.simt.decode import (
     DecodedProgram,
+    P_FN,
+    P_IMM,
+    P_MACRO_SAFE,
+    P_RD,
+    P_RS,
+    P_RT,
     K_ALU_BIN,
     K_ALU_CONST,
     K_ALU_IMM,
@@ -138,6 +144,11 @@ class ComputeUnit:
         """
         if decoded is None:
             decoded = predecode_program(program, self.timing, self.config.wavefront_size)
+        if decoded.max_register >= self.config.num_registers:
+            raise SimulationError(
+                f"kernel {decoded.name!r} uses register r{decoded.max_register} but the "
+                f"register file holds only {self.config.num_registers} registers"
+            )
         self._program = decoded
         self._rtm = rtm
         self.array_free_time = 0.0
@@ -192,7 +203,8 @@ class ComputeUnit:
             raise SimulationError(f"CU {self.cu_id} found no schedulable wavefront at {now}")
 
         ops = program.ops
-        num_ops = len(ops)
+        packed = program.packed
+        num_ops = len(packed)
         others_ready = (
             self.scheduler.earliest_ready_excluding(wavefront)
             if self.macro_step
@@ -205,6 +217,14 @@ class ComputeUnit:
         active_issues = 0
         busy_cycles = 0.0
         retired: List[Wavefront] = []
+        ended_at_sync = False
+        num_active = wavefront.num_active
+        # Register indices were bounds-checked against the register file once
+        # at bind time, so the issue loop indexes the lane storage directly;
+        # writes to r0 are dropped (hardwired zero) and partially active
+        # wavefronts merge through the execution mask.
+        reg_rows = wavefront.registers._values
+        lanes = wavefront.wavefront_size
 
         while True:
             pc = wavefront.pc
@@ -212,50 +232,68 @@ class ComputeUnit:
                 raise SimulationError(
                     f"wavefront {wavefront.wavefront_id} ran past the end of {program.name}"
                 )
-            op = ops[pc]
+            op = packed[pc]
+            kind, rd, rs, rt, imm, latency, uses_pe, _macro, fn, const, key = op
 
             # --- timing: issue slot and PE-array occupancy ---------------- #
             issue_start = wavefront.ready_time
             if now > issue_start:
                 issue_start = now
-            if op.uses_pe:
+            if uses_pe:
                 if self.array_free_time > issue_start:
                     issue_start = self.array_free_time
                 occupancy = occupancy_rounds
                 self.array_free_time = issue_start + occupancy
             else:
                 occupancy = 1
-            completion = issue_start + occupancy + op.latency
+            completion = issue_start + occupancy + latency
 
-            # --- statistics ---------------------------------------------- #
+            # --- statistics (per-wavefront counters are added once in the
+            # epilogue; the issuing wavefront is fixed for the whole event) - #
             issued += 1
-            num_active = wavefront.num_active
             active_issues += num_active
             busy_cycles += occupancy
-            key = op.class_key
             mix_counts[key] = mix_counts.get(key, 0) + 1
-            wavefront.instructions_issued += 1
-            wavefront.active_lane_issues += num_active
 
             # --- functional execution ------------------------------------- #
             next_pc = pc + 1
-            kind = op.kind
-            registers = wavefront.registers
             if kind == K_ALU_BIN:
-                result = op.fn(registers.read(op.rs), registers.read(op.rt))
-                self._write_register(wavefront, op.rd, result)
+                if rd:
+                    result = fn(reg_rows[rs], reg_rows[rt])
+                    if num_active == lanes:
+                        reg_rows[rd] = result
+                    else:
+                        reg_rows[rd] = np.where(
+                            wavefront.active_mask, result, reg_rows[rd]
+                        )
+                else:
+                    fn(reg_rows[rs], reg_rows[rt])
             elif kind == K_ALU_IMM:
-                result = op.fn(registers.read(op.rs), op.const)
-                self._write_register(wavefront, op.rd, result)
+                if rd:
+                    result = fn(reg_rows[rs], const)
+                    if num_active == lanes:
+                        reg_rows[rd] = result
+                    else:
+                        reg_rows[rd] = np.where(
+                            wavefront.active_mask, result, reg_rows[rd]
+                        )
+                else:
+                    fn(reg_rows[rs], const)
             elif kind == K_ALU_CONST:
-                self._write_register(wavefront, op.rd, op.const)
+                if rd:
+                    if num_active == lanes:
+                        reg_rows[rd] = const
+                    else:
+                        reg_rows[rd] = np.where(
+                            wavefront.active_mask, const, reg_rows[rd]
+                        )
             elif kind == K_SPECIAL:
-                self._execute_special(wavefront, op)
+                self._execute_special(wavefront, ops[pc])
             elif kind == K_PARAM:
-                value = self._rtm.read_arg(op.imm)
+                value = self._rtm.read_arg(imm)
                 self._write_register(
                     wavefront,
-                    op.rd,
+                    rd,
                     np.full(wavefront.wavefront_size, value, dtype=np.int64),
                 )
             elif kind == K_LOAD:
@@ -267,15 +305,18 @@ class ComputeUnit:
             elif kind == K_PUSHM:
                 wavefront.push_mask()
             elif kind == K_CMASK:
-                wavefront.constrain_mask(registers.read(op.rs))
+                wavefront.constrain_mask(reg_rows[rs])
+                num_active = wavefront.num_active
             elif kind == K_INVM:
                 wavefront.invert_mask()
+                num_active = wavefront.num_active
             elif kind == K_POPM:
                 wavefront.pop_mask()
+                num_active = wavefront.num_active
             elif kind == K_JMP:
-                next_pc = op.imm
+                next_pc = imm
             elif kind == K_BEMPTY:
-                next_pc = op.imm if not wavefront.any_active else next_pc
+                next_pc = imm if not wavefront.any_active else next_pc
             elif kind == K_BCOND:
                 next_pc = self._execute_branch(wavefront, op, next_pc)
             elif kind == K_SYNC:
@@ -286,6 +327,7 @@ class ComputeUnit:
                 # A released barrier rewrites the other waiters' ready times,
                 # a parked one leaves this wavefront unschedulable: either
                 # way the scheduling state changed, so the event ends here.
+                ended_at_sync = True
                 break
             elif kind == K_RET:
                 wavefront.retire(completion)
@@ -302,7 +344,7 @@ class ComputeUnit:
             # --- macro-stepping continuation ------------------------------ #
             if completion >= others_ready:
                 break
-            if next_pc >= num_ops or not ops[next_pc].macro_safe:
+            if next_pc >= num_ops or not packed[next_pc][P_MACRO_SAFE]:
                 break
             now = completion
 
@@ -310,10 +352,23 @@ class ComputeUnit:
         stats.active_lane_issues += active_issues
         stats.busy_cycles += busy_cycles
         stats.issue_events += 1
-        self.scheduler.notify_ready_changed()
-        for finished in retired:
-            self.scheduler.remove(finished)
-            stats.wavefronts_executed += 1
+        wavefront.instructions_issued += issued
+        wavefront.active_lane_issues += active_issues
+        if retired:
+            for finished in retired:
+                self.scheduler.remove(finished)
+                stats.wavefronts_executed += 1
+        elif ended_at_sync or not self.macro_step:
+            # A barrier may have rewritten several residents' ready times
+            # (and without macro-stepping ``others_ready`` was never
+            # computed), so the cached minimum must be rebuilt by a scan.
+            self.scheduler.notify_ready_changed()
+        else:
+            # Only the issuing wavefront's ready time changed during the
+            # event; the earliest-ready time is known exactly without
+            # re-scanning the residents.
+            ready = wavefront.ready_time
+            self.scheduler.set_earliest(ready if ready < others_ready else others_ready)
         return retired
 
     # ------------------------------------------------------------------ #
@@ -322,14 +377,15 @@ class ComputeUnit:
     def _write_register(self, wavefront: Wavefront, index: int, values: np.ndarray) -> None:
         """Masked register write with a fast path for fully active wavefronts.
 
-        With every lane active the ``np.where`` merge of
-        :meth:`WavefrontRegisterFile.write` degenerates to a plain assignment,
-        which :meth:`WavefrontRegisterFile.write_all_lanes` does directly.
+        Every value produced by the issue loop is an already-masked int64
+        lane vector, so both paths take the premasked register-file writes;
+        with every lane active the masked merge degenerates to a plain row
+        assignment.
         """
         if wavefront.num_active == wavefront.wavefront_size:
-            wavefront.registers.write_all_lanes(index, values)
+            wavefront.registers.set_row(index, values)
         else:
-            wavefront.registers.write(index, values, wavefront.active_mask)
+            wavefront.registers.merge_row(index, values, wavefront.active_mask)
 
     def _execute_special(self, wavefront: Wavefront, op) -> None:
         opcode = op.opcode
@@ -350,35 +406,49 @@ class ComputeUnit:
             raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
         self._write_register(wavefront, op.rd, values)
 
-    def _lane_addresses(self, wavefront: Wavefront, op) -> np.ndarray:
-        base = wavefront.registers.read(op.rs)
-        return (base + op.imm) & 0xFFFFFFFF
+    def _lane_addresses(self, wavefront: Wavefront, rs: int, imm: int) -> np.ndarray:
+        base = wavefront.registers._values[rs]
+        if imm == 0:
+            # Register values are stored masked, so the 32-bit wrap of the
+            # pointer arithmetic only matters once an offset is added.
+            return base
+        return (base + imm) & 0xFFFFFFFF
 
-    def _execute_load(self, wavefront: Wavefront, op, access_time: float) -> float:
-        addresses = self._lane_addresses(wavefront, op)
+    def _execute_load(self, wavefront: Wavefront, op: tuple, access_time: float) -> float:
+        addresses = self._lane_addresses(wavefront, op[P_RS], op[P_IMM])
+        num_active = wavefront.num_active
+        if num_active == wavefront.wavefront_size:
+            # Fully active wavefront (the common case): no masked gather or
+            # zero-fill scatter, the loaded vector is the register value.
+            result = self.global_memory.load_words(addresses)
+            completion = self._memory_timing(addresses, access_time, is_write=False)
+            if op[P_RD]:
+                wavefront.registers._values[op[P_RD]] = result
+            return completion
         mask = wavefront.active_mask
         result = np.zeros(wavefront.wavefront_size, dtype=np.int64)
         completion = access_time + self.cache.hit_latency_cycles
-        if wavefront.any_active:
+        if num_active:
             active_addresses = addresses[mask]
             result[mask] = self.global_memory.load_words(active_addresses)
             completion = self._memory_timing(active_addresses, access_time, is_write=False)
-        self._write_register(wavefront, op.rd, result)
+        wavefront.registers.merge_row(op[P_RD], result, mask)
         return completion
 
-    def _execute_store(self, wavefront: Wavefront, op, access_time: float) -> float:
-        addresses = self._lane_addresses(wavefront, op)
-        mask = wavefront.active_mask
-        if wavefront.any_active:
-            active_addresses = addresses[mask]
-            values = wavefront.registers.read(op.rt)[mask]
-            self.global_memory.store_words(active_addresses, values)
+    def _execute_store(self, wavefront: Wavefront, op: tuple, access_time: float) -> float:
+        addresses = self._lane_addresses(wavefront, op[P_RS], op[P_IMM])
+        num_active = wavefront.num_active
+        if num_active:
+            values = wavefront.registers._values[op[P_RT]]
+            if num_active != wavefront.wavefront_size:
+                mask = wavefront.active_mask
+                addresses = addresses[mask]
+                values = values[mask]
+            self.global_memory.store_words(addresses, values)
             # Posted store: charge the cache and the AXI ports but do not
             # track a completion time for the wavefront (see module
             # docstring).
-            self._memory_timing(
-                active_addresses, access_time, is_write=True, track_completion=False
-            )
+            self._memory_timing(addresses, access_time, is_write=True, track_completion=False)
         return access_time + self.timing.store_latency
 
     def _memory_timing(
@@ -398,48 +468,49 @@ class ComputeUnit:
         """
         cache = self.cache
         lines = cache.coalesce_lines(addresses)
-        hits, write_backs = cache.access_lines(lines, is_write)
+        hit_list, wb_list, num_misses = cache.access_sorted_lines(lines, is_write)
         ports = self._cache_ports
         count = lines.size
         hit_latency = cache.hit_latency_cycles
         completion = access_time + hit_latency
-        if track_completion and count > ports:
-            hit_positions = np.flatnonzero(hits)
-            if hit_positions.size:
-                last_hit_wave = int(hit_positions[-1]) // ports
-                completion = access_time + last_hit_wave + hit_latency
-        misses = np.flatnonzero(~hits)
-        if misses.size:
-            memory_controller = self.memory_controller
-            for position in misses:
-                start = access_time + (int(position) // ports)
-                if write_backs[position]:
-                    memory_controller.write_back(start)
-                fill_done = memory_controller.line_fill(start)
-                if fill_done > completion:
-                    completion = fill_done
+        if num_misses == 0:
+            # All lines hit: the access finishes with the last hit wave.
+            if track_completion and count > ports:
+                completion = access_time + (count - 1) // ports + hit_latency
+            return completion
+        # Mixed or all-miss access: walk the positions once as plain Python
+        # ints (the per-element numpy scalar extraction of the original loop
+        # cost more than the port model itself).
+        completion, last_hit = self.memory_controller.miss_burst(
+            access_time, ports, hit_list, wb_list, completion
+        )
+        if track_completion and count > ports and last_hit >= 0:
+            hit_done = access_time + last_hit // ports + hit_latency
+            if hit_done > completion:
+                completion = hit_done
         return completion
 
-    def _execute_local(self, wavefront: Wavefront, op, kind: int) -> None:
-        addresses = self._lane_addresses(wavefront, op)
+    def _execute_local(self, wavefront: Wavefront, op: tuple, kind: int) -> None:
+        addresses = self._lane_addresses(wavefront, op[P_RS], op[P_IMM])
         mask = wavefront.active_mask
         word_indices = (addresses >> 2) % self._lram_words
         if kind == K_LOCAL_LOAD:
             result = np.zeros(wavefront.wavefront_size, dtype=np.int64)
             if wavefront.any_active:
                 result[mask] = self.local_memory.load_words(word_indices[mask])
-            wavefront.registers.write(op.rd, result, mask)
+            wavefront.registers.merge_row(op[P_RD], result, mask)
         else:
             if wavefront.any_active:
-                values = wavefront.registers.read(op.rt)[mask]
+                values = wavefront.registers._values[op[P_RT]][mask]
                 self.local_memory.store_words(word_indices[mask], values)
 
-    def _execute_branch(self, wavefront: Wavefront, op, fallthrough: int) -> int:
-        a = wavefront.uniform_lane_value(wavefront.registers.read(op.rs))
-        b = wavefront.uniform_lane_value(wavefront.registers.read(op.rt))
+    def _execute_branch(self, wavefront: Wavefront, op: tuple, fallthrough: int) -> int:
+        rows = wavefront.registers._values
+        a = wavefront.uniform_lane_value(rows[op[P_RS]])
+        b = wavefront.uniform_lane_value(rows[op[P_RT]])
         signed_a = a - (1 << 32) if a & 0x80000000 else a
         signed_b = b - (1 << 32) if b & 0x80000000 else b
-        code = op.fn
+        code = op[P_FN]
         if code == B_EQ:
             taken = signed_a == signed_b
         elif code == B_NE:
@@ -448,7 +519,7 @@ class ComputeUnit:
             taken = signed_a < signed_b
         else:  # B_GE
             taken = signed_a >= signed_b
-        return op.imm if taken else fallthrough
+        return op[P_IMM] if taken else fallthrough
 
     def _execute_barrier(self, wavefront: Wavefront, arrival: float) -> tuple:
         """Handle a workgroup barrier; returns (release_time, parked)."""

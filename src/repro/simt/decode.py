@@ -129,14 +129,57 @@ class DecodedOp:
         return f"DecodedOp({self.instruction.text()}, kind={self.kind})"
 
 
-class DecodedProgram:
-    """A kernel program resolved for execution (shared by all CUs)."""
+# Field positions of the packed per-op tuples (DecodedProgram.packed).
+P_KIND = 0
+P_RD = 1
+P_RS = 2
+P_RT = 3
+P_IMM = 4
+P_LATENCY = 5
+P_USES_PE = 6
+P_MACRO_SAFE = 7
+P_FN = 8
+P_CONST = 9
+P_CLASS_KEY = 10
 
-    __slots__ = ("name", "ops")
+
+class DecodedProgram:
+    """A kernel program resolved for execution (shared by all CUs).
+
+    ``ops`` holds the :class:`DecodedOp` records; ``packed`` flattens each
+    record into a plain tuple (see the ``P_*`` field indices) so the issue
+    loop replaces half a dozen attribute lookups per issued instruction with
+    one C-level tuple index.  ``max_register`` is the largest register index
+    any instruction names; the compute unit checks it once against the
+    register-file depth when the program is bound, which lets the issue loop
+    index the register storage directly instead of bounds-checking every
+    operand of every issue.
+    """
+
+    __slots__ = ("name", "ops", "packed", "max_register")
 
     def __init__(self, name: str, ops: List[DecodedOp]) -> None:
         self.name = name
         self.ops = ops
+        self.packed = [
+            (
+                op.kind,
+                op.rd,
+                op.rs,
+                op.rt,
+                op.imm,
+                op.latency,
+                op.uses_pe,
+                op.macro_safe,
+                op.fn,
+                op.const,
+                op.class_key,
+            )
+            for op in ops
+        ]
+        self.max_register = max(
+            (max(op.rd, op.rs, op.rt) for op in ops), default=0
+        )
 
     def __len__(self) -> int:
         return len(self.ops)

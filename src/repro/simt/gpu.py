@@ -187,6 +187,11 @@ class GGPUSimulator:
         last_completion = 0.0
         guard = 0
         max_steps = 200_000_000  # defensive bound against runaway kernels
+        if len(compute_units) == 1:
+            return self._run_single_cu(dispatcher, max_steps)
+        # The schedulers are fixed for the whole launch (bind happened), so
+        # the per-event time probes go straight to the cached minimum.
+        event_times = [cu.scheduler.earliest_ready for cu in compute_units]
         heap: List[tuple] = [
             (cu.next_event_time(), index)
             for index, cu in enumerate(compute_units)
@@ -202,15 +207,15 @@ class GGPUSimulator:
                     continue
                 break
             event_time, index = heapq.heappop(heap)
-            cu = compute_units[index]
-            if not cu.busy:
-                continue
-            current = cu.next_event_time()
+            current = event_times[index]()
             if current == infinity:
-                continue  # blocked at a barrier; deadlock check on empty heap
+                # Drained or blocked at a barrier (a drained CU's earliest
+                # ready time is also infinite); deadlock check on empty heap.
+                continue
             if current != event_time:
                 heapq.heappush(heap, (current, index))
                 continue
+            cu = compute_units[index]
             retired = cu.step(current)
             guard += 1
             if guard > max_steps:
@@ -221,8 +226,42 @@ class GGPUSimulator:
                 refill = dispatcher.refill(cu.resident_wavefronts, wavefront.completion_time)
                 if refill is not None:
                     cu.admit(refill)
-            if cu.busy:
-                heapq.heappush(heap, (cu.next_event_time(), index))
+            current = event_times[index]()
+            if current != infinity:
+                heapq.heappush(heap, (current, index))
+        return last_completion
+
+    def _run_single_cu(self, dispatcher: WorkgroupDispatcher, max_steps: int) -> float:
+        """Event loop specialization for one CU: no heap, no stale entries.
+
+        Cycle-for-cycle identical to the heap loop — with a single CU the
+        heap always popped that CU's current event time — minus the per-event
+        tuple pushes and pops.
+        """
+        cu = self.compute_units[0]
+        next_event_time = cu.scheduler.earliest_ready
+        infinity = float("inf")
+        last_completion = 0.0
+        guard = 0
+        while True:
+            current = next_event_time()
+            if current == infinity:
+                if cu.busy:
+                    raise SimulationError("deadlock: all resident wavefronts are blocked")
+                if dispatcher.has_pending():
+                    self._refill_idle_cus(dispatcher, last_completion, [])
+                    continue
+                break
+            retired = cu.step(current)
+            guard += 1
+            if guard > max_steps:
+                raise SimulationError("simulation exceeded the maximum step count")
+            for wavefront in retired:
+                if wavefront.completion_time > last_completion:
+                    last_completion = wavefront.completion_time
+                refill = dispatcher.refill(cu.resident_wavefronts, wavefront.completion_time)
+                if refill is not None:
+                    cu.admit(refill)
         return last_completion
 
     def _refill_idle_cus(

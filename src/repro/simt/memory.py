@@ -87,14 +87,26 @@ class GlobalMemory:
         return byte_addr // WORD_BYTES
 
     def _word_indices(self, byte_addresses: np.ndarray) -> np.ndarray:
+        """Validate a vector of byte addresses and return their word indices.
+
+        The alignment and range checks run once per wavefront memory access,
+        so they are phrased as scalar reductions (one pass each) instead of
+        building and re-reducing intermediate boolean arrays per condition.
+        """
         addresses = np.asarray(byte_addresses, dtype=np.int64)
-        if np.any(addresses % WORD_BYTES):
+        if addresses.size == 0:
+            return addresses
+        # The bitwise OR of all addresses exposes both misalignment (a set
+        # low bit) and negativity (the sign bit) in one reduction without an
+        # intermediate boolean array; only the upper bound needs a second.
+        combined = int(np.bitwise_or.reduce(addresses))
+        if combined & (WORD_BYTES - 1):
             bad = addresses[addresses % WORD_BYTES != 0][0]
             raise SimulationError(f"unaligned word access at byte address {int(bad):#x}")
-        if np.any(addresses < 0) or np.any(addresses >= self.size_bytes):
+        if combined < 0 or int(addresses.max()) >= self.size_bytes:
             bad = addresses[(addresses < 0) | (addresses >= self.size_bytes)][0]
             raise SimulationError(f"global memory access out of range: {int(bad):#x}")
-        return addresses // WORD_BYTES
+        return addresses >> 2
 
 
 class RuntimeMemory:
@@ -157,6 +169,8 @@ class LocalMemory:
 
     def _check(self, word_indices: np.ndarray) -> None:
         indices = np.asarray(word_indices, dtype=np.int64)
-        if np.any(indices < 0) or np.any(indices >= self.num_words):
+        if indices.size == 0:
+            return
+        if int(indices.min()) < 0 or int(indices.max()) >= self.num_words:
             bad = indices[(indices < 0) | (indices >= self.num_words)][0]
             raise SimulationError(f"local memory access out of range: index {int(bad)}")

@@ -24,7 +24,9 @@ SIGN_BIT = 0x80000000
 def to_signed(values: np.ndarray) -> np.ndarray:
     """Reinterpret unsigned 32-bit lane values as signed."""
     values = np.asarray(values, dtype=np.int64)
-    return np.where(values & SIGN_BIT, values - (1 << 32), values)
+    # Branch-free two's-complement fold: equivalent to subtracting 2**32
+    # where the sign bit is set, without materializing the boolean mask.
+    return ((values + SIGN_BIT) & WORD_MASK) - SIGN_BIT
 
 
 def to_unsigned(values: np.ndarray) -> np.ndarray:

@@ -53,6 +53,29 @@ class WavefrontRegisterFile:
             return
         self._values[index] = np.asarray(values, dtype=np.int64) & WORD_MASK
 
+    def set_row(self, index: int, values: np.ndarray) -> None:
+        """Unconditional write of an already-masked int64 lane vector.
+
+        The fast-path twin of :meth:`write_all_lanes`: every value produced
+        inside the issue loop (PE lane arithmetic, memory loads, broadcast
+        constants, work-item ids) is already wrapped to 32 bits, so the
+        per-write ``& WORD_MASK`` pass would re-mask masked data a quarter
+        million times per kernel.  Callers owning unmasked data must use
+        :meth:`write_all_lanes`.
+        """
+        self._check(index)
+        if index == 0:
+            return
+        self._values[index] = values
+
+    def merge_row(self, index: int, values: np.ndarray, mask: np.ndarray) -> None:
+        """Masked write of an already-masked int64 lane vector (see set_row)."""
+        self._check(index)
+        if index == 0:
+            return
+        row = self._values[index]
+        self._values[index] = np.where(mask, values, row)
+
     def snapshot(self) -> np.ndarray:
         """Copy of the whole register state (used by tests)."""
         return self._values.copy()

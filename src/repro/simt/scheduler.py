@@ -74,9 +74,15 @@ class WavefrontScheduler:
         self._active_valid = False
 
     def notify_ready_changed(self) -> None:
-        """Invalidate the cached state after external ready/done updates."""
+        """Invalidate the cached earliest-ready time after external updates.
+
+        The active count is deliberately left intact: ``Wavefront.done`` only
+        changes through ``Wavefront.retire``, and every retirement is
+        followed by :meth:`remove`, which invalidates the count.  Ready-time
+        updates happen once per scheduling event, so recounting the residents
+        there cost a full scan per issued instruction for nothing.
+        """
         self._earliest_valid = False
-        self._active_valid = False
 
     def active_count(self) -> int:
         """Number of unfinished resident wavefronts (cached like the min)."""
@@ -84,6 +90,18 @@ class WavefrontScheduler:
             self._active = sum(1 for wavefront in self._order if not wavefront.done)
             self._active_valid = True
         return self._active
+
+    def set_earliest(self, value: float) -> None:
+        """Install an exactly-known earliest-ready time.
+
+        The compute unit's issue loop already knows the minimum over the
+        residents at the end of an ordinary scheduling event (it tracked the
+        other residents' earliest ready time for macro-stepping and changed
+        only the issuing wavefront), so it hands the value over instead of
+        triggering a rescan per event.
+        """
+        self._earliest = value
+        self._earliest_valid = True
 
     def earliest_ready(self) -> float:
         """Ready time of the wavefront that becomes schedulable first."""
@@ -120,10 +138,11 @@ class WavefrontScheduler:
         wavefronts share the issue bandwidth fairly.
         """
         order = self._order
-        for _ in range(len(order)):
-            wavefront = order[0]
-            order.rotate(-1)
+        for position, wavefront in enumerate(order):
             if not wavefront.done and wavefront.ready_time <= now:
+                # One rotation with the same end state as rotating each
+                # probed wavefront to the back individually.
+                order.rotate(-(position + 1))
                 # The caller is about to issue for (and therefore delay) the
                 # selected wavefront, so the cached minimum goes stale.
                 self._earliest_valid = False

@@ -122,8 +122,10 @@ class Wavefront:
         """
         if not self.any_active:
             raise SimulationError("no active lane to read a uniform value from")
-        active_values = np.asarray(values)[self.active_mask]
-        if strict and np.any(active_values != active_values[0]):
+        active_values = np.asarray(values)
+        if self._active_count != active_values.size:
+            active_values = active_values[self.active_mask]
+        if strict and (active_values != active_values[0]).any():
             raise SimulationError(
                 f"wavefront {self.wavefront_id}: non-uniform value used in uniform control flow"
             )

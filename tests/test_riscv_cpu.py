@@ -127,6 +127,38 @@ def test_memory_bounds_and_allocation():
     assert list(memory.read_buffer(base, 4)) == [1, 2, 3, 4]
 
 
+@pytest.mark.parametrize("predecode", [True, False])
+def test_misaligned_entry_pc_raises(predecode):
+    asm = RvAssembler("misaligned-entry")
+    asm.nop()
+    asm.halt()
+    cpu = RiscvCpu(RvMemory())
+    cpu.predecode = predecode
+    with pytest.raises(SimulationError, match="misaligned PC"):
+        cpu.run(asm.assemble(), entry_pc=2)
+
+
+@pytest.mark.parametrize("predecode", [True, False])
+def test_misaligned_jalr_target_raises(predecode):
+    """A JALR to a non-instruction boundary must fault, not silently truncate.
+
+    JALR clears only bit 0 of the computed target (per the architecture), so
+    a target with bit 1 set lands between instructions; the seed interpreter
+    used to execute the instruction at ``pc // 4`` as if nothing happened.
+    """
+    asm = RvAssembler("misaligned-jalr")
+    asm.li(T0, 6)  # 6 & ~1 == 6: misaligned instruction address
+    asm.emit(RvOpcode.JALR, rd=0, rs1=T0, imm=0)
+    asm.nop()
+    asm.halt()
+    cpu = RiscvCpu(RvMemory())
+    cpu.predecode = predecode
+    with pytest.raises(SimulationError, match="misaligned PC"):
+        cpu.run(asm.assemble())
+    # Both paths agree on where execution stopped.
+    assert cpu.stats.instructions == 2
+
+
 def test_stats_kcycles_and_mnemonic_counts():
     asm = RvAssembler("stats")
     asm.li(T0, 1)

@@ -1,0 +1,106 @@
+"""Deterministic parallel sweep runner (repro.runtime.parallel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.benchmarks import run_table3
+from repro.planner.flow import GpuPlannerFlow
+from repro.planner.spec import GGPUSpec
+from repro.runtime.parallel import JOBS_ENV_VAR, default_jobs, parallel_map
+from repro.tech.technology import default_65nm
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _fail_on_three(value: int) -> int:
+    if value == 3:
+        raise ValueError("boom")
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# parallel_map semantics
+# --------------------------------------------------------------------------- #
+def test_serial_map_preserves_order():
+    assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+
+def test_parallel_map_preserves_order():
+    items = list(range(17))
+    assert parallel_map(_square, items, jobs=3) == [value * value for value in items]
+
+
+def test_single_item_short_circuits_to_serial():
+    # One task never pays for a pool, whatever the job count.
+    assert parallel_map(_square, [5], jobs=8) == [25]
+
+
+def test_empty_input():
+    assert parallel_map(_square, [], jobs=4) == []
+
+
+def test_worker_exceptions_propagate():
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+
+
+def test_invalid_job_count_rejected():
+    with pytest.raises(ConfigurationError):
+        parallel_map(_square, [1, 2], jobs=0)
+
+
+# --------------------------------------------------------------------------- #
+# REPRO_JOBS environment variable
+# --------------------------------------------------------------------------- #
+def test_default_jobs_reads_environment(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv(JOBS_ENV_VAR, "4")
+    assert default_jobs() == 4
+
+
+@pytest.mark.parametrize("bad", ["zero", "0", "-2", "1.5"])
+def test_default_jobs_rejects_bad_values(monkeypatch, bad):
+    monkeypatch.setenv(JOBS_ENV_VAR, bad)
+    with pytest.raises(ConfigurationError):
+        default_jobs()
+
+
+# --------------------------------------------------------------------------- #
+# The wired sweeps produce identical outputs at any job count
+# --------------------------------------------------------------------------- #
+def _table_values(table):
+    return [
+        (
+            kernel,
+            row.riscv.cycles,
+            row.riscv.stats.mnemonic_counts,
+            tuple((num_cus, row.gpu[num_cus].cycles) for num_cus in sorted(row.gpu)),
+        )
+        for kernel, row in table.rows.items()
+    ]
+
+
+def test_table3_identical_at_any_job_count():
+    serial = run_table3(kernels=["copy", "div_int"], cu_counts=(1, 2), scale=0.125, jobs=1)
+    fanned = run_table3(kernels=["copy", "div_int"], cu_counts=(1, 2), scale=0.125, jobs=3)
+    assert _table_values(serial) == _table_values(fanned)
+    assert list(serial.rows) == ["copy", "div_int"]  # order is the request order
+
+
+def test_run_many_identical_at_any_job_count():
+    flow = GpuPlannerFlow(default_65nm(), run_physical=False)
+    specs = [GGPUSpec(1, 500.0), GGPUSpec(2, 667.0)]
+    serial = flow.run_many(specs, jobs=1)
+    fanned = flow.run_many(specs, jobs=2)
+    assert [
+        (result.spec.label, result.achieved_frequency_mhz, result.issues)
+        for result in serial
+    ] == [
+        (result.spec.label, result.achieved_frequency_mhz, result.issues)
+        for result in fanned
+    ]
