@@ -31,6 +31,22 @@ from repro.runtime.parallel import default_jobs
 from repro.tech.technology import Technology, default_65nm
 
 BENCH_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under ``benchmarks/`` as ``bench``.
+
+    The root ``pytest.ini`` deselects that marker by default, so the tier-1
+    run (`pytest -x -q`) skips the paper-regeneration harness; run it with
+    ``pytest -m bench benchmarks``.
+    """
+    for item in items:
+        try:
+            Path(item.fspath).relative_to(BENCH_DIR)
+        except ValueError:
+            continue
+        item.add_marker(pytest.mark.bench)
 
 
 def bench_scale() -> float:

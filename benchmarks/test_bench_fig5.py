@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.eval.benchmarks import Table3Data
 from repro.eval.comparison import compute_speedups
 from repro.eval.figures import format_speedup_chart
 from repro.eval.paper_data import PAPER_TABLE3, paper_speedup
@@ -11,12 +12,34 @@ from repro.eval.paper_data import PAPER_TABLE3, paper_speedup
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_speedup_over_riscv(benchmark, table3_measurements):
+    # Fig. 5 is a *paper* figure: restrict the speed-up series to the seven
+    # published rows (the measurement fixture also carries the extended
+    # suite, printed separately below).
+    paper_table = Table3Data(
+        rows={
+            kernel: row
+            for kernel, row in table3_measurements.rows.items()
+            if kernel in PAPER_TABLE3
+        },
+        cu_counts=table3_measurements.cu_counts,
+    )
     speedups = benchmark.pedantic(
-        compute_speedups, args=(table3_measurements,), rounds=1, iterations=1
+        compute_speedups, args=(paper_table,), rounds=1, iterations=1
     )
 
     print("\n=== Reproduced Fig. 5 ===")
     print(format_speedup_chart(speedups))
+    extended_table = Table3Data(
+        rows={
+            kernel: row
+            for kernel, row in table3_measurements.rows.items()
+            if kernel not in PAPER_TABLE3
+        },
+        cu_counts=table3_measurements.cu_counts,
+    )
+    if extended_table.rows:
+        print("\n=== Extended-suite speed-ups (no paper counterpart) ===")
+        print(format_speedup_chart(compute_speedups(extended_table)))
     print("\n=== Paper Fig. 5 (speed-up implied by Table III) ===")
     for kernel in PAPER_TABLE3:
         values = {num_cus: round(paper_speedup(kernel, num_cus), 1) for num_cus in (1, 2, 4, 8)}

@@ -11,6 +11,7 @@ import pytest
 
 from repro.eval.paper_data import PAPER_TABLE3
 from repro.eval.tables import format_table3
+from repro.kernels import EXTENDED_KERNEL_NAMES
 
 
 @pytest.mark.benchmark(group="table3")
@@ -23,7 +24,9 @@ def test_table3_benchmark_cycle_counts(benchmark, table3_measurements):
     for kernel, (riscv_size, gpu_size, riscv_kc, gpu_kc) in PAPER_TABLE3.items():
         print(f"{kernel:14s} sizes {riscv_size}/{gpu_size}  riscv {riscv_kc}  gpu {gpu_kc}")
 
-    assert set(table.rows) == set(PAPER_TABLE3)
+    # The sweep covers the paper's seven kernels plus the extended suite.
+    assert set(table.rows) >= set(PAPER_TABLE3)
+    assert set(table.rows) >= set(EXTENDED_KERNEL_NAMES)
     for kernel, row in table.rows.items():
         # Every kernel ran on all four CU counts and produced correct results
         # (correctness is checked inside the measurement helpers).

@@ -69,11 +69,18 @@ class NDRange:
 
 @dataclass(frozen=True)
 class Kernel:
-    """A compiled kernel: program text plus its argument signature."""
+    """A compiled kernel: program text plus its argument signature.
+
+    ``local_words`` is the kernel's per-workgroup local-memory footprint (the
+    sum of its declared ``__local`` arrays, in 32-bit words).  Each resident
+    workgroup gets its own LRAM window of that size; the simulator rejects a
+    launch whose geometry leaves windows smaller than this footprint.
+    """
 
     name: str
     program: Program
     args: Tuple[KernelArg, ...] = field(default_factory=tuple)
+    local_words: int = 0
 
     def arg_index(self, name: str) -> int:
         """Runtime-memory slot of the named argument."""
@@ -111,6 +118,8 @@ class KernelBuilder:
         self.asm = Assembler(name)
         self._next_register = 1
         self._named: Dict[str, int] = {}
+        self._local_offsets: Dict[str, int] = {}
+        self.local_words = 0
 
     # ------------------------------------------------------------------ #
     # Register allocation
@@ -192,6 +201,29 @@ class KernelBuilder:
     def global_id(self, rd: int) -> None:
         """Store the flattened global work-item index into ``rd``."""
         self.emit(Opcode.GID, rd=rd)
+
+    def declare_local(self, name: str, num_words: int) -> int:
+        """Reserve a ``__local`` array of ``num_words`` and return its byte offset.
+
+        Offsets are assigned sequentially inside the workgroup's LRAM window;
+        the total footprint is recorded on the built :class:`Kernel` so the
+        simulator can check it against the launch geometry.
+        """
+        if num_words <= 0:
+            raise KernelError(f"local array {name!r} must have a positive size")
+        if name in self._local_offsets:
+            raise KernelError(f"local array {name!r} already declared in {self.name}")
+        offset_bytes = self.local_words * 4
+        self._local_offsets[name] = offset_bytes
+        self.local_words += num_words
+        return offset_bytes
+
+    def local_offset(self, name: str) -> int:
+        """Byte offset of a previously declared ``__local`` array."""
+        try:
+            return self._local_offsets[name]
+        except KeyError as exc:
+            raise KernelError(f"unknown local array {name!r} in {self.name}") from exc
 
     def address_of_element(self, rd: int, base: int, index: int) -> None:
         """Compute the byte address of 32-bit element ``index`` of buffer ``base``."""
@@ -283,7 +315,7 @@ class KernelBuilder:
         program = self.asm.assemble()
         if not program.instructions or program.instructions[-1].opcode is not Opcode.RET:
             raise KernelError(f"kernel {self.name!r} does not end with RET")
-        return Kernel(self.name, program, self.args)
+        return Kernel(self.name, program, self.args, local_words=self.local_words)
 
 
 class DivergentLoop:

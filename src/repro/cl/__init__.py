@@ -23,10 +23,13 @@ Two back ends are provided, mirroring the paper's evaluation targets:
 
 The language subset: ``__kernel void`` functions, ``__global int*``/``uint*``
 buffer parameters, scalar ``int``/``uint`` parameters, local variable
-declarations, assignments (including the compound forms), ``if``/``else``,
-``for``, ``while``, ``barrier()``, integer arithmetic/logic/comparison
-operators, array subscripting on buffer parameters, and the OpenCL work-item
-builtins (``get_global_id`` and friends).
+declarations, ``__local int name[SIZE];`` per-workgroup scratchpad arrays
+(kernel scope, constant size; lowered to LRAM-window accesses on the G-GPU
+and to data-memory regions on the RISC-V), assignments (including the
+compound forms), ``if``/``else``, ``for``, ``while``, ``barrier()``, integer
+arithmetic/logic/comparison operators, array subscripting on buffer
+parameters and local arrays, and the OpenCL work-item builtins
+(``get_global_id`` and friends).
 """
 
 from repro.cl.compiler import (

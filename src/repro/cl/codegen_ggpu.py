@@ -38,8 +38,10 @@ from repro.cl.nodes import (
     Index,
     IntLiteral,
     KernelDecl,
+    LocalDeclStmt,
     ReturnStmt,
     Stmt,
+    Symbol,
     UnaryOp,
     VarRef,
     WhileStmt,
@@ -151,8 +153,20 @@ class GGPUCodeGenerator:
         for param in self.kernel.params:
             self._var_regs[param.name] = self.builder.alloc(param.name)
         for name, symbol in self.kernel.symbols.items():
-            if not symbol.is_param:
+            if symbol.is_param:
+                continue
+            if symbol.is_local_array:
+                # Local arrays live at static offsets in the workgroup's LRAM
+                # window; they occupy no register.
+                self.builder.declare_local(name, symbol.array_words)
+            else:
                 self._var_regs[name] = self.builder.alloc(name)
+
+    def _local_symbol(self, name: str) -> Optional[Symbol]:
+        symbol = self.kernel.symbols.get(name)
+        if symbol is not None and symbol.is_local_array:
+            return symbol
+        return None
 
     def _load_parameters(self) -> None:
         for param in self.kernel.params:
@@ -182,8 +196,8 @@ class GGPUCodeGenerator:
             self._gen_loop(statement.condition, statement.body, step=statement.step)
         elif isinstance(statement, BarrierStmt):
             self.builder.emit(Opcode.BARRIER)
-        elif isinstance(statement, ReturnStmt):
-            pass  # the trailing RET is emitted by generate()
+        elif isinstance(statement, (ReturnStmt, LocalDeclStmt)):
+            pass  # RET is emitted by generate(); local arrays were pre-allocated
         else:  # pragma: no cover - defensive
             raise CompilationError(f"unsupported statement {type(statement).__name__}")
 
@@ -206,18 +220,20 @@ class GGPUCodeGenerator:
             self._release(value)
             return
         if isinstance(target, Index):
+            is_local = self._local_symbol(target.base) is not None
+            load, store = (Opcode.LLW, Opcode.LSW) if is_local else (Opcode.LW, Opcode.SW)
             address = self._element_address(target)
             if statement.op == "=":
                 value = self._eval(statement.value)
             else:
                 current = self._acquire()
-                self.builder.emit(Opcode.LW, rd=current, rs=address, imm=0)
+                self.builder.emit(load, rd=current, rs=address, imm=0)
                 rhs = self._eval(statement.value)
                 self._emit_binop(statement.op[:-1], current, current, rhs,
                                  unsigned=self._unsigned(target, statement.value))
                 self._release(rhs)
                 value = current
-            self.builder.emit(Opcode.SW, rs=address, rt=value, imm=0)
+            self.builder.emit(store, rs=address, rt=value, imm=0)
             self._release(value)
             self._release(address)
             return
@@ -316,9 +332,10 @@ class GGPUCodeGenerator:
         if isinstance(expr, Call):
             return self._eval_call(expr, preferred)
         if isinstance(expr, Index):
+            load = Opcode.LLW if self._local_symbol(expr.base) else Opcode.LW
             address = self._element_address(expr)
             destination = preferred if preferred is not None else self._acquire()
-            self.builder.emit(Opcode.LW, rd=destination, rs=address, imm=0)
+            self.builder.emit(load, rd=destination, rs=address, imm=0)
             self._release(address)
             return destination
         if isinstance(expr, UnaryOp):
@@ -439,12 +456,21 @@ class GGPUCodeGenerator:
             raise CompilationError(f"unsupported binary operator {op!r}")
 
     def _element_address(self, expr: Index) -> int:
-        """Byte address of ``buffer[index]`` (buffers hold 32-bit words)."""
-        base = self._var_register(expr.base)
+        """Byte address of ``buffer[index]`` (buffers hold 32-bit words).
+
+        Global buffers add the pointer register; ``__local`` arrays add their
+        static byte offset inside the workgroup's LRAM window.
+        """
         index = self._eval(expr.index)
         address = self._acquire()
         self.builder.emit(Opcode.SLLI, rd=address, rs=index, imm=2)
-        self.builder.emit(Opcode.ADD, rd=address, rs=address, rt=base)
+        if self._local_symbol(expr.base) is not None:
+            offset = self.builder.local_offset(expr.base)
+            if offset:
+                self.builder.emit(Opcode.ADDI, rd=address, rs=address, imm=offset)
+        else:
+            base = self._var_register(expr.base)
+            self.builder.emit(Opcode.ADD, rd=address, rs=address, rt=base)
         if index != address:
             self._release(index)
         return address

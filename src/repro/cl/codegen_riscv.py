@@ -8,6 +8,14 @@ against that loop (``get_global_id`` is the loop counter, ``get_local_id`` is
 ``gid % workgroup_size``, and so on), and ``barrier()`` becomes a no-op because
 a single in-order core is always "synchronized".
 
+``__local`` arrays become zero-initialized data-memory regions shared by all
+workgroups of the serialized loop.  That serialization is faithful exactly
+for kernels whose cross-work-item ``__local`` reads only depend on work-items
+with lower (or equal) local ids — "backward" dependencies, which the
+gid-major loop order preserves.  The benchmark sources in
+:mod:`repro.cl.sources` are written in that serialization-safe form; the
+fuzz tests (``tests/test_cl_fuzz.py``) pin the equivalence.
+
 The generated :class:`~repro.riscv.programs.library.RiscvCase` plugs into the
 same evaluation harness as the hand-written scalar programs, so compiled and
 hand-written baselines can be compared cycle for cycle.
@@ -30,6 +38,7 @@ from repro.cl.nodes import (
     Index,
     IntLiteral,
     KernelDecl,
+    LocalDeclStmt,
     ReturnStmt,
     Stmt,
     UnaryOp,
@@ -80,11 +89,13 @@ class RiscvCodeGenerator:
         global_size: int,
         workgroup_size: int,
         name: Optional[str] = None,
+        local_addresses: Optional[Dict[str, int]] = None,
     ) -> None:
         if global_size <= 0 or workgroup_size <= 0:
             raise CompilationError("NDRange sizes must be positive")
         self.kernel = kernel
         self.param_values = dict(param_values)
+        self.local_addresses = dict(local_addresses or {})
         self.global_size = global_size
         self.workgroup_size = workgroup_size
         self.asm = RvAssembler(name or f"{kernel.name}_riscv")
@@ -157,6 +168,16 @@ class RiscvCodeGenerator:
                     f"no value provided for kernel parameter {param.name!r}"
                 )
             self.asm.li(self._var_regs[param.name], int(self.param_values[param.name]))
+        # __local arrays are backed by zero-initialized data-memory regions;
+        # their base addresses behave like ordinary buffer pointers.  One
+        # shared instance serves every workgroup of the serialized work-item
+        # loop, which is correct for kernels whose work-items write their
+        # local slots before reading them (the serialization-safe subset).
+        for name, symbol in self.kernel.symbols.items():
+            if symbol.is_local_array:
+                if name not in self.local_addresses:
+                    raise CompilationError(f"no backing store for __local array {name!r}")
+                self.asm.li(self._var_regs[name], int(self.local_addresses[name]))
 
     # ------------------------------------------------------------------ #
     # Statements
@@ -180,8 +201,9 @@ class RiscvCodeGenerator:
             if statement.init is not None:
                 self._gen_statement(statement.init)
             self._gen_loop(statement.condition, statement.body, step=statement.step)
-        elif isinstance(statement, (BarrierStmt, ReturnStmt)):
-            pass  # barriers are no-ops on a single in-order core
+        elif isinstance(statement, (BarrierStmt, ReturnStmt, LocalDeclStmt)):
+            pass  # barriers are no-ops on a single in-order core; local
+            # arrays were materialized as data-memory regions up front
         else:  # pragma: no cover - defensive
             raise CompilationError(f"unsupported statement {type(statement).__name__}")
 
@@ -457,12 +479,17 @@ def generate_riscv_case(
             if param.name not in workload.scalars:
                 raise CompilationError(f"workload provides no value for parameter {param.name!r}")
             values[param.name] = int(workload.scalars[param.name])
+    local_addresses: Dict[str, int] = {}
+    for symbol_name, symbol in kernel.symbols.items():
+        if symbol.is_local_array:
+            local_addresses[symbol_name] = memory.allocate(symbol.array_words)
     generator = RiscvCodeGenerator(
         kernel,
         values,
         global_size=workload.ndrange.global_size,
         workgroup_size=workload.ndrange.workgroup_size,
         name=name,
+        local_addresses=local_addresses,
     )
     program = generator.generate()
     return RiscvCase(program.name, program, memory, addresses, workload.expected)

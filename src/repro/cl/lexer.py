@@ -20,6 +20,7 @@ KEYWORDS = frozenset(
         "__global",
         "global",
         "__local",
+        "local",
         "const",
         "void",
         "int",

@@ -159,6 +159,20 @@ class ForStmt(Stmt):
 
 
 @dataclass
+class LocalDeclStmt(Stmt):
+    """``__local int name[SIZE];`` -- a per-workgroup scratchpad array.
+
+    Only allowed at kernel scope (like OpenCL's local declarations); the
+    size must be an integer constant because the LRAM window is allocated
+    statically by the compiler.
+    """
+
+    ctype: CType = CType.INT
+    name: str = ""
+    size: int = 0
+
+
+@dataclass
 class BarrierStmt(Stmt):
     """``barrier(...)`` -- a workgroup barrier."""
 
@@ -216,11 +230,20 @@ class TranslationUnit:
 
 @dataclass
 class Symbol:
-    """One entry of a kernel's symbol table."""
+    """One entry of a kernel's symbol table.
+
+    ``array_words`` is non-zero exactly for ``__local`` arrays, which are
+    indexable like buffers but live in the workgroup's LRAM window.
+    """
 
     name: str
     ctype: CType
     is_pointer: bool
     is_param: bool
     varying: bool = False
+    array_words: int = 0
     span: SourceSpan = field(default_factory=SourceSpan)
+
+    @property
+    def is_local_array(self) -> bool:
+        return self.array_words > 0

@@ -23,6 +23,7 @@ from repro.cl.nodes import (
     Index,
     IntLiteral,
     KernelDecl,
+    LocalDeclStmt,
     Param,
     ReturnStmt,
     SourceSpan,
@@ -185,6 +186,8 @@ class Parser:
             statement = self._parse_declaration()
             self._expect_op(";")
             return statement
+        if token.is_keyword("__local") or token.is_keyword("local"):
+            return self._parse_local_declaration()
         if token.is_keyword("if"):
             return self._parse_if()
         if token.is_keyword("for"):
@@ -216,6 +219,25 @@ class Parser:
             if not self._accept_op(","):
                 break
         return DeclStmt(ctype=ctype, names=tuple(names), inits=tuple(inits), span=_span(start))
+
+    def _parse_local_declaration(self) -> LocalDeclStmt:
+        start = self._peek()
+        if not (self._accept_keyword("__local") or self._accept_keyword("local")):
+            raise self._error("expected '__local'")
+        ctype = self._parse_scalar_type()
+        name = self._expect_ident()
+        self._expect_op("[")
+        size_token = self._peek()
+        if size_token.kind is not TokenKind.NUMBER:
+            raise self._error("__local array size must be an integer constant")
+        self._advance()
+        self._expect_op("]")
+        self._expect_op(";")
+        if size_token.value <= 0:
+            raise self._error("__local array size must be positive", size_token)
+        return LocalDeclStmt(
+            ctype=ctype, name=name.text, size=size_token.value, span=_span(start)
+        )
 
     def _parse_assignment(self) -> AssignStmt:
         start = self._peek()

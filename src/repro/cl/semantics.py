@@ -32,6 +32,7 @@ from repro.cl.nodes import (
     Index,
     IntLiteral,
     KernelDecl,
+    LocalDeclStmt,
     ReturnStmt,
     Stmt,
     Symbol,
@@ -108,19 +109,25 @@ class KernelAnalyzer:
                 span=param.span,
             )
 
-    def _collect_locals(self, statements: Sequence[Stmt]) -> None:
+    def _collect_locals(self, statements: Sequence[Stmt], top_level: bool = True) -> None:
         for statement in statements:
             if isinstance(statement, DeclStmt):
                 self._declare_locals(statement)
+            elif isinstance(statement, LocalDeclStmt):
+                if not top_level:
+                    raise _error(
+                        "__local declarations are only allowed at kernel scope", statement
+                    )
+                self._declare_local_array(statement)
             elif isinstance(statement, IfStmt):
-                self._collect_locals(statement.then_body)
-                self._collect_locals(statement.else_body)
+                self._collect_locals(statement.then_body, top_level=False)
+                self._collect_locals(statement.else_body, top_level=False)
             elif isinstance(statement, WhileStmt):
-                self._collect_locals(statement.body)
+                self._collect_locals(statement.body, top_level=False)
             elif isinstance(statement, ForStmt):
                 if isinstance(statement.init, DeclStmt):
                     self._declare_locals(statement.init)
-                self._collect_locals(statement.body)
+                self._collect_locals(statement.body, top_level=False)
 
     def _declare_locals(self, declaration: DeclStmt) -> None:
         for name in declaration.names:
@@ -133,6 +140,18 @@ class KernelAnalyzer:
                 is_param=False,
                 span=declaration.span,
             )
+
+    def _declare_local_array(self, declaration: LocalDeclStmt) -> None:
+        if declaration.name in self.symbols:
+            raise _error(f"redeclaration of {declaration.name!r}", declaration)
+        self.symbols[declaration.name] = Symbol(
+            name=declaration.name,
+            ctype=declaration.ctype,
+            is_pointer=False,
+            is_param=False,
+            array_words=declaration.size,
+            span=declaration.span,
+        )
 
     def _check_return_placement(self) -> None:
         body = self.kernel.body
@@ -229,6 +248,10 @@ class KernelAnalyzer:
             expr.varying = False
         elif isinstance(expr, VarRef):
             symbol = self._symbol(expr.name, expr)
+            if symbol.is_local_array:
+                raise _error(
+                    f"local array {expr.name!r} can only be used with an index", expr
+                )
             expr.ctype = CType.PTR if symbol.is_pointer else symbol.ctype
             expr.varying = expr.name in self._varying_vars
         elif isinstance(expr, UnaryOp):
@@ -253,7 +276,7 @@ class KernelAnalyzer:
             expr.varying = expr.left.varying or expr.right.varying
         elif isinstance(expr, Index):
             symbol = self._symbol(expr.base, expr)
-            if not symbol.is_pointer:
+            if not symbol.is_pointer and not symbol.is_local_array:
                 raise _error(f"{expr.base!r} is not a buffer and cannot be indexed", expr)
             index_type = self._annotate_expr(expr.index)
             if index_type is CType.PTR:
@@ -309,7 +332,7 @@ class KernelAnalyzer:
                 self._annotate_statements(statement.body)
                 if statement.step is not None:
                     self._annotate_statements([statement.step])
-            elif isinstance(statement, (BarrierStmt, ReturnStmt)):
+            elif isinstance(statement, (BarrierStmt, ReturnStmt, LocalDeclStmt)):
                 continue
             else:  # pragma: no cover - defensive
                 raise _error(f"unsupported statement {type(statement).__name__}", statement)

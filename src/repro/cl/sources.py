@@ -1,4 +1,5 @@
-"""OpenCL-C sources of the paper's seven micro-benchmarks (plus two extras).
+"""OpenCL-C sources of the benchmark suite: the paper's seven plus the
+extended six (and a ``vec_add`` example extra).
 
 These are the kernel texts a user of the real FGPU tool-chain would write; the
 compiler in this package lowers them to the G-GPU ISA and to the scalar
@@ -12,6 +13,14 @@ the hand-written kernel produce identical results.
 has no hardware divider, so its compiler emits exactly this kind of software
 sequence, and that is why the paper's div_int shows the smallest speed-up of
 the suite.
+
+The cooperative extended-suite sources (``dot``, ``reduce_sum``,
+``inclusive_scan``) are written in the *serialization-safe* form — after a
+barrier, a work-item only reads ``__local`` slots written by work-items with
+lower (or equal) local ids — so the RISC-V back end's sequential work-item
+loop computes the same values the SIMT execution does.  The hand-written
+G-GPU kernels use the log-depth tree/scan forms instead; integer addition is
+associative mod 2^32, so all forms agree bit-exactly.
 """
 
 from __future__ import annotations
@@ -131,8 +140,94 @@ __kernel void saxpy(__global int *x, __global int *y, __global int *out, int alp
 }
 """
 
-# The seven paper benchmarks, keyed by the kernel-registry names used in
-# Table III / Figs. 5-6.
+DOT_CL = """
+// Per-workgroup dot-product partials.  The products are staged in local
+// memory; after the barrier the last work-item of the group accumulates
+// them.  (The hand-written kernel tree-reduces instead -- integer addition
+// is associative mod 2^32, so both orders give identical partials.)
+__kernel void dot(__global int *a, __global int *b, __global int *partial, int n) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int lsize = get_local_size(0);
+    __local int tmp[256];
+    tmp[lid] = a[gid] * b[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lid == lsize - 1) {
+        int acc = 0;
+        for (int j = 0; j < lsize; j += 1) {
+            acc += tmp[j];
+        }
+        partial[get_group_id(0)] = acc;
+    }
+}
+"""
+
+REDUCE_SUM_CL = """
+// Per-workgroup sum reduction through local memory (see dot for the
+// accumulation-order note).
+__kernel void reduce_sum(__global int *a, __global int *partial, int n) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int lsize = get_local_size(0);
+    __local int tmp[256];
+    tmp[lid] = a[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lid == lsize - 1) {
+        int acc = 0;
+        for (int j = 0; j < lsize; j += 1) {
+            acc += tmp[j];
+        }
+        partial[get_group_id(0)] = acc;
+    }
+}
+"""
+
+INCLUSIVE_SCAN_CL = """
+// Per-workgroup inclusive prefix sum: each work-item accumulates the local
+// slots at or below its lane (the hand-written kernel runs the log-depth
+// Hillis-Steele form instead).
+__kernel void inclusive_scan(__global int *a, __global int *out, int n) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local int tmp[256];
+    tmp[lid] = a[gid];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int acc = 0;
+    for (int j = 0; j <= lid; j += 1) {
+        acc += tmp[j];
+    }
+    out[gid] = acc;
+}
+"""
+
+HISTOGRAM_CL = """
+// Output-driven 256-bin histogram: work-item gid counts the samples whose
+// top byte equals its bin (the G-GPU has no atomics).
+__kernel void histogram(__global int *a, __global int *hist, int n) {
+    int gid = get_global_id(0);
+    int count = 0;
+    for (int j = 0; j < n; j += 1) {
+        uint sample = a[j];
+        if ((sample >> 24) == gid) {
+            count += 1;
+        }
+    }
+    hist[gid] = count;
+}
+"""
+
+TRANSPOSE_CL = """
+// Transpose of a (rows x 64) matrix: coalesced reads, stride-rows writes.
+__kernel void transpose(__global int *a, __global int *out, int rows, int n) {
+    int gid = get_global_id(0);
+    int row = gid >> 6;
+    int col = gid & 63;
+    out[col * rows + row] = a[gid];
+}
+"""
+
+# The benchmark suite, keyed by the kernel-registry names: the seven paper
+# kernels of Table III / Figs. 5-6 followed by the six extended-suite ones.
 BENCHMARK_CL_SOURCES: Dict[str, str] = {
     "mat_mul": MAT_MUL_CL,
     "copy": COPY_CL,
@@ -141,12 +236,17 @@ BENCHMARK_CL_SOURCES: Dict[str, str] = {
     "div_int": DIV_INT_CL,
     "xcorr": XCORR_CL,
     "parallel_sel": PARALLEL_SEL_CL,
+    "saxpy": SAXPY_CL,
+    "dot": DOT_CL,
+    "reduce_sum": REDUCE_SUM_CL,
+    "inclusive_scan": INCLUSIVE_SCAN_CL,
+    "histogram": HISTOGRAM_CL,
+    "transpose": TRANSPOSE_CL,
 }
 
 # Additional sources used by examples and tests.
 EXTRA_CL_SOURCES: Dict[str, str] = {
     "vec_add": VEC_ADD_CL,
-    "saxpy": SAXPY_CL,
 }
 
 

@@ -1,4 +1,4 @@
-"""The seven micro-benchmark kernels used in the paper's evaluation.
+"""The benchmark kernel library: the paper's seven plus the extended suite.
 
 The paper takes seven micro-benchmarks from the AMD OpenCL SDK (mat_mul, copy,
 vec_mul, fir, div_int, xcorr, parallel_sel), runs them on the G-GPU with
@@ -8,12 +8,23 @@ those kernels, written against the public :class:`~repro.arch.kernel.KernelBuild
 API, together with numpy reference implementations used to verify functional
 correctness and workload generators that produce the input data.
 
+On top of the paper's table, the extended suite adds six kernels that cover
+behaviours the original seven never exercise: ``saxpy`` (streaming
+multiply-add), ``dot`` and ``reduce_sum`` (local-memory tree reductions with
+barriers), ``inclusive_scan`` (Hillis-Steele prefix sum), ``histogram``
+(wavefront-uniform loads, branchless counting), and ``transpose`` (strided
+scatter stores).  Every kernel — old and new — is pinned bit-exactly across
+the G-GPU, the RISC-V baseline, and a pure-python reference by
+``tests/test_differential.py``.
+
 The matching RISC-V programs live in :mod:`repro.riscv.programs`.
 """
 
 from repro.kernels.library import (
+    EXTENDED_KERNEL_NAMES,
     GpuWorkload,
     KernelSpec,
+    PAPER_KERNEL_NAMES,
     all_kernel_names,
     get_kernel_spec,
     run_workload,
@@ -21,24 +32,38 @@ from repro.kernels.library import (
 from repro.kernels import (
     copy,
     div_int,
+    dot,
     fir,
+    histogram,
+    inclusive_scan,
     mat_mul,
     parallel_sel,
+    reduce_sum,
+    saxpy,
+    transpose,
     vec_mul,
     xcorr,
 )
 
 __all__ = [
+    "EXTENDED_KERNEL_NAMES",
     "GpuWorkload",
     "KernelSpec",
+    "PAPER_KERNEL_NAMES",
     "all_kernel_names",
     "get_kernel_spec",
     "run_workload",
     "copy",
     "div_int",
+    "dot",
     "fir",
+    "histogram",
+    "inclusive_scan",
     "mat_mul",
     "parallel_sel",
+    "reduce_sum",
+    "saxpy",
+    "transpose",
     "vec_mul",
     "xcorr",
 ]

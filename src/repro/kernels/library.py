@@ -1,4 +1,4 @@
-"""Kernel registry and workload plumbing shared by the seven benchmarks.
+"""Kernel registry and workload plumbing shared by the benchmark suite.
 
 Each benchmark module registers a :class:`KernelSpec` describing how to build
 its G-GPU kernel, how to generate a workload of a given size, and the default
@@ -72,9 +72,32 @@ def register_kernel(spec: KernelSpec) -> KernelSpec:
     return spec
 
 
+# The paper's seven Table III kernels, in table order.
+PAPER_KERNEL_NAMES: Tuple[str, ...] = (
+    "mat_mul",
+    "copy",
+    "vec_mul",
+    "fir",
+    "div_int",
+    "xcorr",
+    "parallel_sel",
+)
+
+# The six extended-suite kernels added on top of the paper's table, in the
+# order the extended Table III lists them.
+EXTENDED_KERNEL_NAMES: Tuple[str, ...] = (
+    "saxpy",
+    "dot",
+    "reduce_sum",
+    "inclusive_scan",
+    "histogram",
+    "transpose",
+)
+
+
 def all_kernel_names() -> List[str]:
-    """Names of all registered benchmark kernels, in the paper's table order."""
-    order = ["mat_mul", "copy", "vec_mul", "fir", "div_int", "xcorr", "parallel_sel"]
+    """Names of all registered benchmark kernels, in extended-table order."""
+    order = list(PAPER_KERNEL_NAMES) + list(EXTENDED_KERNEL_NAMES)
     known = [name for name in order if name in _REGISTRY]
     extras = sorted(name for name in _REGISTRY if name not in order)
     return known + extras
@@ -125,6 +148,22 @@ def run_workload(
                     f"kernel {kernel.name!r} produced {mismatches} wrong values in {name!r}"
                 )
     return result, outputs
+
+
+def pick_pow2_workgroup_size(global_size: int, preferred: int = 256) -> int:
+    """Largest power-of-two workgroup size (>= 64, <= preferred) dividing ``global_size``.
+
+    The workgroup-cooperative kernels (tree reductions, Hillis-Steele scans)
+    need a power-of-two group so their stride loops cover every lane.
+    """
+    candidate = 256
+    while candidate > preferred or candidate > global_size or global_size % candidate:
+        candidate //= 2
+        if candidate < 64:
+            raise KernelError(
+                f"global size {global_size} is not a multiple of the 64-lane wavefront"
+            )
+    return candidate
 
 
 def pick_workgroup_size(global_size: int, preferred: int = 256) -> int:

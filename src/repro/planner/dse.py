@@ -10,8 +10,8 @@ Pareto frontier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
 from repro.planner.optimizer import OptimizationResult, TimingOptimizer
@@ -21,6 +21,28 @@ from repro.rtl.generator import generate_ggpu_netlist
 from repro.rtl.netlist import Netlist
 from repro.synth.logic import LogicSynthesis, SynthesisResult
 from repro.tech.technology import Technology
+
+# The workload lists a design-space sweep can be scored against: the paper's
+# Table III suite, and the extended suite added on top of it.  Spelled out as
+# literals (and pinned against the kernel registry by ``tests/test_planner.py``)
+# so the pure-PPA flows never import the kernel library at module-import time.
+PAPER_WORKLOAD_SUITE: Tuple[str, ...] = (
+    "mat_mul",
+    "copy",
+    "vec_mul",
+    "fir",
+    "div_int",
+    "xcorr",
+    "parallel_sel",
+)
+EXTENDED_WORKLOAD_SUITE: Tuple[str, ...] = PAPER_WORKLOAD_SUITE + (
+    "saxpy",
+    "dot",
+    "reduce_sum",
+    "inclusive_scan",
+    "histogram",
+    "transpose",
+)
 
 
 @dataclass
@@ -61,6 +83,50 @@ class DesignPoint:
         return self.spec.label
 
 
+@dataclass
+class WorkloadPoint:
+    """One design point joined with measured workload cycle counts.
+
+    ``kernel_cycles`` maps kernel name to simulated cycles on this point's
+    CU count; runtimes divide by the point's *target* frequency, so a point
+    that misses timing closure still reports what it promised (``met`` tells
+    the designer whether to believe it).
+    """
+
+    design: DesignPoint
+    kernel_cycles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def spec(self) -> GGPUSpec:
+        return self.design.spec
+
+    @property
+    def met(self) -> bool:
+        return self.design.met
+
+    def runtime_ms(self, kernel: str) -> float:
+        """Wall-clock runtime of one kernel at the point's target frequency."""
+        try:
+            cycles = self.kernel_cycles[kernel]
+        except KeyError as exc:
+            raise PlanningError(
+                f"workload point {self.spec.label} did not measure kernel {kernel!r}"
+            ) from exc
+        return cycles / (self.spec.target_frequency_mhz * 1.0e3)
+
+    @property
+    def total_runtime_ms(self) -> float:
+        """Runtime of the whole workload list, back to back."""
+        return sum(self.kernel_cycles.values()) / (self.spec.target_frequency_mhz * 1.0e3)
+
+    @property
+    def runtime_per_area(self) -> float:
+        """Workloads-per-second-per-mm^2 flavour of Fig. 6, measured not proxied."""
+        if self.design.area_mm2 <= 0 or self.total_runtime_ms <= 0:
+            return 0.0
+        return 1.0 / (self.total_runtime_ms * self.design.area_mm2)
+
+
 class DesignSpaceExplorer:
     """Sweeps GPUPlanner over CU counts and frequencies."""
 
@@ -98,6 +164,64 @@ class DesignSpaceExplorer:
             for frequency in frequencies_mhz
         ]
         return parallel_map(self.explore_point, specs, jobs=jobs)
+
+    def explore_workloads(
+        self,
+        cu_counts: Sequence[int] = (1, 2, 4, 8),
+        frequencies_mhz: Sequence[float] = (500.0, 590.0, 667.0),
+        workloads: Sequence[str] = EXTENDED_WORKLOAD_SUITE,
+        scale: float = 0.25,
+        seed: int = 2022,
+        jobs: Optional[int] = None,
+    ) -> List["WorkloadPoint"]:
+        """Score every (CU count, frequency) point against a workload list.
+
+        The PPA side reuses :meth:`explore_point`; the performance side runs
+        every named library kernel through one batched command queue per CU
+        count (``scale`` shrinks the paper input sizes).  The per-CU-count
+        kernel measurements are fanned out with
+        :func:`repro.runtime.parallel.parallel_map` — a multi-queue sweep,
+        one simulated G-GPU per process — and then joined with each
+        frequency's synthesis result into wall-clock runtime estimates.
+        """
+        if not workloads:
+            raise PlanningError("the workload sweep needs at least one kernel name")
+        # Import here: the queue depends on the kernel library, which this
+        # module must not pull in at import time for the pure-PPA flows.
+        from repro.eval.benchmarks import BenchmarkSizes
+        from repro.runtime.queue import BatchItem, QueueBatch, run_batches
+
+        batches = []
+        for num_cus in cu_counts:
+            items = []
+            for kernel in workloads:
+                sizes = BenchmarkSizes.paper(kernel)
+                if scale != 1.0:
+                    sizes = sizes.scaled(scale)
+                items.append(BatchItem(kernel=kernel, size=sizes.gpu_size, seed=seed))
+            batches.append(QueueBatch(items=tuple(items), num_cus=num_cus))
+        measured = run_batches(batches, jobs=jobs)
+        # The PPA side is the same grid explore() already fans out.
+        designs = self.explore(cu_counts, frequencies_mhz, jobs=jobs)
+        design_by_spec = {
+            (point.spec.num_cus, point.spec.target_frequency_mhz): point
+            for point in designs
+        }
+
+        points: List[WorkloadPoint] = []
+        for num_cus, batch_result in zip(cu_counts, measured):
+            cycles = {
+                kernel: cycle
+                for kernel, cycle in zip(batch_result.kernels, batch_result.cycles)
+            }
+            for frequency in frequencies_mhz:
+                points.append(
+                    WorkloadPoint(
+                        design=design_by_spec[(num_cus, frequency)],
+                        kernel_cycles=dict(cycles),
+                    )
+                )
+        return points
 
     @staticmethod
     def feasible_points(points: Iterable[DesignPoint]) -> List[DesignPoint]:

@@ -1,0 +1,60 @@
+"""Scalar RISC-V version of the ``histogram`` benchmark.
+
+Unlike the G-GPU's output-driven O(bins * n) formulation (forced by the lack
+of atomics), the scalar core runs the classic one-pass ``hist[bin]++`` loop —
+an algorithmically different route to bit-identical counts, which is exactly
+what the differential harness is meant to pin.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import histogram as gpu_histogram
+from repro.kernels.histogram import BIN_SHIFT
+from repro.riscv.assembler import A1, A3, A5, RvAssembler, S0, S1, T0, T1
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "histogram"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """One-pass histogram: ``for j in range(n): hist[a[j] >> 24] += 1``."""
+    workload = gpu_histogram.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+
+    asm = RvAssembler(NAME)
+    asm.li(A1, addresses["hist"])
+    asm.li(A3, size)
+    asm.li(A5, addresses["a"])
+    asm.li(T0, 0)  # sample index
+    asm.label("loop")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.emit(RvOpcode.LW, rd=T1, rs1=A5, imm=0)
+    asm.emit(RvOpcode.SRLI, rd=T1, rs1=T1, imm=BIN_SHIFT)
+    asm.emit(RvOpcode.SLLI, rd=T1, rs1=T1, imm=2)
+    asm.emit(RvOpcode.ADD, rd=S0, rs1=A1, rs2=T1)
+    asm.emit(RvOpcode.LW, rd=S1, rs1=S0, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=S1, rs1=S1, imm=1)
+    asm.emit(RvOpcode.SW, rs1=S0, rs2=S1, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=A5, rs1=A5, imm=4)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("loop")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar one-pass histogram",
+        build_case=build_case,
+        paper_size=512,
+    )
+)

@@ -1,0 +1,60 @@
+"""Scalar RISC-V version of the ``inclusive_scan`` benchmark."""
+
+from __future__ import annotations
+
+from repro.kernels import inclusive_scan as gpu_inclusive_scan
+from repro.riscv.assembler import A3, A4, A5, A7, RvAssembler, S0, T0, T1, T2
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "inclusive_scan"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """Running prefix sum, restarted at every GPU workgroup boundary."""
+    workload = gpu_inclusive_scan.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+    workgroup = workload.ndrange.workgroup_size
+    num_workgroups = workload.ndrange.num_workgroups
+
+    asm = RvAssembler(NAME)
+    asm.li(A3, num_workgroups)
+    asm.li(A4, workgroup)
+    asm.li(A5, addresses["a"])
+    asm.li(A7, addresses["out"])
+    asm.li(T0, 0)  # workgroup index
+    asm.label("outer")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.li(T1, 0)  # running sum (reset per chunk)
+    asm.li(T2, 0)  # element-in-chunk index
+    asm.label("inner")
+    asm.emit(RvOpcode.BGE, rs1=T2, rs2=A4, label="inner_end")
+    asm.emit(RvOpcode.LW, rd=S0, rs1=A5, imm=0)
+    asm.emit(RvOpcode.ADD, rd=T1, rs1=T1, rs2=S0)
+    asm.emit(RvOpcode.SW, rs1=A7, rs2=T1, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=A5, rs1=A5, imm=4)
+    asm.emit(RvOpcode.ADDI, rd=A7, rs1=A7, imm=4)
+    asm.emit(RvOpcode.ADDI, rd=T2, rs1=T2, imm=1)
+    asm.j("inner")
+    asm.label("inner_end")
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("outer")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar per-chunk inclusive prefix sum",
+        build_case=build_case,
+        paper_size=512,
+    )
+)

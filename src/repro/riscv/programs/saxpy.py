@@ -1,0 +1,56 @@
+"""Scalar RISC-V version of the ``saxpy`` benchmark."""
+
+from __future__ import annotations
+
+from repro.kernels import saxpy as gpu_saxpy
+from repro.riscv.assembler import A0, A1, A2, A3, A4, RvAssembler, T0, T1, T2, T3, T4
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "saxpy"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """Build the runnable case: ``for i in range(n): out[i] = alpha*x[i] + y[i]``."""
+    workload = gpu_saxpy.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+
+    asm = RvAssembler(NAME)
+    asm.li(A0, addresses["x"])
+    asm.li(A1, addresses["y"])
+    asm.li(A2, addresses["out"])
+    asm.li(A3, size)
+    asm.li(A4, int(workload.scalars["alpha"]))
+    asm.li(T0, 0)
+    asm.label("loop")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.emit(RvOpcode.SLLI, rd=T1, rs1=T0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=A0, rs2=T1)
+    asm.emit(RvOpcode.LW, rd=T3, rs1=T2, imm=0)
+    asm.emit(RvOpcode.MUL, rd=T3, rs1=T3, rs2=A4)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=A1, rs2=T1)
+    asm.emit(RvOpcode.LW, rd=T4, rs1=T2, imm=0)
+    asm.emit(RvOpcode.ADD, rd=T3, rs1=T3, rs2=T4)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=A2, rs2=T1)
+    asm.emit(RvOpcode.SW, rs1=T2, rs2=T3, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("loop")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar integer SAXPY",
+        build_case=build_case,
+        paper_size=1024,
+    )
+)

@@ -1,0 +1,57 @@
+"""Scalar RISC-V version of the ``transpose`` benchmark."""
+
+from __future__ import annotations
+
+from repro.kernels import transpose as gpu_transpose
+from repro.kernels.transpose import NUM_COLS
+from repro.riscv.assembler import A1, A3, A4, A5, RvAssembler, S0, S1, T0, T1, T2
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "transpose"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """``for i in range(n): out[(i % 64) * rows + i / 64] = a[i]``."""
+    workload = gpu_transpose.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+    rows = int(workload.scalars["rows"])
+
+    asm = RvAssembler(NAME)
+    asm.li(A1, addresses["out"])
+    asm.li(A3, size)
+    asm.li(A4, rows)
+    asm.li(A5, addresses["a"])
+    asm.li(T0, 0)  # element index
+    asm.label("loop")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.emit(RvOpcode.LW, rd=T1, rs1=A5, imm=0)
+    asm.emit(RvOpcode.SRLI, rd=T2, rs1=T0, imm=6)  # row
+    asm.emit(RvOpcode.ANDI, rd=S0, rs1=T0, imm=NUM_COLS - 1)  # col
+    asm.emit(RvOpcode.MUL, rd=S0, rs1=S0, rs2=A4)
+    asm.emit(RvOpcode.ADD, rd=S0, rs1=S0, rs2=T2)
+    asm.emit(RvOpcode.SLLI, rd=S0, rs1=S0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=S1, rs1=A1, rs2=S0)
+    asm.emit(RvOpcode.SW, rs1=S1, rs2=T1, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=A5, rs1=A5, imm=4)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("loop")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar 64-column matrix transpose",
+        build_case=build_case,
+        paper_size=512,
+    )
+)

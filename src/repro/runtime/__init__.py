@@ -1,11 +1,34 @@
 """Execution runtime shared by the measurement and planning sweeps.
 
-The paper's protocol is sweep-shaped everywhere: Table III measures seven
-kernels on five targets, GPUPlanner explores a CU-count x frequency grid, and
-the push-button flow implements a list of designs.  :mod:`repro.runtime.parallel`
-provides the deterministic fan-out executor those sweeps share.
+The paper's protocol is sweep-shaped everywhere: Table III measures the
+kernel suite on five targets, GPUPlanner explores a CU-count x frequency
+grid, and the push-button flow implements a list of designs.
+:mod:`repro.runtime.parallel` provides the deterministic fan-out executor
+those sweeps share, and :mod:`repro.runtime.queue` provides the OpenCL-style
+batched command queue that amortizes simulator construction and program
+decode across many launches (one queue per process composes with the
+fan-out for multi-queue sweeps).
 """
 
 from repro.runtime.parallel import default_jobs, parallel_map
+from repro.runtime.queue import (
+    BatchItem,
+    BatchResult,
+    CommandQueue,
+    QueueBatch,
+    QueueStats,
+    run_batch,
+    run_batches,
+)
 
-__all__ = ["default_jobs", "parallel_map"]
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "CommandQueue",
+    "QueueBatch",
+    "QueueStats",
+    "default_jobs",
+    "parallel_map",
+    "run_batch",
+    "run_batches",
+]

@@ -98,6 +98,21 @@ from repro.simt.wavefront import Wavefront
 _INFINITY = float("inf")
 
 
+def lram_slot_geometry(config: GGPUConfig, workgroup_size: int):
+    """LRAM partitioning for one launch geometry: ``(num_slots, slot_words)``.
+
+    A CU can host ``max_wavefronts_per_cu // wavefronts_per_workgroup``
+    workgroups at once, and each concurrently resident workgroup owns an
+    equal, private window of the CU's LRAM.  This is what makes ``__local``
+    data per-workgroup (OpenCL semantics) instead of CU-global: two
+    co-resident workgroups that both address ``lram[lid]`` can no longer
+    clobber each other's scratch values.
+    """
+    wavefronts_per_wg = max(1, workgroup_size // config.wavefront_size)
+    num_slots = max(1, config.max_wavefronts_per_cu // wavefronts_per_wg)
+    return num_slots, config.lram_words_per_cu // num_slots
+
+
 class ComputeUnit:
     """One Compute Unit of the G-GPU."""
 
@@ -127,6 +142,11 @@ class ComputeUnit:
         self._occupancy = config.lanes_rounds_per_wavefront
         self._cache_ports = config.cache.ports
         self._lram_words = config.lram_words_per_cu
+        self._use_lram_windows = False
+        self._wg_lram_base: Dict[int, int] = {}
+        self._wg_live_wavefronts: Dict[int, int] = {}
+        self._free_lram_slots: Optional[List[int]] = None
+        self._slot_words = self._lram_words
 
     # ------------------------------------------------------------------ #
     # Launch management
@@ -136,11 +156,18 @@ class ComputeUnit:
         program: Program,
         rtm: RuntimeMemory,
         decoded: Optional[DecodedProgram] = None,
+        local_words: int = 0,
     ) -> None:
         """Attach the kernel program and runtime memory for a new launch.
 
         ``decoded`` lets the simulator share one pre-decoded program across
         all CUs; when omitted the CU decodes the program itself.
+        ``local_words`` is the kernel's declared per-workgroup ``__local``
+        footprint: when non-zero, every resident workgroup gets a private
+        LRAM window (and the window supply limits workgroup occupancy, the
+        way local-memory usage limits occupancy on real GPUs).  Kernels that
+        declare no local memory keep the historical CU-global LRAM
+        addressing.
         """
         if decoded is None:
             decoded = predecode_program(program, self.timing, self.config.wavefront_size)
@@ -156,16 +183,66 @@ class ComputeUnit:
         self.stats = ComputeUnitStats(self.cu_id, wavefront_size=self.config.wavefront_size)
         self._barrier_waiters = {}
         self.local_memory = LocalMemory(self.config.lram_words_per_cu)
+        # Per-workgroup LRAM windows (see lram_slot_geometry): slot geometry
+        # is fixed by the first admitted workgroup's size, bases are assigned
+        # per resident workgroup and recycled when its wavefronts retire.
+        self._use_lram_windows = local_words > 0
+        self._wg_lram_base: Dict[int, int] = {}
+        self._wg_live_wavefronts: Dict[int, int] = {}
+        self._free_lram_slots: Optional[List[int]] = None
+        self._slot_words = self._lram_words
 
     def admit(self, wavefronts: List[Wavefront]) -> None:
-        """Accept newly dispatched wavefronts."""
+        """Accept newly dispatched wavefronts (assigning LRAM windows)."""
         if self._program is None:
             raise SimulationError("compute unit has no program bound")
         if len(self.scheduler) + len(wavefronts) > self.config.max_wavefronts_per_cu:
             raise SimulationError(
                 f"CU {self.cu_id} cannot host {len(wavefronts)} more wavefronts"
             )
+        if self._use_lram_windows:
+            for wavefront in wavefronts:
+                workgroup = wavefront.workgroup_id
+                if workgroup not in self._wg_lram_base:
+                    if self._free_lram_slots is None:
+                        num_slots, self._slot_words = lram_slot_geometry(
+                            self.config, wavefront.workgroup_size
+                        )
+                        # pop() hands out slot 0 first, matching dispatch order.
+                        self._free_lram_slots = list(range(num_slots - 1, -1, -1))
+                    if not self._free_lram_slots:
+                        raise SimulationError(
+                            f"CU {self.cu_id} has no free LRAM window for workgroup {workgroup}"
+                        )
+                    self._wg_lram_base[workgroup] = (
+                        self._free_lram_slots.pop() * self._slot_words
+                    )
+                    self._wg_live_wavefronts[workgroup] = 0
+                self._wg_live_wavefronts[workgroup] += 1
         self.scheduler.add_all(wavefronts)
+
+    def has_free_lram_window(self) -> bool:
+        """Whether another workgroup could get an LRAM window right now.
+
+        Always true for kernels without ``__local`` data; for local-memory
+        kernels the window supply is the occupancy limit the dispatcher must
+        respect before offering this CU another workgroup.
+        """
+        if not self._use_lram_windows or self._free_lram_slots is None:
+            return True
+        return bool(self._free_lram_slots)
+
+    def _release_workgroup(self, workgroup: int) -> None:
+        """Recycle a retired workgroup's LRAM window."""
+        if not self._use_lram_windows:
+            return
+        remaining = self._wg_live_wavefronts[workgroup] - 1
+        if remaining:
+            self._wg_live_wavefronts[workgroup] = remaining
+            return
+        base = self._wg_lram_base.pop(workgroup)
+        del self._wg_live_wavefronts[workgroup]
+        self._free_lram_slots.append(base // self._slot_words)
 
     @property
     def resident_wavefronts(self) -> int:
@@ -357,6 +434,7 @@ class ComputeUnit:
         if retired:
             for finished in retired:
                 self.scheduler.remove(finished)
+                self._release_workgroup(finished.workgroup_id)
                 stats.wavefronts_executed += 1
         elif ended_at_sync or not self.macro_step:
             # A barrier may have rewritten several residents' ready times
@@ -493,7 +571,13 @@ class ComputeUnit:
     def _execute_local(self, wavefront: Wavefront, op: tuple, kind: int) -> None:
         addresses = self._lane_addresses(wavefront, op[P_RS], op[P_IMM])
         mask = wavefront.active_mask
-        word_indices = (addresses >> 2) % self._lram_words
+        if self._use_lram_windows:
+            # Each workgroup addresses its private LRAM window: accesses wrap
+            # inside the window and land at the workgroup's slot base.
+            base = self._wg_lram_base[wavefront.workgroup_id]
+            word_indices = base + (addresses >> 2) % self._slot_words
+        else:
+            word_indices = (addresses >> 2) % self._lram_words
         if kind == K_LOCAL_LOAD:
             result = np.zeros(wavefront.wavefront_size, dtype=np.int64)
             if wavefront.any_active:

@@ -31,8 +31,8 @@ from repro.arch.kernel import Kernel, NDRange
 from repro.errors import KernelError, SimulationError
 from repro.simt.axi import GlobalMemoryController
 from repro.simt.cache import DataCache
-from repro.simt.cu import ComputeUnit
-from repro.simt.decode import predecode_program
+from repro.simt.cu import ComputeUnit, lram_slot_geometry
+from repro.simt.decode import DecodedProgram, predecode_program
 from repro.simt.dispatcher import WorkgroupDispatcher
 from repro.simt.memory import GlobalMemory, RuntimeMemory
 from repro.simt.timing import TimingModel
@@ -74,6 +74,14 @@ class GGPUSimulator:
         self.cache = DataCache(self.config.cache)
         self.memory_controller = GlobalMemoryController(self.config.axi, self.config.cache)
         self.rtm = RuntimeMemory(self.config.rtm_words)
+        # Pre-decoded programs, keyed by the identity of the kernel's program
+        # object (a strong reference to the program is kept alongside so a
+        # recycled id can never alias a different program).  Re-launching the
+        # same kernel -- the common case for command queues and sweeps --
+        # skips the decode entirely.
+        self._decode_cache: Dict[int, tuple] = {}
+        self.decode_cache_hits = 0
+        self.decode_cache_misses = 0
         self.compute_units = [
             ComputeUnit(
                 cu_id=index,
@@ -124,12 +132,20 @@ class GGPUSimulator:
                 f"kernel {kernel.name!r} has {len(kernel.program)} instructions but the "
                 f"CRAM holds only {self.config.cram_words}"
             )
+        if kernel.local_words:
+            _, slot_words = lram_slot_geometry(self.config, ndrange.workgroup_size)
+            if kernel.local_words > slot_words:
+                raise KernelError(
+                    f"kernel {kernel.name!r} declares {kernel.local_words} local words but "
+                    f"a workgroup of {ndrange.workgroup_size} work-items only gets a "
+                    f"{slot_words}-word LRAM window"
+                )
         self.rtm.write_descriptor(ndrange.global_size, ndrange.workgroup_size, ordered_args)
         self.cache.reset()
         self.memory_controller.reset()
-        decoded = predecode_program(kernel.program, self.timing, self.config.wavefront_size)
+        decoded = self._decoded_program(kernel)
         for cu in self.compute_units:
-            cu.bind(kernel.program, self.rtm, decoded=decoded)
+            cu.bind(kernel.program, self.rtm, decoded=decoded, local_words=kernel.local_words)
 
         dispatcher = WorkgroupDispatcher(self.config, ndrange)
         for cu, wavefronts in zip(self.compute_units, dispatcher.initial_assignment(len(self.compute_units))):
@@ -163,6 +179,18 @@ class GGPUSimulator:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _decoded_program(self, kernel: Kernel) -> DecodedProgram:
+        """Pre-decode ``kernel`` once per simulator; later launches reuse it."""
+        key = id(kernel.program)
+        entry = self._decode_cache.get(key)
+        if entry is not None and entry[0] is kernel.program:
+            self.decode_cache_hits += 1
+            return entry[1]
+        decoded = predecode_program(kernel.program, self.timing, self.config.wavefront_size)
+        self._decode_cache[key] = (kernel.program, decoded)
+        self.decode_cache_misses += 1
+        return decoded
+
     def _order_args(self, kernel: Kernel, args: Dict[str, ArgValue]) -> List[int]:
         missing = [arg.name for arg in kernel.args if arg.name not in args]
         if missing:
@@ -223,6 +251,8 @@ class GGPUSimulator:
             for wavefront in retired:
                 if wavefront.completion_time > last_completion:
                     last_completion = wavefront.completion_time
+                if not cu.has_free_lram_window():
+                    continue  # local-memory occupancy limit: no window free yet
                 refill = dispatcher.refill(cu.resident_wavefronts, wavefront.completion_time)
                 if refill is not None:
                     cu.admit(refill)
@@ -259,6 +289,8 @@ class GGPUSimulator:
             for wavefront in retired:
                 if wavefront.completion_time > last_completion:
                     last_completion = wavefront.completion_time
+                if not cu.has_free_lram_window():
+                    continue  # local-memory occupancy limit: no window free yet
                 refill = dispatcher.refill(cu.resident_wavefronts, wavefront.completion_time)
                 if refill is not None:
                     cu.admit(refill)

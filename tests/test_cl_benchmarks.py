@@ -1,6 +1,6 @@
 """Cross-checks between the compiled and the hand-written benchmark kernels.
 
-The seven OpenCL-C sources in :mod:`repro.cl.sources` must produce exactly the
+The OpenCL-C sources in :mod:`repro.cl.sources` must produce exactly the
 same output buffers as the hand-written kernels in :mod:`repro.kernels` (the
 workload's numpy reference checks both), and their cycle counts must stay in
 the same ballpark -- the compiler does not have the hand-tuned strength

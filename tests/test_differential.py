@@ -1,0 +1,273 @@
+"""Three-way differential conformance harness for the kernel library.
+
+For every registered kernel — the paper's seven and the six extended-suite
+ones — this module computes the outputs on four independent paths and pins
+them bit-exactly (as 32-bit words) against each other:
+
+1. an *independent pure-python reference* (plain loops, no numpy, written
+   from the kernel's mathematical definition — deliberately not the numpy
+   expression the workload generator uses),
+2. the hand-written G-GPU kernel (``repro.kernels``) at 1/2/4 CUs,
+3. the CL-compiled G-GPU kernel (``repro.cl``),
+4. the hand-written scalar RISC-V program (``repro.riscv.programs``).
+
+This is the invariant that makes the kernel suite safe to grow: any
+divergence between the compiler, either backend, the workload generators, or
+the simulator's functional model fails here with the kernel, size, and CU
+count in the test id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.cl import compile_source, get_benchmark_source
+from repro.kernels import all_kernel_names, get_kernel_spec, run_workload
+from repro.kernels.library import GpuWorkload
+from repro.riscv.programs import get_riscv_program_spec
+from repro.simt.gpu import GGPUSimulator
+
+MASK = 0xFFFFFFFF
+SEED = 13
+SIZES = (128, 256)
+CU_COUNTS = (1, 2, 4)
+
+
+# --------------------------------------------------------------------------- #
+# Pure-python references (plain loops, 32-bit wrap-around arithmetic)
+# --------------------------------------------------------------------------- #
+def _ref_mat_mul(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) for v in w.buffers["a"]]
+    b = [int(v) for v in w.buffers["b"]]
+    size = int(w.scalars["n"])
+    rows = size // 64
+    out = []
+    for row in range(rows):
+        for col in range(64):
+            acc = 0
+            for k in range(64):
+                acc = (acc + a[row * 64 + k] * b[k * 64 + col]) & MASK
+            out.append(acc)
+    return {"c": out}
+
+
+def _ref_copy(w: GpuWorkload) -> Dict[str, List[int]]:
+    return {"dst": [int(v) & MASK for v in w.buffers["src"]]}
+
+
+def _ref_vec_mul(w: GpuWorkload) -> Dict[str, List[int]]:
+    a, b = w.buffers["a"], w.buffers["b"]
+    return {"out": [(int(x) * int(y)) & MASK for x, y in zip(a, b)]}
+
+
+def _ref_fir(w: GpuWorkload) -> Dict[str, List[int]]:
+    x = [int(v) for v in w.buffers["x"]]
+    coeff = [int(v) for v in w.buffers["coeff"]]
+    size = int(w.scalars["n"])
+    out = []
+    for i in range(size):
+        acc = 0
+        for tap, weight in enumerate(coeff):
+            acc = (acc + x[i + tap] * weight) & MASK
+        out.append(acc)
+    return {"y": out}
+
+
+def _ref_div_int(w: GpuWorkload) -> Dict[str, List[int]]:
+    # The 32-step restoring division the hardware-less FGPU runs in software.
+    out = []
+    for a, b in zip(w.buffers["a"], w.buffers["b"]):
+        dividend, divisor = int(a) & MASK, int(b) & MASK
+        remainder = quotient = 0
+        for _ in range(32):
+            bit = dividend >> 31
+            dividend = (dividend << 1) & MASK
+            remainder = ((remainder << 1) | bit) & MASK
+            quotient = (quotient << 1) & MASK
+            if remainder >= divisor:
+                remainder -= divisor
+                quotient |= 1
+        out.append(quotient)
+    return {"q": out}
+
+
+def _ref_xcorr(w: GpuWorkload) -> Dict[str, List[int]]:
+    x = [int(v) for v in w.buffers["x"]]
+    y = [int(v) for v in w.buffers["y"]]
+    size = int(w.scalars["n"])
+    out = []
+    for i in range(size):
+        acc = 0
+        for t in range(256):
+            acc = (acc + x[t] * y[i * 16 + t]) & MASK
+        out.append(acc)
+    return {"out": out}
+
+
+def _ref_parallel_sel(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) for v in w.buffers["a"]]
+    out = [0] * len(a)
+    for value in a:
+        rank = sum(1 for other in a if other < value)
+        out[rank] = value & MASK
+    return {"out": out}
+
+
+def _ref_saxpy(w: GpuWorkload) -> Dict[str, List[int]]:
+    alpha = int(w.scalars["alpha"])
+    x, y = w.buffers["x"], w.buffers["y"]
+    return {"out": [(alpha * int(u) + int(v)) & MASK for u, v in zip(x, y)]}
+
+
+def _ref_dot(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) for v in w.buffers["a"]]
+    b = [int(v) for v in w.buffers["b"]]
+    group = w.ndrange.workgroup_size
+    out = []
+    for start in range(0, len(a), group):
+        acc = 0
+        for i in range(start, start + group):
+            acc = (acc + a[i] * b[i]) & MASK
+        out.append(acc)
+    return {"partial": out}
+
+
+def _ref_reduce_sum(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) for v in w.buffers["a"]]
+    group = w.ndrange.workgroup_size
+    out = []
+    for start in range(0, len(a), group):
+        out.append(sum(a[start : start + group]) & MASK)
+    return {"partial": out}
+
+
+def _ref_inclusive_scan(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) for v in w.buffers["a"]]
+    group = w.ndrange.workgroup_size
+    out = []
+    for start in range(0, len(a), group):
+        acc = 0
+        for i in range(start, start + group):
+            acc = (acc + a[i]) & MASK
+            out.append(acc)
+    return {"out": out}
+
+
+def _ref_histogram(w: GpuWorkload) -> Dict[str, List[int]]:
+    counts = [0] * 256
+    for value in w.buffers["a"]:
+        counts[(int(value) & MASK) >> 24] += 1
+    return {"hist": counts}
+
+
+def _ref_transpose(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) for v in w.buffers["a"]]
+    rows = int(w.scalars["rows"])
+    out = [0] * len(a)
+    for i, value in enumerate(a):
+        row, col = i // 64, i % 64
+        out[col * rows + row] = value & MASK
+    return {"out": out}
+
+
+PYTHON_REFERENCES = {
+    "mat_mul": _ref_mat_mul,
+    "copy": _ref_copy,
+    "vec_mul": _ref_vec_mul,
+    "fir": _ref_fir,
+    "div_int": _ref_div_int,
+    "xcorr": _ref_xcorr,
+    "parallel_sel": _ref_parallel_sel,
+    "saxpy": _ref_saxpy,
+    "dot": _ref_dot,
+    "reduce_sum": _ref_reduce_sum,
+    "inclusive_scan": _ref_inclusive_scan,
+    "histogram": _ref_histogram,
+    "transpose": _ref_transpose,
+}
+
+
+def _as_u32(values) -> List[int]:
+    return [int(v) & MASK for v in values]
+
+
+def test_every_library_kernel_has_a_python_reference():
+    assert sorted(PYTHON_REFERENCES) == sorted(all_kernel_names())
+
+
+# --------------------------------------------------------------------------- #
+# The differential matrix
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("name", sorted(PYTHON_REFERENCES))
+def test_python_reference_matches_workload_expectation(name, size):
+    """The independent python loops agree with the numpy workload generator."""
+    workload = get_kernel_spec(name).workload(size, SEED)
+    reference = PYTHON_REFERENCES[name](workload)
+    assert sorted(reference) == sorted(workload.expected)
+    for buffer_name, values in reference.items():
+        assert values == _as_u32(workload.expected[buffer_name]), (
+            f"{name}: python reference disagrees with the numpy expectation "
+            f"in {buffer_name!r}"
+        )
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("name", sorted(PYTHON_REFERENCES))
+def test_ggpu_riscv_and_python_agree_bit_exactly(name, size):
+    """Hand-written G-GPU (1/2/4 CUs) == scalar RISC-V == python reference."""
+    spec = get_kernel_spec(name)
+    workload = spec.workload(size, SEED)
+    reference = {
+        buffer: values
+        for buffer, values in PYTHON_REFERENCES[name](workload).items()
+    }
+
+    for num_cus in CU_COUNTS:
+        simulator = GGPUSimulator(GGPUConfig(num_cus=num_cus), memory_bytes=16 * 1024 * 1024)
+        # check=False: this test *is* the checker; it must compare raw outputs.
+        _, gpu_outputs = run_workload(
+            simulator, spec.build(), spec.workload(size, SEED), check=False
+        )
+        for buffer, values in reference.items():
+            assert _as_u32(gpu_outputs[buffer]) == values, (
+                f"{name} at size {size} on {num_cus} CU(s): G-GPU output "
+                f"{buffer!r} diverges from the python reference"
+            )
+
+    riscv_case = get_riscv_program_spec(name).build_case(size, SEED)
+    _, riscv_outputs = riscv_case.run(check=False)
+    for buffer, values in reference.items():
+        assert _as_u32(riscv_outputs[buffer]) == values, (
+            f"{name} at size {size}: RISC-V output {buffer!r} diverges from "
+            f"the python reference"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(PYTHON_REFERENCES))
+def test_cl_compiled_kernel_agrees_with_python_reference(name):
+    """The CL-compiled G-GPU kernel joins the same equivalence class."""
+    size = SIZES[0]
+    spec = get_kernel_spec(name)
+    workload = spec.workload(size, SEED)
+    reference = PYTHON_REFERENCES[name](workload)
+    kernel = compile_source(get_benchmark_source(name)).to_ggpu_kernel()
+    simulator = GGPUSimulator(GGPUConfig(num_cus=2), memory_bytes=16 * 1024 * 1024)
+    _, outputs = run_workload(simulator, kernel, workload, check=False)
+    for buffer, values in reference.items():
+        assert _as_u32(outputs[buffer]) == values, (
+            f"{name}: CL-compiled output {buffer!r} diverges from the python reference"
+        )
+
+
+def test_differential_harness_detects_divergence():
+    """Sanity check that the comparison really bites: corrupt one output."""
+    workload = get_kernel_spec("copy").workload(128, SEED)
+    reference = PYTHON_REFERENCES["copy"](workload)
+    corrupted = list(reference["dst"])
+    corrupted[17] ^= 1
+    assert corrupted != reference["dst"]

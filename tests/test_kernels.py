@@ -1,4 +1,4 @@
-"""The seven benchmark kernels: registry, correctness on both targets."""
+"""The benchmark kernel suite (paper + extended): registry, correctness on both targets."""
 
 import numpy as np
 import pytest
@@ -11,13 +11,22 @@ from repro.simt.gpu import GGPUSimulator
 from repro.arch.config import GGPUConfig
 
 PAPER_KERNELS = ["mat_mul", "copy", "vec_mul", "fir", "div_int", "xcorr", "parallel_sel"]
+EXTENDED_KERNELS = [
+    "saxpy",
+    "dot",
+    "reduce_sum",
+    "inclusive_scan",
+    "histogram",
+    "transpose",
+]
+ALL_KERNELS = PAPER_KERNELS + EXTENDED_KERNELS
 SMALL_SIZE = 128
 SEED = 7
 
 
-def test_registry_contains_the_paper_suite():
-    assert all_kernel_names() == PAPER_KERNELS
-    assert all_riscv_program_names() == PAPER_KERNELS
+def test_registry_contains_the_full_suite():
+    assert all_kernel_names() == ALL_KERNELS
+    assert all_riscv_program_names() == ALL_KERNELS
     with pytest.raises(KernelError):
         get_kernel_spec("nonexistent")
     with pytest.raises(KernelError):
@@ -40,7 +49,7 @@ def test_paper_input_sizes_match_table3():
         assert spec.paper_gpu_size == gpu_size
 
 
-@pytest.mark.parametrize("name", PAPER_KERNELS)
+@pytest.mark.parametrize("name", ALL_KERNELS)
 def test_gpu_kernel_matches_reference(name):
     spec = get_kernel_spec(name)
     simulator = GGPUSimulator(GGPUConfig(num_cus=2), memory_bytes=16 * 1024 * 1024)
@@ -49,7 +58,7 @@ def test_gpu_kernel_matches_reference(name):
     assert outputs  # run_workload already verified against the numpy reference
 
 
-@pytest.mark.parametrize("name", PAPER_KERNELS)
+@pytest.mark.parametrize("name", ALL_KERNELS)
 def test_riscv_program_matches_reference(name):
     spec = get_riscv_program_spec(name)
     case = spec.build_case(SMALL_SIZE, SEED)
@@ -58,7 +67,7 @@ def test_riscv_program_matches_reference(name):
     assert outputs
 
 
-@pytest.mark.parametrize("name", PAPER_KERNELS)
+@pytest.mark.parametrize("name", ALL_KERNELS)
 def test_gpu_and_riscv_compute_identical_results(name):
     """Both targets consume the same generated workload and must agree."""
     gpu_spec = get_kernel_spec(name)
@@ -102,7 +111,7 @@ def test_pick_workgroup_size():
 
 
 def test_kernel_programs_fit_the_cram():
-    for name in PAPER_KERNELS:
+    for name in ALL_KERNELS:
         program = get_kernel_spec(name).build().program
         assert len(program) <= 2048
         assert program.instructions[-1].opcode.mnemonic == "ret"

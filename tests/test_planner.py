@@ -177,3 +177,42 @@ def test_paper_versions_cover_the_12_points():
     assert {spec.target_frequency_mhz for spec in specs} == set(PAPER_FREQUENCIES_MHZ)
     assert paper_version_labels()[0] == "1@500MHz"
     assert len(PHYSICAL_VERSION_SPECS) == 4
+
+
+# --------------------------------------------------------------------------- #
+# Workload-scored design-space exploration
+# --------------------------------------------------------------------------- #
+def test_workload_suites_match_the_kernel_registry():
+    """The literal suite tuples in dse.py must track the kernel registry."""
+    from repro.kernels import all_kernel_names
+    from repro.kernels.library import PAPER_KERNEL_NAMES
+    from repro.planner.dse import EXTENDED_WORKLOAD_SUITE, PAPER_WORKLOAD_SUITE
+
+    assert list(PAPER_WORKLOAD_SUITE) == list(PAPER_KERNEL_NAMES)
+    assert list(EXTENDED_WORKLOAD_SUITE) == all_kernel_names()
+
+
+def test_explore_workloads_scores_points_against_measured_kernels(tech):
+    explorer = DesignSpaceExplorer(tech)
+    points = explorer.explore_workloads(
+        cu_counts=(1, 2),
+        frequencies_mhz=(500.0, 667.0),
+        workloads=("saxpy", "transpose"),
+        scale=0.25,
+    )
+    assert len(points) == 4
+    for point in points:
+        assert set(point.kernel_cycles) == {"saxpy", "transpose"}
+        assert point.total_runtime_ms > 0
+        assert point.runtime_ms("saxpy") > 0
+        assert point.runtime_per_area > 0
+    with pytest.raises(PlanningError):
+        points[0].runtime_ms("mat_mul")
+    with pytest.raises(PlanningError):
+        explorer.explore_workloads(workloads=())
+    # More CUs -> fewer cycles for the parallel-friendly pair at this size.
+    by_spec = {(p.spec.num_cus, p.spec.target_frequency_mhz): p for p in points}
+    assert (
+        by_spec[(2, 500.0)].kernel_cycles["saxpy"]
+        <= by_spec[(1, 500.0)].kernel_cycles["saxpy"]
+    )

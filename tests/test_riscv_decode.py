@@ -159,7 +159,9 @@ def test_decoded_path_matches_seed_interpreter(program, init, model):
 
 
 # --------------------------------------------------------------------------- #
-# Golden kcycles of the seven Table III programs (paper sizes, seed 2022)
+# Golden cycles of the benchmark programs (paper sizes, seed 2022): the seven
+# Table III rows plus the extended suite.  Regenerate deliberately with
+# ``python tests/tools/regen_goldens.py`` after an intended ISS change.
 # --------------------------------------------------------------------------- #
 GOLDEN_CYCLES = {
     "mat_mul": 166028,
@@ -169,6 +171,12 @@ GOLDEN_CYCLES = {
     "div_int": 25100,
     "xcorr": 1118220,
     "parallel_sel": 182537,
+    "saxpy": 18445,
+    "dot": 7719,
+    "reduce_sum": 9279,
+    "inclusive_scan": 5665,
+    "histogram": 7690,
+    "transpose": 8715,
 }
 
 

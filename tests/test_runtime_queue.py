@@ -1,0 +1,153 @@
+"""Tests for the batched command queue (``repro.runtime.queue``).
+
+The load-bearing invariant: a launch through a long-lived queue is
+bit-identical — results *and* cycle statistics — to the same launch on a
+freshly built simulator, because the queue only amortizes host-side setup
+(simulator construction, program pre-decode), never simulated state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import GGPUConfig
+from repro.arch.kernel import NDRange
+from repro.errors import KernelError
+from repro.kernels import get_kernel_spec, run_workload
+from repro.runtime.queue import (
+    BatchItem,
+    CommandQueue,
+    QueueBatch,
+    run_batch,
+    run_batches,
+)
+from repro.simt.gpu import GGPUSimulator
+
+SEED = 5
+SIZE = 128
+
+
+def _fresh_run(name: str, num_cus: int = 1, size: int = SIZE):
+    spec = get_kernel_spec(name)
+    simulator = GGPUSimulator(GGPUConfig(num_cus=num_cus), memory_bytes=8 * 1024 * 1024)
+    return run_workload(simulator, spec.build(), spec.workload(size, SEED), check=False)
+
+
+@pytest.mark.parametrize("name", ["copy", "saxpy", "dot", "inclusive_scan"])
+def test_queued_launches_match_fresh_simulators_bit_exactly(name):
+    """N repeated queued launches == N independent runs (results and cycles)."""
+    fresh_result, fresh_outputs = _fresh_run(name)
+
+    queue = CommandQueue(config=GGPUConfig(num_cus=1), memory_bytes=8 * 1024 * 1024)
+    spec = get_kernel_spec(name)
+    kernel = spec.build()
+    for _ in range(3):
+        result, outputs = run_workload(
+            queue.simulator, kernel, spec.workload(SIZE, SEED), check=False
+        )
+        assert result.cycles == fresh_result.cycles
+        assert result.stats.instructions_issued == fresh_result.stats.instructions_issued
+        assert result.stats.cache.accesses == fresh_result.stats.cache.accesses
+        assert result.stats.cache.misses == fresh_result.stats.cache.misses
+        for buffer, values in fresh_outputs.items():
+            assert np.array_equal(outputs[buffer], values)
+
+
+def test_queue_reuses_the_predecoded_program():
+    queue = CommandQueue(config=GGPUConfig(num_cus=1), memory_bytes=8 * 1024 * 1024)
+    spec = get_kernel_spec("saxpy")
+    kernel = spec.build()
+    launches = 6
+    for _ in range(launches):
+        run_workload(queue.simulator, kernel, spec.workload(SIZE, SEED))
+    assert queue.simulator.decode_cache_misses == 1
+    assert queue.simulator.decode_cache_hits == launches - 1
+    # A different kernel object decodes once more, then hits again.
+    other = spec.build()
+    run_workload(queue.simulator, other, spec.workload(SIZE, SEED))
+    run_workload(queue.simulator, other, spec.workload(SIZE, SEED))
+    assert queue.simulator.decode_cache_misses == 2
+    assert queue.simulator.decode_cache_hits == launches
+
+
+def test_enqueue_flush_preserves_order_and_results():
+    queue = CommandQueue(config=GGPUConfig(num_cus=2), memory_bytes=8 * 1024 * 1024)
+    copy_spec = get_kernel_spec("copy")
+    kernel = copy_spec.build()
+    payloads = [np.arange(64) + 100 * i for i in range(4)]
+    destinations = []
+    for index, payload in enumerate(payloads):
+        src = queue.create_buffer(payload)
+        dst = queue.allocate_buffer(64)
+        destinations.append(dst)
+        sequence = queue.enqueue(
+            kernel, NDRange(64, 64), {"src": src, "dst": dst, "n": 64}
+        )
+        assert sequence == index
+    assert queue.pending == 4
+    results = queue.flush()
+    assert queue.pending == 0
+    assert [r.kernel_name for r in results] == ["copy"] * 4
+    for dst, payload in zip(destinations, payloads):
+        assert np.array_equal(queue.read_buffer(dst, 64).astype(np.int64), payload)
+    assert queue.stats.launches == 4
+    assert queue.stats.cycles_by_kernel["copy"] == pytest.approx(queue.stats.total_cycles)
+
+
+def test_read_buffer_finishes_pending_work():
+    queue = CommandQueue(config=GGPUConfig(num_cus=1), memory_bytes=8 * 1024 * 1024)
+    kernel = get_kernel_spec("copy").build()
+    src = queue.create_buffer(np.arange(64))
+    dst = queue.allocate_buffer(64)
+    queue.enqueue(kernel, NDRange(64, 64), {"src": src, "dst": dst, "n": 64})
+    # No explicit flush: the read must drain the queue first.
+    assert np.array_equal(queue.read_buffer(dst, 64).astype(np.int64), np.arange(64))
+    assert queue.pending == 0
+
+
+def test_queue_rejects_simulator_and_config_together():
+    simulator = GGPUSimulator(GGPUConfig(num_cus=1), memory_bytes=1 << 20)
+    with pytest.raises(KernelError):
+        CommandQueue(simulator=simulator, config=GGPUConfig(num_cus=1))
+
+
+def test_run_batches_is_deterministic_across_job_counts():
+    batches = [
+        QueueBatch(
+            items=(
+                BatchItem("saxpy", 128, SEED),
+                BatchItem("dot", 128, SEED, repeats=2),
+                BatchItem("transpose", 128, SEED),
+            ),
+            num_cus=num_cus,
+            memory_bytes=8 * 1024 * 1024,
+        )
+        for num_cus in (1, 2)
+    ]
+    serial = run_batches(batches, jobs=1)
+    fanned = run_batches(batches, jobs=2)
+    assert [r.cycles for r in serial] == [r.cycles for r in fanned]
+    assert [r.kernels for r in serial] == [r.kernels for r in fanned]
+    assert serial[0].kernels == ["saxpy", "dot", "dot", "transpose"]
+    assert serial[0].total_cycles == pytest.approx(sum(serial[0].cycles))
+
+
+def test_batch_validation():
+    with pytest.raises(KernelError):
+        QueueBatch(items=())
+    with pytest.raises(KernelError):
+        BatchItem("saxpy", 128, repeats=0)
+
+
+def test_batch_cycles_match_independent_measurements():
+    """A batch's cycles equal the per-kernel measurements done the slow way."""
+    batch = QueueBatch(
+        items=(BatchItem("copy", 256, SEED), BatchItem("reduce_sum", 256, SEED)),
+        num_cus=2,
+        memory_bytes=8 * 1024 * 1024,
+    )
+    result = run_batch(batch)
+    for kernel, cycles in zip(result.kernels, result.cycles):
+        fresh, _ = _fresh_run(kernel, num_cus=2, size=256)
+        assert cycles == fresh.cycles

@@ -28,6 +28,8 @@ from repro.simt.gpu import GGPUSimulator
 CU_COUNTS = (1, 2, 4, 8)
 
 # kernel -> (input size, {num_cus: cycles}, dynamic wavefront-instructions)
+# Regenerate deliberately with ``python tests/tools/regen_goldens.py`` after
+# an intended engine change; never hand-edit the numbers.
 GOLDEN = {
     "mat_mul": (256, {1: 14932.0, 2: 14932.0, 4: 14932.0, 8: 14932.0}, 2376),
     "copy": (4096, {1: 4612.0, 2: 2311.0, 4: 1226.0, 8: 910.0}, 640),
@@ -37,6 +39,21 @@ GOLDEN = {
     "xcorr": (512, {1: 119257.0, 2: 65163.0, 4: 65163.0, 8: 65163.0}, 18544),
     "parallel_sel": (256, {1: 49560.0, 2: 49560.0, 4: 49560.0, 8: 49560.0}, 8248),
 }
+
+# The extended-suite kernels added after the engine rewrites, pinned at the
+# same 1/2/4/8 CU grid.  The barrier/LRAM kernels (dot, reduce_sum,
+# inclusive_scan) also pin the per-workgroup LRAM-window machinery and the
+# local-memory occupancy limit in the dispatcher refill path.
+EXTENDED_GOLDEN = {
+    "saxpy": (4096, {1: 7172.0, 2: 3592.0, 4: 2074.0, 8: 1550.0}, 960),
+    "dot": (1024, {1: 6533.0, 2: 3290.0, 4: 2038.0, 8: 2038.0}, 1820),
+    "reduce_sum": (1024, {1: 6021.0, 2: 3034.0, 4: 1865.0, 8: 1865.0}, 1756),
+    "inclusive_scan": (512, {1: 5316.0, 2: 2799.0, 4: 2799.0, 8: 2799.0}, 1200),
+    "histogram": (256, {1: 65860.0, 2: 33392.0, 4: 24589.0, 8: 24589.0}, 10288),
+    "transpose": (2048, {1: 3588.0, 2: 1800.0, 4: 923.0, 8: 614.0}, 480),
+}
+
+ALL_GOLDEN = {**GOLDEN, **EXTENDED_GOLDEN}
 
 SEED = 2022
 
@@ -52,9 +69,9 @@ def _run(name: str, num_cus: int, size: int, **sim_kwargs):
     return result
 
 
-@pytest.mark.parametrize("name", sorted(GOLDEN))
+@pytest.mark.parametrize("name", sorted(ALL_GOLDEN))
 def test_golden_cycle_counts(name):
-    size, cycles_by_cu, instructions = GOLDEN[name]
+    size, cycles_by_cu, instructions = ALL_GOLDEN[name]
     for num_cus in CU_COUNTS:
         result = _run(name, num_cus, size)
         assert result.cycles == cycles_by_cu[num_cus], (
@@ -64,10 +81,10 @@ def test_golden_cycle_counts(name):
         assert result.stats.instructions_issued == instructions
 
 
-@pytest.mark.parametrize("name", ["div_int", "fir", "copy"])
+@pytest.mark.parametrize("name", ["div_int", "fir", "copy", "dot", "inclusive_scan"])
 def test_macro_stepping_is_cycle_exact(name):
     """The fast path and single-instruction stepping must agree exactly."""
-    size, _, _ = GOLDEN[name]
+    size, _, _ = ALL_GOLDEN[name]
     outcomes = {}
     for macro in (True, False):
         spec = get_kernel_spec(name)
