@@ -10,7 +10,6 @@ from __future__ import annotations
 import pytest
 
 from repro.arch.config import CacheConfig, GGPUConfig
-from repro.eval.benchmarks import measure_gpu_kernel
 from repro.kernels import get_kernel_spec, run_workload
 from repro.planner.optimizer import TimingOptimizer
 from repro.rtl.generator import generate_ggpu_netlist

@@ -95,6 +95,46 @@ class AxiConfig:
 
 
 @dataclass(frozen=True)
+class TransferConfig:
+    """Host↔device transfer cost model of one G-GPU instance.
+
+    The paper runs one kernel on one simulated G-GPU and never charges the
+    host for moving data; a multi-accelerator deployment cannot ignore that
+    cost.  Every explicit ``enqueue_write``/``enqueue_read`` copy through
+    :mod:`repro.runtime.multidevice` is charged
+
+    ``latency_cycles + ceil(num_bytes / bytes_per_cycle)``
+
+    device cycles on the timeline of the device touched.  The defaults model
+    a DMA engine behind the single AXI control/data bridge: a fixed setup
+    latency plus a streaming phase at the 64-bit AXI beat width (8 bytes per
+    cycle).
+    """
+
+    latency_cycles: int = 600
+    bytes_per_cycle: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ConfigurationError(
+                f"transfer latency must be non-negative, got {self.latency_cycles}"
+            )
+        if self.bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                f"transfer bandwidth must be positive, got {self.bytes_per_cycle}"
+            )
+
+    def cycles(self, num_bytes: int) -> float:
+        """Cycle cost of one host↔device copy of ``num_bytes`` bytes."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"transfer size must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        beats = -(-num_bytes // self.bytes_per_cycle)  # ceil for float bandwidths
+        return float(self.latency_cycles) + float(int(beats))
+
+
+@dataclass(frozen=True)
 class GGPUConfig:
     """Top-level architecture parameters of one G-GPU instance.
 
@@ -119,6 +159,10 @@ class GGPUConfig:
         Local scratchpad (LRAM) depth per CU.
     cache / axi:
         Memory-hierarchy configuration shared by all CUs.
+    transfer:
+        Host↔device transfer cost model used by the multi-device runtime
+        (:mod:`repro.runtime.multidevice`); it never affects a bare
+        :class:`~repro.simt.gpu.GGPUSimulator` launch.
     """
 
     num_cus: int = 1
@@ -131,6 +175,7 @@ class GGPUConfig:
     lram_words_per_cu: int = 2048
     cache: CacheConfig = field(default_factory=CacheConfig)
     axi: AxiConfig = field(default_factory=AxiConfig)
+    transfer: TransferConfig = field(default_factory=TransferConfig)
 
     def __post_init__(self) -> None:
         if not 1 <= self.num_cus <= 8:
@@ -185,4 +230,5 @@ class GGPUConfig:
             lram_words_per_cu=self.lram_words_per_cu,
             cache=self.cache,
             axi=self.axi,
+            transfer=self.transfer,
         )

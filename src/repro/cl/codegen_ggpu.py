@@ -20,7 +20,7 @@ usual strength reductions (immediate operand forms when a constant fits the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.arch.assembler import fits_in_immediate
 from repro.arch.isa import Opcode

@@ -9,7 +9,7 @@ are one-call conveniences for the common single-kernel case.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.arch.kernel import Kernel
 from repro.cl.codegen_ggpu import generate_ggpu_kernel

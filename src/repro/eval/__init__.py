@@ -11,6 +11,9 @@
 * :mod:`repro.eval.figures` -- Figs. 3-4 (layouts) and Figs. 5-6 (speed-ups).
 * :mod:`repro.eval.paper_data` -- the numbers printed in the paper, used to
   compare shapes in EXPERIMENTS.md and in the benchmark harness output.
+* :mod:`repro.eval.multidevice` -- the beyond-the-paper multi-device sweep:
+  makespan vs device count for an independent-launch batch of the whole
+  kernel suite, scheduled by :class:`repro.runtime.multidevice.OutOfOrderQueue`.
 """
 
 from repro.eval.benchmarks import (
@@ -30,7 +33,18 @@ from repro.eval.comparison import (
     compute_speedups,
     derate_by_area,
 )
-from repro.eval.tables import build_table1, build_table2, build_table3, format_table3
+from repro.eval.multidevice import (
+    MultiDeviceCell,
+    MultiDeviceTable,
+    run_multidevice_table,
+)
+from repro.eval.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    format_multidevice_table,
+    format_table3,
+)
 from repro.eval.figures import (
     build_figure3,
     build_figure4,
@@ -53,9 +67,13 @@ __all__ = [
     "compute_area_ratios",
     "compute_speedups",
     "derate_by_area",
+    "MultiDeviceCell",
+    "MultiDeviceTable",
+    "run_multidevice_table",
     "build_table1",
     "build_table2",
     "build_table3",
+    "format_multidevice_table",
     "format_table3",
     "build_figure3",
     "build_figure4",

@@ -17,13 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.arch.config import GGPUConfig
 from repro.errors import KernelError
-from repro.kernels import (
-    EXTENDED_KERNEL_NAMES,
-    PAPER_KERNEL_NAMES,
-    all_kernel_names,
-    get_kernel_spec,
-    run_workload,
-)
+from repro.kernels import all_kernel_names, get_kernel_spec, run_workload
 from repro.riscv.programs import get_riscv_program_spec
 from repro.runtime.parallel import parallel_map
 from repro.simt.gpu import GGPUSimulator

@@ -1,0 +1,230 @@
+"""Multi-device sweep: makespan vs device count for the kernel suite.
+
+The paper evaluates one simulated G-GPU at a time; this sweep asks the
+platform question instead — how does the wall-clock (in simulated cycles) of
+an *independent-launch batch* of the whole kernel suite shrink as the host
+schedules it across more G-GPU instances?  Each cell runs one
+:class:`~repro.runtime.multidevice.OutOfOrderQueue` over ``device_count``
+devices, enqueues every kernel once (no event dependencies: the batch is
+embarrassingly launch-parallel), verifies every output buffer against the
+kernel's reference, and reports the queue's makespan, its transfer vs
+compute cycle breakdown, and the per-device utilization.
+
+Determinism and bit-exactness are part of the protocol:
+
+* buffer addresses are identical across device counts (the queue allocates
+  eagerly on every device), so each launch's simulated cycle count is the
+  same in every cell — the table builder asserts it;
+* with ``jobs == 1`` the cells share one device pool, recycled through
+  :meth:`~repro.simt.gpu.GGPUSimulator.reset`; with ``jobs > 1`` each worker
+  process builds a fresh pool.  Both paths must produce the same table
+  (``tests/tools/determinism_check.py`` and the CI determinism job compare
+  them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import GGPUConfig, TransferConfig
+from repro.errors import KernelError
+from repro.eval.benchmarks import DEFAULT_SEED, BenchmarkSizes
+from repro.kernels import all_kernel_names, get_kernel_spec
+from repro.runtime.multidevice import OutOfOrderQueue
+from repro.runtime.parallel import default_jobs, parallel_map
+from repro.simt.gpu import GGPUSimulator
+
+# One device pool comfortably holds the scaled suite's buffers.
+CELL_MEMORY_BYTES = 32 * 1024 * 1024
+
+
+@dataclass
+class MultiDeviceCell:
+    """One device-count cell of the multi-device table."""
+
+    device_count: int
+    kernels: List[str]
+    makespan: float
+    compute_cycles: float
+    transfer_cycles: float
+    critical_path_cycles: float
+    utilization: Dict[int, float]
+    # Captured from QueueStats at snapshot time (single source of truth for
+    # the derived-metric definitions).
+    mean_utilization: float
+    transfer_fraction: float
+    launches: int
+    transfers_skipped: int
+    # (label, device, start, end, transfer_cycles, compute_cycles) per launch,
+    # in execution order — the event-graph schedule, JSON-friendly.
+    schedule: List[Tuple[str, int, float, float, float, float]] = field(default_factory=list)
+
+    @property
+    def makespan_kcycles(self) -> float:
+        return self.makespan / 1.0e3
+
+
+@dataclass
+class MultiDeviceTable:
+    """Makespan vs device count for one independent-launch kernel batch."""
+
+    cells: Dict[int, MultiDeviceCell] = field(default_factory=dict)
+    kernels: List[str] = field(default_factory=list)
+    scale: float = 1.0
+
+    @property
+    def device_counts(self) -> List[int]:
+        return sorted(self.cells)
+
+    def cell(self, device_count: int) -> MultiDeviceCell:
+        try:
+            return self.cells[device_count]
+        except KeyError as exc:
+            raise KernelError(
+                f"multi-device table has no cell for {device_count} devices"
+            ) from exc
+
+    def speedup(self, device_count: int) -> float:
+        """Makespan improvement of ``device_count`` devices over the smallest cell."""
+        baseline = self.cell(min(self.cells))
+        cell = self.cell(device_count)
+        if cell.makespan <= 0.0:
+            return 0.0
+        return baseline.makespan / cell.makespan
+
+
+def _run_cell_on_queue(
+    queue: OutOfOrderQueue,
+    kernels: Sequence[str],
+    scale: float,
+    seed: int,
+) -> MultiDeviceCell:
+    """Enqueue every kernel once (independent launches), verify, measure."""
+    checks = []
+    for name in kernels:
+        spec = get_kernel_spec(name)
+        sizes = BenchmarkSizes.paper(name)
+        if scale != 1.0:
+            sizes = sizes.scaled(scale)
+        workload = spec.workload(sizes.gpu_size, seed)
+        args: Dict[str, object] = dict(workload.scalars)
+        buffers = {}
+        for buffer_name, contents in workload.buffers.items():
+            buffers[buffer_name] = queue.create_buffer(
+                np.asarray(contents, dtype=np.int64) & 0xFFFFFFFF
+            )
+            args[buffer_name] = buffers[buffer_name]
+        queue.enqueue(spec.build(), workload.ndrange, args, label=name)
+        for buffer_name, expected in workload.expected.items():
+            checks.append((name, buffer_name, buffers[buffer_name], expected))
+    queue.finish()
+    stats = queue.stats
+    makespan = stats.makespan  # before read-back charges: the batch makespan
+    cell = MultiDeviceCell(
+        device_count=queue.num_devices,
+        kernels=list(kernels),
+        makespan=makespan,
+        compute_cycles=stats.compute_cycles,
+        transfer_cycles=stats.transfer_cycles,
+        critical_path_cycles=stats.critical_path_cycles,
+        utilization=stats.device_utilization(),
+        mean_utilization=stats.utilization,
+        transfer_fraction=stats.transfer_fraction,
+        launches=stats.launches,
+        transfers_skipped=stats.transfers_skipped,
+        schedule=[
+            (
+                event.label,
+                int(event.device if event.device is not None else -1),
+                float(event.start_cycle),
+                float(event.end_cycle),
+                float(event.transfer_cycles),
+                float(event.compute_cycles),
+            )
+            for event in queue.schedule
+        ],
+    )
+    for kernel_name, buffer_name, buffer, expected in checks:
+        observed = queue.enqueue_read(buffer).astype(np.int64)
+        expected_u32 = np.asarray(expected, dtype=np.int64) & 0xFFFFFFFF
+        if not np.array_equal(observed, expected_u32):
+            raise KernelError(
+                f"multi-device launch of {kernel_name!r} produced wrong values "
+                f"in {buffer_name!r} on {queue.num_devices} devices"
+            )
+    return cell
+
+
+def _run_cell_task(task: tuple) -> MultiDeviceCell:
+    """Worker entry for one cell (module level: picklable)."""
+    device_count, kernels, scale, seed, config, transfer = task
+    queue = OutOfOrderQueue(
+        config=config,
+        num_devices=device_count,
+        memory_bytes=CELL_MEMORY_BYTES,
+        transfer=transfer,
+    )
+    return _run_cell_on_queue(queue, kernels, scale, seed)
+
+
+def run_multidevice_table(
+    device_counts: Sequence[int] = (1, 2, 4),
+    kernels: Optional[Sequence[str]] = None,
+    scale: float = 0.25,
+    seed: int = DEFAULT_SEED,
+    config: Optional[GGPUConfig] = None,
+    transfer: Optional[TransferConfig] = None,
+    jobs: Optional[int] = None,
+) -> MultiDeviceTable:
+    """Measure the suite's makespan at every device count.
+
+    ``jobs=None`` honours ``REPRO_JOBS``.  Serial runs recycle one device
+    pool across cells (each queue resets the simulators it is handed);
+    fanned-out runs build one pool per worker.  The resulting table is
+    bit-identical either way, and every launch's simulated cycle count is
+    asserted identical across cells.
+    """
+    if not device_counts:
+        raise KernelError("need at least one device count")
+    counts = list(device_counts)
+    if len(set(counts)) != len(counts):
+        raise KernelError(f"duplicate device counts: {counts}")
+    names = list(kernels) if kernels is not None else all_kernel_names()
+    config = config or GGPUConfig()
+    effective_jobs = jobs if jobs is not None else default_jobs()
+
+    table = MultiDeviceTable(kernels=names, scale=scale)
+    if effective_jobs == 1 or len(counts) <= 1:
+        # Shared pool: build the widest cell once, reuse (reset) for the rest.
+        pool = [
+            GGPUSimulator(config, memory_bytes=CELL_MEMORY_BYTES)
+            for _ in range(max(counts))
+        ]
+        cells = []
+        for count in counts:
+            queue = OutOfOrderQueue(devices=pool[:count], transfer=transfer)
+            cells.append(_run_cell_on_queue(queue, names, scale, seed))
+    else:
+        tasks = [(count, tuple(names), scale, seed, config, transfer) for count in counts]
+        cells = parallel_map(_run_cell_task, tasks, jobs=effective_jobs)
+    for cell in cells:
+        table.cells[cell.device_count] = cell
+
+    # Bit-exactness across cells: the same launch simulates the same cycle
+    # count whatever the device count (addresses are allocated in lock-step).
+    reference = {
+        label: compute
+        for label, _, _, _, _, compute in table.cell(min(table.cells)).schedule
+    }
+    for cell in table.cells.values():
+        for label, _, _, _, _, compute in cell.schedule:
+            if reference.get(label) != compute:
+                raise KernelError(
+                    f"launch {label!r} simulated {compute} cycles on "
+                    f"{cell.device_count} devices but {reference.get(label)} on "
+                    f"{min(table.cells)}"
+                )
+    return table

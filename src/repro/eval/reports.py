@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.eval.benchmarks import Table3Data
 from repro.eval.comparison import SpeedupSeries
 from repro.eval.energy import EnergyComparison
+from repro.eval.multidevice import MultiDeviceTable
 from repro.physical.routing import RoutingEstimate
 from repro.synth.logic import SynthesisResult
 from repro.synth.report import SynthesisReportRow
@@ -149,6 +150,48 @@ def table3_to_markdown(table: Table3Data) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# Multi-device makespan sweep (PR 4)
+# --------------------------------------------------------------------------- #
+_MULTIDEVICE_HEADER = (
+    "devices",
+    "makespan_kcycles",
+    "speedup",
+    "compute_kcycles",
+    "transfer_kcycles",
+    "transfer_fraction",
+    "mean_utilization",
+)
+
+
+def _multidevice_rows(table: MultiDeviceTable) -> List[Sequence]:
+    rows = []
+    for count in table.device_counts:
+        cell = table.cell(count)
+        rows.append(
+            (
+                count,
+                f"{cell.makespan_kcycles:.1f}",
+                f"{table.speedup(count):.2f}",
+                f"{cell.compute_cycles / 1e3:.1f}",
+                f"{cell.transfer_cycles / 1e3:.1f}",
+                f"{cell.transfer_fraction:.3f}",
+                f"{cell.mean_utilization:.3f}",
+            )
+        )
+    return rows
+
+
+def multidevice_to_csv(table: MultiDeviceTable) -> str:
+    """The makespan-vs-device-count sweep as CSV text."""
+    return _csv_text(_MULTIDEVICE_HEADER, _multidevice_rows(table))
+
+
+def multidevice_to_markdown(table: MultiDeviceTable) -> str:
+    """The makespan-vs-device-count sweep as a Markdown table."""
+    return _markdown_table(_MULTIDEVICE_HEADER, _multidevice_rows(table))
+
+
+# --------------------------------------------------------------------------- #
 # Figs. 5 / 6 and the energy extension
 # --------------------------------------------------------------------------- #
 def speedups_to_csv(series: SpeedupSeries) -> str:
@@ -199,6 +242,7 @@ def write_report_bundle(
     figure5: Optional[SpeedupSeries] = None,
     figure6: Optional[SpeedupSeries] = None,
     energy: Optional[EnergyComparison] = None,
+    multidevice: Optional[MultiDeviceTable] = None,
 ) -> Dict[str, str]:
     """Write every provided table/figure as CSV (and Markdown) into ``directory``.
 
@@ -233,4 +277,7 @@ def write_report_bundle(
     if energy is not None:
         _write("energy_extension.csv", energy_to_csv(energy))
         _write("energy_extension.md", speedups_to_markdown(energy.gain_series()))
+    if multidevice is not None:
+        _write("multidevice_makespan.csv", multidevice_to_csv(multidevice))
+        _write("multidevice_makespan.md", multidevice_to_markdown(multidevice))
     return written

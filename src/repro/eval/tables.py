@@ -9,9 +9,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.eval.benchmarks import Table3Data, run_table3
+from repro.eval.multidevice import MultiDeviceTable
 from repro.physical.layout import LayoutResult, PhysicalSynthesis
 from repro.physical.routing import RoutingEstimate
 from repro.planner.dse import DesignPoint, DesignSpaceExplorer
@@ -85,6 +86,46 @@ def build_table2(tech: Technology, layouts: Optional[List[LayoutResult]] = None)
 def build_table3(scale: float = 1.0, cu_counts: Sequence[int] = (1, 2, 4, 8)) -> Table3Data:
     """Measure the benchmark cycle counts (``scale`` < 1 shrinks the inputs)."""
     return run_table3(cu_counts=cu_counts, scale=scale)
+
+
+def format_multidevice_table(table: MultiDeviceTable) -> str:
+    """Render the makespan-vs-device-count sweep as fixed-width text.
+
+    One row per device count: makespan (k-cycles), speed-up over the smallest
+    cell, compute and transfer cycle totals, transfer share of busy cycles,
+    and mean device utilization.
+    """
+    header_cells = [
+        "Devices".rjust(7),
+        "Makespan k".rjust(11),
+        "Speedup".rjust(8),
+        "Compute k".rjust(10),
+        "Transfer k".rjust(11),
+        "Xfer %".rjust(7),
+        "Util %".rjust(7),
+    ]
+    header = " ".join(header_cells)
+    lines = [
+        f"Independent-launch batch: {len(table.kernels)} kernels at scale {table.scale}",
+        header,
+        "-" * len(header),
+    ]
+    for count in table.device_counts:
+        cell = table.cell(count)
+        lines.append(
+            " ".join(
+                [
+                    f"{count}".rjust(7),
+                    f"{cell.makespan_kcycles:.1f}".rjust(11),
+                    f"{table.speedup(count):.2f}x".rjust(8),
+                    f"{cell.compute_cycles / 1e3:.1f}".rjust(10),
+                    f"{cell.transfer_cycles / 1e3:.1f}".rjust(11),
+                    f"{100 * cell.transfer_fraction:.1f}".rjust(7),
+                    f"{100 * cell.mean_utilization:.1f}".rjust(7),
+                ]
+            )
+        )
+    return "\n".join(lines)
 
 
 def format_table3(table: Table3Data) -> str:

@@ -27,6 +27,8 @@ from repro.kernels.library import (
     PAPER_KERNEL_NAMES,
     all_kernel_names,
     get_kernel_spec,
+    pick_pow2_workgroup_size,
+    pick_workgroup_size,
     run_workload,
 )
 from repro.kernels import (
@@ -52,6 +54,8 @@ __all__ = [
     "PAPER_KERNEL_NAMES",
     "all_kernel_names",
     "get_kernel_spec",
+    "pick_pow2_workgroup_size",
+    "pick_workgroup_size",
     "run_workload",
     "copy",
     "div_int",

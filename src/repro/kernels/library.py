@@ -10,7 +10,7 @@ numpy reference, and returns the launch statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np

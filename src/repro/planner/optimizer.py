@@ -21,7 +21,7 @@ For every violating path the optimizer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.errors import PlanningError
 from repro.rtl.netlist import Netlist, TimingPath

@@ -7,7 +7,7 @@ bounds the area and power the accelerator may consume in the target SoC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.arch.config import GGPUConfig

@@ -19,7 +19,7 @@ class RvFormat(enum.Enum):
     """RISC-V instruction formats."""
 
     R = "r"
-    I = "i"
+    I = "i"  # noqa: E741 — the RISC-V immediate format is literally named I
     S = "s"
     B = "b"
     U = "u"

@@ -4,9 +4,6 @@ from __future__ import annotations
 
 from repro.kernels import dot as gpu_dot
 from repro.riscv.assembler import (
-    A0,
-    A1,
-    A2,
     A3,
     A4,
     A5,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.kernels import xcorr as gpu_xcorr
-from repro.kernels.xcorr import STRIDE, WINDOW
+from repro.kernels.xcorr import WINDOW
 from repro.riscv.assembler import (
     A0,
     A1,

@@ -18,7 +18,7 @@ frequency when its worst segment fits the technology's timing budget
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.errors import TimingError
 from repro.rtl.netlist import Netlist, TimingPath

@@ -17,10 +17,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.errors import NetlistError
-from repro.rtl.netlist import MemoryGroup, Netlist, TimingPath
+from repro.rtl.netlist import Netlist
 from repro.tech.technology import Technology
 
 

@@ -7,9 +7,18 @@ grid, and the push-button flow implements a list of designs.
 those sweeps share, and :mod:`repro.runtime.queue` provides the OpenCL-style
 batched command queue that amortizes simulator construction and program
 decode across many launches (one queue per process composes with the
-fan-out for multi-queue sweeps).
+fan-out for multi-queue sweeps).  :mod:`repro.runtime.multidevice` scales
+the queue to N simulated G-GPUs behind one host: in-order and out-of-order
+(event-dependency) scheduling, host↔device transfer charging, and per-device
+buffer residency tracking.
 """
 
+from repro.runtime.multidevice import (
+    DeviceBuffer,
+    Event,
+    MultiDeviceQueue,
+    OutOfOrderQueue,
+)
 from repro.runtime.parallel import default_jobs, parallel_map
 from repro.runtime.queue import (
     BatchItem,
@@ -25,6 +34,10 @@ __all__ = [
     "BatchItem",
     "BatchResult",
     "CommandQueue",
+    "DeviceBuffer",
+    "Event",
+    "MultiDeviceQueue",
+    "OutOfOrderQueue",
     "QueueBatch",
     "QueueStats",
     "default_jobs",

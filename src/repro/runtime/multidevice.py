@@ -1,0 +1,537 @@
+"""Multi-device command queues with host↔device transfer modeling.
+
+The single-device :class:`~repro.runtime.queue.CommandQueue` (PR 3) amortizes
+host-side setup over many launches but still executes them back-to-back on
+one simulated G-GPU.  This module scales the same OpenCL execution model to
+**N independent G-GPU instances behind one queue**:
+
+* :class:`MultiDeviceQueue` — an in-order queue over ``num_devices``
+  :class:`~repro.simt.gpu.GGPUSimulator` instances.  Launches still serialize
+  (each one implicitly waits for the previous), but buffers live in a
+  host-managed residency domain and every host↔device copy is charged by the
+  transfer model.
+* :class:`OutOfOrderQueue` — the OpenCL out-of-order variant: ``enqueue``
+  returns an :class:`Event` and accepts ``wait_for=(events...)``; launches
+  whose dependencies are met overlap across devices.  The scheduler is
+  deterministic (earliest projected start wins, ties break toward the lower
+  device index), so repeated runs produce the same event-graph schedule and
+  cycle statistics.
+* :class:`DeviceBuffer` — one logical buffer with a host image and per-device
+  copies.  Residency tracking re-transfers a buffer to a device only when the
+  device's copy is stale; a buffer written by a kernel is *dirty* on that
+  device and is read back through the transfer model before any other device
+  (or the host) may observe it.
+
+Timing is layered strictly on top of the simulator: each device keeps two
+engine timelines — compute (kernel launches) and DMA (host↔device copies),
+overlapping each other as on real accelerators but each serial with itself.
+Transfers charge :meth:`~repro.arch.config.TransferConfig.cycles` on the DMA
+engine of the device touched, a copy of a kernel-written buffer cannot start
+before the producing launch finished, and a launch's compute span is exactly
+the launch's simulated cycle count.  Because every ``launch`` still starts from a cold cache and
+memory controller, and buffer addresses are allocated identically on every
+device (the pools march in lock-step), kernel results *and* per-launch cycle
+counts are bit-identical to the same launches on a single in-order device —
+``tests/test_runtime_queue.py`` pins that equivalence for diamond DAGs and
+independent chains, and the CI determinism job re-checks the whole schedule
+across repeated runs and job counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.arch.config import GGPUConfig, TransferConfig
+from repro.arch.kernel import Kernel, NDRange
+from repro.errors import KernelError
+from repro.runtime.queue import QueueStats
+from repro.simt.gpu import GGPUSimulator, LaunchResult
+from repro.simt.memory import WORD_BYTES
+
+ArgValue = Union[int, np.integer, "DeviceBuffer"]
+
+
+class DeviceBuffer:
+    """One logical buffer: a host image plus tracked per-device copies.
+
+    ``valid_on`` holds the device indices whose copy matches the current
+    logical contents; ``dirty_on`` names the device holding the *only*
+    up-to-date copy after a kernel wrote it there (the host image is stale
+    until the queue reads it back).  The queue allocates the buffer eagerly
+    on every device so the base address is identical across the pool — which
+    keeps cache-set behaviour, and therefore per-launch cycle counts,
+    independent of the device a launch lands on.
+    """
+
+    def __init__(self, handle: int, address: int, num_words: int) -> None:
+        self.handle = handle
+        self.address = address
+        self.num_words = num_words
+        self.host = np.zeros(num_words, dtype=np.int64)
+        self.valid_on: set = set()
+        self.dirty_on: Optional[int] = None
+        # Simulated time at which the buffer's current authoritative contents
+        # became available (0.0 for host-provided data).
+        self.ready_cycle: float = 0.0
+
+    @property
+    def num_bytes(self) -> int:
+        return self.num_words * WORD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeviceBuffer(handle={self.handle}, addr={self.address:#x}, "
+            f"words={self.num_words}, valid_on={sorted(self.valid_on)}, "
+            f"dirty_on={self.dirty_on})"
+        )
+
+
+@dataclass
+class Event:
+    """Completion event of one enqueued launch (OpenCL ``cl_event`` flavour).
+
+    Returned by ``enqueue``; scheduling fields are filled when the queue
+    flushes.  ``transfer_cycles`` counts only the host→device input writes
+    charged to *this event's device*; read-backs of dirty inputs from other
+    devices (and ``enqueue_read`` drains) are charged to the source device's
+    DMA engine and appear only in ``QueueStats.device_transfer_cycles``, so
+    the per-device stats totals are ≥ the per-device sums over events.
+    ``critical_path_cycles`` is the longest dependency chain
+    ending at this event, measured in simulated *kernel* cycles — a lower
+    bound on the makespan at any device count (compute along a chain must
+    serialize; transfers can lengthen the schedule but never shorten that
+    bound).
+    """
+
+    sequence: int
+    label: str
+    kernel_name: str
+    device: Optional[int] = None
+    start_cycle: float = 0.0
+    end_cycle: float = 0.0
+    compute_cycles: float = 0.0
+    transfer_cycles: float = 0.0
+    critical_path_cycles: float = 0.0
+    result: Optional[LaunchResult] = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class _Command:
+    """One enqueued launch waiting for the next flush."""
+
+    event: Event
+    kernel: Kernel
+    ndrange: NDRange
+    args: Dict[str, ArgValue]
+    waits: Tuple[Event, ...]
+    writes: Tuple[str, ...]
+
+
+class MultiDeviceQueue:
+    """In-order command queue over N independent simulated G-GPUs.
+
+    In-order means OpenCL in-order: every launch implicitly depends on the
+    previous one, so compute never overlaps (the device pool only matters for
+    buffer residency).  :class:`OutOfOrderQueue` lifts that restriction.
+
+    Pass either ``config``/``num_devices`` (the queue builds the pool) or
+    ``devices`` (a pre-built pool, each simulator
+    :meth:`~repro.simt.gpu.GGPUSimulator.reset` back to its
+    post-construction state — the sweep harness reuses one pool across
+    cells this way).
+    """
+
+    in_order = True
+
+    def __init__(
+        self,
+        config: Optional[GGPUConfig] = None,
+        num_devices: int = 1,
+        memory_bytes: int = 64 * 1024 * 1024,
+        transfer: Optional[TransferConfig] = None,
+        devices: Optional[Sequence[GGPUSimulator]] = None,
+    ) -> None:
+        if devices is not None:
+            if config is not None:
+                raise KernelError("pass either a device pool or a config, not both")
+            pool = list(devices)
+            if not pool:
+                raise KernelError("a multi-device queue needs at least one device")
+            if any(simulator.config != pool[0].config for simulator in pool):
+                # A mixed pool would silently void the bit-identical guarantee:
+                # a launch's cycle count would depend on device assignment.
+                raise KernelError("all devices of a queue must share one GGPUConfig")
+            for simulator in pool:
+                simulator.reset()
+            self.devices = pool
+            self.config = pool[0].config
+        else:
+            if num_devices < 1:
+                raise KernelError(f"need at least one device, got {num_devices}")
+            self.config = config or GGPUConfig()
+            self.devices = [
+                GGPUSimulator(self.config, memory_bytes=memory_bytes)
+                for _ in range(num_devices)
+            ]
+        self.transfer = transfer if transfer is not None else self.config.transfer
+        self.stats = QueueStats(
+            device_compute_cycles={index: 0.0 for index in range(len(self.devices))},
+            device_transfer_cycles={index: 0.0 for index in range(len(self.devices))},
+        )
+        # Two timelines per device: the compute engine (kernel launches) and
+        # the DMA engine (host↔device copies).  They overlap, as on real
+        # accelerators; each is serial with itself.
+        self._compute_available = [0.0] * len(self.devices)
+        self._dma_available = [0.0] * len(self.devices)
+        self._buffers: List[DeviceBuffer] = []
+        self._events: List[Event] = []
+        self._pending: List[_Command] = []
+        self._results: List[LaunchResult] = []
+        self._schedule: List[Event] = []
+        self._last_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------ #
+    # Buffers
+    # ------------------------------------------------------------------ #
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def schedule(self) -> List[Event]:
+        """The executed launches, in execution order, with their timings."""
+        return list(self._schedule)
+
+    def allocate_buffer(self, num_words: int) -> DeviceBuffer:
+        """Allocate one logical buffer (zero-filled) on every device.
+
+        The per-device allocators march in lock-step, so the same base
+        address comes back from each; a mismatch means the pool was tampered
+        with behind the queue's back.
+        """
+        addresses = [device.allocate_buffer(num_words) for device in self.devices]
+        if len(set(addresses)) != 1:
+            raise KernelError(
+                f"device allocators diverged: buffer addresses {addresses}"
+            )
+        buffer = DeviceBuffer(len(self._buffers), addresses[0], num_words)
+        # A fresh simulator's memory is zero-filled, so every device copy of
+        # a zero-filled logical buffer is already valid.
+        buffer.valid_on = set(range(len(self.devices)))
+        self._buffers.append(buffer)
+        return buffer
+
+    def create_buffer(self, values: Sequence[int]) -> DeviceBuffer:
+        """Allocate a logical buffer and set its host image to ``values``."""
+        values = np.asarray(list(values), dtype=np.int64) & 0xFFFFFFFF
+        buffer = self.allocate_buffer(int(values.size))
+        self.enqueue_write(buffer, values)
+        return buffer
+
+    def enqueue_write(self, buffer: DeviceBuffer, values: Sequence[int]) -> None:
+        """Replace the buffer's logical contents with host data.
+
+        Pending launches are flushed first (they must observe the old
+        contents), then every device copy is invalidated; the actual copy to
+        a device is charged lazily when a launch needs the buffer there.
+        """
+        self._check_buffer(buffer)
+        data = np.asarray(values, dtype=np.int64) & 0xFFFFFFFF
+        if data.size != buffer.num_words:
+            raise KernelError(
+                f"buffer {buffer.handle} holds {buffer.num_words} words, "
+                f"got {data.size} values"
+            )
+        self.flush()
+        buffer.host = data.copy()
+        buffer.valid_on = set()
+        buffer.dirty_on = None
+        buffer.ready_cycle = 0.0  # host data is available immediately
+
+    def enqueue_read(self, buffer: DeviceBuffer) -> np.ndarray:
+        """Read the buffer's current logical contents back to the host.
+
+        Finishes pending work first; if a device holds the only up-to-date
+        copy, the device→host transfer is charged on that device's timeline.
+        """
+        self._check_buffer(buffer)
+        self.flush()
+        self._read_back(buffer)
+        return buffer.host.astype(np.uint32)
+
+    # ------------------------------------------------------------------ #
+    # Enqueue / execute
+    # ------------------------------------------------------------------ #
+    def enqueue(
+        self,
+        kernel: Kernel,
+        ndrange: NDRange,
+        args: Dict[str, ArgValue],
+        label: Optional[str] = None,
+        wait_for: Sequence[Event] = (),
+        writes: Optional[Sequence[str]] = None,
+    ) -> Event:
+        """Append one launch; returns its completion :class:`Event`.
+
+        ``args`` maps buffer-kind kernel arguments to :class:`DeviceBuffer`
+        handles and scalar arguments to integers.  ``writes`` names the
+        buffer arguments the kernel writes (defaults to *all* buffer
+        arguments — conservative, but never wrong); read-only inputs listed
+        out of it stay resident on every device that has them.  ``wait_for``
+        lists events this launch must run after; an in-order queue adds an
+        implicit dependency on the previously enqueued launch.
+        """
+        buffer_names = [arg.name for arg in kernel.args if arg.kind == "buffer"]
+        resolved: Dict[str, ArgValue] = {}
+        for name, value in args.items():
+            if isinstance(value, DeviceBuffer):
+                if name not in buffer_names:
+                    raise KernelError(
+                        f"argument {name!r} of kernel {kernel.name!r} is not a buffer"
+                    )
+                self._check_buffer(value)
+                resolved[name] = value
+            else:
+                resolved[name] = int(value)
+        for name in buffer_names:
+            if name in args and not isinstance(args[name], DeviceBuffer):
+                raise KernelError(
+                    f"buffer argument {name!r} of kernel {kernel.name!r} needs a "
+                    f"DeviceBuffer handle on a multi-device queue, got {args[name]!r}"
+                )
+        if writes is None:
+            write_names = tuple(name for name in buffer_names if name in args)
+        else:
+            write_names = tuple(writes)
+            for name in write_names:
+                if name not in buffer_names or name not in args:
+                    raise KernelError(
+                        f"writes lists {name!r}, which is not a buffer argument "
+                        f"of kernel {kernel.name!r}"
+                    )
+        waits = []
+        for event in wait_for:
+            if (
+                not isinstance(event, Event)
+                or event.sequence >= len(self._events)
+                or self._events[event.sequence] is not event
+            ):
+                raise KernelError("wait_for events must come from this queue")
+            waits.append(event)
+        if self.in_order and self._last_event is not None:
+            waits.append(self._last_event)
+
+        event = Event(
+            sequence=len(self._events),
+            label=label or f"{kernel.name}#{len(self._events)}",
+            kernel_name=kernel.name,
+        )
+        self._events.append(event)
+        self._pending.append(
+            _Command(
+                event=event,
+                kernel=kernel,
+                ndrange=ndrange,
+                args=resolved,
+                waits=tuple(waits),
+                writes=write_names,
+            )
+        )
+        self._last_event = event
+        return event
+
+    @property
+    def pending(self) -> int:
+        """Number of launches waiting for :meth:`flush`."""
+        return len(self._pending)
+
+    def flush(self) -> List[LaunchResult]:
+        """Schedule and execute every pending launch; returns their results.
+
+        Commands are processed in enqueue order (a valid topological order of
+        the event graph, since an event can only be waited on after it was
+        created); each one is assigned the device with the earliest projected
+        start.  On an empty queue this is a cheap no-op.
+        """
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        executed = [self._execute(command) for command in pending]
+        self._results.extend(executed)
+        return executed
+
+    def finish(self) -> List[LaunchResult]:
+        """Flush and return the results of *all* launches this queue has run.
+
+        On an empty queue (nothing pending, nothing run) this is a cheap
+        no-op that returns an empty list.
+        """
+        self.flush()
+        return list(self._results)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_buffer(self, buffer: DeviceBuffer) -> None:
+        if (
+            not isinstance(buffer, DeviceBuffer)
+            or buffer.handle >= len(self._buffers)
+            or self._buffers[buffer.handle] is not buffer
+        ):
+            raise KernelError("buffer does not belong to this queue")
+
+    def _command_buffers(self, command: _Command) -> List[Tuple[str, DeviceBuffer]]:
+        """The command's buffer arguments in kernel-signature order."""
+        return [
+            (arg.name, command.args[arg.name])
+            for arg in command.kernel.args
+            if arg.kind == "buffer" and isinstance(command.args.get(arg.name), DeviceBuffer)
+        ]
+
+    def _projected_start(self, command: _Command, device: int, ready: float) -> float:
+        """Earliest compute start of ``command`` on ``device`` (no mutation).
+
+        Mirrors :meth:`_materialize` closely enough to pick a device; it is a
+        deterministic heuristic, not a timing commitment.
+        """
+        arrival = ready
+        dma = self._dma_available[device]
+        for _, buffer in self._command_buffers(command):
+            if device in buffer.valid_on or buffer.dirty_on == device:
+                arrival = max(arrival, buffer.ready_cycle)
+                continue
+            host_ready = buffer.ready_cycle
+            if buffer.dirty_on is not None:
+                source = buffer.dirty_on
+                host_ready = max(
+                    self._dma_available[source], buffer.ready_cycle
+                ) + self.transfer.cycles(buffer.num_bytes)
+            dma = max(dma, host_ready) + self.transfer.cycles(buffer.num_bytes)
+            arrival = max(arrival, dma)
+        return max(self._compute_available[device], arrival)
+
+    def _read_back(self, buffer: DeviceBuffer) -> Tuple[float, float]:
+        """Refresh the host image from the dirty device, charging the copy.
+
+        Returns ``(host_ready_cycle, cycles_charged)``.  The copy runs on the
+        source device's DMA engine, overlapping that device's compute; it can
+        start no earlier than the producing launch finished
+        (``buffer.ready_cycle``).
+        """
+        source = buffer.dirty_on
+        if source is None:
+            # The host image is authoritative whenever no device copy is
+            # dirty: there is nothing to read back (and nothing to count —
+            # ``transfers_skipped`` measures launch-side residency hits only).
+            return buffer.ready_cycle, 0.0
+        cycles = self.transfer.cycles(buffer.num_bytes)
+        buffer.host = (
+            self.devices[source]
+            .read_buffer(buffer.address, buffer.num_words)
+            .astype(np.int64)
+        )
+        start = max(self._dma_available[source], buffer.ready_cycle)
+        end = start + cycles
+        self._dma_available[source] = end
+        self.stats.record_transfer(source, buffer.num_bytes, cycles, to_device=False)
+        self.stats.makespan = max(self.stats.makespan, end)
+        buffer.dirty_on = None
+        buffer.valid_on = {source}
+        buffer.ready_cycle = end
+        return end, cycles
+
+    def _materialize(self, command: _Command, device: int, ready: float) -> Tuple[float, float]:
+        """Make every buffer argument resident on ``device``.
+
+        Returns ``(compute_start, transfer_cycles_charged)`` — the latter
+        covers only the host→device writes on *this* device's DMA engine.
+        A buffer dirty on another device is first read back there (charged to
+        the source device's DMA engine and visible in the per-device stats,
+        not in this event's total), then written host→device.  The launch
+        computes once its engine is free, its event dependencies are met, and
+        every input has arrived.
+        """
+        arrival = ready
+        charged = 0.0
+        for _, buffer in self._command_buffers(command):
+            if device in buffer.valid_on or buffer.dirty_on == device:
+                self.stats.transfers_skipped += 1
+                arrival = max(arrival, buffer.ready_cycle)
+                continue
+            if buffer.dirty_on is not None:
+                host_ready, _ = self._read_back(buffer)
+            else:
+                host_ready = buffer.ready_cycle
+            cycles = self.transfer.cycles(buffer.num_bytes)
+            self.devices[device].write_buffer(buffer.address, buffer.host)
+            start = max(self._dma_available[device], host_ready)
+            end = start + cycles
+            self._dma_available[device] = end
+            charged += cycles
+            self.stats.record_transfer(device, buffer.num_bytes, cycles, to_device=True)
+            self.stats.makespan = max(self.stats.makespan, end)
+            buffer.valid_on.add(device)
+            arrival = max(arrival, end)
+        return max(self._compute_available[device], arrival), charged
+
+    def _execute(self, command: _Command) -> LaunchResult:
+        ready = max((event.end_cycle for event in command.waits), default=0.0)
+        device = min(
+            range(len(self.devices)),
+            key=lambda index: (self._projected_start(command, index, ready), index),
+        )
+        start, transfer_cycles = self._materialize(command, device, ready)
+
+        launch_args = {
+            name: value.address if isinstance(value, DeviceBuffer) else value
+            for name, value in command.args.items()
+        }
+        result = self.devices[device].launch(command.kernel, command.ndrange, launch_args)
+        end = start + result.cycles
+        self._compute_available[device] = end
+
+        for name in command.writes:
+            buffer = command.args[name]
+            buffer.dirty_on = device
+            buffer.valid_on = {device}
+            buffer.ready_cycle = end
+
+        event = command.event
+        event.device = device
+        event.start_cycle = start
+        event.end_cycle = end
+        event.compute_cycles = result.cycles
+        event.transfer_cycles = transfer_cycles
+        event.critical_path_cycles = (
+            max((dep.critical_path_cycles for dep in command.waits), default=0.0)
+            + result.cycles
+        )
+        event.result = result
+
+        self.stats.record(result, device=device)
+        self.stats.makespan = max(self.stats.makespan, end)
+        self.stats.critical_path_cycles = max(
+            self.stats.critical_path_cycles, event.critical_path_cycles
+        )
+        self._schedule.append(event)
+        return result
+
+
+class OutOfOrderQueue(MultiDeviceQueue):
+    """Out-of-order multi-device queue with OpenCL-style event dependencies.
+
+    Launches are ordered only by their ``wait_for`` events; independent
+    launches overlap across the device pool.  As with a real out-of-order
+    queue, two launches touching the same buffer without an event between
+    them have no defined order — declare the dependency (or rely on the
+    in-order :class:`MultiDeviceQueue`).
+    """
+
+    in_order = False

@@ -24,6 +24,12 @@ For sweep-shaped work, :class:`QueueBatch` describes a whole queue's worth of
 library-kernel launches by name, and :func:`run_batches` fans a list of
 batches out over processes with :mod:`repro.runtime.parallel` — multi-queue
 sweeps with one queue (one simulated G-GPU) per process.
+
+For device-level parallelism — one queue scheduling launches across *N*
+simulated G-GPUs with host↔device transfer charging and buffer residency —
+see :mod:`repro.runtime.multidevice`; its queues share this module's
+:class:`QueueStats` (which reports per-device utilization, the transfer vs
+compute cycle breakdown, and the critical-path makespan).
 """
 
 from __future__ import annotations
@@ -56,18 +62,102 @@ class QueuedCommand:
 
 @dataclass
 class QueueStats:
-    """Aggregate statistics over the launches a queue has executed."""
+    """Aggregate statistics over the launches a queue has executed.
+
+    ``total_cycles`` is the sum of simulated *kernel* cycles; the multi-device
+    fields (``transfer_cycles``, ``makespan``, the per-device breakdowns) are
+    filled by :mod:`repro.runtime.multidevice` and stay zero/empty for a
+    plain single-device :class:`CommandQueue`, whose in-order makespan is the
+    compute total.  Every derived metric is defined for a zero-launch queue:
+    nothing here ever divides by zero.
+    """
 
     launches: int = 0
     total_cycles: float = 0.0
     cycles_by_kernel: Dict[str, float] = field(default_factory=dict)
+    transfer_cycles: float = 0.0
+    bytes_to_device: int = 0
+    bytes_from_device: int = 0
+    transfers_to_device: int = 0
+    transfers_from_device: int = 0
+    transfers_skipped: int = 0
+    makespan: float = 0.0
+    critical_path_cycles: float = 0.0
+    device_compute_cycles: Dict[int, float] = field(default_factory=dict)
+    device_transfer_cycles: Dict[int, float] = field(default_factory=dict)
 
-    def record(self, result: LaunchResult) -> None:
+    def record(self, result: LaunchResult, device: int = 0) -> None:
         self.launches += 1
         self.total_cycles += result.cycles
         self.cycles_by_kernel[result.kernel_name] = (
             self.cycles_by_kernel.get(result.kernel_name, 0.0) + result.cycles
         )
+        self.device_compute_cycles[device] = (
+            self.device_compute_cycles.get(device, 0.0) + result.cycles
+        )
+
+    def record_transfer(
+        self, device: int, num_bytes: int, cycles: float, to_device: bool
+    ) -> None:
+        """Account one host↔device copy charged to ``device``'s timeline."""
+        self.transfer_cycles += cycles
+        self.device_transfer_cycles[device] = (
+            self.device_transfer_cycles.get(device, 0.0) + cycles
+        )
+        if to_device:
+            self.transfers_to_device += 1
+            self.bytes_to_device += num_bytes
+        else:
+            self.transfers_from_device += 1
+            self.bytes_from_device += num_bytes
+
+    @property
+    def compute_cycles(self) -> float:
+        """Alias of ``total_cycles`` for transfer-vs-compute breakdowns."""
+        return self.total_cycles
+
+    @property
+    def average_cycles_per_launch(self) -> float:
+        """Mean kernel cycles per launch; 0.0 for a zero-launch queue."""
+        if self.launches == 0:
+            return 0.0
+        return self.total_cycles / self.launches
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Transfer share of all busy cycles; 0.0 when nothing ran."""
+        busy = self.total_cycles + self.transfer_cycles
+        if busy <= 0.0:
+            return 0.0
+        return self.transfer_cycles / busy
+
+    def device_utilization(self) -> Dict[int, float]:
+        """Per-device busy (compute + transfer) fraction of the makespan.
+
+        Compute and DMA are separate engines that may overlap, so a fully
+        loaded device can nudge past 1.0 — this is an occupancy measure over
+        both engines, not a fraction of one.  A zero-launch queue has a zero
+        makespan; every utilization is then 0.0 rather than a division error.
+        """
+        devices = sorted(set(self.device_compute_cycles) | set(self.device_transfer_cycles))
+        if self.makespan <= 0.0:
+            return {device: 0.0 for device in devices}
+        return {
+            device: (
+                self.device_compute_cycles.get(device, 0.0)
+                + self.device_transfer_cycles.get(device, 0.0)
+            )
+            / self.makespan
+            for device in devices
+        }
+
+    @property
+    def utilization(self) -> float:
+        """Mean per-device utilization; 0.0 for a zero-launch queue."""
+        per_device = self.device_utilization()
+        if not per_device:
+            return 0.0
+        return sum(per_device.values()) / len(per_device)
 
 
 class CommandQueue:
@@ -140,6 +230,8 @@ class CommandQueue:
 
     def flush(self) -> List[LaunchResult]:
         """Execute every pending launch in order; returns their results."""
+        if not self._pending:
+            return []  # cheap no-op: nothing to run, nothing to account
         executed: List[LaunchResult] = []
         pending, self._pending = self._pending, []
         for command in pending:
@@ -147,10 +239,18 @@ class CommandQueue:
             self.stats.record(result)
             executed.append(result)
         self._results.extend(executed)
+        # An in-order single-device queue runs back-to-back: its makespan and
+        # critical path are exactly the accumulated compute cycles.
+        self.stats.makespan = self.stats.total_cycles
+        self.stats.critical_path_cycles = self.stats.total_cycles
         return executed
 
     def finish(self) -> List[LaunchResult]:
-        """Flush and return the results of *all* launches this queue has run."""
+        """Flush and return the results of *all* launches this queue has run.
+
+        On an empty queue (nothing pending, nothing run) this is a cheap
+        no-op that returns an empty list.
+        """
         self.flush()
         return list(self._results)
 

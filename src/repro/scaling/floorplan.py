@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import PhysicalDesignError
 from repro.physical.floorplan import Floorplan, PartitionPlacement, Rect

@@ -105,7 +105,7 @@ class GlobalMemoryController:
         hit_list: List[bool],
         wb_list: List[bool],
         completion: float,
-    ) -> "Tuple[float, int]":
+    ) -> Tuple[float, int]:
         """Claim port time for every missing line of one coalesced access.
 
         ``hit_list``/``wb_list`` are the per-line outcomes of the cache probe

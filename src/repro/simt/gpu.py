@@ -116,6 +116,18 @@ class GGPUSimulator:
         self.write_buffer(base, values)
         return base
 
+    def reset(self) -> None:
+        """Return the simulator to its post-construction state.
+
+        Global memory is zeroed and its allocator rewound, so later
+        allocations see the exact addresses a fresh simulator would hand out;
+        the pre-decoded program cache survives (decoding is launch-invariant).
+        Cache and memory-controller state need no treatment here — every
+        ``launch`` already resets both.  The multi-device runtime uses this to
+        reuse one device pool across sweep cells with bit-identical outcomes.
+        """
+        self.memory.reset()
+
     # ------------------------------------------------------------------ #
     # Kernel launch
     # ------------------------------------------------------------------ #

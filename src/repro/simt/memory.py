@@ -35,6 +35,17 @@ class GlobalMemory:
     # ------------------------------------------------------------------ #
     # Host-side buffer management (the OpenCL-like API uses this)
     # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Return the memory to its post-construction state.
+
+        Zeroes the backing store and rewinds the bump allocator, so a reused
+        memory hands out the same addresses — and the same initial contents —
+        as a freshly built one.  The multi-device runtime relies on this to
+        recycle simulator instances between sweep cells.
+        """
+        self._words.fill(0)
+        self._next_alloc = WORD_BYTES
+
     def allocate(self, num_words: int, align_bytes: int = 64) -> int:
         """Reserve ``num_words`` 32-bit words and return the base byte address."""
         if num_words <= 0:

@@ -1,8 +1,8 @@
-"""Architecture configuration (GGPUConfig, CacheConfig, AxiConfig)."""
+"""Architecture configuration (GGPUConfig, CacheConfig, AxiConfig, TransferConfig)."""
 
 import pytest
 
-from repro.arch.config import AxiConfig, CacheConfig, GGPUConfig
+from repro.arch.config import AxiConfig, CacheConfig, GGPUConfig, TransferConfig
 from repro.errors import ConfigurationError
 
 
@@ -72,6 +72,30 @@ def test_cache_config_defaults_and_validation():
         CacheConfig(ports=0)
     with pytest.raises(ConfigurationError):
         CacheConfig(size_bytes=48 * 1024, line_bytes=64)  # 768 lines, not a power of two
+
+
+def test_transfer_config_cycles_and_validation():
+    transfer = TransferConfig(latency_cycles=100, bytes_per_cycle=8.0)
+    assert transfer.cycles(0) == 0.0  # zero-byte copies are free
+    assert transfer.cycles(1) == 101.0  # latency + one beat
+    assert transfer.cycles(8) == 101.0
+    assert transfer.cycles(9) == 102.0  # partial beats round up
+    # Fractional bandwidths still charge whole beats.
+    assert TransferConfig(latency_cycles=0, bytes_per_cycle=3.0).cycles(10) == 4.0
+    with pytest.raises(ConfigurationError):
+        TransferConfig(latency_cycles=-1)
+    with pytest.raises(ConfigurationError):
+        TransferConfig(bytes_per_cycle=0)
+    with pytest.raises(ConfigurationError):
+        transfer.cycles(-4)
+
+
+def test_transfer_config_rides_along_ggpu_config():
+    config = GGPUConfig(transfer=TransferConfig(latency_cycles=7, bytes_per_cycle=16.0))
+    assert config.transfer.latency_cycles == 7
+    assert config.with_cus(4).transfer == config.transfer
+    # The default model is present on every config.
+    assert GGPUConfig().transfer.latency_cycles > 0
 
 
 def test_axi_config_matches_fgpu_limits():

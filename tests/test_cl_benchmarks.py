@@ -9,7 +9,6 @@ reductions, so it is allowed to be slower, but not by an order of magnitude.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.arch.config import GGPUConfig

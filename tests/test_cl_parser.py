@@ -17,7 +17,6 @@ from repro.cl.nodes import (
     IntLiteral,
     ReturnStmt,
     UnaryOp,
-    VarRef,
     WhileStmt,
 )
 from repro.cl.parser import parse

@@ -11,7 +11,6 @@ generators, both simulators, and the 32-bit wrap-around semantics at once.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch.isa import Opcode

@@ -28,7 +28,14 @@ from repro.eval.paper_data import (
     paper_speedup,
     paper_speedup_per_area,
 )
-from repro.eval.tables import build_physical_versions, build_table2, format_table3
+from repro.eval.multidevice import run_multidevice_table
+from repro.eval.reports import multidevice_to_csv, multidevice_to_markdown
+from repro.eval.tables import (
+    build_physical_versions,
+    build_table2,
+    format_multidevice_table,
+    format_table3,
+)
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +71,54 @@ def test_table3_structure(small_table3):
         small_table3.row("missing")
     text = format_table3(small_table3)
     assert "copy" in text and "RISC-V" in text
+
+
+def test_multidevice_table_structure_and_rendering():
+    table = run_multidevice_table(
+        device_counts=(1, 2), kernels=["copy", "saxpy"], scale=0.125, jobs=1
+    )
+    assert table.device_counts == [1, 2]
+    assert table.kernels == ["copy", "saxpy"]
+    baseline = table.cell(1)
+    wide = table.cell(2)
+    assert baseline.launches == 2 and wide.launches == 2
+    # Independent launches: two devices can only help (or tie).
+    assert wide.makespan <= baseline.makespan
+    assert table.speedup(1) == pytest.approx(1.0)
+    assert table.speedup(2) >= 1.0
+    # The same launch costs the same simulated cycles in every cell.
+    assert [entry[5] for entry in baseline.schedule] == [
+        entry[5] for entry in wide.schedule
+    ]
+    assert baseline.makespan >= baseline.critical_path_cycles
+    with pytest.raises(KernelError):
+        table.cell(8)
+    with pytest.raises(KernelError):
+        run_multidevice_table(device_counts=())
+    with pytest.raises(KernelError):
+        run_multidevice_table(device_counts=(2, 2))
+
+    text = format_multidevice_table(table)
+    assert "Devices" in text and "Makespan" in text and "2 kernels" in text
+    csv_text = multidevice_to_csv(table)
+    assert csv_text.splitlines()[0].startswith("devices,makespan_kcycles,speedup")
+    assert len(csv_text.strip().splitlines()) == 3
+    markdown = multidevice_to_markdown(table)
+    assert markdown.startswith("| devices |")
+
+
+def test_multidevice_table_identical_serial_vs_fanned_out():
+    """jobs=1 (shared, reset pool) and jobs=2 (fresh pools) agree bit-exactly."""
+    serial = run_multidevice_table(
+        device_counts=(1, 2), kernels=["copy", "dot"], scale=0.125, jobs=1
+    )
+    fanned = run_multidevice_table(
+        device_counts=(1, 2), kernels=["copy", "dot"], scale=0.125, jobs=2
+    )
+    for count in (1, 2):
+        assert serial.cell(count).schedule == fanned.cell(count).schedule
+        assert serial.cell(count).makespan == fanned.cell(count).makespan
+        assert serial.cell(count).utilization == fanned.cell(count).utilization
 
 
 def test_speedup_computation_uses_input_ratio(small_table3):

@@ -11,7 +11,6 @@ from repro.errors import KernelError
 from repro.eval.benchmarks import run_table3
 from repro.eval.comparison import compute_area_ratios, compute_speedups, derate_by_area
 from repro.eval.energy import (
-    EnergyComparison,
     EnergyFigures,
     build_energy_comparison,
     format_energy_table,

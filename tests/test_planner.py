@@ -17,7 +17,6 @@ from repro.planner.versions import (
     paper_version_specs,
 )
 from repro.rtl.generator import generate_ggpu_netlist
-from repro.rtl.netlist import Partition
 from repro.rtl.timing import analyze_timing
 
 

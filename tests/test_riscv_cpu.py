@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.riscv.assembler import A0, A1, A2, RvAssembler, T0, T1, T2, ZERO
+from repro.riscv.assembler import A0, A1, RvAssembler, T0, T1, T2, ZERO
 from repro.riscv.cpu import CpuCycleModel, CpuStats, RiscvCpu
 from repro.riscv.isa import RvOpcode
 from repro.riscv.memory import RvMemory

@@ -5,7 +5,7 @@ import pytest
 from repro.arch.config import GGPUConfig
 from repro.errors import NetlistError, TimingError
 from repro.rtl.generator import generate_ggpu_netlist
-from repro.rtl.netlist import Netlist, Partition, TimingPath, MemoryGroup
+from repro.rtl.netlist import Netlist, Partition, MemoryGroup
 from repro.rtl.timing import analyze_timing, max_frequency_mhz, path_segment_delays
 from repro.rtl.transforms import insert_pipeline, split_memory_group, splittable_groups
 from repro.tech.sram import SramMacroSpec

@@ -1,0 +1,262 @@
+"""Tests for the multi-device runtime (``repro.runtime.multidevice``).
+
+Engine-level invariants: transfer charging, buffer residency (dirty tracking,
+skip accounting), deterministic device assignment, pool reuse via
+``GGPUSimulator.reset`` being bit-identical to fresh construction, and the
+``QueueStats`` multi-device reporting (utilization, makespan, critical path)
+including its zero-launch guards.  The DAG-shaped bit-exactness pins against
+in-order execution live in ``tests/test_runtime_queue.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import GGPUConfig, TransferConfig
+from repro.arch.kernel import NDRange
+from repro.errors import KernelError
+from repro.kernels import get_kernel_spec
+from repro.runtime.multidevice import MultiDeviceQueue, OutOfOrderQueue
+from repro.runtime.queue import QueueStats
+from repro.simt.gpu import GGPUSimulator
+
+MEM = 8 * 1024 * 1024
+N = 128
+
+
+def _queue(cls=MultiDeviceQueue, num_devices=1, transfer=None, num_cus=1):
+    return cls(
+        config=GGPUConfig(num_cus=num_cus),
+        num_devices=num_devices,
+        memory_bytes=MEM,
+        transfer=transfer,
+    )
+
+
+def _enqueue_copy(queue, src, dst, wait_for=(), label=None):
+    kernel = get_kernel_spec("copy").build()
+    return queue.enqueue(
+        kernel,
+        NDRange(N, 64),
+        {"src": src, "dst": dst, "n": N},
+        label=label,
+        wait_for=wait_for,
+        writes=("dst",),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Transfer model
+# --------------------------------------------------------------------------- #
+def test_transfer_cycles_formula():
+    model = TransferConfig(latency_cycles=100, bytes_per_cycle=8.0)
+    assert model.cycles(0) == 0.0
+    assert model.cycles(1) == 101.0
+    assert model.cycles(8) == 101.0
+    assert model.cycles(9) == 102.0
+    assert model.cycles(64 * 4) == 100.0 + 32.0
+
+
+def test_launch_charges_one_write_per_stale_buffer():
+    transfer = TransferConfig(latency_cycles=100, bytes_per_cycle=4.0)
+    queue = _queue(transfer=transfer)
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)  # zero-filled: already valid on device 0
+    event = _enqueue_copy(queue, src, dst)
+    queue.flush()
+    per_buffer = transfer.cycles(N * 4)
+    assert event.transfer_cycles == per_buffer  # only src moved
+    assert queue.stats.transfers_to_device == 1
+    assert queue.stats.bytes_to_device == N * 4
+    assert queue.stats.transfers_skipped == 1  # dst was already resident
+    assert event.start_cycle == per_buffer
+    assert event.end_cycle == event.start_cycle + event.compute_cycles
+    assert queue.stats.makespan == event.end_cycle
+
+
+def test_residency_skips_retransfer_of_clean_buffers():
+    queue = _queue()
+    src = queue.create_buffer(np.arange(N))
+    dst_a = queue.allocate_buffer(N)
+    dst_b = queue.allocate_buffer(N)
+    _enqueue_copy(queue, src, dst_a)
+    queue.flush()
+    to_device_before = queue.stats.transfers_to_device
+    # src is now resident and clean on device 0: the second launch reusing it
+    # must not pay the host→device copy again.
+    _enqueue_copy(queue, src, dst_b)
+    queue.flush()
+    assert queue.stats.transfers_to_device == to_device_before
+    assert queue.stats.transfers_skipped >= 2
+
+
+def test_dirty_buffer_migrates_through_the_host():
+    transfer = TransferConfig(latency_cycles=50, bytes_per_cycle=4.0)
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1), num_devices=2, memory_bytes=MEM, transfer=transfer
+    )
+    payload = np.arange(N) + 7
+    src = queue.create_buffer(payload)
+    mid = queue.allocate_buffer(N)
+    dst = queue.allocate_buffer(N)
+    first = _enqueue_copy(queue, src, mid, label="produce")
+    queue.flush()
+    producer = first.device
+    # Force the consumer onto the other device: make it busy-free but strip
+    # the producer's advantage by pre-loading the consumer's input there.
+    consumer_event = _enqueue_copy(queue, mid, dst, wait_for=(first,), label="consume")
+    queue.flush()
+    if consumer_event.device != producer:
+        # mid was dirty on the producer: it must have been read back and
+        # re-written, charged on both timelines.
+        assert queue.stats.transfers_from_device >= 1
+        assert queue.stats.bytes_from_device >= N * 4
+    # Whatever the placement, the data is right.
+    assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), payload)
+
+
+def test_enqueue_read_charges_only_dirty_buffers():
+    queue = _queue()
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    _enqueue_copy(queue, src, dst)
+    queue.flush()
+    from_device_before = queue.stats.transfers_from_device
+    queue.enqueue_read(dst)  # dirty on device 0: charged
+    assert queue.stats.transfers_from_device == from_device_before + 1
+    queue.enqueue_read(dst)  # host image now valid: skipped
+    assert queue.stats.transfers_from_device == from_device_before + 1
+    queue.enqueue_read(src)  # never written by a kernel: skipped
+    assert queue.stats.transfers_from_device == from_device_before + 1
+
+
+# --------------------------------------------------------------------------- #
+# Determinism and pool reuse
+# --------------------------------------------------------------------------- #
+def _schedule_digest(queue):
+    return [
+        (e.label, e.device, e.start_cycle, e.end_cycle, e.transfer_cycles, e.compute_cycles)
+        for e in queue.schedule
+    ]
+
+
+def _run_independent_batch(queue):
+    for index, name in enumerate(("saxpy", "dot", "copy", "transpose")):
+        spec = get_kernel_spec(name)
+        workload = spec.workload(N, 11)
+        args = dict(workload.scalars)
+        for buffer_name, contents in workload.buffers.items():
+            args[buffer_name] = queue.create_buffer(
+                np.asarray(contents, dtype=np.int64) & 0xFFFFFFFF
+            )
+        queue.enqueue(spec.build(), workload.ndrange, args, label=f"{name}#{index}")
+    queue.finish()
+    return queue
+
+
+def test_schedule_is_deterministic_across_runs():
+    first = _run_independent_batch(
+        OutOfOrderQueue(config=GGPUConfig(num_cus=1), num_devices=3, memory_bytes=MEM)
+    )
+    second = _run_independent_batch(
+        OutOfOrderQueue(config=GGPUConfig(num_cus=1), num_devices=3, memory_bytes=MEM)
+    )
+    assert _schedule_digest(first) == _schedule_digest(second)
+    assert first.stats == second.stats
+
+
+def test_reused_pool_matches_fresh_devices_bit_exactly():
+    pool = [GGPUSimulator(GGPUConfig(num_cus=1), memory_bytes=MEM) for _ in range(2)]
+    # Dirty the pool with a first run, then reuse it: the reset must bring
+    # every simulator back to a fresh simulator's exact state.
+    _run_independent_batch(OutOfOrderQueue(devices=pool))
+    reused = _run_independent_batch(OutOfOrderQueue(devices=pool))
+    fresh = _run_independent_batch(
+        OutOfOrderQueue(config=GGPUConfig(num_cus=1), num_devices=2, memory_bytes=MEM)
+    )
+    assert _schedule_digest(reused) == _schedule_digest(fresh)
+    assert reused.stats == fresh.stats
+
+
+def test_independent_launches_spread_across_devices():
+    queue = _run_independent_batch(
+        OutOfOrderQueue(config=GGPUConfig(num_cus=1), num_devices=4, memory_bytes=MEM)
+    )
+    assert {event.device for event in queue.schedule} == {0, 1, 2, 3}
+    assert queue.stats.makespan >= queue.stats.critical_path_cycles
+    assert queue.stats.makespan < queue.stats.total_cycles + queue.stats.transfer_cycles
+
+
+# --------------------------------------------------------------------------- #
+# Validation and stats guards
+# --------------------------------------------------------------------------- #
+def test_queue_rejects_foreign_buffers_events_and_bad_writes():
+    queue = _queue(cls=OutOfOrderQueue)
+    other = _queue(cls=OutOfOrderQueue)
+    kernel = get_kernel_spec("copy").build()
+    foreign = other.create_buffer(np.arange(N))
+    mine = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    with pytest.raises(KernelError):
+        queue.enqueue(kernel, NDRange(N, 64), {"src": foreign, "dst": dst, "n": N})
+    with pytest.raises(KernelError):
+        queue.enqueue(kernel, NDRange(N, 64), {"src": 64, "dst": dst, "n": N})
+    with pytest.raises(KernelError):
+        queue.enqueue(
+            kernel, NDRange(N, 64), {"src": mine, "dst": dst, "n": N}, writes=("n",)
+        )
+    foreign_event = _enqueue_copy(other, foreign, other.allocate_buffer(N))
+    with pytest.raises(KernelError):
+        _enqueue_copy(queue, mine, dst, wait_for=(foreign_event,))
+
+
+def test_constructor_validation():
+    with pytest.raises(KernelError):
+        MultiDeviceQueue(num_devices=0)
+    with pytest.raises(KernelError):
+        MultiDeviceQueue(devices=[])
+    with pytest.raises(KernelError):
+        MultiDeviceQueue(config=GGPUConfig(), devices=[GGPUSimulator(memory_bytes=MEM)])
+    # A mixed-config pool would make cycle counts depend on device assignment.
+    with pytest.raises(KernelError):
+        MultiDeviceQueue(
+            devices=[
+                GGPUSimulator(GGPUConfig(num_cus=1), memory_bytes=MEM),
+                GGPUSimulator(GGPUConfig(num_cus=4), memory_bytes=MEM),
+            ]
+        )
+
+
+def test_enqueue_write_size_mismatch():
+    queue = _queue()
+    buffer = queue.allocate_buffer(N)
+    with pytest.raises(KernelError):
+        queue.enqueue_write(buffer, np.arange(N + 1))
+
+
+def test_zero_launch_stats_never_divide_by_zero():
+    stats = QueueStats()
+    assert stats.average_cycles_per_launch == 0.0
+    assert stats.transfer_fraction == 0.0
+    assert stats.utilization == 0.0
+    assert stats.device_utilization() == {}
+
+    queue = _queue(cls=OutOfOrderQueue, num_devices=2)
+    assert queue.finish() == []
+    assert queue.flush() == []
+    assert queue.stats.makespan == 0.0
+    assert queue.stats.utilization == 0.0
+    assert queue.stats.device_utilization() == {0: 0.0, 1: 0.0}
+    assert queue.stats.average_cycles_per_launch == 0.0
+
+
+def test_in_order_queue_serializes_even_with_many_devices():
+    queue = _queue(num_devices=3)
+    src = queue.create_buffer(np.arange(N))
+    destinations = [queue.allocate_buffer(N) for _ in range(3)]
+    events = [_enqueue_copy(queue, src, dst) for dst in destinations]
+    queue.flush()
+    # In-order: each launch starts at or after the previous one's end.
+    for earlier, later in zip(events, events[1:]):
+        assert later.start_cycle >= earlier.end_cycle

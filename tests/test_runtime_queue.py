@@ -11,10 +11,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.arch.config import GGPUConfig
+from repro.arch.config import GGPUConfig, TransferConfig
 from repro.arch.kernel import NDRange
 from repro.errors import KernelError
 from repro.kernels import get_kernel_spec, run_workload
+from repro.runtime.multidevice import MultiDeviceQueue, OutOfOrderQueue
 from repro.runtime.queue import (
     BatchItem,
     CommandQueue,
@@ -138,6 +139,193 @@ def test_batch_validation():
         QueueBatch(items=())
     with pytest.raises(KernelError):
         BatchItem("saxpy", 128, repeats=0)
+
+
+def test_finish_on_empty_queue_is_a_cheap_noop():
+    """Regression: finishing (or flushing) an empty queue does nothing."""
+    queue = CommandQueue(config=GGPUConfig(num_cus=1), memory_bytes=1 << 20)
+    assert queue.flush() == []
+    assert queue.finish() == []
+    assert queue.pending == 0
+    assert queue.stats.launches == 0
+    # The simulator was never touched: no launch, no decode.
+    assert queue.simulator.decode_cache_misses == 0
+    assert queue.simulator.decode_cache_hits == 0
+
+
+def test_zero_launch_queue_stats_have_no_division_by_zero():
+    """Regression: every derived QueueStats metric is defined at zero launches."""
+    queue = CommandQueue(config=GGPUConfig(num_cus=1), memory_bytes=1 << 20)
+    queue.finish()
+    stats = queue.stats
+    assert stats.average_cycles_per_launch == 0.0
+    assert stats.transfer_fraction == 0.0
+    assert stats.utilization == 0.0
+    assert stats.device_utilization() == {}
+    assert stats.makespan == 0.0
+    assert stats.critical_path_cycles == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Out-of-order event dependencies, pinned against in-order execution
+# --------------------------------------------------------------------------- #
+# Size of the DAG tests: big enough that kernel compute dominates the (fast)
+# modeled interconnect, so overlapping B and C across devices pays off.
+DAG_SIZE = 512
+
+
+def _build_diamond(queue):
+    """A -> (B, C) -> D over saxpy/copy; returns (events, output buffer, expected)."""
+    copy_kernel = get_kernel_spec("copy").build()
+    saxpy = get_kernel_spec("saxpy").build()
+    x_host = np.arange(DAG_SIZE, dtype=np.int64) + 3
+    y_host = (np.arange(DAG_SIZE, dtype=np.int64) * 5) % 97
+
+    x = queue.create_buffer(x_host)
+    y = queue.create_buffer(y_host)
+    a = queue.allocate_buffer(DAG_SIZE)
+    b = queue.allocate_buffer(DAG_SIZE)
+    c = queue.allocate_buffer(DAG_SIZE)
+    d = queue.allocate_buffer(DAG_SIZE)
+    ndr = NDRange(DAG_SIZE, 64)
+
+    ev_a = queue.enqueue(
+        copy_kernel, ndr, {"src": x, "dst": a, "n": DAG_SIZE}, label="A", writes=("dst",)
+    )
+    ev_b = queue.enqueue(
+        saxpy,
+        ndr,
+        {"x": a, "y": y, "out": b, "alpha": 2, "n": DAG_SIZE},
+        label="B",
+        wait_for=(ev_a,),
+        writes=("out",),
+    )
+    ev_c = queue.enqueue(
+        saxpy,
+        ndr,
+        {"x": a, "y": y, "out": c, "alpha": 3, "n": DAG_SIZE},
+        label="C",
+        wait_for=(ev_a,),
+        writes=("out",),
+    )
+    ev_d = queue.enqueue(
+        saxpy,
+        ndr,
+        {"x": b, "y": c, "out": d, "alpha": 1, "n": DAG_SIZE},
+        label="D",
+        wait_for=(ev_b, ev_c),
+        writes=("out",),
+    )
+    stage_b = (2 * x_host + y_host) & 0xFFFFFFFF
+    stage_c = (3 * x_host + y_host) & 0xFFFFFFFF
+    expected = (stage_b + stage_c) & 0xFFFFFFFF
+    return (ev_a, ev_b, ev_c, ev_d), d, expected
+
+
+def test_diamond_dag_matches_in_order_single_device_bit_exactly():
+    """Out-of-order diamond over 2 devices == in-order on 1 device: results
+    and per-launch simulated cycles, bit for bit."""
+    # A fast interconnect, so migrating A's output to the second device is
+    # cheaper than queueing behind B on the first (the default DMA-ish model
+    # would correctly pin the whole diamond to one device at this tiny size).
+    fast_link = TransferConfig(latency_cycles=10, bytes_per_cycle=64.0)
+    in_order = MultiDeviceQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=1,
+        memory_bytes=8 * 1024 * 1024,
+        transfer=fast_link,
+    )
+    _, d_ref, expected = _build_diamond(in_order)
+    in_order.finish()
+    reference = in_order.enqueue_read(d_ref).astype(np.int64)
+    assert np.array_equal(reference, expected)
+
+    ooo = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=2,
+        memory_bytes=8 * 1024 * 1024,
+        transfer=fast_link,
+    )
+    events, d_out, _ = _build_diamond(ooo)
+    ooo.finish()
+    assert np.array_equal(ooo.enqueue_read(d_out).astype(np.int64), expected)
+
+    # Per-launch simulated cycle counts are identical: same kernels, same
+    # data, same buffer addresses (allocated in lock-step on every device).
+    in_order_cycles = [event.compute_cycles for event in in_order.schedule]
+    ooo_cycles = [event.compute_cycles for event in ooo.schedule]
+    assert in_order_cycles == ooo_cycles
+
+    # B and C are independent given A: with two devices they overlap...
+    ev_a, ev_b, ev_c, ev_d = events
+    assert {ev_b.device, ev_c.device} == {0, 1}
+    assert ev_c.start_cycle < ev_b.end_cycle or ev_b.start_cycle < ev_c.end_cycle
+    # ...while the event edges still hold.
+    assert ev_b.start_cycle >= ev_a.end_cycle
+    assert ev_c.start_cycle >= ev_a.end_cycle
+    assert ev_d.start_cycle >= max(ev_b.end_cycle, ev_c.end_cycle)
+    # The DAG's makespan beats the serialized in-order schedule.
+    assert ooo.stats.makespan < in_order.stats.makespan
+
+
+def _build_chains(queue, num_chains=2, depth=3):
+    """Independent copy chains; returns (per-chain events, outputs, expecteds)."""
+    copy_kernel = get_kernel_spec("copy").build()
+    ndr = NDRange(SIZE, 64)
+    chains, outputs, expecteds = [], [], []
+    for chain in range(num_chains):
+        payload = np.arange(SIZE, dtype=np.int64) + 1000 * chain
+        stages = [queue.create_buffer(payload)]
+        events = []
+        previous = None
+        for step in range(depth):
+            stages.append(queue.allocate_buffer(SIZE))
+            previous = queue.enqueue(
+                copy_kernel,
+                ndr,
+                {"src": stages[-2], "dst": stages[-1], "n": SIZE},
+                label=f"chain{chain}.{step}",
+                wait_for=() if previous is None else (previous,),
+                writes=("dst",),
+            )
+            events.append(previous)
+        chains.append(events)
+        outputs.append(stages[-1])
+        expecteds.append(payload)
+    return chains, outputs, expecteds
+
+
+def test_independent_chains_overlap_and_match_in_order_bit_exactly():
+    in_order = MultiDeviceQueue(
+        config=GGPUConfig(num_cus=1), num_devices=1, memory_bytes=8 * 1024 * 1024
+    )
+    _, ref_outputs, expecteds = _build_chains(in_order)
+    in_order.finish()
+    for output, expected in zip(ref_outputs, expecteds):
+        assert np.array_equal(in_order.enqueue_read(output).astype(np.int64), expected)
+
+    ooo = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1), num_devices=2, memory_bytes=8 * 1024 * 1024
+    )
+    chains, outputs, expecteds = _build_chains(ooo)
+    ooo.finish()
+    for output, expected in zip(outputs, expecteds):
+        assert np.array_equal(ooo.enqueue_read(output).astype(np.int64), expected)
+
+    # Same per-launch cycles as the serialized reference, in enqueue order.
+    assert [e.compute_cycles for e in ooo.schedule] == [
+        e.compute_cycles for e in in_order.schedule
+    ]
+    # Each chain stays on one device (residency pulls dependents to their
+    # producer), and the two chains run on different devices.
+    chain_devices = [{event.device for event in chain} for chain in chains]
+    assert all(len(devices) == 1 for devices in chain_devices)
+    assert chain_devices[0] != chain_devices[1]
+    # Within a chain the event order holds.
+    for chain in chains:
+        for earlier, later in zip(chain, chain[1:]):
+            assert later.start_cycle >= earlier.end_cycle
+    assert ooo.stats.makespan < in_order.stats.makespan
 
 
 def test_batch_cycles_match_independent_measurements():

@@ -6,7 +6,7 @@ import pytest
 from repro.arch.config import GGPUConfig
 from repro.arch.isa import Opcode
 from repro.arch.kernel import Kernel, KernelArg, KernelBuilder, NDRange
-from repro.errors import KernelError, SimulationError
+from repro.errors import KernelError
 from repro.simt.gpu import GGPUSimulator
 from repro.simt.timing import TimingModel
 from repro.arch.isa import OpClass

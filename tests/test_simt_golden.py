@@ -15,7 +15,6 @@ parked at the barrier), divergence-mask edge cases, posted-store semantics,
 the end-of-kernel flush traffic, and the round-robin idle-CU refill.
 """
 
-import numpy as np
 import pytest
 
 from repro.arch.config import AxiConfig, CacheConfig, GGPUConfig

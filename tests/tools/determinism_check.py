@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Canonical digest of the multi-device event-graph schedule, for CI diffing.
+
+Runs the multi-device makespan sweep
+(:func:`repro.eval.multidevice.run_multidevice_table`) and writes a canonical
+JSON digest of everything the scheduler decided: per device count, the full
+event-graph schedule (label, device, start, end, transfer and compute
+cycles), the makespan, the critical path, the per-device utilization, and
+the transfer counters.
+
+The CI determinism job runs this twice in one checkout and once more with a
+different ``REPRO_JOBS``, then diffs the three files byte for byte: the
+schedule and its cycle statistics must be identical across repeated runs and
+across the serial (shared device pool, recycled via ``GGPUSimulator.reset``)
+and fanned-out (fresh pool per worker process) sweep paths.
+
+    PYTHONPATH=src python tests/tools/determinism_check.py --output run_a.json
+    PYTHONPATH=src REPRO_JOBS=4 python tests/tools/determinism_check.py --output run_b.json
+    diff run_a.json run_b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.multidevice import run_multidevice_table  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=0.125, help="input-size scale factor (default 0.125)"
+    )
+    parser.add_argument(
+        "--device-counts",
+        default="1,2,4",
+        help="comma-separated device counts to sweep (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the canonical JSON digest here (default: stdout only)",
+    )
+    args = parser.parse_args()
+    counts = tuple(int(field) for field in args.device_counts.split(","))
+
+    table = run_multidevice_table(device_counts=counts, scale=args.scale)
+    digest = {
+        "scale": args.scale,
+        "kernels": table.kernels,
+        "cells": {
+            str(count): {
+                "schedule": [list(entry) for entry in table.cell(count).schedule],
+                "makespan": table.cell(count).makespan,
+                "critical_path_cycles": table.cell(count).critical_path_cycles,
+                "compute_cycles": table.cell(count).compute_cycles,
+                "transfer_cycles": table.cell(count).transfer_cycles,
+                "utilization": {
+                    str(device): value
+                    for device, value in sorted(table.cell(count).utilization.items())
+                },
+                "transfers_skipped": table.cell(count).transfers_skipped,
+            }
+            for count in table.device_counts
+        },
+    }
+    text = json.dumps(digest, indent=2, sort_keys=True) + "\n"
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text)
+        print(f"digest written to {args.output} ({len(text)} bytes)")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

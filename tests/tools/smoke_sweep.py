@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Scale-reduced Table III smoke sweep, runnable identically locally and in CI.
+
+Runs the full registered kernel suite on the RISC-V baseline and on G-GPUs at
+the given CU counts, verifies every kernel's outputs against its reference,
+sanity-checks the table shape, and prints it.  This used to live as an inline
+heredoc in ``.github/workflows/ci.yml``; as a script it can be run (and
+debugged) the same way everywhere:
+
+    PYTHONPATH=src python tests/tools/smoke_sweep.py --scale 0.25
+    PYTHONPATH=src python tests/tools/smoke_sweep.py --output smoke_table.txt
+
+``--output`` additionally writes the rendered table to a file so CI can
+upload it as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.benchmarks import run_table3  # noqa: E402
+from repro.eval.tables import format_table3  # noqa: E402
+from repro.kernels import all_kernel_names  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="input-size scale factor (default 0.25)"
+    )
+    parser.add_argument(
+        "--cu-counts",
+        default="1,2,4,8",
+        help="comma-separated G-GPU CU counts to sweep (default 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the rendered table to this file (for CI artifacts)",
+    )
+    args = parser.parse_args()
+    cu_counts = tuple(int(field) for field in args.cu_counts.split(","))
+
+    start = time.perf_counter()
+    table = run_table3(cu_counts=cu_counts, scale=args.scale)
+    elapsed = time.perf_counter() - start
+
+    expected_kernels = all_kernel_names()
+    if table.kernels != expected_kernels:
+        raise SystemExit(
+            f"smoke sweep covered {table.kernels}, expected {expected_kernels}"
+        )
+    for kernel, row in table.rows.items():
+        if not row.riscv.cycles > 0:
+            raise SystemExit(f"non-positive RISC-V cycles for {kernel}")
+        for num_cus, gpu in row.gpu.items():
+            if not gpu.cycles > 0:
+                raise SystemExit(f"non-positive G-GPU cycles for {kernel} at {num_cus} CUs")
+
+    rendered = format_table3(table)
+    header = (
+        f"smoke sweep ok: {len(table.rows)} kernels x (RISC-V + "
+        f"{len(cu_counts)} CU counts) at scale {args.scale} in {elapsed:.1f}s"
+    )
+    print(header)
+    print(rendered)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(header + "\n" + rendered + "\n")
+        print(f"table written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
