@@ -12,6 +12,7 @@ cache sizes)".  :class:`GGPUConfig` is that parameter set.  It is consumed by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -109,10 +110,20 @@ class TransferConfig:
     a DMA engine behind the single AXI control/data bridge: a fixed setup
     latency plus a streaming phase at the 64-bit AXI beat width (8 bytes per
     cycle).
+
+    ``p2p_latency_cycles``/``p2p_bytes_per_cycle`` describe a direct
+    device↔device link (an NVLink-ish on-package fabric next to the PCIe-ish
+    host bridge).  Both default to ``None`` — P2P disabled — in which case a
+    cross-device hand-off bounces through the host and
+    :meth:`p2p_cycles` prices it as the two host hops it actually takes, so
+    every existing schedule pin holds.  Set both to enable direct transfers
+    in the multi-device runtime.
     """
 
     latency_cycles: int = 600
     bytes_per_cycle: float = 8.0
+    p2p_latency_cycles: Optional[int] = None
+    p2p_bytes_per_cycle: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.latency_cycles < 0:
@@ -123,6 +134,23 @@ class TransferConfig:
             raise ConfigurationError(
                 f"transfer bandwidth must be positive, got {self.bytes_per_cycle}"
             )
+        if (self.p2p_latency_cycles is None) != (self.p2p_bytes_per_cycle is None):
+            raise ConfigurationError(
+                "p2p_latency_cycles and p2p_bytes_per_cycle must be set together"
+            )
+        if self.p2p_latency_cycles is not None and self.p2p_latency_cycles < 0:
+            raise ConfigurationError(
+                f"P2P latency must be non-negative, got {self.p2p_latency_cycles}"
+            )
+        if self.p2p_bytes_per_cycle is not None and self.p2p_bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                f"P2P bandwidth must be positive, got {self.p2p_bytes_per_cycle}"
+            )
+
+    @property
+    def p2p_enabled(self) -> bool:
+        """Whether direct device↔device transfers are modeled."""
+        return self.p2p_bytes_per_cycle is not None
 
     def cycles(self, num_bytes: int) -> float:
         """Cycle cost of one host↔device copy of ``num_bytes`` bytes."""
@@ -132,6 +160,34 @@ class TransferConfig:
             return 0.0
         beats = -(-num_bytes // self.bytes_per_cycle)  # ceil for float bandwidths
         return float(self.latency_cycles) + float(int(beats))
+
+    def p2p_cycles(self, num_bytes: int) -> float:
+        """Cycle cost of moving ``num_bytes`` from one device to another.
+
+        With P2P disabled this is the price of the host bounce the runtime
+        actually performs (device→host read-back plus host→device write, two
+        :meth:`cycles` hops); with P2P enabled it is one direct hop on the
+        device↔device link.
+        """
+        if not self.p2p_enabled:
+            return 2.0 * self.cycles(num_bytes)
+        if num_bytes < 0:
+            raise ConfigurationError(f"transfer size must be non-negative, got {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        beats = -(-num_bytes // self.p2p_bytes_per_cycle)
+        return float(self.p2p_latency_cycles) + float(int(beats))
+
+    def with_p2p(
+        self, latency_cycles: int, bytes_per_cycle: float
+    ) -> "TransferConfig":
+        """A copy of this model with the direct device↔device link enabled."""
+        return TransferConfig(
+            latency_cycles=self.latency_cycles,
+            bytes_per_cycle=self.bytes_per_cycle,
+            p2p_latency_cycles=latency_cycles,
+            p2p_bytes_per_cycle=bytes_per_cycle,
+        )
 
 
 @dataclass(frozen=True)

@@ -1,20 +1,35 @@
-"""Multi-device sweep: makespan vs device count for the kernel suite.
+"""Multi-device sweeps: makespan vs device count, and transfer-mode ablation.
 
-The paper evaluates one simulated G-GPU at a time; this sweep asks the
-platform question instead — how does the wall-clock (in simulated cycles) of
-an *independent-launch batch* of the whole kernel suite shrink as the host
-schedules it across more G-GPU instances?  Each cell runs one
+The paper evaluates one simulated G-GPU at a time; these sweeps ask the
+platform question instead.  :func:`run_multidevice_table` measures how the
+wall-clock (in simulated cycles) of an *independent-launch batch* of the
+whole kernel suite shrinks as the host schedules it across more G-GPU
+instances; each cell runs one
 :class:`~repro.runtime.multidevice.OutOfOrderQueue` over ``device_count``
 devices, enqueues every kernel once (no event dependencies: the batch is
 embarrassingly launch-parallel), verifies every output buffer against the
 kernel's reference, and reports the queue's makespan, its transfer vs
 compute cycle breakdown, and the per-device utilization.
 
+:func:`run_pipeline_table` (PR 5) measures a *two-stage saxpy DAG* with a
+cross-lane shuffle — stage 2 of lane ``l`` consumes stage-1 outputs of lanes
+``l`` and ``l+1``, so at two or more devices every schedule must move dirty
+buffers between devices — under three transfer modes:
+
+* ``host`` — the PR 4 path: every cross-device hand-off bounces through the
+  host (read-back + write, two hops);
+* ``p2p`` — the same schedule with direct device↔device transfers enabled
+  (:meth:`~repro.arch.config.TransferConfig.with_p2p`);
+* ``p2p-prefetch`` — P2P plus the PR 5 scheduling knobs: ``enqueue_write``
+  prefetch and per-launch ``device=`` affinity hints (lane → device
+  round-robin) with the LPT flush order.
+
 Determinism and bit-exactness are part of the protocol:
 
 * buffer addresses are identical across device counts (the queue allocates
   eagerly on every device), so each launch's simulated cycle count is the
-  same in every cell — the table builder asserts it;
+  same in every cell — both table builders assert it, the pipeline table
+  across transfer modes too;
 * with ``jobs == 1`` the cells share one device pool, recycled through
   :meth:`~repro.simt.gpu.GGPUSimulator.reset`; with ``jobs > 1`` each worker
   process builds a fresh pool.  Both paths must produce the same table
@@ -30,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arch.config import GGPUConfig, TransferConfig
+from repro.arch.kernel import NDRange
 from repro.errors import KernelError
 from repro.eval.benchmarks import DEFAULT_SEED, BenchmarkSizes
 from repro.kernels import all_kernel_names, get_kernel_spec
@@ -96,6 +112,23 @@ class MultiDeviceTable:
         return baseline.makespan / cell.makespan
 
 
+def _schedule_entries(
+    queue: OutOfOrderQueue,
+) -> List[Tuple[str, int, float, float, float, float]]:
+    """The executed launches as JSON-friendly schedule tuples."""
+    return [
+        (
+            event.label,
+            int(event.device if event.device is not None else -1),
+            float(event.start_cycle),
+            float(event.end_cycle),
+            float(event.transfer_cycles),
+            float(event.compute_cycles),
+        )
+        for event in queue.schedule
+    ]
+
+
 def _run_cell_on_queue(
     queue: OutOfOrderQueue,
     kernels: Sequence[str],
@@ -135,17 +168,7 @@ def _run_cell_on_queue(
         transfer_fraction=stats.transfer_fraction,
         launches=stats.launches,
         transfers_skipped=stats.transfers_skipped,
-        schedule=[
-            (
-                event.label,
-                int(event.device if event.device is not None else -1),
-                float(event.start_cycle),
-                float(event.end_cycle),
-                float(event.transfer_cycles),
-                float(event.compute_cycles),
-            )
-            for event in queue.schedule
-        ],
+        schedule=_schedule_entries(queue),
     )
     for kernel_name, buffer_name, buffer, expected in checks:
         observed = queue.enqueue_read(buffer).astype(np.int64)
@@ -160,12 +183,13 @@ def _run_cell_on_queue(
 
 def _run_cell_task(task: tuple) -> MultiDeviceCell:
     """Worker entry for one cell (module level: picklable)."""
-    device_count, kernels, scale, seed, config, transfer = task
+    device_count, kernels, scale, seed, config, transfer, lpt = task
     queue = OutOfOrderQueue(
         config=config,
         num_devices=device_count,
         memory_bytes=CELL_MEMORY_BYTES,
         transfer=transfer,
+        lpt=lpt,
     )
     return _run_cell_on_queue(queue, kernels, scale, seed)
 
@@ -178,6 +202,7 @@ def run_multidevice_table(
     config: Optional[GGPUConfig] = None,
     transfer: Optional[TransferConfig] = None,
     jobs: Optional[int] = None,
+    lpt: bool = False,
 ) -> MultiDeviceTable:
     """Measure the suite's makespan at every device count.
 
@@ -185,7 +210,9 @@ def run_multidevice_table(
     pool across cells (each queue resets the simulators it is handed);
     fanned-out runs build one pool per worker.  The resulting table is
     bit-identical either way, and every launch's simulated cycle count is
-    asserted identical across cells.
+    asserted identical across cells.  ``lpt=True`` drains each queue
+    longest-projected-time first, which tightens the makespan of this
+    mixed-size batch at 4+ devices.
     """
     if not device_counts:
         raise KernelError("need at least one device count")
@@ -205,10 +232,13 @@ def run_multidevice_table(
         ]
         cells = []
         for count in counts:
-            queue = OutOfOrderQueue(devices=pool[:count], transfer=transfer)
+            queue = OutOfOrderQueue(devices=pool[:count], transfer=transfer, lpt=lpt)
             cells.append(_run_cell_on_queue(queue, names, scale, seed))
     else:
-        tasks = [(count, tuple(names), scale, seed, config, transfer) for count in counts]
+        tasks = [
+            (count, tuple(names), scale, seed, config, transfer, lpt)
+            for count in counts
+        ]
         cells = parallel_map(_run_cell_task, tasks, jobs=effective_jobs)
     for cell in cells:
         table.cells[cell.device_count] = cell
@@ -226,5 +256,280 @@ def run_multidevice_table(
                     f"launch {label!r} simulated {compute} cycles on "
                     f"{cell.device_count} devices but {reference.get(label)} on "
                     f"{min(table.cells)}"
+                )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Two-stage-DAG transfer-mode sweep (PR 5)
+# --------------------------------------------------------------------------- #
+PIPELINE_MODES: Tuple[str, ...] = ("host", "p2p", "p2p-prefetch")
+
+# Direct device↔device link of the P2P modes: lower setup latency than the
+# host bridge and a 4x-wider streaming phase (an on-package fabric next to
+# the PCIe-ish host DMA defaults).
+P2P_LINK_LATENCY_CYCLES = 150
+P2P_LINK_BYTES_PER_CYCLE = 32.0
+
+
+@dataclass
+class PipelineCell:
+    """One (transfer mode, device count) cell of the two-stage-DAG sweep."""
+
+    mode: str
+    device_count: int
+    makespan: float
+    compute_cycles: float
+    transfer_cycles: float
+    critical_path_cycles: float
+    transfers_to_device: int
+    transfers_from_device: int
+    transfers_p2p: int
+    transfers_skipped: int
+    schedule: List[Tuple[str, int, float, float, float, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def makespan_kcycles(self) -> float:
+        return self.makespan / 1.0e3
+
+
+@dataclass
+class PipelineTable:
+    """Makespan of the two-stage shuffle DAG per transfer mode and device count."""
+
+    cells: Dict[Tuple[str, int], PipelineCell] = field(default_factory=dict)
+    modes: List[str] = field(default_factory=list)
+    lanes: int = 0
+    size: int = 0
+
+    @property
+    def device_counts(self) -> List[int]:
+        return sorted({count for _, count in self.cells})
+
+    def cell(self, mode: str, device_count: int) -> PipelineCell:
+        try:
+            return self.cells[(mode, device_count)]
+        except KeyError as exc:
+            raise KernelError(
+                f"pipeline table has no cell for mode {mode!r} at "
+                f"{device_count} devices"
+            ) from exc
+
+    def improvement(self, mode: str, device_count: int) -> float:
+        """Makespan improvement of ``mode`` over the host-hop path at the
+        same device count."""
+        cell = self.cell(mode, device_count)
+        if cell.makespan <= 0.0:
+            return 0.0
+        return self.cell("host", device_count).makespan / cell.makespan
+
+
+def _run_pipeline_on_queue(
+    queue: OutOfOrderQueue, lanes: int, size: int, hints: Optional[Dict[int, int]]
+) -> PipelineCell:
+    """Build, run, and verify the two-stage shuffle DAG on one queue.
+
+    Stage 1 runs one ``saxpy`` per lane; stage 2 runs one ``saxpy`` per lane
+    whose ``y`` input is the *next* lane's stage-1 output, so at two or more
+    devices every schedule moves dirty buffers across devices.  ``hints``
+    maps lanes to devices (affinity for both stages and the prefetch target
+    of the lane's input writes); ``None`` leaves placement to the scheduler.
+    """
+    spec = get_kernel_spec("saxpy")
+    saxpy = spec.build()
+    ndrange = NDRange(size, 64)
+    alpha, beta = 3, 5
+    mask = 0xFFFFFFFF
+
+    stage1_events, stage1_outs, stage1_hosts = [], [], []
+    for lane in range(lanes):
+        device = hints.get(lane) if hints is not None else None
+        x_host = (np.arange(size, dtype=np.int64) + 17 * lane) & mask
+        y_host = ((np.arange(size, dtype=np.int64) * 3 + lane) % 251) & mask
+        x = queue.create_buffer(x_host, device=device)
+        y = queue.create_buffer(y_host, device=device)
+        out = queue.allocate_buffer(size)
+        stage1_events.append(
+            queue.enqueue(
+                saxpy,
+                ndrange,
+                {"x": x, "y": y, "out": out, "alpha": alpha, "n": size},
+                label=f"stage1[{lane}]",
+                writes=("out",),
+                device=device,
+            )
+        )
+        stage1_outs.append(out)
+        stage1_hosts.append((alpha * x_host + y_host) & mask)
+
+    checks = []
+    for lane in range(lanes):
+        peer = (lane + 1) % lanes
+        device = hints.get(lane) if hints is not None else None
+        out = queue.allocate_buffer(size)
+        queue.enqueue(
+            saxpy,
+            ndrange,
+            {
+                "x": stage1_outs[lane],
+                "y": stage1_outs[peer],
+                "out": out,
+                "alpha": beta,
+                "n": size,
+            },
+            label=f"stage2[{lane}]",
+            wait_for=(stage1_events[lane], stage1_events[peer]),
+            writes=("out",),
+            device=device,
+        )
+        expected = (beta * stage1_hosts[lane] + stage1_hosts[peer]) & mask
+        checks.append((lane, out, expected))
+    queue.finish()
+
+    stats = queue.stats
+    makespan = stats.makespan  # before read-back charges: the DAG makespan
+    cell = PipelineCell(
+        mode="",  # filled by the caller
+        device_count=queue.num_devices,
+        makespan=makespan,
+        compute_cycles=stats.compute_cycles,
+        transfer_cycles=stats.transfer_cycles,
+        critical_path_cycles=stats.critical_path_cycles,
+        transfers_to_device=stats.transfers_to_device,
+        transfers_from_device=stats.transfers_from_device,
+        transfers_p2p=stats.transfers_p2p,
+        transfers_skipped=stats.transfers_skipped,
+        schedule=_schedule_entries(queue),
+    )
+    for lane, buffer, expected in checks:
+        observed = queue.enqueue_read(buffer).astype(np.int64)
+        if not np.array_equal(observed, expected):
+            raise KernelError(
+                f"two-stage DAG lane {lane} produced wrong values on "
+                f"{queue.num_devices} devices"
+            )
+    return cell
+
+
+def _pipeline_queue_options(
+    mode: str,
+    device_count: int,
+    lanes: int,
+    transfer: TransferConfig,
+    p2p_latency_cycles: int,
+    p2p_bytes_per_cycle: float,
+) -> Tuple[TransferConfig, bool, Optional[Dict[int, int]]]:
+    """(transfer model, LPT flag, lane→device hints) of one sweep mode."""
+    if mode == "host":
+        return transfer, False, None
+    p2p = transfer.with_p2p(p2p_latency_cycles, p2p_bytes_per_cycle)
+    if mode == "p2p":
+        return p2p, False, None
+    if mode == "p2p-prefetch":
+        hints = {lane: lane % device_count for lane in range(lanes)}
+        return p2p, True, hints
+    raise KernelError(f"unknown pipeline mode {mode!r}: pick from {PIPELINE_MODES}")
+
+
+def _run_pipeline_cell_task(task: tuple) -> PipelineCell:
+    """Worker entry for one (mode, device count) cell (module level: picklable)."""
+    mode, device_count, lanes, size, config, transfer, p2p_latency, p2p_bw = task
+    model, lpt, hints = _pipeline_queue_options(
+        mode, device_count, lanes, transfer, p2p_latency, p2p_bw
+    )
+    queue = OutOfOrderQueue(
+        config=config,
+        num_devices=device_count,
+        memory_bytes=CELL_MEMORY_BYTES,
+        transfer=model,
+        lpt=lpt,
+    )
+    cell = _run_pipeline_on_queue(queue, lanes, size, hints)
+    cell.mode = mode
+    return cell
+
+
+def run_pipeline_table(
+    device_counts: Sequence[int] = (1, 2, 4),
+    lanes: int = 8,
+    size: int = 512,
+    config: Optional[GGPUConfig] = None,
+    transfer: Optional[TransferConfig] = None,
+    p2p_latency_cycles: int = P2P_LINK_LATENCY_CYCLES,
+    p2p_bytes_per_cycle: float = P2P_LINK_BYTES_PER_CYCLE,
+    modes: Sequence[str] = PIPELINE_MODES,
+    jobs: Optional[int] = None,
+) -> PipelineTable:
+    """Measure the two-stage shuffle DAG under every transfer mode.
+
+    One cell per (mode, device count); each cell verifies every lane's
+    output.  ``jobs=None`` honours ``REPRO_JOBS``; serial runs recycle one
+    device pool across cells, fanned-out runs build one per worker — the
+    table is bit-identical either way.  Per-launch simulated cycle counts
+    are asserted identical across *all* cells: the transfer mode and the
+    scheduling hints move data and placement, never the simulated kernels.
+    """
+    if not device_counts:
+        raise KernelError("need at least one device count")
+    counts = list(device_counts)
+    if len(set(counts)) != len(counts):
+        raise KernelError(f"duplicate device counts: {counts}")
+    if lanes < 2:
+        raise KernelError(f"the shuffle DAG needs at least two lanes, got {lanes}")
+    mode_list = list(modes)
+    if "host" not in mode_list:
+        raise KernelError("the pipeline sweep needs the 'host' baseline mode")
+    config = config or GGPUConfig()
+    base_transfer = transfer if transfer is not None else config.transfer
+    effective_jobs = jobs if jobs is not None else default_jobs()
+
+    table = PipelineTable(modes=mode_list, lanes=lanes, size=size)
+    tasks = [
+        (
+            mode,
+            count,
+            lanes,
+            size,
+            config,
+            base_transfer,
+            p2p_latency_cycles,
+            p2p_bytes_per_cycle,
+        )
+        for mode in mode_list
+        for count in counts
+    ]
+    if effective_jobs == 1 or len(tasks) <= 1:
+        # Shared pool: build the widest cell once, reuse (reset) for the rest.
+        pool = [
+            GGPUSimulator(config, memory_bytes=CELL_MEMORY_BYTES)
+            for _ in range(max(counts))
+        ]
+        cells = []
+        for mode, count, *_ in tasks:
+            model, lpt, hints = _pipeline_queue_options(
+                mode, count, lanes, base_transfer, p2p_latency_cycles, p2p_bytes_per_cycle
+            )
+            queue = OutOfOrderQueue(devices=pool[:count], transfer=model, lpt=lpt)
+            cell = _run_pipeline_on_queue(queue, lanes, size, hints)
+            cell.mode = mode
+            cells.append(cell)
+    else:
+        cells = parallel_map(_run_pipeline_cell_task, tasks, jobs=effective_jobs)
+    for cell in cells:
+        table.cells[(cell.mode, cell.device_count)] = cell
+
+    # Bit-exactness across every mode and device count: transfers and hints
+    # reshape the schedule, never the simulated kernel cycles.
+    first = table.cell(mode_list[0], min(counts))
+    reference = {label: compute for label, _, _, _, _, compute in first.schedule}
+    for cell in table.cells.values():
+        for label, _, _, _, _, compute in cell.schedule:
+            if reference.get(label) != compute:
+                raise KernelError(
+                    f"launch {label!r} simulated {compute} cycles in mode "
+                    f"{cell.mode!r} at {cell.device_count} devices but "
+                    f"{reference.get(label)} in the reference cell"
                 )
     return table

@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.eval.benchmarks import Table3Data
 from repro.eval.comparison import SpeedupSeries
 from repro.eval.energy import EnergyComparison
-from repro.eval.multidevice import MultiDeviceTable
+from repro.eval.multidevice import MultiDeviceTable, PipelineTable
 from repro.physical.routing import RoutingEstimate
 from repro.synth.logic import SynthesisResult
 from repro.synth.report import SynthesisReportRow
@@ -192,6 +192,49 @@ def multidevice_to_markdown(table: MultiDeviceTable) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# Two-stage-DAG transfer-mode sweep (PR 5)
+# --------------------------------------------------------------------------- #
+_PIPELINE_HEADER = (
+    "mode",
+    "devices",
+    "makespan_kcycles",
+    "improvement_vs_host",
+    "transfer_kcycles",
+    "p2p_transfers",
+    "readback_transfers",
+)
+
+
+def _pipeline_rows(table: PipelineTable) -> List[Sequence]:
+    rows = []
+    for mode in table.modes:
+        for count in table.device_counts:
+            cell = table.cell(mode, count)
+            rows.append(
+                (
+                    mode,
+                    count,
+                    f"{cell.makespan_kcycles:.1f}",
+                    f"{table.improvement(mode, count):.2f}",
+                    f"{cell.transfer_cycles / 1e3:.1f}",
+                    cell.transfers_p2p,
+                    cell.transfers_from_device,
+                )
+            )
+    return rows
+
+
+def pipeline_to_csv(table: PipelineTable) -> str:
+    """The two-stage-DAG transfer-mode sweep as CSV text."""
+    return _csv_text(_PIPELINE_HEADER, _pipeline_rows(table))
+
+
+def pipeline_to_markdown(table: PipelineTable) -> str:
+    """The two-stage-DAG transfer-mode sweep as a Markdown table."""
+    return _markdown_table(_PIPELINE_HEADER, _pipeline_rows(table))
+
+
+# --------------------------------------------------------------------------- #
 # Figs. 5 / 6 and the energy extension
 # --------------------------------------------------------------------------- #
 def speedups_to_csv(series: SpeedupSeries) -> str:
@@ -243,6 +286,7 @@ def write_report_bundle(
     figure6: Optional[SpeedupSeries] = None,
     energy: Optional[EnergyComparison] = None,
     multidevice: Optional[MultiDeviceTable] = None,
+    pipeline: Optional[PipelineTable] = None,
 ) -> Dict[str, str]:
     """Write every provided table/figure as CSV (and Markdown) into ``directory``.
 
@@ -280,4 +324,7 @@ def write_report_bundle(
     if multidevice is not None:
         _write("multidevice_makespan.csv", multidevice_to_csv(multidevice))
         _write("multidevice_makespan.md", multidevice_to_markdown(multidevice))
+    if pipeline is not None:
+        _write("pipeline_transfer_modes.csv", pipeline_to_csv(pipeline))
+        _write("pipeline_transfer_modes.md", pipeline_to_markdown(pipeline))
     return written

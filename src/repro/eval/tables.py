@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.eval.benchmarks import Table3Data, run_table3
-from repro.eval.multidevice import MultiDeviceTable
+from repro.eval.multidevice import MultiDeviceTable, PipelineTable
 from repro.physical.layout import LayoutResult, PhysicalSynthesis
 from repro.physical.routing import RoutingEstimate
 from repro.planner.dse import DesignPoint, DesignSpaceExplorer
@@ -125,6 +125,47 @@ def format_multidevice_table(table: MultiDeviceTable) -> str:
                 ]
             )
         )
+    return "\n".join(lines)
+
+
+def format_pipeline_table(table: PipelineTable) -> str:
+    """Render the two-stage-DAG transfer-mode sweep as fixed-width text.
+
+    One row per (transfer mode, device count): makespan (k-cycles), the
+    improvement over the host-hop baseline at the same device count, the
+    transfer cycle total, and the P2P / read-back copy counts.
+    """
+    header_cells = [
+        "Mode".ljust(13),
+        "Devices".rjust(7),
+        "Makespan k".rjust(11),
+        "vs host".rjust(8),
+        "Transfer k".rjust(11),
+        "P2P".rjust(5),
+        "Readback".rjust(9),
+    ]
+    header = " ".join(header_cells)
+    lines = [
+        f"Two-stage shuffle DAG: {table.lanes} lanes of {table.size} words",
+        header,
+        "-" * len(header),
+    ]
+    for mode in table.modes:
+        for count in table.device_counts:
+            cell = table.cell(mode, count)
+            lines.append(
+                " ".join(
+                    [
+                        mode.ljust(13),
+                        f"{count}".rjust(7),
+                        f"{cell.makespan_kcycles:.1f}".rjust(11),
+                        f"{table.improvement(mode, count):.2f}x".rjust(8),
+                        f"{cell.transfer_cycles / 1e3:.1f}".rjust(11),
+                        f"{cell.transfers_p2p}".rjust(5),
+                        f"{cell.transfers_from_device}".rjust(9),
+                    ]
+                )
+            )
     return "\n".join(lines)
 
 

@@ -78,8 +78,10 @@ class QueueStats:
     transfer_cycles: float = 0.0
     bytes_to_device: int = 0
     bytes_from_device: int = 0
+    bytes_p2p: int = 0
     transfers_to_device: int = 0
     transfers_from_device: int = 0
+    transfers_p2p: int = 0
     transfers_skipped: int = 0
     makespan: float = 0.0
     critical_path_cycles: float = 0.0
@@ -110,6 +112,15 @@ class QueueStats:
         else:
             self.transfers_from_device += 1
             self.bytes_from_device += num_bytes
+
+    def record_p2p(self, device: int, num_bytes: int, cycles: float) -> None:
+        """Account one direct device→device copy, charged to the destination."""
+        self.transfer_cycles += cycles
+        self.device_transfer_cycles[device] = (
+            self.device_transfer_cycles.get(device, 0.0) + cycles
+        )
+        self.transfers_p2p += 1
+        self.bytes_p2p += num_bytes
 
     @property
     def compute_cycles(self) -> float:

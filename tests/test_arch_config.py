@@ -90,6 +90,31 @@ def test_transfer_config_cycles_and_validation():
         transfer.cycles(-4)
 
 
+def test_transfer_config_p2p_model():
+    base = TransferConfig(latency_cycles=100, bytes_per_cycle=8.0)
+    # Disabled by default: a device->device move is priced as two host hops.
+    assert not base.p2p_enabled
+    assert base.p2p_cycles(64) == 2 * base.cycles(64)
+    assert base.p2p_cycles(0) == 0.0
+    p2p = base.with_p2p(10, 32.0)
+    assert p2p.p2p_enabled
+    assert p2p.latency_cycles == base.latency_cycles  # host model untouched
+    assert p2p.p2p_cycles(0) == 0.0
+    assert p2p.p2p_cycles(1) == 11.0  # latency + one beat
+    assert p2p.p2p_cycles(32) == 11.0
+    assert p2p.p2p_cycles(33) == 12.0  # partial beats round up
+    with pytest.raises(ConfigurationError):
+        TransferConfig(p2p_latency_cycles=10)  # bandwidth missing
+    with pytest.raises(ConfigurationError):
+        TransferConfig(p2p_bytes_per_cycle=8.0)  # latency missing
+    with pytest.raises(ConfigurationError):
+        base.with_p2p(-1, 8.0)
+    with pytest.raises(ConfigurationError):
+        base.with_p2p(10, 0.0)
+    with pytest.raises(ConfigurationError):
+        p2p.p2p_cycles(-4)
+
+
 def test_transfer_config_rides_along_ggpu_config():
     config = GGPUConfig(transfer=TransferConfig(latency_cycles=7, bytes_per_cycle=16.0))
     assert config.transfer.latency_cycles == 7

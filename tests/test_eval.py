@@ -28,12 +28,18 @@ from repro.eval.paper_data import (
     paper_speedup,
     paper_speedup_per_area,
 )
-from repro.eval.multidevice import run_multidevice_table
-from repro.eval.reports import multidevice_to_csv, multidevice_to_markdown
+from repro.eval.multidevice import run_multidevice_table, run_pipeline_table
+from repro.eval.reports import (
+    multidevice_to_csv,
+    multidevice_to_markdown,
+    pipeline_to_csv,
+    pipeline_to_markdown,
+)
 from repro.eval.tables import (
     build_physical_versions,
     build_table2,
     format_multidevice_table,
+    format_pipeline_table,
     format_table3,
 )
 
@@ -119,6 +125,49 @@ def test_multidevice_table_identical_serial_vs_fanned_out():
         assert serial.cell(count).schedule == fanned.cell(count).schedule
         assert serial.cell(count).makespan == fanned.cell(count).makespan
         assert serial.cell(count).utilization == fanned.cell(count).utilization
+
+
+def test_pipeline_table_modes_structure_and_rendering():
+    table = run_pipeline_table(device_counts=(1, 2), lanes=4, size=128, jobs=1)
+    assert table.device_counts == [1, 2]
+    assert table.modes == ["host", "p2p", "p2p-prefetch"]
+    # Host baseline defines the improvement ratio.
+    assert table.improvement("host", 2) == pytest.approx(1.0)
+    # Direct transfers can only help (or tie) the cross-device shuffle.
+    assert table.improvement("p2p", 2) >= 1.0
+    assert table.cell("p2p", 2).transfers_p2p > 0
+    assert table.cell("p2p", 2).transfers_from_device == 0
+    # One device never crosses devices: the modes tie exactly.
+    assert table.cell("p2p", 1).makespan == table.cell("host", 1).makespan
+    # Per-launch cycles identical across every (mode, device count) cell.
+    reference = [entry[5] for entry in sorted(table.cell("host", 1).schedule)]
+    for key in table.cells:
+        assert [entry[5] for entry in sorted(table.cells[key].schedule)] == reference
+    with pytest.raises(KernelError):
+        table.cell("host", 8)
+    with pytest.raises(KernelError):
+        run_pipeline_table(device_counts=(), lanes=4, size=128)
+    with pytest.raises(KernelError):
+        run_pipeline_table(device_counts=(1,), lanes=1, size=128)
+    with pytest.raises(KernelError):
+        run_pipeline_table(device_counts=(1,), lanes=4, size=128, modes=("p2p",))
+
+    text = format_pipeline_table(table)
+    assert "Mode" in text and "p2p-prefetch" in text and "4 lanes" in text
+    csv_text = pipeline_to_csv(table)
+    assert csv_text.splitlines()[0].startswith("mode,devices,makespan_kcycles")
+    assert len(csv_text.strip().splitlines()) == 1 + 3 * 2
+    markdown = pipeline_to_markdown(table)
+    assert markdown.startswith("| mode |")
+
+
+def test_pipeline_table_identical_serial_vs_fanned_out():
+    serial = run_pipeline_table(device_counts=(1, 2), lanes=4, size=128, jobs=1)
+    fanned = run_pipeline_table(device_counts=(1, 2), lanes=4, size=128, jobs=2)
+    assert set(serial.cells) == set(fanned.cells)
+    for key in serial.cells:
+        assert serial.cells[key].schedule == fanned.cells[key].schedule
+        assert serial.cells[key].makespan == fanned.cells[key].makespan
 
 
 def test_speedup_computation_uses_input_ratio(small_table3):

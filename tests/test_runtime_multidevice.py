@@ -34,7 +34,7 @@ def _queue(cls=MultiDeviceQueue, num_devices=1, transfer=None, num_cus=1):
     )
 
 
-def _enqueue_copy(queue, src, dst, wait_for=(), label=None):
+def _enqueue_copy(queue, src, dst, wait_for=(), label=None, device=None):
     kernel = get_kernel_spec("copy").build()
     return queue.enqueue(
         kernel,
@@ -43,6 +43,7 @@ def _enqueue_copy(queue, src, dst, wait_for=(), label=None):
         label=label,
         wait_for=wait_for,
         writes=("dst",),
+        device=device,
     )
 
 
@@ -260,3 +261,265 @@ def test_in_order_queue_serializes_even_with_many_devices():
     # In-order: each launch starts at or after the previous one's end.
     for earlier, later in zip(events, events[1:]):
         assert later.start_cycle >= earlier.end_cycle
+
+
+# --------------------------------------------------------------------------- #
+# Full-signature validation at enqueue time
+# --------------------------------------------------------------------------- #
+def test_enqueue_validates_the_full_kernel_signature():
+    """Regression: an omitted argument used to slip through enqueue and blow
+    up later inside ``GGPUSimulator.launch`` with a confusing error."""
+    queue = _queue(cls=OutOfOrderQueue)
+    kernel = get_kernel_spec("copy").build()
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    with pytest.raises(KernelError, match="missing argument"):
+        queue.enqueue(kernel, NDRange(N, 64), {"src": src, "n": N})  # no dst
+    with pytest.raises(KernelError, match="missing argument"):
+        queue.enqueue(kernel, NDRange(N, 64), {"src": src, "dst": dst})  # no n
+    with pytest.raises(KernelError, match="no argument"):
+        queue.enqueue(
+            kernel, NDRange(N, 64), {"src": src, "dst": dst, "n": N, "bogus": 1}
+        )
+    with pytest.raises(KernelError, match="scalar"):
+        queue.enqueue(kernel, NDRange(N, 64), {"src": src, "dst": dst, "n": src})
+    # Nothing was enqueued by the rejected calls: only the buffer-creation
+    # write command is pending.
+    assert queue.pending == 1 and queue.stats.launches == 0
+    event = queue.enqueue(kernel, NDRange(N, 64), {"src": src, "dst": dst, "n": N})
+    queue.flush()
+    assert event.done
+
+
+# --------------------------------------------------------------------------- #
+# First-class transfer commands
+# --------------------------------------------------------------------------- #
+def test_create_buffer_no_longer_drains_pending_launches():
+    """Regression: buffer creation used to flush the whole queue, serializing
+    DAG construction in an out-of-order queue."""
+    queue = _queue(cls=OutOfOrderQueue, num_devices=2)
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    _enqueue_copy(queue, src, dst)
+    pending_before = queue.pending
+    another = queue.create_buffer(np.arange(N) + 5)
+    # The launch is still pending (plus the new write command); nothing ran.
+    assert queue.pending == pending_before + 1
+    assert queue.schedule == []
+    assert queue.stats.launches == 0
+    queue.flush()
+    assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), np.arange(N))
+    assert np.array_equal(queue.enqueue_read(another).astype(np.int64), np.arange(N) + 5)
+
+
+def test_enqueue_write_returns_a_waitable_event():
+    queue = _queue(cls=OutOfOrderQueue, num_devices=2)
+    buffer = queue.allocate_buffer(N)
+    write = queue.enqueue_write(buffer, np.arange(N))
+    assert write.kind == "write" and not write.done
+    dst = queue.allocate_buffer(N)
+    event = _enqueue_copy(queue, buffer, dst, wait_for=(write,))
+    queue.flush()
+    assert write.done and event.done
+    assert event.start_cycle >= write.end_cycle
+    assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), np.arange(N))
+
+
+def test_pending_launches_read_the_contents_they_were_enqueued_against():
+    """An enqueue_write between two launches is ordered by hazard edges, not
+    by a queue drain: the earlier launch still sees the old contents."""
+    queue = _queue(cls=OutOfOrderQueue)
+    src = queue.create_buffer(np.arange(N))
+    first_dst = queue.allocate_buffer(N)
+    second_dst = queue.allocate_buffer(N)
+    _enqueue_copy(queue, src, first_dst, label="old-contents")
+    queue.enqueue_write(src, np.arange(N) + 1000)
+    _enqueue_copy(queue, src, second_dst, label="new-contents")
+    assert queue.stats.launches == 0  # nothing drained early
+    queue.flush()
+    assert np.array_equal(queue.enqueue_read(first_dst).astype(np.int64), np.arange(N))
+    assert np.array_equal(
+        queue.enqueue_read(second_dst).astype(np.int64), np.arange(N) + 1000
+    )
+
+
+def test_transfer_accounting_reconciles_events_with_device_stats():
+    """Regression: read-backs charged to the source device's DMA engine were
+    invisible in the per-event totals.  ``Event.readback_cycles`` closes the
+    gap: summed with ``transfer_cycles`` over *all* events (launches, writes,
+    reads) it equals the per-device stats totals exactly."""
+    transfer = TransferConfig(latency_cycles=50, bytes_per_cycle=4.0)
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1), num_devices=2, memory_bytes=MEM, transfer=transfer
+    )
+    src = queue.create_buffer(np.arange(N))
+    mid = queue.allocate_buffer(N)
+    dst = queue.allocate_buffer(N)
+    produce = _enqueue_copy(queue, src, mid, label="produce")
+    _enqueue_copy(queue, mid, dst, wait_for=(produce,), label="consume")
+    queue.flush()
+    queue.enqueue_read(dst)  # dirty: charges a read-back on a read event
+    queue.enqueue_read(dst)  # host image valid: free
+    per_event = sum(e.transfer_cycles + e.readback_cycles for e in queue.events)
+    per_device = sum(queue.stats.device_transfer_cycles.values())
+    assert per_event == pytest.approx(per_device)
+    assert per_event == pytest.approx(queue.stats.transfer_cycles)
+    # The launch-side readbacks (if any) sit on launch events, the
+    # enqueue_read ones on read events.
+    read_events = [e for e in queue.events if e.kind == "read"]
+    assert len(read_events) == 2
+    assert read_events[0].readback_cycles == transfer.cycles(N * 4)
+    assert read_events[1].readback_cycles == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Peer-to-peer transfers
+# --------------------------------------------------------------------------- #
+def test_p2p_moves_dirty_buffers_without_the_host_bounce():
+    transfer = TransferConfig(latency_cycles=50, bytes_per_cycle=4.0).with_p2p(10, 32.0)
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1), num_devices=2, memory_bytes=MEM, transfer=transfer
+    )
+    payload = np.arange(N) + 7
+    src = queue.create_buffer(payload)
+    mid = queue.allocate_buffer(N)
+    dst = queue.allocate_buffer(N)
+    # Force the hand-off: producer on device 0, consumer on device 1.
+    produce = _enqueue_copy(queue, src, mid, label="produce", device=0)
+    consume = _enqueue_copy(queue, mid, dst, wait_for=(produce,), label="consume", device=1)
+    queue.flush()
+    assert produce.device == 0 and consume.device == 1
+    # The dirty intermediate moved directly device->device: one P2P copy,
+    # zero read-backs, and the host image stayed stale until the final read.
+    assert queue.stats.transfers_p2p == 1
+    assert queue.stats.bytes_p2p == N * 4
+    assert queue.stats.transfers_from_device == 0
+    assert consume.transfer_cycles >= transfer.p2p_cycles(N * 4)
+    assert not mid.host_valid and mid.valid_on == {0, 1}
+    assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), payload)
+    # Reading dst (dirty on device 1) charges exactly one read-back.
+    assert queue.stats.transfers_from_device == 1
+
+
+def test_p2p_is_cheaper_than_the_host_bounce_on_the_same_dag():
+    host = TransferConfig(latency_cycles=200, bytes_per_cycle=4.0)
+    fast = host.with_p2p(20, 32.0)
+    makespans = {}
+    for name, transfer in (("host", host), ("p2p", fast)):
+        queue = OutOfOrderQueue(
+            config=GGPUConfig(num_cus=1),
+            num_devices=2,
+            memory_bytes=MEM,
+            transfer=transfer,
+        )
+        src = queue.create_buffer(np.arange(N))
+        mid = queue.allocate_buffer(N)
+        dst = queue.allocate_buffer(N)
+        produce = _enqueue_copy(queue, src, mid, label="produce")
+        _enqueue_copy(queue, mid, dst, wait_for=(produce,), label="consume", device=1)
+        queue.flush()
+        makespans[name] = queue.stats.makespan
+        assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), np.arange(N))
+    assert makespans["p2p"] < makespans["host"]
+
+
+# --------------------------------------------------------------------------- #
+# Prefetch and scheduling hints
+# --------------------------------------------------------------------------- #
+def test_prefetch_write_charges_at_write_time_and_consumer_skips():
+    queue = _queue(cls=OutOfOrderQueue, num_devices=2)
+    payload = np.arange(N) + 3
+    buffer = queue.create_buffer(payload, device=1)
+    dst = queue.allocate_buffer(N)
+    launch = _enqueue_copy(queue, buffer, dst, label="consume", device=1)
+    queue.flush()
+    write = next(e for e in queue.events if e.kind == "write")
+    assert write.device == 1
+    assert write.transfer_cycles == queue.transfer.cycles(N * 4)
+    assert write.end_cycle == write.start_cycle + write.transfer_cycles
+    # The consumer found the buffer resident: no lazy copy for it...
+    assert launch.transfer_cycles == 0.0
+    # ...and it could not start before the prefetch landed.
+    assert launch.start_cycle >= write.end_cycle
+    assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), payload)
+
+
+def test_device_affinity_hint_forces_placement():
+    queue = _queue(cls=OutOfOrderQueue, num_devices=3)
+    src = queue.create_buffer(np.arange(N))
+    events = []
+    for device in (2, 0, 1):
+        dst = queue.allocate_buffer(N)
+        events.append(_enqueue_copy(queue, src, dst, label=f"on{device}", device=device))
+    queue.flush()
+    assert [event.device for event in events] == [2, 0, 1]
+    with pytest.raises(KernelError):
+        _enqueue_copy(queue, src, queue.allocate_buffer(N), device=3)
+    with pytest.raises(KernelError):
+        queue.create_buffer(np.arange(N), device=-1)
+
+
+def test_lpt_flush_order_runs_long_launches_first():
+    big_n = 4 * N
+    results = {}
+    for lpt in (False, True):
+        queue = OutOfOrderQueue(
+            config=GGPUConfig(num_cus=1), num_devices=1, memory_bytes=MEM, lpt=lpt
+        )
+        kernel = get_kernel_spec("copy").build()
+        small_src = queue.create_buffer(np.arange(N))
+        small_dst = queue.allocate_buffer(N)
+        big_src = queue.create_buffer(np.arange(big_n))
+        big_dst = queue.allocate_buffer(big_n)
+        queue.enqueue(
+            kernel,
+            NDRange(N, 64),
+            {"src": small_src, "dst": small_dst, "n": N},
+            label="small",
+            writes=("dst",),
+        )
+        queue.enqueue(
+            kernel,
+            NDRange(big_n, 64),
+            {"src": big_src, "dst": big_dst, "n": big_n},
+            label="big",
+            writes=("dst",),
+        )
+        queue.finish()
+        results[lpt] = [event.label for event in queue.schedule]
+        assert np.array_equal(
+            queue.enqueue_read(big_dst).astype(np.int64), np.arange(big_n)
+        )
+        assert np.array_equal(
+            queue.enqueue_read(small_dst).astype(np.int64), np.arange(N)
+        )
+    assert results[False] == ["small", "big"]  # enqueue order
+    assert results[True] == ["big", "small"]  # longest projected time first
+
+
+def test_lpt_respects_event_dependencies():
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1), num_devices=2, memory_bytes=MEM, lpt=True
+    )
+    kernel = get_kernel_spec("copy").build()
+    big_n = 4 * N
+    src = queue.create_buffer(np.arange(N))
+    mid = queue.allocate_buffer(N)
+    dst = queue.allocate_buffer(N)
+    big_src = queue.create_buffer(np.arange(big_n))
+    big_dst = queue.allocate_buffer(big_n)
+    first = _enqueue_copy(queue, src, mid, label="first")
+    second = _enqueue_copy(queue, mid, dst, wait_for=(first,), label="second")
+    queue.enqueue(
+        kernel,
+        NDRange(big_n, 64),
+        {"src": big_src, "dst": big_dst, "n": big_n},
+        label="big",
+        writes=("dst",),
+    )
+    queue.finish()
+    order = [event.label for event in queue.schedule]
+    assert order.index("first") < order.index("second")
+    assert order[0] == "big"  # the big independent launch jumped the queue
+    assert second.start_cycle >= first.end_cycle
+    assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), np.arange(N))

@@ -1,18 +1,21 @@
 #!/usr/bin/env python
-"""Canonical digest of the multi-device event-graph schedule, for CI diffing.
+"""Canonical digest of the multi-device event-graph schedules, for CI diffing.
 
 Runs the multi-device makespan sweep
-(:func:`repro.eval.multidevice.run_multidevice_table`) and writes a canonical
-JSON digest of everything the scheduler decided: per device count, the full
-event-graph schedule (label, device, start, end, transfer and compute
-cycles), the makespan, the critical path, the per-device utilization, and
-the transfer counters.
+(:func:`repro.eval.multidevice.run_multidevice_table`) and the two-stage-DAG
+transfer-mode sweep (:func:`repro.eval.multidevice.run_pipeline_table` —
+host-hop vs P2P vs P2P+prefetch, the latter with affinity hints and the LPT
+flush order) and writes a canonical JSON digest of everything the scheduler
+decided: per cell, the full event-graph schedule (label, device, start, end,
+transfer and compute cycles), the makespan, the critical path, the
+per-device utilization, and the transfer counters.
 
 The CI determinism job runs this twice in one checkout and once more with a
-different ``REPRO_JOBS``, then diffs the three files byte for byte: the
+different ``REPRO_JOBS``, then diffs the three files byte for byte: every
 schedule and its cycle statistics must be identical across repeated runs and
 across the serial (shared device pool, recycled via ``GGPUSimulator.reset``)
-and fanned-out (fresh pool per worker process) sweep paths.
+and fanned-out (fresh pool per worker process) sweep paths — for the default
+transfer model *and* for every P2P/prefetch/LPT mode.
 
     PYTHONPATH=src python tests/tools/determinism_check.py --output run_a.json
     PYTHONPATH=src REPRO_JOBS=4 python tests/tools/determinism_check.py --output run_b.json
@@ -29,7 +32,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.eval.multidevice import run_multidevice_table  # noqa: E402
+from repro.eval.multidevice import (  # noqa: E402
+    run_multidevice_table,
+    run_pipeline_table,
+)
 
 
 def main() -> int:
@@ -52,6 +58,7 @@ def main() -> int:
     counts = tuple(int(field) for field in args.device_counts.split(","))
 
     table = run_multidevice_table(device_counts=counts, scale=args.scale)
+    pipeline = run_pipeline_table(device_counts=counts, lanes=8, size=256)
     digest = {
         "scale": args.scale,
         "kernels": table.kernels,
@@ -69,6 +76,17 @@ def main() -> int:
                 "transfers_skipped": table.cell(count).transfers_skipped,
             }
             for count in table.device_counts
+        },
+        "pipeline": {
+            f"{mode}@{count}": {
+                "schedule": [list(entry) for entry in pipeline.cell(mode, count).schedule],
+                "makespan": pipeline.cell(mode, count).makespan,
+                "transfer_cycles": pipeline.cell(mode, count).transfer_cycles,
+                "transfers_p2p": pipeline.cell(mode, count).transfers_p2p,
+                "transfers_from_device": pipeline.cell(mode, count).transfers_from_device,
+            }
+            for mode in pipeline.modes
+            for count in pipeline.device_counts
         },
     }
     text = json.dumps(digest, indent=2, sort_keys=True) + "\n"
