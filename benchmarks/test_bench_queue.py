@@ -80,7 +80,7 @@ def test_queue_amortizes_setup_over_repeated_launches(benchmark):
     queued_wall = time.perf_counter() - start
 
     # Identical results and cycle stats, launch by launch.
-    for (ind_result, ind_outputs), (q_result, q_outputs) in zip(independent, queued):
+    for (ind_result, ind_outputs), (q_result, q_outputs) in zip(independent, queued, strict=True):
         assert q_result.cycles == ind_result.cycles
         assert q_result.stats.instructions_issued == ind_result.stats.instructions_issued
         for name, values in ind_outputs.items():

@@ -1,0 +1,165 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Examples::
+
+    python -m repro.analysis kernel.cl          # lint a source file
+    python -m repro.analysis --kernel dot       # one suite kernel by name
+    python -m repro.analysis --suite            # every CL source + every
+                                                # hand-built G-GPU kernel
+    python -m repro.analysis --suite --output report.txt
+
+Exit status: 0 when no finding reaches the ``--fail-on`` threshold (default
+``error``), 1 when one does, 2 on usage or compilation failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.analysis.clcheck import check_program
+from repro.analysis.findings import CHECKS, AnalysisReport, Severity
+from repro.analysis.isalint import lint_kernel
+from repro.errors import ReproError
+
+_THRESHOLDS = {"error": Severity.ERROR, "warning": Severity.WARNING}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static kernel verifier: CL-level checks + G-GPU ISA lint.",
+    )
+    parser.add_argument("paths", nargs="*", help="OpenCL-C source files to check")
+    parser.add_argument(
+        "--kernel",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="check a suite kernel by registry name (repeatable)",
+    )
+    parser.add_argument(
+        "--suite",
+        action="store_true",
+        help="check every shipped CL source and every hand-built G-GPU kernel",
+    )
+    parser.add_argument(
+        "--no-isa",
+        action="store_true",
+        help="skip the ISA lint of compiled/hand-built kernels",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="also write the findings report to FILE"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that makes the exit status non-zero (default: error)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the check catalogue and exit"
+    )
+    return parser
+
+
+def _check_cl_text(source: str, label: str, with_isa: bool) -> Tuple[AnalysisReport, List[str]]:
+    """Level-1 checks plus ISA lint of each kernel's compiled form."""
+    from repro.cl.compiler import compile_source
+
+    lines: List[str] = []
+    report = AnalysisReport()
+    program = compile_source(source)
+    report.extend(check_program(program))
+    if with_isa:
+        for name in program.kernel_names:
+            report.extend(lint_kernel(program.to_ggpu_kernel(name)))
+    errors, warnings, infos = report.counts
+    lines.append(f"== {label}: {errors} error(s), {warnings} warning(s), {infos} info(s)")
+    lines.extend(finding.render() for finding in report.findings)
+    return report, lines
+
+
+def _check_hand_built(name: str) -> Tuple[AnalysisReport, List[str]]:
+    from repro.kernels.library import get_kernel_spec
+
+    report = lint_kernel(get_kernel_spec(name).build())
+    errors, warnings, infos = report.counts
+    lines = [
+        f"== {name} (hand-built G-GPU): {errors} error(s), "
+        f"{warnings} warning(s), {infos} info(s)"
+    ]
+    lines.extend(finding.render() for finding in report.findings)
+    return report, lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_checks:
+        for check, description in sorted(CHECKS.items()):
+            print(f"{check}: {description}")
+        return 0
+
+    if not options.paths and not options.kernel and not options.suite:
+        parser.print_usage(sys.stderr)
+        print("error: nothing to check (give paths, --kernel, or --suite)", file=sys.stderr)
+        return 2
+
+    from repro.cl.sources import BENCHMARK_CL_SOURCES, EXTRA_CL_SOURCES, get_benchmark_source
+    from repro.kernels.library import all_kernel_names
+
+    total = AnalysisReport()
+    lines: List[str] = []
+    with_isa = not options.no_isa
+
+    try:
+        for path in options.paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            report, chunk = _check_cl_text(source, path, with_isa)
+            total.extend(report)
+            lines.extend(chunk)
+
+        names = list(options.kernel)
+        if options.suite:
+            names.extend(
+                name
+                for name in list(BENCHMARK_CL_SOURCES) + list(EXTRA_CL_SOURCES)
+                if name not in names
+            )
+        for name in names:
+            report, chunk = _check_cl_text(get_benchmark_source(name), f"{name} (CL)", with_isa)
+            total.extend(report)
+            lines.extend(chunk)
+
+        if options.suite and with_isa:
+            for name in all_kernel_names():
+                report, chunk = _check_hand_built(name)
+                total.extend(report)
+                lines.extend(chunk)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    errors, warnings, infos = total.counts
+    lines.append(
+        f"== total: {errors} error(s), {warnings} warning(s), {infos} info(s)"
+    )
+    text = "\n".join(lines)
+    print(text)
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    if options.fail_on == "never":
+        return 0
+    threshold = _THRESHOLDS[options.fail_on]
+    worst = max((finding.severity for finding in total.findings), default=None)
+    return 1 if worst is not None and worst >= threshold else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

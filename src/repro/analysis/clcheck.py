@@ -1,0 +1,837 @@
+"""Level-1 static checks over the analyzed CL AST.
+
+Three checks run in one abstract-interpretation walk of each kernel body:
+
+* **Barrier divergence** (BAR001-BAR003) — a ``barrier()`` must be reached by
+  every lane of the workgroup or by none; the walk tracks whether control is
+  lane-divergent (reusing the ``varying`` flags from semantic analysis) and
+  rejects barriers under divergent ifs and inside loops with lane-dependent
+  trip counts.
+* **Races** (RACE001-RACE004) — the body is partitioned into *barrier
+  intervals* (loop entry/exit and branch join intervals are merged with a
+  union-find, so cross-iteration sharing is modelled); every ``__local`` and
+  ``__global`` array access is summarized as an affine form over
+  ``lid``/``gid``/``wgid`` and opaque atoms, and pairs of accesses in the
+  same interval are tested for distinct-lane overlap by subtracting their
+  forms.  Unprovable patterns degrade to warnings, never to silence.
+* **Bounds** (BND001-BND003) — a value-range walk of index expressions:
+  ``__local`` arrays have statically known sizes (provable overflows are
+  errors), ``__global`` buffers have unknown length (unprovable indexing is
+  reported as info, provably negative indices as errors).
+
+The guard machinery gives one important precision win without sacrificing
+soundness: accesses inside ``if (lid == <loop-stable uniform expr>)`` are
+known to be executed by (at most) one lane per workgroup, which is what
+proves the classic "lane 0 publishes the partial" idiom race-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import lattice
+from repro.analysis.findings import AnalysisReport, Severity
+from repro.analysis.lattice import LANE_MAX, Affine, Interval
+from repro.cl.nodes import (
+    AssignStmt,
+    BarrierStmt,
+    BinaryOp,
+    Call,
+    DeclStmt,
+    Expr,
+    ForStmt,
+    IfStmt,
+    Index,
+    IntLiteral,
+    KernelDecl,
+    LocalDeclStmt,
+    ReturnStmt,
+    SourceSpan,
+    Stmt,
+    TranslationUnit,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+
+#: Builtin call results: (affine form, value range); atoms are launch-uniform.
+_BUILTIN_VALUES = {
+    "get_local_id": (Affine(lid=1), lattice.LID_RANGE),
+    "get_global_id": (Affine(gid=1), lattice.NONNEG),
+    "get_group_id": (Affine(wgid=1), lattice.NONNEG),
+    "get_local_size": (Affine.atom("u:get_local_size"), (1, LANE_MAX)),
+    "get_global_size": (Affine.atom("u:get_global_size"), lattice.SIZE_RANGE),
+    "get_num_groups": (Affine.atom("u:get_num_groups"), lattice.SIZE_RANGE),
+}
+
+
+@dataclass(frozen=True)
+class _Guard:
+    """Which lanes reach a program point, as a stack of condition tokens.
+
+    Tokens identify if-statement visits; ``singles`` are conditions of the
+    form ``<lane-injective affine> == <loop-stable uniform>`` (at most one
+    lane of the workgroup passes), ``divergent`` are all other varying
+    conditions.  Two accesses with identical guards and a ``singles`` entry
+    are executed by the *same* single lane.
+    """
+
+    singles: Tuple[int, ...] = ()
+    divergent: Tuple[int, ...] = ()
+
+    @property
+    def all_lanes(self) -> bool:
+        return not self.singles and not self.divergent
+
+    @property
+    def single_lane(self) -> bool:
+        return bool(self.singles)
+
+    def with_single(self, token: int) -> "_Guard":
+        return replace(self, singles=self.singles + (token,))
+
+    def with_divergent(self, token: int) -> "_Guard":
+        return replace(self, divergent=self.divergent + (token,))
+
+
+@dataclass
+class _Access:
+    """One syntactic array access with its abstract summary."""
+
+    array: str
+    space: str  # "local" | "global"
+    kind: str  # "r" | "w"
+    interval: int
+    affine: Optional[Affine]
+    guard: _Guard
+    span: SourceSpan
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "w"
+
+
+_Value = Tuple[Optional[Affine], Interval]
+
+
+class _KernelChecker:
+    """Single-pass abstract interpreter for one analyzed kernel."""
+
+    def __init__(self, kernel: KernelDecl, report: AnalysisReport) -> None:
+        self.kernel = kernel
+        self.report = report
+        self._env: Dict[str, _Value] = {}
+        self._accesses: List[_Access] = []
+        self._guard = _Guard()
+        self._divergent = False
+        self._divergent_loop = False
+        self._current = 0
+        self._next_interval = 1
+        self._parent: Dict[int, int] = {0: 0}
+        self._atom_serial = 0
+        self._token_serial = 0
+        self._recording = True
+        #: Atom names havoc'd inside each currently open loop (stack).
+        self._loop_atoms: List[Set[str]] = []
+        self._reported: Set[Tuple[object, ...]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        for param in self.kernel.params:
+            if not param.is_pointer:
+                self._env[param.name] = (Affine.atom(f"u:{param.name}"), lattice.FULL)
+        self._walk(self.kernel.body)
+        self._check_intra_races()
+        self._check_cross_workgroup_races()
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _emit(
+        self,
+        check: str,
+        severity: Severity,
+        message: str,
+        span: SourceSpan,
+        extra_key: object = None,
+    ) -> None:
+        key = (check, span.line, span.column, extra_key)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.report.add(
+            check, severity, message, kernel=self.kernel.name, span=span
+        )
+
+    def _find(self, interval_id: int) -> int:
+        root = interval_id
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[interval_id] != root:
+            self._parent[interval_id], interval_id = root, self._parent[interval_id]
+        return root
+
+    def _union(self, a: int, b: int) -> None:
+        self._parent[self._find(a)] = self._find(b)
+
+    def _alloc_interval(self) -> int:
+        new = self._next_interval
+        self._next_interval += 1
+        self._parent[new] = new
+        return new
+
+    def _fresh_atom(self, name: str) -> str:
+        self._atom_serial += 1
+        atom = f"w:{name}#{self._atom_serial}"
+        for open_loop in self._loop_atoms:
+            open_loop.add(atom)
+        return atom
+
+    def _havoc(self, name: str, rng: Interval = lattice.FULL) -> None:
+        symbol = self.kernel.symbols.get(name)
+        if symbol is not None and symbol.varying:
+            self._env[name] = (None, rng)
+        else:
+            self._env[name] = (Affine.atom(self._fresh_atom(name)), rng)
+
+    def _loop_stable(self, form: Optional[Affine]) -> bool:
+        """Whether a uniform form's value is fixed across open-loop iterations."""
+        if form is None:
+            return False
+        atoms = {name for name, _ in form.atoms}
+        return all(atoms.isdisjoint(havoced) for havoced in self._loop_atoms)
+
+    # ------------------------------------------------------------------ #
+    # Expression evaluation
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: Optional[Expr]) -> _Value:
+        if expr is None:
+            return (None, lattice.FULL)
+        if isinstance(expr, IntLiteral):
+            return (Affine.constant(expr.value), lattice.const_interval(expr.value))
+        if isinstance(expr, VarRef):
+            if expr.name in self._env:
+                return self._env[expr.name]
+            return (None, lattice.FULL)
+        if isinstance(expr, UnaryOp):
+            form, rng = self._eval(expr.operand)
+            if expr.op == "-":
+                return (form.scale(-1) if form is not None else None, lattice.neg_iv(rng))
+            if expr.op == "!":
+                return (None, (0, 1))
+            return (None, lattice.FULL)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binop(expr.op, self._eval(expr.left), self._eval(expr.right))
+        if isinstance(expr, Index):
+            self._record_access(expr, "r")
+            return (None, lattice.FULL)
+        if isinstance(expr, Call):
+            if expr.name in _BUILTIN_VALUES:
+                return _BUILTIN_VALUES[expr.name]
+            values = [self._eval(arg) for arg in expr.args]
+            if expr.name in ("min", "max") and len(values) == 2:
+                (_, ra), (_, rb) = values
+                pick = min if expr.name == "min" else max
+                return (None, (pick(ra[0], rb[0]), pick(ra[1], rb[1])))
+            return (None, lattice.FULL)
+        return (None, lattice.FULL)
+
+    def _eval_binop(self, op: str, left: _Value, right: _Value) -> _Value:
+        lform, lrng = left
+        rform, rrng = right
+        if op == "+":
+            form = lform.add(rform) if lform is not None and rform is not None else None
+            return (form, lattice.add_iv(lrng, rrng))
+        if op == "-":
+            form = lform.sub(rform) if lform is not None and rform is not None else None
+            return (form, lattice.sub_iv(lrng, rrng))
+        if op == "*":
+            form = None
+            if lform is not None and rform is not None:
+                if rform.is_constant:
+                    form = lform.scale(rform.const)
+                elif lform.is_constant:
+                    form = rform.scale(lform.const)
+            return (form, lattice.mul_iv(lrng, rrng))
+        if op == "<<":
+            form = None
+            if lform is not None and rform is not None and rform.is_constant:
+                if 0 <= rform.const <= 31:
+                    form = lform.scale(1 << rform.const)
+            return (form, lattice.shl_iv(lrng, rrng))
+        if op == ">>":
+            return (None, lattice.shr_iv(lrng, rrng))
+        if op == "%":
+            return (None, lattice.mod_iv(lrng, rrng))
+        if op == "&":
+            return (None, lattice.bitand_iv(lrng, rrng))
+        if op == "/":
+            if rrng[0] > 0 and lrng[0] >= 0:
+                return (None, (lrng[0] // rrng[1], lrng[1] // rrng[0]))
+            return (None, lattice.FULL)
+        if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return (None, (0, 1))
+        # |, ^ and anything else: value unknown.
+        return (None, lattice.FULL)
+
+    def _silent_eval(self, expr: Optional[Expr]) -> _Value:
+        """Evaluate without recording array accesses (re-evaluation)."""
+        recording, self._recording = self._recording, False
+        try:
+            return self._eval(expr)
+        finally:
+            self._recording = recording
+
+    # ------------------------------------------------------------------ #
+    # Access recording and bounds checking
+    # ------------------------------------------------------------------ #
+    def _record_access(self, access: Index, kind: str) -> None:
+        form, rng = self._eval(access.index)
+        if not self._recording:
+            return
+        symbol = self.kernel.symbols.get(access.base)
+        if symbol is None:
+            return
+        space = "local" if symbol.is_local_array else "global"
+        self._check_bounds(access, symbol.array_words, space, rng)
+        self._accesses.append(
+            _Access(
+                array=access.base,
+                space=space,
+                kind=kind,
+                interval=self._current,
+                affine=form,
+                guard=self._guard,
+                span=access.span,
+            )
+        )
+
+    def _check_bounds(self, access: Index, size: int, space: str, rng: Interval) -> None:
+        lo, hi = rng
+        if space == "local":
+            if hi < 0 or lo >= size:
+                self._emit(
+                    "BND001",
+                    Severity.ERROR,
+                    f"index of __local {access.base!r} is provably out of bounds: "
+                    f"range [{lo}, {hi}] vs size {size}",
+                    access.span,
+                )
+            elif lo < 0 or hi >= size:
+                self._emit(
+                    "BND003",
+                    Severity.WARNING,
+                    f"cannot prove index of __local {access.base!r} stays within "
+                    f"[0, {size}): inferred range [{lo}, {hi}]",
+                    access.span,
+                )
+            return
+        if hi < 0:
+            self._emit(
+                "BND001",
+                Severity.ERROR,
+                f"index of __global {access.base!r} is provably negative "
+                f"(range [{lo}, {hi}])",
+                access.span,
+            )
+            return
+        detail = "may be negative and " if lo < 0 else ""
+        self._emit(
+            "BND002",
+            Severity.INFO,
+            f"index of __global {access.base!r} {detail}cannot be bounds-checked "
+            "statically (buffer length is a runtime property)",
+            access.span,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statement walk
+    # ------------------------------------------------------------------ #
+    def _walk(self, statements: Sequence[Stmt]) -> None:
+        for statement in statements:
+            if isinstance(statement, DeclStmt):
+                for name, init in zip(statement.names, statement.inits, strict=True):
+                    if init is None:
+                        self._havoc(name)
+                    else:
+                        self._assign_value(name, self._eval(init))
+            elif isinstance(statement, AssignStmt):
+                self._walk_assign(statement)
+            elif isinstance(statement, IfStmt):
+                self._walk_if(statement)
+            elif isinstance(statement, WhileStmt):
+                self._walk_loop(statement, None, statement.condition, None, statement.body)
+            elif isinstance(statement, ForStmt):
+                self._walk_loop(
+                    statement,
+                    statement.init,
+                    statement.condition,
+                    statement.step,
+                    statement.body,
+                )
+            elif isinstance(statement, BarrierStmt):
+                self._walk_barrier(statement)
+            elif isinstance(statement, (LocalDeclStmt, ReturnStmt)):
+                continue
+
+    def _assign_value(self, name: str, value: _Value) -> None:
+        form, rng = value
+        if form is None:
+            self._havoc(name, rng)
+        else:
+            self._env[name] = (form, rng)
+
+    def _walk_assign(self, statement: AssignStmt) -> None:
+        target = statement.target
+        value = self._eval(statement.value)
+        if isinstance(target, VarRef):
+            if statement.op != "=":
+                current = self._env.get(target.name, (None, lattice.FULL))
+                value = self._eval_binop(statement.op.rstrip("="), current, value)
+            self._assign_value(target.name, value)
+        elif isinstance(target, Index):
+            if statement.op != "=":
+                self._record_access(target, "r")
+            self._record_access(target, "w")
+
+    def _walk_barrier(self, statement: BarrierStmt) -> None:
+        if self._divergent_loop:
+            self._emit(
+                "BAR002",
+                Severity.ERROR,
+                "barrier() inside a loop whose trip count is lane-dependent: "
+                "lanes would execute different numbers of barriers",
+                statement.span,
+            )
+        elif self._divergent:
+            self._emit(
+                "BAR001",
+                Severity.ERROR,
+                "barrier() under lane-divergent control flow: "
+                "not all lanes of the workgroup reach it",
+                statement.span,
+            )
+        self._current = self._alloc_interval()
+
+    def _walk_if(self, statement: IfStmt) -> None:
+        condition = statement.condition
+        self._eval(condition)
+        varying = bool(condition is not None and condition.varying)
+        self._token_serial += 1
+        token = self._token_serial
+
+        guard0, div0, start = self._guard, self._divergent, self._current
+        env0 = dict(self._env)
+
+        if varying:
+            if self._is_single_lane(condition):
+                self._guard = guard0.with_single(token)
+            else:
+                self._guard = guard0.with_divergent(token)
+            self._divergent = True
+        self._walk(statement.then_body)
+        then_end, env_then = self._current, self._env
+
+        self._env = dict(env0)
+        self._current = start
+        if varying:
+            self._guard = guard0.with_divergent(-token)
+        self._walk(statement.else_body)
+        else_end, env_else = self._current, self._env
+
+        self._guard, self._divergent = guard0, div0
+        self._env = self._join_envs(env_then, env_else)
+        if then_end != start or else_end != start:
+            joined = self._alloc_interval()
+            self._union(then_end, joined)
+            self._union(else_end, joined)
+            self._current = joined
+
+        if not varying:
+            then_count = _count_barriers(statement.then_body)
+            else_count = _count_barriers(statement.else_body)
+            if then_count != else_count:
+                self._emit(
+                    "BAR003",
+                    Severity.WARNING,
+                    f"branches of this uniform if execute different numbers of "
+                    f"barriers ({then_count} vs {else_count}); the condition must "
+                    "be workgroup-uniform for this to be safe",
+                    statement.span,
+                )
+
+    def _join_envs(
+        self, env_a: Dict[str, _Value], env_b: Dict[str, _Value]
+    ) -> Dict[str, _Value]:
+        joined: Dict[str, _Value] = {}
+        for name in set(env_a) | set(env_b):
+            form_a, rng_a = env_a.get(name, (None, lattice.FULL))
+            form_b, rng_b = env_b.get(name, (None, lattice.FULL))
+            rng = lattice.join_iv(rng_a, rng_b)
+            if form_a is not None and form_a == form_b:
+                joined[name] = (form_a, rng)
+            else:
+                symbol = self.kernel.symbols.get(name)
+                if symbol is not None and symbol.varying:
+                    joined[name] = (None, rng)
+                else:
+                    joined[name] = (Affine.atom(self._fresh_atom(name)), rng)
+        return joined
+
+    def _is_single_lane(self, condition: Optional[Expr]) -> bool:
+        """``<lane-injective> == <loop-stable uniform>``: at most one lane."""
+        if not isinstance(condition, BinaryOp) or condition.op != "==":
+            return False
+        left, right = condition.left, condition.right
+        if left is None or right is None or left.varying == right.varying:
+            return False
+        lane_side, uniform_side = (left, right) if left.varying else (right, left)
+        lane_form, _ = self._silent_eval(lane_side)
+        uniform_form, _ = self._silent_eval(uniform_side)
+        if lane_form is None or lane_form.lane_coeff == 0:
+            return False
+        return self._loop_stable(uniform_form)
+
+    def _walk_loop(
+        self,
+        statement: Stmt,
+        init: Optional[Stmt],
+        condition: Optional[Expr],
+        step: Optional[Stmt],
+        body: List[Stmt],
+    ) -> None:
+        if init is not None:
+            self._walk([init])
+        assigned = _assigned_names(body)
+        if step is not None:
+            assigned |= _assigned_names([step])
+
+        counter_range = self._counter_range(init, condition, step)
+        self._loop_atoms.append(set())
+        for name in sorted(assigned):
+            if counter_range is not None and name == counter_range[0]:
+                self._havoc(name, counter_range[1])
+            else:
+                self._havoc(name)
+
+        self._eval(condition)
+        varying = bool(condition is not None and condition.varying)
+        self._token_serial += 1
+        token = self._token_serial
+
+        guard0, div0, dloop0, start = (
+            self._guard,
+            self._divergent,
+            self._divergent_loop,
+            self._current,
+        )
+        if varying:
+            self._guard = guard0.with_divergent(token)
+            self._divergent = True
+            self._divergent_loop = True
+        self._walk(body)
+        if step is not None:
+            self._walk([step])
+        end = self._current
+        self._guard, self._divergent, self._divergent_loop = guard0, div0, dloop0
+        if end != start:
+            # Barriers inside the body: iteration k's tail interval is
+            # adjacent to iteration k+1's head interval, so merge them.
+            self._union(start, end)
+            self._current = end
+        self._loop_atoms.pop()
+        for name in sorted(assigned):
+            self._havoc(name)
+
+    def _counter_range(
+        self,
+        init: Optional[Stmt],
+        condition: Optional[Expr],
+        step: Optional[Stmt],
+    ) -> Optional[Tuple[str, Interval]]:
+        """``for (x = lo; x < bound; x += positive)`` gives x a range."""
+        name: Optional[str] = None
+        init_rng: Optional[Interval] = None
+        if isinstance(init, DeclStmt) and len(init.names) == 1 and init.inits[0] is not None:
+            name = init.names[0]
+            init_rng = self._silent_eval(init.inits[0])[1]
+        elif isinstance(init, AssignStmt) and isinstance(init.target, VarRef):
+            if init.op == "=":
+                name = init.target.name
+                init_rng = self._silent_eval(init.value)[1]
+        if name is None or init_rng is None:
+            return None
+        if not self._step_increases(name, step):
+            return None
+        if not isinstance(condition, BinaryOp) or condition.op not in ("<", "<="):
+            return None
+        if not (isinstance(condition.left, VarRef) and condition.left.name == name):
+            return None
+        bound_hi = self._silent_eval(condition.right)[1][1]
+        if condition.op == "<":
+            bound_hi -= 1
+        return (name, lattice.interval(init_rng[0], max(init_rng[0], bound_hi)))
+
+    @staticmethod
+    def _step_increases(name: str, step: Optional[Stmt]) -> bool:
+        if not isinstance(step, AssignStmt) or not isinstance(step.target, VarRef):
+            return False
+        if step.target.name != name:
+            return False
+        if step.op == "+=":
+            return isinstance(step.value, IntLiteral) and step.value.value > 0
+        if step.op == "=" and isinstance(step.value, BinaryOp) and step.value.op == "+":
+            left, right = step.value.left, step.value.right
+            for var, lit in ((left, right), (right, left)):
+                if (
+                    isinstance(var, VarRef)
+                    and var.name == name
+                    and isinstance(lit, IntLiteral)
+                    and lit.value > 0
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Race analysis
+    # ------------------------------------------------------------------ #
+    def _check_intra_races(self) -> None:
+        groups: Dict[Tuple[str, int], List[_Access]] = {}
+        for access in self._accesses:
+            groups.setdefault((access.array, self._find(access.interval)), []).append(access)
+        for (_, _), group in sorted(groups.items()):
+            if not any(access.is_write for access in group):
+                continue
+            for i, first in enumerate(group):
+                for second in group[i:]:
+                    self._judge_intra_pair(first, second)
+
+    def _judge_intra_pair(self, a: _Access, b: _Access) -> None:
+        if not (a.is_write or b.is_write):
+            return
+        if a is b:
+            self._judge_self(a)
+            return
+        both_writes = a.is_write and b.is_write
+        if a.affine is None or b.affine is None:
+            self._report_race(a, b, Severity.WARNING, "RACE003", both_writes)
+            return
+        if a.guard == b.guard and a.guard.single_lane:
+            return  # the same single lane performs both accesses
+        delta = a.affine.sub(b.affine)
+        if delta.atoms or delta.wgid != 0:
+            self._report_race(a, b, Severity.WARNING, "RACE003", both_writes)
+            return
+        coeff_a, coeff_b = a.affine.lane_coeff, b.affine.lane_coeff
+        offset = delta.const
+        proven = a.guard.all_lanes and b.guard.all_lanes
+        if coeff_a == coeff_b:
+            if coeff_a == 0:
+                if offset == 0:
+                    self._report_proven(a, b, proven, both_writes)
+                return
+            if offset % coeff_a != 0:
+                return
+            lane_delta = -offset // coeff_a
+            if lane_delta == 0 or abs(lane_delta) >= LANE_MAX:
+                return
+            self._report_proven(a, b, proven, both_writes)
+            return
+        if self._distinct_lane_solution(coeff_a, coeff_b, offset):
+            self._report_proven(a, b, proven, both_writes)
+
+    @staticmethod
+    def _distinct_lane_solution(coeff_a: int, coeff_b: int, offset: int) -> bool:
+        """Do distinct lanes i, j exist with a*i + offset == b*j?"""
+        for i in range(LANE_MAX):
+            value = coeff_a * i + offset
+            if coeff_b == 0:
+                if value == 0 and LANE_MAX > 1:
+                    return True
+                continue
+            if value % coeff_b == 0:
+                j = value // coeff_b
+                if 0 <= j < LANE_MAX and j != i:
+                    return True
+        return False
+
+    def _judge_self(self, access: _Access) -> None:
+        if not access.is_write:
+            return
+        if access.affine is None:
+            if access.guard.single_lane:
+                return
+            self._report_race(access, access, Severity.WARNING, "RACE003", True)
+            return
+        if access.affine.lane_coeff != 0 or access.guard.single_lane:
+            return
+        if access.guard.all_lanes:
+            self._report_race(access, access, Severity.ERROR, "RACE001", True)
+        else:
+            self._report_race(access, access, Severity.WARNING, "RACE003", True)
+
+    def _report_proven(
+        self, a: _Access, b: _Access, proven: bool, both_writes: bool
+    ) -> None:
+        if proven:
+            check = "RACE001" if both_writes else "RACE002"
+            self._report_race(a, b, Severity.ERROR, check, both_writes)
+        else:
+            self._report_race(a, b, Severity.WARNING, "RACE003", both_writes)
+
+    def _report_race(
+        self,
+        a: _Access,
+        b: _Access,
+        severity: Severity,
+        check: str,
+        both_writes: bool,
+        cross_workgroup: bool = False,
+    ) -> None:
+        kind = "write/write" if both_writes else "read/write"
+        scope = "workgroups" if cross_workgroup else "lanes"
+        if a is b:
+            what = (
+                f"{kind} conflict of {a.space} array {a.array!r} with itself "
+                f"across {scope} (index {_describe(a.affine)})"
+            )
+        else:
+            what = (
+                f"{kind} conflict on {a.space} array {a.array!r} between "
+                f"{a.kind}@{a.span} (index {_describe(a.affine)}) and "
+                f"{b.kind}@{b.span} (index {_describe(b.affine)}) across {scope}"
+            )
+        if severity is Severity.WARNING and check == "RACE003":
+            what = "possible race: " + what
+        extra = (b.span.line, b.span.column, cross_workgroup)
+        self._emit(check, severity, what, a.span, extra_key=extra)
+
+    def _check_cross_workgroup_races(self) -> None:
+        groups: Dict[str, List[_Access]] = {}
+        for access in self._accesses:
+            if access.space == "global":
+                groups.setdefault(access.array, []).append(access)
+        for _, group in sorted(groups.items()):
+            if not any(access.is_write for access in group):
+                continue
+            for i, first in enumerate(group):
+                for second in group[i:]:
+                    self._judge_cross_pair(first, second)
+
+    def _judge_cross_pair(self, a: _Access, b: _Access) -> None:
+        if not (a.is_write or b.is_write):
+            return
+        both_writes = a.is_write and b.is_write
+        if a.affine is None or b.affine is None:
+            # Mirrors the intra-workgroup unknown-pattern warning; the dedupe
+            # key keeps this from double-reporting the same span pair.
+            self._report_race(a, b, Severity.WARNING, "RACE003", both_writes)
+            return
+        if a.affine == b.affine:
+            form = a.affine
+            if form.launch_uniform_atoms and form.lid == 0 and form.wgid == 0 and form.gid != 0:
+                return  # injective in the global id: globally race-free
+            if (
+                form.launch_uniform_atoms
+                and form.lid == 0
+                and form.gid == 0
+                and form.wgid != 0
+                and a.guard == b.guard
+                and a.guard.single_lane
+            ):
+                return  # one lane per workgroup, injective in the workgroup id
+            self._report_race(
+                a, b, Severity.WARNING, "RACE004", both_writes, cross_workgroup=True
+            )
+            return
+        delta = a.affine.sub(b.affine)
+        if not delta.atoms and delta.lid == 0 and delta.gid == 0 and delta.wgid == 0:
+            coeffs = [a.affine.lid, a.affine.gid, a.affine.wgid]
+            coeffs.extend(coeff for _, coeff in a.affine.atoms)
+            stride = math.gcd(*(abs(c) for c in coeffs)) if any(coeffs) else 0
+            if stride and delta.const % stride != 0:
+                return  # the two access sets live on disjoint residue classes
+        self._report_race(
+            a, b, Severity.WARNING, "RACE004", both_writes, cross_workgroup=True
+        )
+
+
+def _describe(form: Optional[Affine]) -> str:
+    return form.describe() if form is not None else "<non-affine>"
+
+
+def _count_barriers(statements: Sequence[Stmt]) -> int:
+    count = 0
+    for statement in statements:
+        if isinstance(statement, BarrierStmt):
+            count += 1
+        elif isinstance(statement, IfStmt):
+            count += max(
+                _count_barriers(statement.then_body),
+                _count_barriers(statement.else_body),
+            )
+        elif isinstance(statement, (WhileStmt, ForStmt)):
+            count += _count_barriers(statement.body)
+    return count
+
+
+def _assigned_names(statements: Sequence[Stmt]) -> Set[str]:
+    assigned: Set[str] = set()
+    for statement in statements:
+        if isinstance(statement, DeclStmt):
+            assigned.update(statement.names)
+        elif isinstance(statement, AssignStmt):
+            if isinstance(statement.target, VarRef):
+                assigned.add(statement.target.name)
+        elif isinstance(statement, IfStmt):
+            assigned |= _assigned_names(statement.then_body)
+            assigned |= _assigned_names(statement.else_body)
+        elif isinstance(statement, (WhileStmt, ForStmt)):
+            if isinstance(statement, ForStmt):
+                if statement.init is not None:
+                    assigned |= _assigned_names([statement.init])
+                if statement.step is not None:
+                    assigned |= _assigned_names([statement.step])
+            assigned |= _assigned_names(statement.body)
+    return assigned
+
+
+# ----------------------------------------------------------------------- #
+# Public entry points
+# ----------------------------------------------------------------------- #
+def check_kernel(kernel: KernelDecl) -> AnalysisReport:
+    """Run all level-1 checks over one analyzed kernel declaration."""
+    if not kernel.symbols:
+        raise ValueError(
+            f"kernel {kernel.name!r} has no symbol table; run cl.semantics.analyze first"
+        )
+    report = AnalysisReport()
+    _KernelChecker(kernel, report).run()
+    return report
+
+
+def check_unit(unit: TranslationUnit) -> AnalysisReport:
+    """Check every kernel of an analyzed translation unit."""
+    report = AnalysisReport()
+    for kernel in unit.kernels:
+        report.extend(check_kernel(kernel))
+    return report
+
+
+def check_program(program: object) -> AnalysisReport:
+    """Check every kernel of a compiled :class:`~repro.cl.compiler.CLProgram`."""
+    report = AnalysisReport()
+    for name in program.kernel_names:  # type: ignore[attr-defined]
+        report.extend(check_kernel(program.declaration(name)))  # type: ignore[attr-defined]
+    return report
+
+
+def check_source(source: str) -> AnalysisReport:
+    """Compile (front end only) and check every kernel in ``source``."""
+    from repro.cl.compiler import compile_source
+
+    return check_program(compile_source(source))

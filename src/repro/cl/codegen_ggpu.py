@@ -181,7 +181,7 @@ class GGPUCodeGenerator:
 
     def _gen_statement(self, statement: Stmt) -> None:
         if isinstance(statement, DeclStmt):
-            for name, init in zip(statement.names, statement.inits):
+            for name, init in zip(statement.names, statement.inits, strict=True):
                 if init is not None:
                     self._gen_assign_to_var(name, init)
         elif isinstance(statement, AssignStmt):

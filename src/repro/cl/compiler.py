@@ -36,12 +36,18 @@ class CLKernelInfo:
         return len(self.buffer_params) + len(self.scalar_params)
 
 
+#: Valid values of the ``check=`` policy of :func:`compile_source`.
+CHECK_POLICIES = ("off", "warn", "error")
+
+
 class CLProgram:
     """A parsed and analyzed OpenCL-C translation unit."""
 
     def __init__(self, unit: TranslationUnit, source: str) -> None:
         self._unit = unit
         self.source = source
+        #: Filled by :meth:`analyze` (or by ``compile_source(check=...)``).
+        self.findings = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -76,6 +82,23 @@ class CLProgram:
         )
 
     # ------------------------------------------------------------------ #
+    # Static analysis
+    # ------------------------------------------------------------------ #
+    def analyze(self):
+        """Run the level-1 static verifier over every kernel.
+
+        Returns the :class:`~repro.analysis.findings.AnalysisReport` and
+        caches it on :attr:`findings`.  This never raises on findings; the
+        ``check=`` policy of :func:`compile_source` decides what to do with
+        them.
+        """
+        from repro.analysis.clcheck import check_unit
+
+        if self.findings is None:
+            self.findings = check_unit(self._unit)
+        return self.findings
+
+    # ------------------------------------------------------------------ #
     # Code generation
     # ------------------------------------------------------------------ #
     def to_ggpu_kernel(self, kernel_name: Optional[str] = None) -> Kernel:
@@ -95,12 +118,35 @@ class CLProgram:
         )
 
 
-def compile_source(source: str) -> CLProgram:
-    """Lex, parse, and analyze OpenCL-C source text."""
+def compile_source(source: str, check: str = "off") -> CLProgram:
+    """Lex, parse, and analyze OpenCL-C source text.
+
+    ``check`` gates the static kernel verifier into compilation:
+
+    * ``"off"`` (default) — no verification; output is byte-identical to a
+      verifier-less compile.
+    * ``"warn"`` — run the verifier and store its report on
+      ``CLProgram.findings`` without failing.
+    * ``"error"`` — additionally raise :class:`CompilationError` when any
+      error-severity finding is present.
+    """
+    if check not in CHECK_POLICIES:
+        raise CompilationError(
+            f"unknown check policy {check!r}; expected one of {CHECK_POLICIES}"
+        )
     if not source or not source.strip():
-        raise CompilationError("the kernel source is empty")
+        raise CompilationError("1:1: the kernel source is empty")
     unit = analyze(parse(source))
-    return CLProgram(unit, source)
+    program = CLProgram(unit, source)
+    if check != "off":
+        report = program.analyze()
+        if check == "error" and not report.clean:
+            preview = "; ".join(f.render() for f in report.errors[:3])
+            raise CompilationError(
+                f"static verification failed with {len(report.errors)} "
+                f"error-severity finding(s): {preview}"
+            )
+    return program
 
 
 def compile_kernel(source: str, kernel_name: Optional[str] = None) -> Kernel:

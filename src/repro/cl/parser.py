@@ -120,7 +120,7 @@ class Parser:
         while self._peek().kind is not TokenKind.END:
             unit.kernels.append(self._parse_kernel())
         if not unit.kernels:
-            raise CompilationError("the source contains no __kernel function")
+            raise CompilationError("1:1: the source contains no __kernel function")
         return unit
 
     def _parse_kernel(self) -> KernelDecl:

@@ -209,7 +209,7 @@ class KernelAnalyzer:
     def _mark_varying(self, statements: Sequence[Stmt], control_varying: bool) -> None:
         for statement in statements:
             if isinstance(statement, DeclStmt):
-                for name, init in zip(statement.names, statement.inits):
+                for name, init in zip(statement.names, statement.inits, strict=True):
                     if init is not None and (control_varying or self._expr_varying(init)):
                         self._varying_vars.add(name)
             elif isinstance(statement, AssignStmt):
@@ -357,7 +357,9 @@ def analyze(unit: TranslationUnit) -> TranslationUnit:
     names: Set[str] = set()
     for kernel in unit.kernels:
         if kernel.name in names:
-            raise CompilationError(f"duplicate kernel name {kernel.name!r}")
+            raise CompilationError(
+                f"semantic error at {kernel.span}: duplicate kernel name {kernel.name!r}"
+            )
         names.add(kernel.name)
         KernelAnalyzer(kernel).analyze()
     return unit

@@ -209,10 +209,10 @@ class DesignSpaceExplorer:
         }
 
         points: List[WorkloadPoint] = []
-        for num_cus, batch_result in zip(cu_counts, measured):
+        for num_cus, batch_result in zip(cu_counts, measured, strict=True):
             cycles = {
                 kernel: cycle
-                for kernel, cycle in zip(batch_result.kernels, batch_result.cycles)
+                for kernel, cycle in zip(batch_result.kernels, batch_result.cycles, strict=True)
             }
             for frequency in frequencies_mhz:
                 points.append(

@@ -228,7 +228,7 @@ class PpaMap:
                     macro, spec.target_frequency_mhz, 0.7
                 )
 
-        for paths, multiplicity, prefix in (
+        for paths, _multiplicity, prefix in (
             (CU_LOGIC_PATHS, spec.num_cus, "cu"),
             (MEMCTRL_LOGIC_PATHS, 1, "memctrl"),
         ):

@@ -217,12 +217,19 @@ class CommandQueue:
         ndrange: NDRange,
         args: Dict[str, ArgValue],
         label: Optional[str] = None,
+        verify: bool = False,
     ) -> int:
         """Append one launch to the queue; returns its sequence number.
 
         The launch is validated and executed by :meth:`flush`/:meth:`finish`,
-        in enqueue order.
+        in enqueue order.  With ``verify=True`` the kernel is first run
+        through the ISA-level static lint and rejected (``KernelError``, at
+        enqueue time) on any error-severity finding.
         """
+        if verify:
+            from repro.analysis.isalint import verify_kernel_or_raise
+
+            verify_kernel_or_raise(kernel)
         command = QueuedCommand(
             sequence=self._next_sequence,
             kernel=kernel,

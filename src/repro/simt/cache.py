@@ -279,7 +279,7 @@ class DataCache:
         hits, write_backs = self.access_lines(lines, is_write)
         return [
             LineAccess(int(line), bool(hit), bool(write_back))
-            for line, hit, write_back in zip(lines, hits, write_backs)
+            for line, hit, write_back in zip(lines, hits, write_backs, strict=True)
         ]
 
     # ------------------------------------------------------------------ #

@@ -136,8 +136,18 @@ class GGPUSimulator:
         kernel: Kernel,
         ndrange: NDRange,
         args: Dict[str, ArgValue],
+        verify: bool = False,
     ) -> LaunchResult:
-        """Run ``kernel`` over ``ndrange`` with the given argument values."""
+        """Run ``kernel`` over ``ndrange`` with the given argument values.
+
+        With ``verify=True`` the ISA-level static lint
+        (:func:`repro.analysis.isalint.lint_kernel`) runs first and any
+        error-severity finding rejects the launch with :class:`KernelError`.
+        """
+        if verify:
+            from repro.analysis.isalint import verify_kernel_or_raise
+
+            verify_kernel_or_raise(kernel)
         ordered_args = self._order_args(kernel, args)
         if len(kernel.program) > self.config.cram_words:
             raise KernelError(
@@ -160,7 +170,7 @@ class GGPUSimulator:
             cu.bind(kernel.program, self.rtm, decoded=decoded, local_words=kernel.local_words)
 
         dispatcher = WorkgroupDispatcher(self.config, ndrange)
-        for cu, wavefronts in zip(self.compute_units, dispatcher.initial_assignment(len(self.compute_units))):
+        for cu, wavefronts in zip(self.compute_units, dispatcher.initial_assignment(len(self.compute_units)), strict=True):
             if wavefronts:
                 cu.admit(wavefronts)
 

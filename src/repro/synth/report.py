@@ -77,7 +77,7 @@ def format_table1(results: Iterable[SynthesisResult]) -> str:
     """Render the regenerated Table I as fixed-width text."""
     rows: List[SynthesisReportRow] = [SynthesisReportRow.from_result(result) for result in results]
     widths = [12, 17, 18, 9, 9, 9, 13, 12, 10]
-    header = " | ".join(title.ljust(width) for title, width in zip(_HEADER, widths))
+    header = " | ".join(title.ljust(width) for title, width in zip(_HEADER, widths, strict=True))
     lines = [header, "-" * len(header)]
     for row in rows:
         cells = (

@@ -1,0 +1,1 @@
+"""Analyzer test package (labeled corpus + static/dynamic cross-checks)."""

@@ -1,0 +1,298 @@
+"""Labeled corpus of CL kernels for the static analyzer and the race oracle.
+
+Each :class:`CorpusEntry` carries a CL source, the check IDs the static
+analyzer is expected to report (``expect_checks``, matched as *at least*
+these), and — where the kernel is launchable — an oracle launch
+configuration so the dynamic cross-check can confirm or refute the verdict.
+
+The corpus is the ground truth for the soundness contract: every entry in
+``RACY`` must produce at least one ``RACE*`` finding, every entry in
+``DIVERGENT`` at least one ``BAR*`` finding, every entry in ``OUT_OF_BOUNDS``
+at least one ``BND*`` finding, and no entry in ``CLEAN`` may produce any
+error-severity finding at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OracleLaunch:
+    """How to run a corpus kernel under the dynamic oracle."""
+
+    global_size: int
+    workgroup_size: int
+    buffers: Tuple[Tuple[str, int], ...]  # (name, length) pairs, zero-filled
+    scalars: Tuple[Tuple[str, int], ...] = ()
+
+    def buffer_dict(self) -> Dict[str, List[int]]:
+        return {name: [0] * length for name, length in self.buffers}
+
+    def scalar_dict(self) -> Dict[str, int]:
+        return dict(self.scalars)
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One labeled kernel: source, expected static checks, oracle launch."""
+
+    name: str
+    source: str
+    expect_checks: Tuple[str, ...] = ()
+    launch: Optional[OracleLaunch] = None
+
+
+DIVERGENT: Sequence[CorpusEntry] = (
+    CorpusEntry(
+        name="barrier_in_divergent_if",
+        source="""
+__kernel void k(__global int *out) {
+    __local int tmp[64];
+    int lid = get_local_id(0);
+    if (lid < 32) {
+        tmp[lid] = lid;
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = tmp[0];
+}
+""",
+        expect_checks=("BAR001",),
+        launch=OracleLaunch(64, 64, (("out", 64),)),
+    ),
+    CorpusEntry(
+        name="barrier_in_divergent_else",
+        source="""
+__kernel void k(__global int *out) {
+    int lid = get_local_id(0);
+    int v = 0;
+    if (lid == 0) {
+        v = 1;
+    } else {
+        barrier(CLK_LOCAL_MEM_FENCE);
+        v = 2;
+    }
+    out[get_global_id(0)] = v;
+}
+""",
+        expect_checks=("BAR001",),
+        launch=OracleLaunch(8, 8, (("out", 8),)),
+    ),
+    CorpusEntry(
+        name="barrier_in_lane_trip_loop",
+        source="""
+__kernel void k(__global int *out) {
+    int lid = get_local_id(0);
+    int acc = 0;
+    for (int i = 0; i < lid; i = i + 1) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+        acc = acc + i;
+    }
+    out[get_global_id(0)] = acc;
+}
+""",
+        expect_checks=("BAR002",),
+        launch=OracleLaunch(8, 8, (("out", 8),)),
+    ),
+    CorpusEntry(
+        name="barrier_in_lane_while",
+        source="""
+__kernel void k(__global int *out) {
+    int lid = get_local_id(0);
+    int i = lid;
+    while (i > 0) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+        i = i - 1;
+    }
+    out[get_global_id(0)] = i;
+}
+""",
+        expect_checks=("BAR002",),
+        launch=OracleLaunch(8, 8, (("out", 8),)),
+    ),
+)
+
+
+RACY: Sequence[CorpusEntry] = (
+    CorpusEntry(
+        name="all_lanes_write_slot_zero",
+        source="""
+__kernel void k(__global int *out) {
+    __local int tmp[64];
+    int lid = get_local_id(0);
+    tmp[0] = lid;
+    out[get_global_id(0)] = tmp[0];
+}
+""",
+        expect_checks=("RACE001",),
+        launch=OracleLaunch(64, 64, (("out", 64),)),
+    ),
+    CorpusEntry(
+        name="barrierless_neighbor_read",
+        source="""
+__kernel void k(__global int *out) {
+    __local int tmp[512];
+    int lid = get_local_id(0);
+    tmp[lid] = lid;
+    int v = tmp[lid + 1];
+    out[get_global_id(0)] = v;
+}
+""",
+        expect_checks=("RACE002",),
+        launch=OracleLaunch(64, 64, (("out", 64),)),
+    ),
+    CorpusEntry(
+        name="scan_missing_barrier",
+        source="""
+__kernel void k(__global int *a, __global int *out) {
+    __local int tmp[512];
+    int lid = get_local_id(0);
+    tmp[lid] = a[get_global_id(0)];
+    if (lid > 0) {
+        tmp[lid] = tmp[lid] + tmp[lid - 1];
+    }
+    out[get_global_id(0)] = tmp[lid];
+}
+""",
+        expect_checks=("RACE003",),
+        launch=OracleLaunch(64, 64, (("a", 64), ("out", 64))),
+    ),
+    CorpusEntry(
+        name="strided_write_overlap",
+        source="""
+__kernel void k(__global int *out) {
+    __local int tmp[512];
+    int lid = get_local_id(0);
+    tmp[lid * 2] = lid;
+    tmp[lid * 4] = lid;
+    out[get_global_id(0)] = tmp[lid];
+}
+""",
+        expect_checks=("RACE001",),
+        launch=OracleLaunch(64, 64, (("out", 64),)),
+    ),
+    CorpusEntry(
+        name="cross_workgroup_global_write",
+        source="""
+__kernel void k(__global int *out) {
+    int lid = get_local_id(0);
+    out[lid] = get_group_id(0);
+}
+""",
+        expect_checks=("RACE004",),
+        launch=OracleLaunch(16, 8, (("out", 8),)),
+    ),
+)
+
+
+OUT_OF_BOUNDS: Sequence[CorpusEntry] = (
+    CorpusEntry(
+        name="local_constant_oob",
+        source="""
+__kernel void k(__global int *out) {
+    __local int tmp[4];
+    tmp[300] = 1;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tmp[0];
+}
+""",
+        expect_checks=("BND001",),
+        launch=OracleLaunch(4, 4, (("out", 4),)),
+    ),
+    CorpusEntry(
+        name="local_affine_oob",
+        source="""
+__kernel void k(__global int *out) {
+    __local int tmp[4];
+    int lid = get_local_id(0);
+    tmp[lid + 300] = 1;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tmp[0];
+}
+""",
+        expect_checks=("BND001",),
+        launch=OracleLaunch(4, 4, (("out", 4),)),
+    ),
+    CorpusEntry(
+        name="local_negative_index",
+        source="""
+__kernel void k(__global int *out) {
+    __local int tmp[8];
+    int lid = get_local_id(0);
+    tmp[lid - 300] = 1;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tmp[0];
+}
+""",
+        expect_checks=("BND001",),
+        launch=OracleLaunch(4, 4, (("out", 4),)),
+    ),
+)
+
+
+CLEAN: Sequence[CorpusEntry] = (
+    CorpusEntry(
+        name="saxpy_like",
+        source="""
+__kernel void k(__global int *x, __global int *y, __global int *out, int a) {
+    int gid = get_global_id(0);
+    out[gid] = a * x[gid] + y[gid];
+}
+""",
+        launch=OracleLaunch(32, 8, (("x", 32), ("y", 32), ("out", 32)), (("a", 3),)),
+    ),
+    CorpusEntry(
+        name="staged_local_broadcast",
+        source="""
+__kernel void k(__global int *a, __global int *out) {
+    __local int tmp[256];
+    int lid = get_local_id(0);
+    tmp[lid] = a[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tmp[0];
+}
+""",
+        launch=OracleLaunch(32, 8, (("a", 32), ("out", 32))),
+    ),
+    CorpusEntry(
+        name="tree_reduce_with_barriers",
+        source="""
+__kernel void k(__global int *a, __global int *partial) {
+    __local int tmp[256];
+    int lid = get_local_id(0);
+    tmp[lid] = a[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = get_local_size(0) / 2; s > 0; s = s / 2) {
+        if (lid < s) {
+            tmp[lid] = tmp[lid] + tmp[lid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = tmp[0];
+    }
+}
+""",
+        launch=OracleLaunch(32, 8, (("a", 32), ("partial", 4))),
+    ),
+    CorpusEntry(
+        name="uniform_loop_accumulate",
+        source="""
+__kernel void k(__global int *a, __global int *out, int n) {
+    int gid = get_global_id(0);
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        acc = acc + a[i];
+    }
+    out[gid] = acc;
+}
+""",
+        launch=OracleLaunch(16, 8, (("a", 16), ("out", 16)), (("n", 16),)),
+    ),
+)
+
+
+ALL_ENTRIES: Sequence[CorpusEntry] = tuple(DIVERGENT) + tuple(RACY) + tuple(
+    OUT_OF_BOUNDS
+) + tuple(CLEAN)

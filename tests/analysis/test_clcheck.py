@@ -1,0 +1,147 @@
+"""CL-level static analyzer tests over the labeled corpus.
+
+Every defective corpus kernel must be flagged with the expected check ID and
+a real source span; every clean kernel must produce zero error-severity
+findings.  The compile-path integration (``check=`` policy) is covered in
+``test_suite_clean.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CHECKS, Severity, check_source
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.cl.compiler import compile_source
+from repro.errors import CompilationError
+
+from analysis.analysis_corpus import (
+    ALL_ENTRIES,
+    CLEAN,
+    DIVERGENT,
+    OUT_OF_BOUNDS,
+    RACY,
+)
+
+DEFECTIVE = tuple(DIVERGENT) + tuple(RACY) + tuple(OUT_OF_BOUNDS)
+
+
+@pytest.mark.parametrize("entry", DEFECTIVE, ids=lambda e: e.name)
+def test_defective_kernel_flagged_with_expected_check(entry) -> None:
+    report = check_source(entry.source)
+    found = {f.check for f in report.findings}
+    for check in entry.expect_checks:
+        assert check in found, (
+            f"{entry.name}: expected {check}, got {sorted(found)}"
+        )
+
+
+@pytest.mark.parametrize("entry", DEFECTIVE, ids=lambda e: e.name)
+def test_defective_kernel_findings_carry_spans(entry) -> None:
+    report = check_source(entry.source)
+    expected = [f for f in report.findings if f.check in entry.expect_checks]
+    assert expected
+    for finding in expected:
+        assert finding.span is not None
+        assert finding.span.line > 0 and finding.span.column > 0
+        assert f"{finding.span.line}:{finding.span.column}" in finding.render()
+
+
+@pytest.mark.parametrize("entry", CLEAN, ids=lambda e: e.name)
+def test_clean_kernel_has_no_errors(entry) -> None:
+    report = check_source(entry.source)
+    assert report.errors == [], [f.render() for f in report.errors]
+
+
+@pytest.mark.parametrize("entry", ALL_ENTRIES, ids=lambda e: e.name)
+def test_every_finding_uses_a_registered_check(entry) -> None:
+    report = check_source(entry.source)
+    for finding in report.findings:
+        assert finding.check in CHECKS
+        assert finding.check in finding.render()
+
+
+def test_divergent_kernels_produce_error_severity() -> None:
+    for entry in DIVERGENT:
+        report = check_source(entry.source)
+        bar_errors = [f for f in report.errors if f.check.startswith("BAR")]
+        assert bar_errors, entry.name
+
+
+def test_finding_rejects_unknown_check_id() -> None:
+    with pytest.raises(ValueError):
+        Finding(check="XYZ999", severity=Severity.ERROR, message="nope")
+
+
+def test_report_severity_partitions() -> None:
+    report = check_source(DIVERGENT[0].source)
+    assert len(report.findings) == (
+        len(report.errors) + len(report.warnings) + len(report.infos)
+    )
+    assert not report.clean
+    counts = report.counts
+    assert counts[Severity.ERROR] == len(report.errors)
+
+
+def test_single_lane_guard_inside_loop_is_not_trusted() -> None:
+    # `if (lid == i)` selects a *different* lane each iteration, so writes to
+    # the same slot from different iterations still race; the guard must not
+    # be treated as a stable single-lane section.
+    source = """
+__kernel void k(__global int *out) {
+    __local int tmp[8];
+    int lid = get_local_id(0);
+    for (int i = 0; i < 4; i = i + 1) {
+        if (lid == i) {
+            tmp[0] = lid;
+        }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tmp[0];
+}
+"""
+    report = check_source(source)
+    assert any(f.check.startswith("RACE") for f in report.findings)
+
+
+def test_single_lane_guard_outside_loop_is_trusted() -> None:
+    source = """
+__kernel void k(__global int *partial) {
+    __local int tmp[8];
+    int lid = get_local_id(0);
+    tmp[lid] = lid;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lid == 0) {
+        partial[get_group_id(0)] = tmp[0];
+    }
+}
+"""
+    report = check_source(source)
+    assert report.errors == [], [f.render() for f in report.errors]
+
+
+def test_uneven_barrier_counts_across_uniform_if_warn() -> None:
+    source = """
+__kernel void k(__global int *out, int n) {
+    int lid = get_local_id(0);
+    if (n > 4) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = lid;
+}
+"""
+    report = check_source(source)
+    assert any(f.check == "BAR003" for f in report.findings)
+    assert report.errors == []
+
+
+def test_check_source_rejects_invalid_source() -> None:
+    with pytest.raises(CompilationError):
+        check_source("__kernel void broken(")
+
+
+def test_analyze_is_cached_on_program() -> None:
+    program = compile_source(CLEAN[0].source)
+    first = program.analyze()
+    assert isinstance(first, AnalysisReport)
+    assert program.analyze() is first

@@ -1,0 +1,143 @@
+"""ISA-level lint tests: defective hand-assembled kernels and the clean suite.
+
+The defects are built with :class:`KernelBuilder` so they are *assemblable*
+— they pass the assembler's structural checks but violate the deeper
+properties the linter enforces (register def-before-use, mask-region barrier
+placement, LRAM windows, reachability).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, lint_kernel, verify_kernel_or_raise
+from repro.arch.isa import Opcode
+from repro.arch.kernel import KernelBuilder
+from repro.cl.compiler import compile_source
+from repro.cl.sources import BENCHMARK_CL_SOURCES, EXTRA_CL_SOURCES
+from repro.errors import KernelError
+from repro.kernels import all_kernel_names, get_kernel_spec
+
+
+def _checks(report):
+    return {f.check for f in report.findings}
+
+
+def test_use_before_def_is_an_error() -> None:
+    b = KernelBuilder("use_before_def")
+    b.emit(Opcode.ADD, rd=1, rs=2, rt=3)  # r2/r3 never written
+    b.ret()
+    report = lint_kernel(b.build())
+    errors = [f for f in report.errors if f.check == "ISA001"]
+    assert errors, report.render()
+
+
+def test_branch_only_def_is_a_warning_not_error() -> None:
+    b = KernelBuilder("maybe_def")
+    b.emit(Opcode.LID, rd=1)
+    with b.lane_if(condition=1):
+        b.emit(Opcode.LI, rd=2, imm=7)  # r2 defined only under the mask
+    b.emit(Opcode.ADD, rd=3, rs=2, rt=1)
+    b.ret()
+    report = lint_kernel(b.build())
+    isa1 = [f for f in report.findings if f.check == "ISA001"]
+    assert isa1, report.render()
+    assert all(f.severity is Severity.WARNING for f in isa1), report.render()
+
+
+def test_barrier_inside_lane_if_is_an_error() -> None:
+    b = KernelBuilder("divergent_barrier")
+    b.declare_local("tmp", 16)
+    b.emit(Opcode.LID, rd=1)
+    with b.lane_if(condition=1):
+        b.emit(Opcode.BARRIER)
+    b.ret()
+    report = lint_kernel(b.build())
+    assert "ISA002" in _checks(report)
+    assert report.errors
+
+
+def test_barrier_inside_divergent_while_is_an_error() -> None:
+    b = KernelBuilder("divergent_loop_barrier")
+    b.declare_local("tmp", 16)
+    b.emit(Opcode.LID, rd=1)
+    with b.divergent_while() as loop:
+        loop.check(condition=1)
+        b.emit(Opcode.BARRIER)
+        b.emit(Opcode.ADDI, rd=1, rs=1, imm=-1)
+    b.ret()
+    report = lint_kernel(b.build())
+    assert "ISA002" in _checks(report)
+
+
+def test_local_access_without_local_words_is_an_error() -> None:
+    b = KernelBuilder("no_lram")
+    b.emit(Opcode.LI, rd=1, imm=0)
+    b.emit(Opcode.LSW, rs=1, rt=1, imm=0)
+    b.ret()
+    report = lint_kernel(b.build())
+    assert "ISA003" in _checks(report)
+    assert report.errors
+
+
+def test_constant_lram_index_out_of_window_is_an_error() -> None:
+    b = KernelBuilder("lram_oob")
+    b.declare_local("tmp", 4)  # 16-byte window
+    b.emit(Opcode.LI, rd=1, imm=64)
+    b.emit(Opcode.LSW, rs=1, rt=1, imm=0)
+    b.ret()
+    report = lint_kernel(b.build())
+    isa3 = [f for f in report.findings if f.check == "ISA003"]
+    assert isa3, report.render()
+    assert any(f.severity is Severity.ERROR for f in isa3), report.render()
+
+
+def test_unreachable_code_is_a_warning() -> None:
+    b = KernelBuilder("unreachable")
+    end = b.asm.unique_label("end")
+    b.emit(Opcode.JMP, label=end)
+    b.emit(Opcode.LI, rd=1, imm=1)  # skipped forever
+    b.label(end)
+    b.ret()
+    report = lint_kernel(b.build())
+    assert "ISA004" in _checks(report)
+
+
+def test_verify_kernel_or_raise_rejects_defective_kernel() -> None:
+    b = KernelBuilder("bad")
+    b.emit(Opcode.ADD, rd=1, rs=2, rt=3)
+    b.ret()
+    with pytest.raises(KernelError, match="ISA001"):
+        verify_kernel_or_raise(b.build())
+
+
+def test_verify_kernel_or_raise_returns_report_when_clean() -> None:
+    spec = get_kernel_spec("copy")
+    report = verify_kernel_or_raise(spec.build())
+    assert report.errors == []
+
+
+@pytest.mark.parametrize("name", all_kernel_names())
+def test_library_kernels_lint_clean(name: str) -> None:
+    report = lint_kernel(get_kernel_spec(name).build())
+    assert report.errors == [], report.render()
+
+
+@pytest.mark.parametrize(
+    "name", sorted(dict(BENCHMARK_CL_SOURCES, **EXTRA_CL_SOURCES))
+)
+def test_compiled_cl_kernels_lint_clean(name: str) -> None:
+    sources = dict(BENCHMARK_CL_SOURCES, **EXTRA_CL_SOURCES)
+    program = compile_source(sources[name])
+    report = lint_kernel(program.to_ggpu_kernel())
+    assert report.errors == [], report.render()
+
+
+def test_findings_name_the_kernel_and_address() -> None:
+    b = KernelBuilder("named")
+    b.emit(Opcode.ADD, rd=1, rs=2, rt=3)
+    b.ret()
+    report = lint_kernel(b.build())
+    finding = next(f for f in report.errors if f.check == "ISA001")
+    assert finding.kernel == "named"
+    assert finding.address is not None

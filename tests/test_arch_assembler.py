@@ -72,7 +72,7 @@ def test_encode_decode_round_trip_fields():
     words = encode_program(program)
     assert all(0 <= word < 2**32 for word in words)
     decoded = decode_program("sample", words)
-    for original, recovered in zip(program.instructions, decoded.instructions):
+    for original, recovered in zip(program.instructions, decoded.instructions, strict=True):
         assert recovered.opcode is original.opcode
         assert recovered.rd == original.rd
         assert recovered.rs == original.rs

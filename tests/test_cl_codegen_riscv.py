@@ -7,7 +7,7 @@ import pytest
 
 from repro.arch.kernel import NDRange
 from repro.cl import compile_kernel_to_riscv_case, compile_source
-from repro.errors import CompilationError
+from repro.errors import CompilationError, SimulationError
 from repro.kernels.library import GpuWorkload
 from repro.riscv.isa import RvOpcode
 
@@ -195,7 +195,7 @@ def test_oversized_workload_does_not_fit_the_32kb_memory():
         {},
         n,
     )
-    with pytest.raises(Exception, match="does not fit"):
+    with pytest.raises(SimulationError, match="does not fit"):
         compile_kernel_to_riscv_case(
             "__kernel void f(__global int *a, int n) { int gid = get_global_id(0); a[gid] = 1; }",
             workload,

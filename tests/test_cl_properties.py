@@ -172,7 +172,7 @@ def test_generated_programs_have_a_lossless_binary_encoding(tree):
     words = encode_program(kernel.program)
     decoded = decode_program(kernel.name, words)
     assert len(decoded) == len(kernel.program)
-    for original, restored in zip(kernel.program.instructions, decoded.instructions):
+    for original, restored in zip(kernel.program.instructions, decoded.instructions, strict=True):
         assert original.opcode is restored.opcode
         assert original.rd == restored.rd
         assert original.rs == restored.rs

@@ -1,0 +1,57 @@
+"""Every compiler diagnostic must carry a ``line:column`` source span.
+
+A corpus of broken sources exercises the lexer, parser, and semantic
+analyzer failure paths; each raised :class:`CompilationError` message must
+contain a span so editors and the analysis CLI can anchor the diagnostic.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cl.compiler import compile_source
+from repro.errors import CompilationError
+
+SPAN_RE = re.compile(r"\d+:\d+")
+
+BROKEN_SOURCES = {
+    # lexer
+    "illegal_character": "__kernel void k(__global int *out) { out[0] = 1 $ 2; }",
+    "unterminated_comment": "__kernel void k(__global int *out) { /* no end",
+    # parser
+    "empty_source": "",
+    "whitespace_only": "   \n\t  ",
+    "no_kernel": "int helper(int x) { return x; }",
+    "truncated_params": "__kernel void k(__global int *out,",
+    "missing_brace": "__kernel void k(__global int *out) { out[0] = 1;",
+    "bad_statement": "__kernel void k(__global int *out) { 123; }",
+    "missing_semicolon": "__kernel void k(__global int *out) { int x = 1 }",
+    "bad_for_header": (
+        "__kernel void k(__global int *out) { for (int i = 0 i < 4; i = i + 1) { } }"
+    ),
+    # semantics
+    "unknown_variable": "__kernel void k(__global int *out) { out[0] = nope; }",
+    "unknown_function": "__kernel void k(__global int *out) { out[0] = f(1); }",
+    "duplicate_variable": (
+        "__kernel void k(__global int *out) { int x = 1; int x = 2; out[0] = x; }"
+    ),
+    "assign_to_pointer": (
+        "__kernel void k(__global int *out, __global int *a) { out = a; }"
+    ),
+    "duplicate_kernel": (
+        "__kernel void k(__global int *out) { out[0] = 1; }\n"
+        "__kernel void k(__global int *out) { out[0] = 2; }"
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BROKEN_SOURCES))
+def test_compilation_error_carries_source_span(name: str) -> None:
+    with pytest.raises(CompilationError) as excinfo:
+        compile_source(BROKEN_SOURCES[name])
+    message = str(excinfo.value)
+    assert SPAN_RE.search(message), (
+        f"{name}: diagnostic has no line:column span: {message!r}"
+    )

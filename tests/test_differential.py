@@ -60,7 +60,7 @@ def _ref_copy(w: GpuWorkload) -> Dict[str, List[int]]:
 
 def _ref_vec_mul(w: GpuWorkload) -> Dict[str, List[int]]:
     a, b = w.buffers["a"], w.buffers["b"]
-    return {"out": [(int(x) * int(y)) & MASK for x, y in zip(a, b)]}
+    return {"out": [(int(x) * int(y)) & MASK for x, y in zip(a, b, strict=True)]}
 
 
 def _ref_fir(w: GpuWorkload) -> Dict[str, List[int]]:
@@ -79,7 +79,7 @@ def _ref_fir(w: GpuWorkload) -> Dict[str, List[int]]:
 def _ref_div_int(w: GpuWorkload) -> Dict[str, List[int]]:
     # The 32-step restoring division the hardware-less FGPU runs in software.
     out = []
-    for a, b in zip(w.buffers["a"], w.buffers["b"]):
+    for a, b in zip(w.buffers["a"], w.buffers["b"], strict=True):
         dividend, divisor = int(a) & MASK, int(b) & MASK
         remainder = quotient = 0
         for _ in range(32):
@@ -119,7 +119,7 @@ def _ref_parallel_sel(w: GpuWorkload) -> Dict[str, List[int]]:
 def _ref_saxpy(w: GpuWorkload) -> Dict[str, List[int]]:
     alpha = int(w.scalars["alpha"])
     x, y = w.buffers["x"], w.buffers["y"]
-    return {"out": [(alpha * int(u) + int(v)) & MASK for u, v in zip(x, y)]}
+    return {"out": [(alpha * int(u) + int(v)) & MASK for u, v in zip(x, y, strict=True)]}
 
 
 def _ref_dot(w: GpuWorkload) -> Dict[str, List[int]]:

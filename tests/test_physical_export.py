@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.arch.config import GGPUConfig
+from repro.errors import PhysicalDesignError
 from repro.physical.export import (
     DEF_UNITS_PER_UM,
     build_def,
@@ -108,7 +109,7 @@ def test_svg_colours_divided_macros_differently(implemented):
 
 def test_svg_width_validation(implemented):
     tech, netlist, layout = implemented
-    with pytest.raises(Exception):
+    with pytest.raises(PhysicalDesignError):
         render_svg(layout, netlist, width_px=10)
 
 

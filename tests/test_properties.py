@@ -29,9 +29,9 @@ def _vec(values):
 @settings(max_examples=60, deadline=None)
 def test_add_sub_mul_match_scalar_reference(a_values, b_values):
     a, b = _vec(a_values), _vec(b_values)
-    assert list(pe.execute_binary(Opcode.ADD, a, b)) == [(x + y) & 0xFFFFFFFF for x, y in zip(a_values, b_values)]
-    assert list(pe.execute_binary(Opcode.SUB, a, b)) == [(x - y) & 0xFFFFFFFF for x, y in zip(a_values, b_values)]
-    assert list(pe.execute_binary(Opcode.MUL, a, b)) == [(x * y) & 0xFFFFFFFF for x, y in zip(a_values, b_values)]
+    assert list(pe.execute_binary(Opcode.ADD, a, b)) == [(x + y) & 0xFFFFFFFF for x, y in zip(a_values, b_values, strict=True)]
+    assert list(pe.execute_binary(Opcode.SUB, a, b)) == [(x - y) & 0xFFFFFFFF for x, y in zip(a_values, b_values, strict=True)]
+    assert list(pe.execute_binary(Opcode.MUL, a, b)) == [(x * y) & 0xFFFFFFFF for x, y in zip(a_values, b_values, strict=True)]
 
 
 @given(st.lists(WORD, min_size=LANES, max_size=LANES), st.lists(WORD, min_size=LANES, max_size=LANES))
@@ -40,7 +40,7 @@ def test_division_matches_truncating_reference(a_values, b_values):
     a, b = _vec(a_values), _vec(b_values)
     quotients = pe.to_signed(pe.execute_binary(Opcode.DIV, a, b))
     remainders = pe.to_signed(pe.execute_binary(Opcode.REM, a, b))
-    for x, y, q, r in zip(a_values, b_values, quotients, remainders):
+    for x, y, q, r in zip(a_values, b_values, quotients, remainders, strict=True):
         sx = x - (1 << 32) if x & 0x80000000 else x
         sy = y - (1 << 32) if y & 0x80000000 else y
         if sy == 0:

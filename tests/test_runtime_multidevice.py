@@ -259,7 +259,7 @@ def test_in_order_queue_serializes_even_with_many_devices():
     events = [_enqueue_copy(queue, src, dst) for dst in destinations]
     queue.flush()
     # In-order: each launch starts at or after the previous one's end.
-    for earlier, later in zip(events, events[1:]):
+    for earlier, later in zip(events, events[1:], strict=False):
         assert later.start_cycle >= earlier.end_cycle
 
 

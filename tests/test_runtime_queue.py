@@ -90,7 +90,7 @@ def test_enqueue_flush_preserves_order_and_results():
     results = queue.flush()
     assert queue.pending == 0
     assert [r.kernel_name for r in results] == ["copy"] * 4
-    for dst, payload in zip(destinations, payloads):
+    for dst, payload in zip(destinations, payloads, strict=True):
         assert np.array_equal(queue.read_buffer(dst, 64).astype(np.int64), payload)
     assert queue.stats.launches == 4
     assert queue.stats.cycles_by_kernel["copy"] == pytest.approx(queue.stats.total_cycles)
@@ -301,7 +301,7 @@ def test_independent_chains_overlap_and_match_in_order_bit_exactly():
     )
     _, ref_outputs, expecteds = _build_chains(in_order)
     in_order.finish()
-    for output, expected in zip(ref_outputs, expecteds):
+    for output, expected in zip(ref_outputs, expecteds, strict=True):
         assert np.array_equal(in_order.enqueue_read(output).astype(np.int64), expected)
 
     ooo = OutOfOrderQueue(
@@ -309,7 +309,7 @@ def test_independent_chains_overlap_and_match_in_order_bit_exactly():
     )
     chains, outputs, expecteds = _build_chains(ooo)
     ooo.finish()
-    for output, expected in zip(outputs, expecteds):
+    for output, expected in zip(outputs, expecteds, strict=True):
         assert np.array_equal(ooo.enqueue_read(output).astype(np.int64), expected)
 
     # Same per-launch cycles as the serialized reference, in enqueue order.
@@ -323,7 +323,7 @@ def test_independent_chains_overlap_and_match_in_order_bit_exactly():
     assert chain_devices[0] != chain_devices[1]
     # Within a chain the event order holds.
     for chain in chains:
-        for earlier, later in zip(chain, chain[1:]):
+        for earlier, later in zip(chain, chain[1:], strict=False):
             assert later.start_cycle >= earlier.end_cycle
     assert ooo.stats.makespan < in_order.stats.makespan
 
@@ -336,6 +336,6 @@ def test_batch_cycles_match_independent_measurements():
         memory_bytes=8 * 1024 * 1024,
     )
     result = run_batch(batch)
-    for kernel, cycles in zip(result.kernels, result.cycles):
+    for kernel, cycles in zip(result.kernels, result.cycles, strict=True):
         fresh, _ = _fresh_run(kernel, num_cus=2, size=256)
         assert cycles == fresh.cycles

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.arch.config import GGPUConfig
-from repro.errors import ConfigurationError, PhysicalDesignError
+from repro.errors import ConfigurationError, PhysicalDesignError, PlanningError
 from repro.rtl.netlist import Partition
 from repro.scaling import (
     ClusterConfig,
@@ -162,7 +162,7 @@ def test_run_clustered_flow_produces_a_consistent_result(tech):
 
 
 def test_run_clustered_flow_rejects_bad_frequency(tech):
-    with pytest.raises(Exception):
+    with pytest.raises(PlanningError):
         run_clustered_flow(tech, ClusterConfig(num_clusters=1, cus_per_cluster=1), 0.0)
 
 

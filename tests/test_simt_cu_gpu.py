@@ -6,7 +6,7 @@ import pytest
 from repro.arch.config import GGPUConfig
 from repro.arch.isa import Opcode
 from repro.arch.kernel import Kernel, KernelArg, KernelBuilder, NDRange
-from repro.errors import KernelError
+from repro.errors import ConfigurationError, KernelError
 from repro.simt.gpu import GGPUSimulator
 from repro.simt.timing import TimingModel
 from repro.arch.isa import OpClass
@@ -149,7 +149,7 @@ def test_launch_resets_state_between_kernels(simulator):
 
 
 def test_timing_model_validation_and_classes():
-    with pytest.raises(Exception):
+    with pytest.raises(ConfigurationError):
         TimingModel(alu_latency=0)
     timing = TimingModel()
     assert timing.latency_for(OpClass.DIV) > timing.latency_for(OpClass.MUL) > timing.latency_for(OpClass.ALU)

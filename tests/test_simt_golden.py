@@ -246,6 +246,8 @@ def test_nested_divergence_masks_are_exact():
     expected = {1: 1, 3: 3, 2: 2, 0: 4}
     for macro in (True, False):
         simulator = GGPUSimulator(GGPUConfig(num_cus=1))
+        for cu in simulator.compute_units:
+            cu.macro_step = macro
         out = simulator.allocate_buffer(256)
         result = simulator.launch(kernel, NDRange(256, 64), {"out": out})
         values = simulator.read_buffer(out, 256)
