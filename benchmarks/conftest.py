@@ -27,6 +27,7 @@ import pytest
 
 from repro.eval.benchmarks import Table3Data, run_table3
 from repro.eval.tables import build_physical_versions
+from repro.runtime.checkpoint import atomic_write_json
 from repro.runtime.parallel import default_jobs
 from repro.tech.technology import Technology, default_65nm
 
@@ -75,7 +76,8 @@ def record_bench(section: str, payload: dict) -> None:
         },
         **payload,
     }
-    BENCH_RECORD_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    # Atomic: a crashed or killed harness run never leaves a torn JSON file.
+    atomic_write_json(BENCH_RECORD_PATH, data)
 
 
 @pytest.fixture(scope="session")

@@ -18,6 +18,7 @@ import pytest
 
 from repro.eval.multidevice import run_multidevice_table
 from repro.eval.tables import format_multidevice_table
+from repro.runtime.checkpoint import atomic_write_json
 from repro.runtime.parallel import default_jobs
 
 BENCH_PR4_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
@@ -39,7 +40,7 @@ def _record(section: str, payload: dict) -> None:
         except (ValueError, OSError):
             data = {}
     data[section] = {"meta": {"repro_jobs": default_jobs(), "scale": SCALE}, **payload}
-    BENCH_PR4_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(BENCH_PR4_PATH, data)
 
 
 @pytest.mark.benchmark(group="multidevice")

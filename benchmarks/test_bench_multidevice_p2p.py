@@ -21,6 +21,7 @@ import pytest
 
 from repro.eval.multidevice import run_multidevice_table, run_pipeline_table
 from repro.eval.tables import format_pipeline_table
+from repro.runtime.checkpoint import atomic_write_json
 from repro.runtime.parallel import default_jobs
 
 BENCH_PR5_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
@@ -44,7 +45,7 @@ def _record(section: str, payload: dict) -> None:
         except (ValueError, OSError):
             data = {}
     data[section] = {"meta": {"repro_jobs": default_jobs()}, **payload}
-    BENCH_PR5_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(BENCH_PR5_PATH, data)
 
 
 @pytest.mark.benchmark(group="multidevice")

@@ -18,6 +18,7 @@ import pytest
 
 from repro.arch.config import GGPUConfig
 from repro.kernels import get_kernel_spec, run_workload
+from repro.runtime.checkpoint import atomic_write_json
 from repro.runtime.parallel import default_jobs
 from repro.runtime.queue import CommandQueue
 from repro.simt.gpu import GGPUSimulator
@@ -41,7 +42,7 @@ def _record(section: str, payload: dict) -> None:
         except (ValueError, OSError):
             data = {}
     data[section] = {"meta": {"repro_jobs": default_jobs()}, **payload}
-    BENCH_PR3_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(BENCH_PR3_PATH, data)
 
 
 @pytest.mark.benchmark(group="queue")

@@ -36,6 +36,51 @@ class KernelError(ReproError):
     """A kernel definition or launch is invalid."""
 
 
+class DeviceFailureError(KernelError):
+    """A command failed permanently on the multi-device runtime.
+
+    Raised when an injected (or simulated-platform) fault exhausted the
+    retry budget, when every device of a queue died, or when a command
+    depends on an event whose producer failed permanently.  The structured
+    fields let callers see exactly which slice of the event graph was lost:
+
+    * ``event_label`` / ``device`` — the failed command and where its last
+      attempt ran (``None`` if it never reached a device);
+    * ``attempts`` — how many dispatch attempts were made;
+    * ``graph_slice`` — the labels of the failed event plus every dependent
+      event that was failed fast because of it, in sequence order.
+
+    Cascaded failures chain the root failure as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        event_label: str = "",
+        device: "int | None" = None,
+        attempts: int = 0,
+        graph_slice: "tuple[str, ...]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.event_label = event_label
+        self.device = device
+        self.attempts = attempts
+        self.graph_slice = tuple(graph_slice)
+
+
+class ParallelExecutionError(ReproError):
+    """A parallel sweep task failed in a way the worker pool cannot report.
+
+    Carries the index (and repr) of the offending task so a dead worker or a
+    per-task timeout points at the task that caused it instead of an opaque
+    pool traceback.
+    """
+
+    def __init__(self, message: str, task_index: "int | None" = None) -> None:
+        super().__init__(message)
+        self.task_index = task_index
+
+
 class NetlistError(ReproError):
     """A netlist construction or transformation is invalid."""
 

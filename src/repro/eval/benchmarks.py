@@ -12,16 +12,19 @@ demos run the same protocol at a fraction of the paper's input sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.arch.config import GGPUConfig
 from repro.errors import KernelError
 from repro.kernels import all_kernel_names, get_kernel_spec, run_workload
 from repro.riscv.programs import get_riscv_program_spec
+from repro.runtime.checkpoint import PathLike, SweepJournal, cell_key, open_journal
 from repro.runtime.parallel import parallel_map
+from repro.simt.axi import MemoryTrafficStats
+from repro.simt.cache import CacheStats
 from repro.simt.gpu import GGPUSimulator
-from repro.simt.trace import KernelRunStats
+from repro.simt.trace import ComputeUnitStats, InstructionMix, KernelRunStats
 from repro.riscv.cpu import CpuStats
 
 DEFAULT_SEED = 2022
@@ -164,6 +167,36 @@ def _run_table3_task(task: tuple):
     return measure_gpu_kernel(kernel, num_cus, size, seed, check)
 
 
+# --------------------------------------------------------------------------- #
+# Journal (de)serialization — resumable Table III sweeps
+# --------------------------------------------------------------------------- #
+def _measurement_to_json(
+    measurement: Union[GpuMeasurement, RiscvMeasurement],
+) -> Dict[str, Any]:
+    """One measurement as a JSON-friendly dict (all stats are flat dataclasses)."""
+    payload = asdict(measurement)
+    payload["target"] = "gpu" if isinstance(measurement, GpuMeasurement) else "riscv"
+    return payload
+
+
+def _measurement_from_json(
+    payload: Dict[str, Any],
+) -> Union[GpuMeasurement, RiscvMeasurement]:
+    """Reconstruct a typed measurement from its journal payload."""
+    data = dict(payload)
+    target = data.pop("target")
+    stats = dict(data.pop("stats"))
+    if target == "riscv":
+        return RiscvMeasurement(stats=CpuStats(**stats), **data)
+    stats["cu_stats"] = [
+        ComputeUnitStats(**{**cu, "mix": InstructionMix(**cu["mix"])})
+        for cu in stats["cu_stats"]
+    ]
+    stats["cache"] = CacheStats(**stats["cache"])
+    stats["traffic"] = MemoryTrafficStats(**stats["traffic"])
+    return GpuMeasurement(stats=KernelRunStats(**stats), **data)
+
+
 def run_table3(
     kernels: Optional[Sequence[str]] = None,
     cu_counts: Sequence[int] = (1, 2, 4, 8),
@@ -171,6 +204,7 @@ def run_table3(
     seed: int = DEFAULT_SEED,
     check: bool = True,
     jobs: Optional[int] = None,
+    journal: Union[None, PathLike, SweepJournal] = None,
 ) -> Table3Data:
     """Measure every kernel on the RISC-V and on G-GPUs with ``cu_counts`` CUs.
 
@@ -179,6 +213,14 @@ def run_table3(
     cells are fanned out with :func:`repro.runtime.parallel.parallel_map`;
     ``jobs=None`` honours the ``REPRO_JOBS`` environment variable.  The
     returned table is identical at any job count.
+
+    ``journal`` (a path or an open
+    :class:`~repro.runtime.checkpoint.SweepJournal`) makes the sweep
+    *resumable*: each finished cell is persisted atomically — keyed by a
+    determinism digest of its full configuration — the moment it completes,
+    and a re-run after a crash (even ``SIGKILL``) recomputes only the cells
+    the journal is missing.  The resumed table is bit-identical to an
+    uninterrupted run.
     """
     names = list(kernels) if kernels is not None else all_kernel_names()
     table = Table3Data(cu_counts=tuple(cu_counts))
@@ -190,7 +232,45 @@ def run_table3(
         tasks.append(("riscv", name, sizes.riscv_size, seed, check, 0))
         for num_cus in cu_counts:
             tasks.append(("gpu", name, sizes.gpu_size, seed, check, num_cus))
-    measurements = parallel_map(_run_table3_task, tasks, jobs=jobs)
+    book = open_journal(
+        journal,
+        meta={
+            "sweep": "table3",
+            "kernels": names,
+            "cu_counts": [int(count) for count in cu_counts],
+            "scale": scale,
+            "seed": seed,
+            "check": check,
+        },
+    )
+    measurements: List[Any] = [None] * len(tasks)
+    missing = list(range(len(tasks)))
+    keys: List[str] = []
+    if book is not None:
+        keys = [
+            cell_key(kind=kind, kernel=kernel, size=size, seed=s, check=c, num_cus=n)
+            for kind, kernel, size, s, c, n in tasks
+        ]
+        missing = []
+        for index, key in enumerate(keys):
+            cached = book.get(key)
+            if cached is not None:
+                measurements[index] = _measurement_from_json(cached)
+            else:
+                missing.append(index)
+
+    def _collect(position: int, result: Any) -> None:
+        index = missing[position]
+        measurements[index] = result
+        if book is not None:
+            book.record(keys[index], _measurement_to_json(result))
+
+    parallel_map(
+        _run_table3_task,
+        [tasks[index] for index in missing],
+        jobs=jobs,
+        on_result=_collect,
+    )
     stride = 1 + len(cu_counts)
     for position, name in enumerate(names):
         cell = position * stride

@@ -39,8 +39,8 @@ Determinism and bit-exactness are part of the protocol:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,6 +49,7 @@ from repro.arch.kernel import NDRange
 from repro.errors import KernelError
 from repro.eval.benchmarks import DEFAULT_SEED, BenchmarkSizes
 from repro.kernels import all_kernel_names, get_kernel_spec
+from repro.runtime.checkpoint import PathLike, SweepJournal, cell_key, open_journal
 from repro.runtime.multidevice import OutOfOrderQueue
 from repro.runtime.parallel import default_jobs, parallel_map
 from repro.simt.gpu import GGPUSimulator
@@ -181,6 +182,32 @@ def _run_cell_on_queue(
     return cell
 
 
+def _multidevice_cell_key(
+    count: int, names: Sequence[str], scale: float, seed: int, lpt: bool
+) -> str:
+    """Determinism digest of one multi-device cell (config/transfer live in
+    the journal meta, so the key only needs the per-cell coordinates)."""
+    return cell_key(
+        device_count=count, kernels=list(names), scale=scale, seed=seed, lpt=lpt
+    )
+
+
+def _cell_from_json(cls: type, payload: Dict[str, Any]) -> Any:
+    """Rebuild a table cell from its journal payload (JSON round-trip safe).
+
+    JSON turns the schedule tuples into lists and integer dict keys into
+    strings; this restores both so a resumed cell compares equal to a
+    recomputed one.
+    """
+    data = dict(payload)
+    data["schedule"] = [tuple(entry) for entry in data["schedule"]]
+    if "utilization" in data:
+        data["utilization"] = {
+            int(device): value for device, value in data["utilization"].items()
+        }
+    return cls(**data)
+
+
 def _run_cell_task(task: tuple) -> MultiDeviceCell:
     """Worker entry for one cell (module level: picklable)."""
     device_count, kernels, scale, seed, config, transfer, lpt = task
@@ -203,6 +230,7 @@ def run_multidevice_table(
     transfer: Optional[TransferConfig] = None,
     jobs: Optional[int] = None,
     lpt: bool = False,
+    journal: Union[None, PathLike, SweepJournal] = None,
 ) -> MultiDeviceTable:
     """Measure the suite's makespan at every device count.
 
@@ -213,6 +241,12 @@ def run_multidevice_table(
     asserted identical across cells.  ``lpt=True`` drains each queue
     longest-projected-time first, which tightens the makespan of this
     mixed-size batch at 4+ devices.
+
+    ``journal`` makes the sweep resumable (see
+    :mod:`repro.runtime.checkpoint`): finished cells are persisted
+    atomically as they complete, and a re-run recomputes only the missing
+    ones.  Resumed cells still go through the cross-cell bit-exactness
+    assertion below.
     """
     if not device_counts:
         raise KernelError("need at least one device count")
@@ -222,26 +256,52 @@ def run_multidevice_table(
     names = list(kernels) if kernels is not None else all_kernel_names()
     config = config or GGPUConfig()
     effective_jobs = jobs if jobs is not None else default_jobs()
+    transfer_model = transfer if transfer is not None else config.transfer
+    book = open_journal(
+        journal,
+        meta={
+            "sweep": "multidevice",
+            "kernels": names,
+            "scale": scale,
+            "seed": seed,
+            "lpt": lpt,
+            "config": asdict(config),
+            "transfer": asdict(transfer_model),
+        },
+    )
 
     table = MultiDeviceTable(kernels=names, scale=scale)
-    if effective_jobs == 1 or len(counts) <= 1:
+    missing = list(counts)
+    if book is not None:
+        missing = []
+        for count in counts:
+            cached = book.get(_multidevice_cell_key(count, names, scale, seed, lpt))
+            if cached is not None:
+                table.cells[count] = _cell_from_json(MultiDeviceCell, cached)
+            else:
+                missing.append(count)
+
+    def _collect(position: int, cell: MultiDeviceCell) -> None:
+        table.cells[cell.device_count] = cell
+        if book is not None:
+            key = _multidevice_cell_key(cell.device_count, names, scale, seed, lpt)
+            book.record(key, asdict(cell))
+
+    if effective_jobs == 1 or len(missing) <= 1:
         # Shared pool: build the widest cell once, reuse (reset) for the rest.
         pool = [
             GGPUSimulator(config, memory_bytes=CELL_MEMORY_BYTES)
-            for _ in range(max(counts))
+            for _ in range(max(missing, default=0))
         ]
-        cells = []
-        for count in counts:
+        for position, count in enumerate(missing):
             queue = OutOfOrderQueue(devices=pool[:count], transfer=transfer, lpt=lpt)
-            cells.append(_run_cell_on_queue(queue, names, scale, seed))
+            _collect(position, _run_cell_on_queue(queue, names, scale, seed))
     else:
         tasks = [
             (count, tuple(names), scale, seed, config, transfer, lpt)
-            for count in counts
+            for count in missing
         ]
-        cells = parallel_map(_run_cell_task, tasks, jobs=effective_jobs)
-    for cell in cells:
-        table.cells[cell.device_count] = cell
+        parallel_map(_run_cell_task, tasks, jobs=effective_jobs, on_result=_collect)
 
     # Bit-exactness across cells: the same launch simulates the same cycle
     # count whatever the device count (addresses are allocated in lock-step).
@@ -461,6 +521,7 @@ def run_pipeline_table(
     p2p_bytes_per_cycle: float = P2P_LINK_BYTES_PER_CYCLE,
     modes: Sequence[str] = PIPELINE_MODES,
     jobs: Optional[int] = None,
+    journal: Union[None, PathLike, SweepJournal] = None,
 ) -> PipelineTable:
     """Measure the two-stage shuffle DAG under every transfer mode.
 
@@ -470,6 +531,10 @@ def run_pipeline_table(
     table is bit-identical either way.  Per-launch simulated cycle counts
     are asserted identical across *all* cells: the transfer mode and the
     scheduling hints move data and placement, never the simulated kernels.
+
+    ``journal`` makes the sweep resumable (see
+    :mod:`repro.runtime.checkpoint`): a killed run recomputes only the
+    (mode, device count) cells the journal has not recorded.
     """
     if not device_counts:
         raise KernelError("need at least one device count")
@@ -484,8 +549,39 @@ def run_pipeline_table(
     config = config or GGPUConfig()
     base_transfer = transfer if transfer is not None else config.transfer
     effective_jobs = jobs if jobs is not None else default_jobs()
+    book = open_journal(
+        journal,
+        meta={
+            "sweep": "pipeline",
+            "lanes": lanes,
+            "size": size,
+            "modes": mode_list,
+            "config": asdict(config),
+            "transfer": asdict(base_transfer),
+            "p2p_latency_cycles": p2p_latency_cycles,
+            "p2p_bytes_per_cycle": p2p_bytes_per_cycle,
+        },
+    )
 
     table = PipelineTable(modes=mode_list, lanes=lanes, size=size)
+    grid = [(mode, count) for mode in mode_list for count in counts]
+    missing = list(grid)
+    if book is not None:
+        missing = []
+        for mode, count in grid:
+            cached = book.get(cell_key(mode=mode, device_count=count))
+            if cached is not None:
+                table.cells[(mode, count)] = _cell_from_json(PipelineCell, cached)
+            else:
+                missing.append((mode, count))
+
+    def _collect(position: int, cell: PipelineCell) -> None:
+        table.cells[(cell.mode, cell.device_count)] = cell
+        if book is not None:
+            book.record(
+                cell_key(mode=cell.mode, device_count=cell.device_count), asdict(cell)
+            )
+
     tasks = [
         (
             mode,
@@ -497,28 +593,24 @@ def run_pipeline_table(
             p2p_latency_cycles,
             p2p_bytes_per_cycle,
         )
-        for mode in mode_list
-        for count in counts
+        for mode, count in missing
     ]
     if effective_jobs == 1 or len(tasks) <= 1:
         # Shared pool: build the widest cell once, reuse (reset) for the rest.
         pool = [
             GGPUSimulator(config, memory_bytes=CELL_MEMORY_BYTES)
-            for _ in range(max(counts))
+            for _ in range(max((count for _, count in missing), default=0))
         ]
-        cells = []
-        for mode, count, *_ in tasks:
+        for position, (mode, count) in enumerate(missing):
             model, lpt, hints = _pipeline_queue_options(
                 mode, count, lanes, base_transfer, p2p_latency_cycles, p2p_bytes_per_cycle
             )
             queue = OutOfOrderQueue(devices=pool[:count], transfer=model, lpt=lpt)
             cell = _run_pipeline_on_queue(queue, lanes, size, hints)
             cell.mode = mode
-            cells.append(cell)
+            _collect(position, cell)
     else:
-        cells = parallel_map(_run_pipeline_cell_task, tasks, jobs=effective_jobs)
-    for cell in cells:
-        table.cells[(cell.mode, cell.device_count)] = cell
+        parallel_map(_run_pipeline_cell_task, tasks, jobs=effective_jobs, on_result=_collect)
 
     # Bit-exactness across every mode and device count: transfers and hints
     # reshape the schedule, never the simulated kernel cycles.

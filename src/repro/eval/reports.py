@@ -20,6 +20,7 @@ from repro.eval.comparison import SpeedupSeries
 from repro.eval.energy import EnergyComparison
 from repro.eval.multidevice import MultiDeviceTable, PipelineTable
 from repro.physical.routing import RoutingEstimate
+from repro.runtime.checkpoint import atomic_write_text
 from repro.synth.logic import SynthesisResult
 from repro.synth.report import SynthesisReportRow
 
@@ -297,9 +298,10 @@ def write_report_bundle(
     written: Dict[str, str] = {}
 
     def _write(name: str, text: str) -> None:
+        # Atomic (temp + rename): a reader or a crashed run never sees a
+        # truncated artifact, only the previous or the new complete file.
         path = os.path.join(directory, name)
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        atomic_write_text(path, text)
         written[name] = path
 
     if table1 is not None:

@@ -173,6 +173,7 @@ class DesignSpaceExplorer:
         scale: float = 0.25,
         seed: int = 2022,
         jobs: Optional[int] = None,
+        journal=None,
     ) -> List["WorkloadPoint"]:
         """Score every (CU count, frequency) point against a workload list.
 
@@ -183,13 +184,20 @@ class DesignSpaceExplorer:
         :func:`repro.runtime.parallel.parallel_map` — a multi-queue sweep,
         one simulated G-GPU per process — and then joined with each
         frequency's synthesis result into wall-clock runtime estimates.
+
+        ``journal`` (a path or :class:`~repro.runtime.checkpoint.SweepJournal`)
+        makes the *simulation* side resumable: each per-CU-count batch
+        measurement is persisted atomically when it completes, so a killed
+        sweep recomputes only the missing batches.  The analytic PPA side is
+        cheap and always recomputed.
         """
         if not workloads:
             raise PlanningError("the workload sweep needs at least one kernel name")
         # Import here: the queue depends on the kernel library, which this
         # module must not pull in at import time for the pure-PPA flows.
         from repro.eval.benchmarks import BenchmarkSizes
-        from repro.runtime.queue import BatchItem, QueueBatch, run_batches
+        from repro.runtime.checkpoint import cell_key, open_journal
+        from repro.runtime.queue import BatchItem, BatchResult, QueueBatch, run_batch
 
         batches = []
         for num_cus in cu_counts:
@@ -200,7 +208,47 @@ class DesignSpaceExplorer:
                     sizes = sizes.scaled(scale)
                 items.append(BatchItem(kernel=kernel, size=sizes.gpu_size, seed=seed))
             batches.append(QueueBatch(items=tuple(items), num_cus=num_cus))
-        measured = run_batches(batches, jobs=jobs)
+        book = open_journal(
+            journal,
+            meta={
+                "sweep": "dse-workloads",
+                "workloads": list(workloads),
+                "scale": scale,
+                "seed": seed,
+            },
+        )
+        measured: List[Optional[BatchResult]] = [None] * len(batches)
+        missing: List[int] = list(range(len(batches)))
+        keys: List[str] = []
+        if book is not None:
+            keys = [cell_key(num_cus=int(count)) for count in cu_counts]
+            missing = []
+            for index, key in enumerate(keys):
+                cached = book.get(key)
+                if cached is not None:
+                    measured[index] = BatchResult(**cached)
+                else:
+                    missing.append(index)
+
+        def _collect(position: int, result: BatchResult) -> None:
+            index = missing[position]
+            measured[index] = result
+            if book is not None:
+                book.record(
+                    keys[index],
+                    {
+                        "num_cus": result.num_cus,
+                        "cycles": [float(c) for c in result.cycles],
+                        "kernels": list(result.kernels),
+                    },
+                )
+
+        parallel_map(
+            run_batch,
+            [batches[index] for index in missing],
+            jobs=jobs,
+            on_result=_collect,
+        )
         # The PPA side is the same grid explore() already fans out.
         designs = self.explore(cu_counts, frequencies_mhz, jobs=jobs)
         design_by_spec = {

@@ -11,8 +11,29 @@ fan-out for multi-queue sweeps).  :mod:`repro.runtime.multidevice` scales
 the queue to N simulated G-GPUs behind one host: in-order and out-of-order
 (event-dependency) scheduling, host↔device transfer charging, and per-device
 buffer residency tracking.
+
+Robustness (PR 7): :mod:`repro.runtime.faults` injects deterministic,
+seedable device and transfer faults at the schedule layer and the queues
+recover from them (retry/requeue with backoff, buffer evacuation, structured
+fail-fast); :mod:`repro.runtime.checkpoint` provides atomic artifact writes
+and the resumable-sweep journal that lets a killed sweep recompute only its
+missing cells.
 """
 
+from repro.runtime.checkpoint import (
+    SweepJournal,
+    atomic_write_json,
+    atomic_write_text,
+    cell_key,
+    open_journal,
+)
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    FaultSpec,
+)
 from repro.runtime.multidevice import (
     DeviceBuffer,
     Event,
@@ -36,11 +57,21 @@ __all__ = [
     "CommandQueue",
     "DeviceBuffer",
     "Event",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
     "MultiDeviceQueue",
     "OutOfOrderQueue",
     "QueueBatch",
     "QueueStats",
+    "SweepJournal",
+    "atomic_write_json",
+    "atomic_write_text",
+    "cell_key",
     "default_jobs",
+    "open_journal",
     "parallel_map",
     "run_batch",
     "run_batches",

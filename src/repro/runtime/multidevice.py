@@ -53,6 +53,27 @@ are bit-identical to the same launches on a single in-order device —
 independent chains, and the CI determinism job re-checks the whole schedule
 across repeated runs and job counts.  With the default transfer model (P2P
 disabled) and no hints, schedules are bit-identical to the PR 4 runtime.
+
+**Fault tolerance (PR 7).**  A queue built with a seeded
+:class:`~repro.runtime.faults.FaultPlan` consults a deterministic
+:class:`~repro.runtime.faults.FaultInjector` at the *schedule* layer — never
+inside the simulators — every time a command is dispatched or a transfer is
+charged.  A faulted launch attempt is a command the device dropped: the
+simulator is not invoked, the runtime loses the fault's ``detect_cycles`` on
+the failing device's compute timeline, and the command is re-enqueued (after
+an exponential simulated-time backoff) on the surviving devices, up to the
+plan's retry budget.  A permanent ``device-fail`` retires the device: the
+failure model is fail-stop with host-readable memory, so buffers whose only
+valid copy lives on the dying device are evacuated host-ward through the
+normal read-back path (each salvage copy charged on the schedule) before the
+device is excluded from placement forever.  Transfer faults stall or re-send
+individual DMA copies.  A command whose retry budget is exhausted — or that
+depends on one — fails fast with a structured
+:class:`~repro.errors.DeviceFailureError` carrying the failed event-graph
+slice.  With no fault plan every schedule is bit-identical to a queue built
+without one; with any plan and at least one surviving device, kernel results
+are bit-exact versus the fault-free run — only the schedule and makespan may
+change (``tests/test_runtime_faults.py`` fuzzes exactly that contract).
 """
 
 from __future__ import annotations
@@ -64,7 +85,13 @@ import numpy as np
 
 from repro.arch.config import GGPUConfig, TransferConfig
 from repro.arch.kernel import Kernel, NDRange
-from repro.errors import KernelError
+from repro.errors import DeviceFailureError, KernelError
+from repro.runtime.faults import (
+    DEVICE_FAIL,
+    TRANSFER_STALL,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.runtime.queue import QueueStats
 from repro.simt.gpu import GGPUSimulator, LaunchResult
 from repro.simt.memory import WORD_BYTES
@@ -146,6 +173,11 @@ class Event:
     event, measured in simulated *kernel* cycles — a lower bound on the
     makespan at any device count (compute along a chain must serialize;
     transfers can lengthen the schedule but never shorten that bound).
+
+    Under fault injection an event may *fail permanently*: ``failed`` is set,
+    ``error`` holds the structured :class:`~repro.errors.DeviceFailureError`
+    (cascaded failures chain the root cause as ``error.__cause__``), and
+    ``attempts`` counts the dispatch attempts the command consumed.
     """
 
     sequence: int
@@ -161,10 +193,37 @@ class Event:
     result: Optional[LaunchResult] = None
     kind: str = "launch"
     finished: bool = False
+    failed: bool = False
+    attempts: int = 0
+    error: Optional[DeviceFailureError] = None
+    _queue: Optional["MultiDeviceQueue"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def done(self) -> bool:
         return self.finished or self.result is not None
+
+    @property
+    def settled(self) -> bool:
+        """Whether the event will never run again (completed or failed)."""
+        return self.done or self.failed
+
+    def wait(self) -> None:
+        """Drive the owning queue until this event settles; raise on failure.
+
+        Waiting on an event whose producing command failed permanently
+        raises its :class:`~repro.errors.DeviceFailureError` immediately —
+        with the original root failure chained as ``__cause__`` for
+        cascaded dependents — instead of hanging or surfacing a generic
+        :class:`~repro.errors.KernelError` from a later read.
+        """
+        if self.failed:
+            raise self.error
+        if not self.done and self._queue is not None:
+            self._queue.flush()
+        if self.failed:
+            raise self.error
 
 
 @dataclass
@@ -198,6 +257,11 @@ class MultiDeviceQueue:
     :meth:`~repro.simt.gpu.GGPUSimulator.reset` back to its
     post-construction state — the sweep harness reuses one pool across
     cells this way).
+
+    ``faults`` optionally arms a :class:`~repro.runtime.faults.FaultPlan`:
+    the queue then recovers from injected device and transfer faults at the
+    schedule layer (see the module docstring).  ``faults=None`` and an
+    empty plan are bit-identical.
     """
 
     in_order = True
@@ -209,6 +273,7 @@ class MultiDeviceQueue:
         memory_bytes: int = 64 * 1024 * 1024,
         transfer: Optional[TransferConfig] = None,
         devices: Optional[Sequence[GGPUSimulator]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if devices is not None:
             if config is not None:
@@ -233,6 +298,11 @@ class MultiDeviceQueue:
                 for _ in range(num_devices)
             ]
         self.transfer = transfer if transfer is not None else self.config.transfer
+        self.faults = faults
+        self._injector = (
+            FaultInjector(faults, len(self.devices)) if faults is not None else None
+        )
+        self._failures: List[DeviceFailureError] = []
         self.lpt = False
         self.stats = QueueStats(
             device_compute_cycles={index: 0.0 for index in range(len(self.devices))},
@@ -266,6 +336,23 @@ class MultiDeviceQueue:
     def events(self) -> List[Event]:
         """Every event this queue created (launches and transfer commands)."""
         return list(self._events)
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The armed fault injector, or ``None`` when no plan is configured."""
+        return self._injector
+
+    @property
+    def alive_devices(self) -> List[int]:
+        """Device indices still accepting work (all of them without faults)."""
+        if self._injector is None:
+            return list(range(len(self.devices)))
+        return self._injector.alive_devices()
+
+    @property
+    def failures(self) -> List[DeviceFailureError]:
+        """Every root permanent failure this queue has recorded, in order."""
+        return list(self._failures)
 
     def allocate_buffer(self, num_words: int) -> DeviceBuffer:
         """Allocate one logical buffer (zero-filled) on every device.
@@ -335,6 +422,7 @@ class MultiDeviceQueue:
             label=f"write:{buffer.handle}#{len(self._events)}",
             kernel_name="enqueue_write",
             kind="write",
+            _queue=self,
         )
         self._events.append(event)
         self._pending.append(
@@ -353,20 +441,33 @@ class MultiDeviceQueue:
         flushes.  If a device holds the only up-to-date copy, the
         device→host read-back is charged on that device's DMA timeline and
         recorded on the read event's ``readback_cycles``.
+
+        If the buffer's contents were produced by a command that failed
+        permanently, the read fails fast with a
+        :class:`~repro.errors.DeviceFailureError` chaining the original
+        failure — before scheduling anything.
         """
         self._check_buffer(buffer)
+        writer = buffer.last_writer
+        if writer is not None and writer.failed:
+            raise self._dependent_failure(
+                f"read of buffer {buffer.handle}", writer
+            )
         waits = self._hazard_waits([buffer.last_writer])
         event = Event(
             sequence=len(self._events),
             label=f"read:{buffer.handle}#{len(self._events)}",
             kernel_name="enqueue_read",
             kind="read",
+            _queue=self,
         )
         self._events.append(event)
         self._pending.append(_Command(event=event, waits=waits, buffer=buffer))
         self._last_event = event
         buffer.readers.append(event)
         self.flush()
+        if event.failed:
+            raise event.error
         return buffer.host.astype(np.uint32)
 
     # ------------------------------------------------------------------ #
@@ -460,6 +561,7 @@ class MultiDeviceQueue:
             sequence=len(self._events),
             label=label or f"{kernel.name}#{len(self._events)}",
             kernel_name=kernel.name,
+            _queue=self,
         )
         self._events.append(event)
         self._pending.append(
@@ -497,19 +599,32 @@ class MultiDeviceQueue:
         the ready commands; each launch lands on its hinted device or the
         one with the earliest projected start.  On an empty queue this is a
         cheap no-op.
+
+        Under fault injection a command may fail permanently (retry budget
+        exhausted, or every device dead); its dependents fail fast, every
+        *independent* command still executes, and the first root
+        :class:`~repro.errors.DeviceFailureError` of this flush is raised
+        once the whole schedule has been driven — the queue state stays
+        consistent, so callers that catch it can keep enqueueing.
         """
         if not self._pending:
             return []
         pending, self._pending = self._pending, []
         executed: List[LaunchResult] = []
+        failures_before = len(self._failures)
         for command in self._flush_order(pending):
             if command.kind == "launch":
-                executed.append(self._execute(command))
+                result = self._execute(command)
+                if result is not None:
+                    executed.append(result)
             elif command.kind == "write":
                 self._execute_write(command)
             else:
                 self._execute_read(command)
         self._results.extend(executed)
+        new_failures = self._failures[failures_before:]
+        if new_failures:
+            raise new_failures[0]
         return executed
 
     def finish(self) -> List[LaunchResult]:
@@ -574,7 +689,7 @@ class MultiDeviceQueue:
             ready = [
                 command
                 for command in remaining
-                if all(w.done or w.sequence in placed for w in command.waits)
+                if all(w.settled or w.sequence in placed for w in command.waits)
             ]
             if not ready:  # pragma: no cover - the event graph is acyclic
                 raise KernelError("event graph deadlock: no ready command")
@@ -652,6 +767,9 @@ class MultiDeviceQueue:
             .astype(np.int64)
         )
         start = max(self._dma_available[source], buffer.ready_cycle)
+        cycles = self._faulted_transfer_cycles(
+            source, cycles, start, f"readback:{buffer.handle}"
+        )
         end = start + cycles
         self._dma_available[source] = end
         self.stats.record_transfer(source, buffer.num_bytes, cycles, to_device=False)
@@ -672,6 +790,9 @@ class MultiDeviceQueue:
         cycles = self.transfer.cycles(buffer.num_bytes)
         self.devices[device].write_buffer(buffer.address, buffer.host)
         start = max(self._dma_available[device], host_ready)
+        cycles = self._faulted_transfer_cycles(
+            device, cycles, start, f"h2d:{buffer.handle}"
+        )
         end = start + cycles
         self._dma_available[device] = end
         self.stats.record_transfer(device, buffer.num_bytes, cycles, to_device=True)
@@ -720,6 +841,9 @@ class MultiDeviceQueue:
                         self._dma_available[device],
                         buffer.ready_cycle,
                     )
+                    cycles = self._faulted_transfer_cycles(
+                        device, cycles, start, f"p2p:{buffer.handle}"
+                    )
                     end = start + cycles
                     self._dma_available[source] = end
                     self._dma_available[device] = end
@@ -753,19 +877,199 @@ class MultiDeviceQueue:
             if device in buffer.device_ready
         )
 
-    def _execute(self, command: _Command) -> LaunchResult:
-        ready = max((event.end_cycle for event in command.waits), default=0.0)
-        if command.device is not None:
-            device = command.device
-        else:
-            device = min(
-                range(len(self.devices)),
-                key=lambda index: (
-                    self._projected_start(command, index, ready),
-                    -self._prefetched_inputs(command, index),
-                    index,
-                ),
+    # ------------------------------------------------------------------ #
+    # Fault handling
+    # ------------------------------------------------------------------ #
+    def _dependent_failure(self, what: str, dependency: Event) -> DeviceFailureError:
+        """A structured fail-fast error for ``what`` depending on a failure.
+
+        The returned error chains the dependency's failure as ``__cause__``
+        (walking to the root cause the original ``DeviceFailureError``)
+        so callers always see the original fault, never a generic error.
+        """
+        root = dependency.error
+        while root is not None and isinstance(root.__cause__, DeviceFailureError):
+            root = root.__cause__
+        error = DeviceFailureError(
+            f"{what} depends on permanently failed command "
+            f"{dependency.label!r}: {root}",
+            event_label=dependency.label,
+            device=root.device if root is not None else None,
+            attempts=root.attempts if root is not None else 0,
+            graph_slice=root.graph_slice if root is not None else (dependency.label,),
+        )
+        error.__cause__ = root
+        return error
+
+    def _fail_root(
+        self, command: _Command, device: Optional[int], attempts: int, reason: str
+    ) -> None:
+        """Mark ``command`` permanently failed (the root of a failed slice)."""
+        event = command.event
+        error = DeviceFailureError(
+            f"command {event.label!r} failed permanently: {reason}",
+            event_label=event.label,
+            device=device,
+            attempts=attempts,
+            graph_slice=(event.label,),
+        )
+        event.failed = True
+        event.attempts = attempts
+        event.error = error
+        self._failures.append(error)
+        self.stats.commands_failed += 1
+
+    def _fail_dependent(self, command: _Command, dependency: Event) -> None:
+        """Fail ``command`` fast because one of its dependencies failed."""
+        event = command.event
+        error = self._dependent_failure(f"command {event.label!r}", dependency)
+        event.failed = True
+        event.error = error
+        self.stats.commands_failed += 1
+        # Grow the root's recorded event-graph slice with this casualty.
+        root = error.__cause__
+        if isinstance(root, DeviceFailureError):
+            root.graph_slice = root.graph_slice + (event.label,)
+            error.graph_slice = root.graph_slice
+
+    def _failed_dependency(self, command: _Command) -> Optional[Event]:
+        return next((wait for wait in command.waits if wait.failed), None)
+
+    def _retire_device(self, device: int) -> None:
+        """Permanently retire a device, evacuating its sole-copy buffers.
+
+        The failure model is fail-stop with host-readable memory: the
+        compute side is gone for good, but the device's memory stays
+        reachable for one salvage pass (as over a PCIe BAR on a real
+        accelerator whose SMs hung).  Every buffer whose *only* valid copy
+        lives on the dying device is read back to the host through the
+        normal priced path; then the device disappears from every residency
+        set and from placement forever.
+        """
+        for buffer in self._buffers:
+            if not buffer.host_valid and buffer.valid_on == {device}:
+                self._read_back(buffer)
+                self.stats.evacuated_buffers += 1
+        for buffer in self._buffers:
+            buffer.valid_on.discard(device)
+            buffer.device_ready.pop(device, None)
+        self._injector.mark_dead(device)
+        self.stats.devices_lost += 1
+
+    def _faulted_transfer_cycles(
+        self, device: int, base_cycles: float, start_hint: float, label: str
+    ) -> float:
+        """Apply any injected transfer fault to one DMA charge.
+
+        A stall adds the fault's ``stall_cycles`` to the copy; a detected
+        corruption re-sends the copy once (both sends charged, counted as a
+        transfer retry).  The returned cycles flow into the same per-event
+        and per-device accounting as a clean copy, so the reconciliation
+        invariant holds under faults too.  Without an armed injector this
+        returns ``base_cycles`` untouched — the fault-free path charges
+        bit-identical costs.
+        """
+        if self._injector is None or base_cycles <= 0.0:
+            return base_cycles
+        fault = self._injector.transfer_fault(device, start_hint, label)
+        if fault is None:
+            return base_cycles
+        self.stats.transfer_faults += 1
+        if fault.kind == TRANSFER_STALL:
+            self.stats.fault_cycles += fault.stall_cycles
+            return base_cycles + fault.stall_cycles
+        # Detected corruption: CRC mismatch at the receiver, copy re-sent.
+        self.stats.transfer_retries += 1
+        self.stats.fault_cycles += base_cycles
+        return base_cycles * 2.0
+
+    def _dispatch(self, command: _Command, ready: float) -> Optional[Tuple[int, float]]:
+        """Pick a device and survive injected launch faults; None on failure.
+
+        Without faults this is exactly the PR 5 placement rule: the hinted
+        device, or the earliest-projected-start one (prefetch count, then
+        lower index, break ties).  With faults, dead devices are excluded, a
+        hint pointing at a dead device degrades gracefully to scheduler
+        placement, and each faulted dispatch attempt charges the fault's
+        detection time on the failing device, backs off exponentially in
+        simulated time, and re-enqueues on the survivors — up to the plan's
+        retry budget, after which the command fails permanently.
+
+        Returns ``(device, ready_cycle)`` for the successful dispatch.
+        """
+        injector = self._injector
+        attempts = 0
+        while True:
+            if injector is None:
+                candidates: Sequence[int] = range(len(self.devices))
+            else:
+                candidates = injector.alive_devices()
+                if not candidates:
+                    self._fail_root(
+                        command,
+                        device=None,
+                        attempts=attempts,
+                        reason="every device of the queue has failed",
+                    )
+                    return None
+            if command.device is not None and (
+                injector is None or not injector.is_dead(command.device)
+            ):
+                device = command.device
+            else:
+                device = min(
+                    candidates,
+                    key=lambda index: (
+                        self._projected_start(command, index, ready),
+                        -self._prefetched_inputs(command, index),
+                        index,
+                    ),
+                )
+            if injector is None:
+                command.event.attempts = attempts + 1
+                return device, ready
+            fault = injector.launch_fault(
+                device, self._projected_start(command, device, ready), command.event.label
             )
+            if fault is None:
+                command.event.attempts = attempts + 1
+                return device, ready
+            # The device dropped the command: charge the watchdog detection
+            # on its compute timeline, then retry after a simulated backoff.
+            attempts += 1
+            self.stats.launch_faults += 1
+            detect_end = max(self._compute_available[device], ready) + fault.detect_cycles
+            self._compute_available[device] = detect_end
+            self.stats.fault_cycles += fault.detect_cycles
+            self.stats.makespan = max(self.stats.makespan, detect_end)
+            if fault.kind == DEVICE_FAIL:
+                self._retire_device(device)
+            if attempts > self.faults.max_retries:
+                self._fail_root(
+                    command,
+                    device=device,
+                    attempts=attempts,
+                    reason=(
+                        f"retry budget exhausted after {attempts} faulted "
+                        f"dispatch attempts (max_retries={self.faults.max_retries})"
+                    ),
+                )
+                return None
+            self.stats.launch_retries += 1
+            backoff = self.faults.retry_delay(attempts)
+            self.stats.fault_cycles += backoff
+            ready = detect_end + backoff
+
+    def _execute(self, command: _Command) -> Optional[LaunchResult]:
+        failed_dependency = self._failed_dependency(command)
+        if failed_dependency is not None:
+            self._fail_dependent(command, failed_dependency)
+            return None
+        ready = max((event.end_cycle for event in command.waits), default=0.0)
+        dispatched = self._dispatch(command, ready)
+        if dispatched is None:
+            return None
+        device, ready = dispatched
         start, transfer_cycles, readback_cycles = self._materialize(
             command, device, ready
         )
@@ -808,10 +1112,18 @@ class MultiDeviceQueue:
         return result
 
     def _execute_write(self, command: _Command) -> None:
-        """Replace the host image; optionally prefetch to the hinted device."""
+        """Replace the host image; optionally prefetch to the hinted device.
+
+        A write proceeds even when a dependency failed: its data comes from
+        the host, not from the failed producer, so rewriting a buffer is
+        exactly how a caller re-establishes known contents after a
+        :class:`~repro.errors.DeviceFailureError`.
+        """
         buffer = command.buffer
         event = command.event
-        ready = max((dep.end_cycle for dep in command.waits), default=0.0)
+        ready = max(
+            (dep.end_cycle for dep in command.waits if not dep.failed), default=0.0
+        )
         buffer.host = command.data
         buffer.valid_on = set()
         buffer.host_valid = True
@@ -833,7 +1145,16 @@ class MultiDeviceQueue:
         event.finished = True
 
     def _execute_read(self, command: _Command) -> None:
-        """Refresh the host image as a scheduled command with its own event."""
+        """Refresh the host image as a scheduled command with its own event.
+
+        A read *depends* on the contents its producer defined, so a failed
+        dependency cascades: the read fails fast with the root failure
+        chained, rather than surfacing stale host data as if it were fresh.
+        """
+        failed_dependency = self._failed_dependency(command)
+        if failed_dependency is not None:
+            self._fail_dependent(command, failed_dependency)
+            return
         buffer = command.buffer
         event = command.event
         ready = max((dep.end_cycle for dep in command.waits), default=0.0)
@@ -877,6 +1198,7 @@ class OutOfOrderQueue(MultiDeviceQueue):
         transfer: Optional[TransferConfig] = None,
         devices: Optional[Sequence[GGPUSimulator]] = None,
         lpt: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(
             config=config,
@@ -884,5 +1206,6 @@ class OutOfOrderQueue(MultiDeviceQueue):
             memory_bytes=memory_bytes,
             transfer=transfer,
             devices=devices,
+            faults=faults,
         )
         self.lpt = bool(lpt)

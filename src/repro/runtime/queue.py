@@ -87,6 +87,16 @@ class QueueStats:
     critical_path_cycles: float = 0.0
     device_compute_cycles: Dict[int, float] = field(default_factory=dict)
     device_transfer_cycles: Dict[int, float] = field(default_factory=dict)
+    # Fault-tolerance accounting (PR 7) — all zero without an armed
+    # FaultPlan, which the no-fault bit-exactness pins rely on.
+    launch_faults: int = 0
+    launch_retries: int = 0
+    transfer_faults: int = 0
+    transfer_retries: int = 0
+    commands_failed: int = 0
+    devices_lost: int = 0
+    evacuated_buffers: int = 0
+    fault_cycles: float = 0.0
 
     def record(self, result: LaunchResult, device: int = 0) -> None:
         self.launches += 1
@@ -141,6 +151,19 @@ class QueueStats:
         if busy <= 0.0:
             return 0.0
         return self.transfer_cycles / busy
+
+    @property
+    def total_retries(self) -> int:
+        """Launch plus transfer retries the fault-recovery machinery spent."""
+        return self.launch_retries + self.transfer_retries
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of the makespan lost to faults (detection, backoff, stalls,
+        re-sent copies); 0.0 for a fault-free or zero-makespan queue."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return min(1.0, self.fault_cycles / self.makespan)
 
     def device_utilization(self) -> Dict[int, float]:
         """Per-device busy (compute + transfer) fraction of the makespan.

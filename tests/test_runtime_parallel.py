@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ParallelExecutionError
 from repro.eval.benchmarks import run_table3
 from repro.planner.flow import GpuPlannerFlow
 from repro.planner.spec import GGPUSpec
@@ -19,6 +22,24 @@ def _square(value: int) -> int:
 def _fail_on_three(value: int) -> int:
     if value == 3:
         raise ValueError("boom")
+    return value
+
+
+def _die_unless_parent(task) -> int:
+    """Hard-kill the worker process; compute normally in the parent.
+
+    Used to simulate a worker crash (segfault/OOM-kill): the pool raises
+    BrokenProcessPool, and parallel_map's serial fallback — which runs in the
+    parent, where ``os.getpid()`` matches — must still produce the result.
+    """
+    parent_pid, value = task
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return value * value
+
+
+def _sleep_forever(value: int) -> int:
+    time.sleep(3600.0)
     return value
 
 
@@ -51,6 +72,67 @@ def test_worker_exceptions_propagate():
 def test_invalid_job_count_rejected():
     with pytest.raises(ConfigurationError):
         parallel_map(_square, [1, 2], jobs=0)
+
+
+def test_invalid_task_timeout_rejected():
+    with pytest.raises(ConfigurationError):
+        parallel_map(_square, [1, 2], jobs=2, task_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        parallel_map(_square, [1, 2], jobs=2, task_timeout=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Hardening: worker death, task timeouts, incremental results (PR 7)
+# --------------------------------------------------------------------------- #
+def test_dead_worker_falls_back_to_serial_retry():
+    # Every task kills any pool worker outright, so the pool breaks; the
+    # serial retry runs in the parent and completes the sweep anyway.
+    tasks = [(os.getpid(), value) for value in range(5)]
+    assert parallel_map(_die_unless_parent, tasks, jobs=2) == [
+        value * value for value in range(5)
+    ]
+
+
+def test_task_timeout_raises_structured_error():
+    start = time.perf_counter()
+    with pytest.raises(ParallelExecutionError) as excinfo:
+        parallel_map(_sleep_forever, [1, 2], jobs=2, task_timeout=1.0)
+    elapsed = time.perf_counter() - start
+    assert excinfo.value.task_index == 0
+    assert "exceeded the per-task timeout" in str(excinfo.value)
+    # The hung workers were terminated, not awaited for an hour.
+    assert elapsed < 60.0
+
+
+def test_task_timeout_ignored_on_serial_path():
+    # jobs=1 runs in-process where a timeout cannot preempt; the parameter
+    # is validated but the fast task simply completes.
+    assert parallel_map(_square, [2, 3], jobs=1, task_timeout=0.001) == [4, 9]
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_on_result_sees_every_task_in_order(jobs):
+    seen = []
+    result = parallel_map(
+        _square, [3, 1, 2], jobs=jobs, on_result=lambda i, r: seen.append((i, r))
+    )
+    assert result == [9, 1, 4]
+    assert seen == [(0, 9), (1, 1), (2, 4)]
+
+
+def test_on_result_runs_before_a_later_failure_surfaces():
+    # Tasks before the failing one still reach the callback — this is what
+    # lets a journaled sweep persist finished cells even when a later cell
+    # blows up.
+    seen = []
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(
+            _fail_on_three,
+            [1, 2, 3, 4],
+            jobs=1,
+            on_result=lambda i, r: seen.append(i),
+        )
+    assert seen == [0, 1]
 
 
 # --------------------------------------------------------------------------- #

@@ -36,6 +36,7 @@ from repro.eval.multidevice import (  # noqa: E402
     run_multidevice_table,
     run_pipeline_table,
 )
+from repro.runtime.checkpoint import atomic_write_text  # noqa: E402
 
 
 def main() -> int:
@@ -91,8 +92,7 @@ def main() -> int:
     }
     text = json.dumps(digest, indent=2, sort_keys=True) + "\n"
     if args.output is not None:
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(text)
+        atomic_write_text(args.output, text)
         print(f"digest written to {args.output} ({len(text)} bytes)")
     else:
         print(text, end="")

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Kill a journaled sweep mid-run and prove the resume computes only the rest.
+
+The crash-safety contract of :mod:`repro.runtime.checkpoint` is end-to-end:
+every finished cell is persisted atomically *as it completes*, so a sweep
+killed at any instant leaves a loadable journal, and a re-run serves the
+already-recorded cells from the journal and computes only the missing ones.
+
+This check exercises exactly that, the hard way:
+
+1. spawn ``tests/tools/smoke_sweep.py --journal`` as a subprocess,
+2. poll the journal file until at least one cell has been persisted,
+3. ``SIGKILL`` the sweep — no cleanup handlers, the worst-case crash,
+4. verify the journal on disk is valid JSON with the expected meta,
+5. resume the identical sweep in-process and assert via the journal's
+   hit/miss counters that it computed **only** the missing cells, and
+6. check the resumed table is complete and well-formed.
+
+    PYTHONPATH=src python tests/tools/resume_check.py
+    PYTHONPATH=src python tests/tools/resume_check.py --scale 0.125 --cu-counts 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.benchmarks import run_table3  # noqa: E402
+from repro.kernels import all_kernel_names  # noqa: E402
+from repro.runtime.checkpoint import JOURNAL_FORMAT, SweepJournal  # noqa: E402
+
+SMOKE_SWEEP = REPO_ROOT / "tests" / "tools" / "smoke_sweep.py"
+
+
+def _spawn_sweep(journal: Path, scale: float, cu_counts: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            str(SMOKE_SWEEP),
+            "--scale",
+            str(scale),
+            "--cu-counts",
+            cu_counts,
+            "--journal",
+            str(journal),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _poll_cells(journal: Path, timeout_seconds: float) -> int:
+    """Wait until the journal holds at least one cell; return the count."""
+    deadline = time.monotonic() + timeout_seconds
+    while time.monotonic() < deadline:
+        if journal.exists():
+            try:
+                data = json.loads(journal.read_text(encoding="utf-8"))
+            except ValueError as exc:
+                raise SystemExit(
+                    f"journal at {journal} is torn JSON: atomic write is broken"
+                ) from exc
+            cells = data.get("cells", {})
+            if cells:
+                return len(cells)
+        time.sleep(0.05)
+    raise SystemExit(f"no cell appeared in {journal} within {timeout_seconds}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, default=0.125, help="input-size scale factor (default 0.125)"
+    )
+    parser.add_argument(
+        "--cu-counts", default="1", help="comma-separated CU counts (default 1)"
+    )
+    parser.add_argument(
+        "--spawn-timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for the first persisted cell (default 300)",
+    )
+    args = parser.parse_args()
+    cu_counts = tuple(int(field) for field in args.cu_counts.split(","))
+    total_cells = len(all_kernel_names()) * (1 + len(cu_counts))
+
+    with tempfile.TemporaryDirectory(prefix="repro-resume-") as tmp:
+        journal_path = Path(tmp) / "sweep_journal.json"
+
+        sweep = _spawn_sweep(journal_path, args.scale, args.cu_counts)
+        try:
+            persisted = _poll_cells(journal_path, args.spawn_timeout)
+        finally:
+            # The worst-case crash: SIGKILL, no atexit, no finally blocks.
+            if sweep.poll() is None:
+                sweep.send_signal(signal.SIGKILL)
+            sweep.wait()
+        print(f"killed sweep after {persisted} persisted cell(s)")
+
+        data = json.loads(journal_path.read_text(encoding="utf-8"))
+        if data.get("format") != JOURNAL_FORMAT:
+            raise SystemExit(f"journal format {data.get('format')!r} is wrong")
+        recorded = len(data["cells"])
+        if recorded >= total_cells:
+            raise SystemExit(
+                f"sweep finished ({recorded}/{total_cells} cells) before the "
+                "kill; rerun with a larger --scale to slow it down"
+            )
+
+        # Resume in-process so the journal's hit/miss counters are visible.
+        journal = SweepJournal(journal_path, meta=data["meta"])
+        if not journal.resumed:
+            raise SystemExit("journal did not resume from its own on-disk state")
+        table = run_table3(cu_counts=cu_counts, scale=args.scale, journal=journal)
+
+        if journal.hits != recorded:
+            raise SystemExit(
+                f"resume recomputed persisted cells: {journal.hits} hits for "
+                f"{recorded} recorded"
+            )
+        if journal.misses != total_cells - recorded:
+            raise SystemExit(
+                f"resume missed the wrong cell count: {journal.misses} misses, "
+                f"expected {total_cells - recorded}"
+            )
+        if len(journal) != total_cells:
+            raise SystemExit(
+                f"journal holds {len(journal)} cells after resume, expected "
+                f"{total_cells}"
+            )
+        if list(table.rows) != list(all_kernel_names()):
+            raise SystemExit("resumed table is missing kernels")
+        for kernel, row in table.rows.items():
+            if not row.riscv.cycles > 0:
+                raise SystemExit(f"non-positive RISC-V cycles for {kernel}")
+            for num_cus in cu_counts:
+                if not row.gpu[num_cus].cycles > 0:
+                    raise SystemExit(
+                        f"non-positive G-GPU cycles for {kernel} at {num_cus} CUs"
+                    )
+
+        print(
+            f"resume check ok: killed at {recorded}/{total_cells} cells, resume "
+            f"served {journal.hits} from the journal and computed "
+            f"{journal.misses} missing"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,13 +10,17 @@ debugged) the same way everywhere:
     PYTHONPATH=src python tests/tools/smoke_sweep.py --scale 0.25
     PYTHONPATH=src python tests/tools/smoke_sweep.py --output smoke_table.txt
 
-``--output`` additionally writes the rendered table to a file so CI can
-upload it as a workflow artifact.
+``--output`` additionally writes the rendered table to a file (atomically)
+so CI can upload it as a workflow artifact.  ``--journal`` points the sweep
+at a :class:`repro.runtime.checkpoint.SweepJournal` file: each finished cell
+is persisted as it completes, and a re-run after a kill — the CI resume
+check SIGKILLs one mid-sweep — computes only the missing cells.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -27,6 +31,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.eval.benchmarks import run_table3  # noqa: E402
 from repro.eval.tables import format_table3  # noqa: E402
 from repro.kernels import all_kernel_names  # noqa: E402
+from repro.runtime.checkpoint import atomic_write_text  # noqa: E402
 
 
 def main() -> int:
@@ -45,11 +50,18 @@ def main() -> int:
         default=None,
         help="also write the rendered table to this file (for CI artifacts)",
     )
+    parser.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="resumable-sweep journal file: record finished cells as they "
+        "complete and, on a re-run, compute only the missing ones",
+    )
     args = parser.parse_args()
     cu_counts = tuple(int(field) for field in args.cu_counts.split(","))
 
     start = time.perf_counter()
-    table = run_table3(cu_counts=cu_counts, scale=args.scale)
+    table = run_table3(cu_counts=cu_counts, scale=args.scale, journal=args.journal)
     elapsed = time.perf_counter() - start
 
     expected_kernels = all_kernel_names()
@@ -71,9 +83,11 @@ def main() -> int:
     )
     print(header)
     print(rendered)
+    if args.journal is not None:
+        recorded = json.loads(args.journal.read_text(encoding="utf-8"))
+        print(f"journal at {args.journal}: {len(recorded.get('cells', {}))} cells recorded")
     if args.output is not None:
-        args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(header + "\n" + rendered + "\n")
+        atomic_write_text(args.output, header + "\n" + rendered + "\n")
         print(f"table written to {args.output}")
     return 0
 
