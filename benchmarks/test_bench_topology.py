@@ -1,0 +1,101 @@
+"""Benchmark: topology-aware schedulers on the layered-DAG ablation.
+
+Acceptance measurement for the PR 8 topology-aware scheduling runtime: on
+the layered inference-style DAG (a deep backbone chain next to wide
+independent heads — the classic LPT trap), the HEFT and work-stealing flush
+orders must beat LPT by at least 1.15x makespan at 8, 16, and 64 devices,
+with bit-identical kernel results and per-launch cycle counts in every
+(DAG, topology, scheduler, device count) cell (the sweep itself asserts
+both).  The multi-stage shuffle DAG is recorded alongside as the
+topology-sensitivity story: its cross-lane traffic crosses progressively
+farther links on the two-switch and ring fabrics.  The numbers are recorded
+to ``BENCH_PR8.json`` in the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.eval.multidevice import run_topology_table
+from repro.eval.tables import format_topology_table
+from repro.runtime.checkpoint import atomic_write_json
+from repro.runtime.parallel import default_jobs
+
+BENCH_PR8_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+DEVICE_COUNTS = (8, 16, 64)
+# Acceptance: HEFT or stealing must beat LPT by >= 1.15x at 8+ devices on
+# the layered DAG.  As with the earlier multi-device benches,
+# REPRO_BENCH_SCALE is deliberately not applied: the ratio is a property of
+# the simulated schedule and should be comparable between runs.
+MIN_SPEEDUP_VS_LPT = 1.15
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_PR8_PATH.exists():
+        try:
+            data = json.loads(BENCH_PR8_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = {"meta": {"repro_jobs": default_jobs()}, **payload}
+    atomic_write_json(BENCH_PR8_PATH, data)
+
+
+@pytest.mark.benchmark(group="multidevice")
+def test_topology_scheduler_ablation(benchmark):
+    start = time.perf_counter()
+    table = benchmark.pedantic(
+        lambda: run_topology_table(device_counts=DEVICE_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    wall = time.perf_counter() - start
+
+    print("\n" + format_topology_table(table))
+    _record(
+        "topology_scheduler_ablation",
+        {
+            "layered": {"width": table.width, "depth": table.depth, "size": table.size},
+            "shuffle": {"lanes": table.lanes, "stages": table.stages, "size": table.size},
+            "device_counts": list(table.device_counts),
+            "wall_seconds": round(wall, 3),
+            "makespan_kcycles": {
+                f"{dag}/{topo}/{scheduler}": {
+                    str(count): round(
+                        table.cell(dag, topo, scheduler, count).makespan_kcycles, 2
+                    )
+                    for count in table.device_counts
+                }
+                for dag in table.dags
+                for topo in table.topologies
+                for scheduler in table.schedulers
+            },
+            "speedup_vs_lpt": {
+                f"{dag}/{topo}/{scheduler}": {
+                    str(count): round(
+                        table.speedup_vs_lpt(dag, topo, scheduler, count), 3
+                    )
+                    for count in table.device_counts
+                }
+                for dag in table.dags
+                for topo in table.topologies
+                for scheduler in ("heft", "stealing")
+            },
+        },
+    )
+
+    # Acceptance: HEFT and stealing beat LPT by the margin at every device
+    # count on the layered DAG, on every topology.
+    for topo in table.topologies:
+        for scheduler in ("heft", "stealing"):
+            for count in table.device_counts:
+                speedup = table.speedup_vs_lpt("layered", topo, scheduler, count)
+                assert speedup >= MIN_SPEEDUP_VS_LPT, (topo, scheduler, count, speedup)
+    # The shuffle DAG pays real P2P traffic in every multi-device cell.
+    for topo in table.topologies:
+        assert table.cell("shuffle", topo, "lpt", 8).transfers_p2p > 0, topo

@@ -14,7 +14,7 @@ This package defines what a G-GPU *is*, independent of how it is simulated
   abstractions plus a structured program builder used by the kernel library.
 """
 
-from repro.arch.config import GGPUConfig, CacheConfig, AxiConfig, TransferConfig
+from repro.arch.config import GGPUConfig, CacheConfig, AxiConfig, TransferConfig, Topology
 from repro.arch.isa import Instruction, Opcode, OpClass, Register, ISA
 from repro.arch.assembler import Assembler, Program, encode_instruction, decode_instruction
 from repro.arch.kernel import Kernel, KernelArg, NDRange, KernelBuilder
@@ -24,6 +24,7 @@ __all__ = [
     "CacheConfig",
     "AxiConfig",
     "TransferConfig",
+    "Topology",
     "Instruction",
     "Opcode",
     "OpClass",

@@ -12,7 +12,7 @@ cache sizes)".  :class:`GGPUConfig` is that parameter set.  It is consumed by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
 
@@ -187,6 +187,224 @@ class TransferConfig:
             bytes_per_cycle=self.bytes_per_cycle,
             p2p_latency_cycles=latency_cycles,
             p2p_bytes_per_cycle=bytes_per_cycle,
+        )
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Per-pair device↔device link-cost model of a multi-accelerator fabric.
+
+    :class:`TransferConfig` prices every device pair identically — one host
+    bridge, one optional P2P link.  Real 8-64 device deployments are not
+    flat: links cross switch hops and NUMA domains, and the cost of a copy
+    depends on *which* two devices talk.  A ``Topology`` generalizes the
+    single P2P knob into an NxN matrix of DMA setup latencies (cycles) and
+    streaming bandwidths (bytes/cycle); ``p2p_cycles(src, dst, n)`` replaces
+    ``TransferConfig.p2p_cycles(n)`` in the multi-device runtime whenever a
+    topology is attached.
+
+    The host bridge keeps its uniform :class:`TransferConfig` pricing:
+    ``host`` overrides the queue's host link when set, and defaults to the
+    queue's own ``transfer`` model when ``None``.
+
+    A topology only ever reshapes the *schedule* of the multi-device queues
+    (placement, transfer timing, makespan) — kernel results and per-launch
+    simulated cycles are bit-identical across every topology, exactly like
+    transfer modes and scheduling hints (the PR 5 invariant).
+
+    Presets
+    -------
+    * :meth:`flat` — every pair one switch hop apart (uniform direct links).
+    * :meth:`two_switch` — two switch domains; intra-domain links are fast,
+      cross-domain links pay the inter-switch hop.
+    * :meth:`ring` — NUMA-ish ring: latency grows and bandwidth shrinks
+      linearly with the ring distance between the two devices.
+    """
+
+    name: str
+    latency_cycles: tuple[tuple[float, ...], ...]
+    bytes_per_cycle: tuple[tuple[float, ...], ...]
+    host: Optional[TransferConfig] = None
+
+    #: Reference payload used to rank links by cost (``distance``); any
+    #: positive constant gives the same deterministic ordering intent.
+    RANK_BYTES = 1024
+
+    def __post_init__(self) -> None:
+        count = len(self.latency_cycles)
+        if count < 1:
+            raise ConfigurationError("a topology needs at least one device")
+        if len(self.bytes_per_cycle) != count:
+            raise ConfigurationError(
+                "latency and bandwidth matrices must have the same shape"
+            )
+        for row in self.latency_cycles:
+            if len(row) != count:
+                raise ConfigurationError("the latency matrix must be square")
+        for row in self.bytes_per_cycle:
+            if len(row) != count:
+                raise ConfigurationError("the bandwidth matrix must be square")
+        for src in range(count):
+            if self.latency_cycles[src][src] != 0.0:
+                raise ConfigurationError(
+                    f"diagonal latency must be 0 (device {src} to itself)"
+                )
+            for dst in range(count):
+                if self.latency_cycles[src][dst] < 0:
+                    raise ConfigurationError(
+                        f"link latency must be non-negative, got "
+                        f"{self.latency_cycles[src][dst]} for {src}->{dst}"
+                    )
+                if self.bytes_per_cycle[src][dst] <= 0:
+                    raise ConfigurationError(
+                        f"link bandwidth must be positive, got "
+                        f"{self.bytes_per_cycle[src][dst]} for {src}->{dst}"
+                    )
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices the link matrices describe."""
+        return len(self.latency_cycles)
+
+    def p2p_cycles(self, src: int, dst: int, num_bytes: int) -> float:
+        """Cycle cost of one direct ``src``→``dst`` copy of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"transfer size must be non-negative, got {num_bytes}")
+        if src == dst or num_bytes == 0:
+            return 0.0
+        beats = -(-num_bytes // self.bytes_per_cycle[src][dst])
+        return float(self.latency_cycles[src][dst]) + float(int(beats))
+
+    def distance(self, src: int, dst: int) -> float:
+        """Deterministic link-cost rank: cycles to move a reference payload.
+
+        Used by the topology-aware schedulers to pick the *nearest* source
+        or the nearest queued work; it is a pure function of the matrices,
+        so every run orders candidates identically.
+        """
+        if src == dst:
+            return 0.0
+        return self.p2p_cycles(src, dst, self.RANK_BYTES)
+
+    def with_host(self, host: TransferConfig) -> "Topology":
+        """A copy of this topology with an explicit host-bridge model."""
+        return Topology(
+            name=self.name,
+            latency_cycles=self.latency_cycles,
+            bytes_per_cycle=self.bytes_per_cycle,
+            host=host,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def flat(
+        cls,
+        num_devices: int,
+        latency_cycles: float = 150.0,
+        bytes_per_cycle: float = 32.0,
+        host: Optional[TransferConfig] = None,
+    ) -> "Topology":
+        """Uniform fabric: every pair is one fast switch hop apart.
+
+        The defaults match the PR 5 P2P ablation link (150-cycle setup,
+        32 bytes/cycle), so a flat topology prices pairs exactly like
+        ``TransferConfig.with_p2p(150, 32.0)`` does.
+        """
+
+        def link(src: int, dst: int) -> tuple[float, float]:
+            return (latency_cycles, bytes_per_cycle)
+
+        return cls._from_link(num_devices, "flat", link, host)
+
+    @classmethod
+    def two_switch(
+        cls,
+        num_devices: int,
+        intra_latency_cycles: float = 150.0,
+        intra_bytes_per_cycle: float = 32.0,
+        inter_latency_cycles: float = 900.0,
+        inter_bytes_per_cycle: float = 8.0,
+        host: Optional[TransferConfig] = None,
+    ) -> "Topology":
+        """Two switch domains (devices split in half); crossing pays the hop."""
+        half = (num_devices + 1) // 2
+
+        def link(src: int, dst: int) -> tuple[float, float]:
+            if (src < half) == (dst < half):
+                return (intra_latency_cycles, intra_bytes_per_cycle)
+            return (inter_latency_cycles, inter_bytes_per_cycle)
+
+        return cls._from_link(num_devices, "two-switch", link, host)
+
+    @classmethod
+    def ring(
+        cls,
+        num_devices: int,
+        latency_cycles_per_hop: float = 150.0,
+        bytes_per_cycle: float = 32.0,
+        host: Optional[TransferConfig] = None,
+    ) -> "Topology":
+        """NUMA-ish ring: cost scales with the ring distance between devices.
+
+        A copy over ``h`` hops pays ``h`` times the per-hop setup latency and
+        streams at ``1/h`` of the single-hop bandwidth — the store-and-forward
+        model of a bidirectional ring interconnect.
+        """
+
+        def link(src: int, dst: int) -> tuple[float, float]:
+            hops = min(abs(src - dst), num_devices - abs(src - dst))
+            hops = max(hops, 1)
+            return (latency_cycles_per_hop * hops, bytes_per_cycle / hops)
+
+        return cls._from_link(num_devices, "ring", link, host)
+
+    _PRESETS = ("flat", "two-switch", "ring")
+
+    @classmethod
+    def preset(cls, name: str, num_devices: int, host: Optional[TransferConfig] = None) -> "Topology":
+        """Build a named preset (``flat``, ``two-switch``, or ``ring``)."""
+        if name == "flat":
+            return cls.flat(num_devices, host=host)
+        if name == "two-switch":
+            return cls.two_switch(num_devices, host=host)
+        if name == "ring":
+            return cls.ring(num_devices, host=host)
+        raise ConfigurationError(
+            f"unknown topology preset {name!r}; choose from {', '.join(cls._PRESETS)}"
+        )
+
+    @classmethod
+    def _from_link(
+        cls,
+        num_devices: int,
+        name: str,
+        link: "Callable[[int, int], tuple[float, float]]",
+        host: Optional[TransferConfig],
+    ) -> "Topology":
+        if num_devices < 1:
+            raise ConfigurationError("a topology needs at least one device")
+        latency = []
+        bandwidth = []
+        for src in range(num_devices):
+            lat_row = []
+            bw_row = []
+            for dst in range(num_devices):
+                if src == dst:
+                    lat_row.append(0.0)
+                    bw_row.append(float("inf"))
+                    continue
+                lat, bw = link(src, dst)
+                lat_row.append(float(lat))
+                bw_row.append(float(bw))
+            latency.append(tuple(lat_row))
+            bandwidth.append(tuple(bw_row))
+        return cls(
+            name=name,
+            latency_cycles=tuple(latency),
+            bytes_per_cycle=tuple(bandwidth),
+            host=host,
         )
 
 

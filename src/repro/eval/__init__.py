@@ -11,9 +11,11 @@
 * :mod:`repro.eval.figures` -- Figs. 3-4 (layouts) and Figs. 5-6 (speed-ups).
 * :mod:`repro.eval.paper_data` -- the numbers printed in the paper, used to
   compare shapes in EXPERIMENTS.md and in the benchmark harness output.
-* :mod:`repro.eval.multidevice` -- the beyond-the-paper multi-device sweep:
+* :mod:`repro.eval.multidevice` -- the beyond-the-paper multi-device sweeps:
   makespan vs device count for an independent-launch batch of the whole
-  kernel suite, scheduled by :class:`repro.runtime.multidevice.OutOfOrderQueue`.
+  kernel suite, the two-stage-DAG transfer-mode ablation, and the topology ×
+  scheduler ablation (:func:`repro.eval.multidevice.run_topology_table`),
+  all scheduled by :class:`repro.runtime.multidevice.OutOfOrderQueue`.
 """
 
 from repro.eval.benchmarks import (
@@ -36,7 +38,10 @@ from repro.eval.comparison import (
 from repro.eval.multidevice import (
     MultiDeviceCell,
     MultiDeviceTable,
+    TopologyCell,
+    TopologyTable,
     run_multidevice_table,
+    run_topology_table,
 )
 from repro.eval.tables import (
     build_table1,
@@ -44,6 +49,7 @@ from repro.eval.tables import (
     build_table3,
     format_multidevice_table,
     format_table3,
+    format_topology_table,
 )
 from repro.eval.figures import (
     build_figure3,
@@ -69,12 +75,16 @@ __all__ = [
     "derate_by_area",
     "MultiDeviceCell",
     "MultiDeviceTable",
+    "TopologyCell",
+    "TopologyTable",
     "run_multidevice_table",
+    "run_topology_table",
     "build_table1",
     "build_table2",
     "build_table3",
     "format_multidevice_table",
     "format_table3",
+    "format_topology_table",
     "build_figure3",
     "build_figure4",
     "build_figure5",

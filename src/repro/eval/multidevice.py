@@ -44,7 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.arch.config import GGPUConfig, TransferConfig
+from repro.arch.config import GGPUConfig, Topology, TransferConfig
 from repro.arch.kernel import NDRange
 from repro.errors import KernelError
 from repro.eval.benchmarks import DEFAULT_SEED, BenchmarkSizes
@@ -624,4 +624,421 @@ def run_pipeline_table(
                     f"{cell.mode!r} at {cell.device_count} devices but "
                     f"{reference.get(label)} in the reference cell"
                 )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Topology × scheduler ablation (PR 8)
+# --------------------------------------------------------------------------- #
+TOPOLOGY_PRESETS: Tuple[str, ...] = ("flat", "two-switch", "ring")
+TOPOLOGY_SCHEDULERS: Tuple[str, ...] = ("lpt", "heft", "stealing")
+TOPOLOGY_DAGS: Tuple[str, ...] = ("layered", "shuffle")
+
+# The topology DAGs carry many small buffers, never the full kernel suite;
+# a slim per-device memory keeps a 64-device pool affordable.
+TOPOLOGY_CELL_MEMORY_BYTES = 4 * 1024 * 1024
+
+
+@dataclass
+class TopologyCell:
+    """One (DAG, topology, scheduler, device count) cell of the ablation."""
+
+    dag: str
+    topology: str
+    scheduler: str
+    device_count: int
+    makespan: float
+    compute_cycles: float
+    transfer_cycles: float
+    critical_path_cycles: float
+    mean_utilization: float
+    transfers_to_device: int
+    transfers_from_device: int
+    transfers_p2p: int
+    transfers_skipped: int
+    schedule: List[Tuple[str, int, float, float, float, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def makespan_kcycles(self) -> float:
+        return self.makespan / 1.0e3
+
+
+@dataclass
+class TopologyTable:
+    """Makespan of the topology DAGs per topology, scheduler, device count."""
+
+    cells: Dict[Tuple[str, str, str, int], TopologyCell] = field(default_factory=dict)
+    dags: List[str] = field(default_factory=list)
+    topologies: List[str] = field(default_factory=list)
+    schedulers: List[str] = field(default_factory=list)
+    width: int = 0
+    depth: int = 0
+    size: int = 0
+    lanes: int = 0
+    stages: int = 0
+
+    @property
+    def device_counts(self) -> List[int]:
+        return sorted({count for _, _, _, count in self.cells})
+
+    def cell(
+        self, dag: str, topology: str, scheduler: str, device_count: int
+    ) -> TopologyCell:
+        try:
+            return self.cells[(dag, topology, scheduler, device_count)]
+        except KeyError as exc:
+            raise KernelError(
+                f"topology table has no cell for dag {dag!r}, topology "
+                f"{topology!r}, scheduler {scheduler!r} at {device_count} devices"
+            ) from exc
+
+    def speedup_vs_lpt(
+        self, dag: str, topology: str, scheduler: str, device_count: int
+    ) -> float:
+        """Makespan improvement of ``scheduler`` over LPT in the same
+        (DAG, topology, device count) cell; 0.0 on an empty/degenerate cell."""
+        cell = self.cell(dag, topology, scheduler, device_count)
+        if cell.makespan <= 0.0:
+            return 0.0
+        return self.cell(dag, topology, "lpt", device_count).makespan / cell.makespan
+
+
+def _build_layered_dag(
+    queue: OutOfOrderQueue, width: int, depth: int, size: int, seed: int
+) -> List[Tuple[str, Any, np.ndarray]]:
+    """A layered inference-style DAG: a deep backbone next to wide heads.
+
+    The *backbone* is a ``depth``-long chain of medium ``copy`` layers (each
+    consuming the previous layer's activations); the *heads* are ``width``
+    independent big ``copy`` tasks (4x the backbone size).  The shape is the
+    classic LPT trap: LPT drains the big heads first, so the backbone — the
+    actual critical path — starts only once every device is ``width/P`` heads
+    deep, while HEFT ranks the backbone highest and overlaps it with the
+    heads.  The DAG is identical at every device count, so per-launch cycles
+    can be asserted bit-exact across cells.
+    """
+    mask = 0xFFFFFFFF
+    copy = get_kernel_spec("copy").build()
+    checks: List[Tuple[str, Any, np.ndarray]] = []
+    backbone_host = (np.arange(size, dtype=np.int64) * 7 + seed) & mask
+    previous = queue.create_buffer(backbone_host)
+    for layer in range(depth):
+        activation = queue.allocate_buffer(size)
+        queue.enqueue(
+            copy,
+            NDRange(size, 64),
+            {"dst": activation, "src": previous, "n": size},
+            label=f"backbone[{layer}]",
+            writes=("dst",),
+        )
+        previous = activation
+    checks.append(("backbone", previous, backbone_host))
+    head_size = 4 * size
+    for index in range(width):
+        host = (np.arange(head_size, dtype=np.int64) * 3 + 11 * index + seed) & mask
+        source = queue.create_buffer(host)
+        head = queue.allocate_buffer(head_size)
+        queue.enqueue(
+            copy,
+            NDRange(head_size, 64),
+            {"dst": head, "src": source, "n": head_size},
+            label=f"head[{index}]",
+            writes=("dst",),
+        )
+        checks.append((f"head[{index}]", head, host))
+    return checks
+
+
+def _build_shuffle_dag(
+    queue: OutOfOrderQueue, lanes: int, stages: int, size: int, seed: int
+) -> List[Tuple[str, Any, np.ndarray]]:
+    """A multi-stage shuffle: every stage mixes each lane with a shifted peer.
+
+    Stage ``s`` of lane ``l`` runs ``saxpy`` over the stage ``s-1`` outputs of
+    lanes ``l`` and ``(l+s) % lanes`` — the shuffle distance grows with the
+    stage, so data crosses progressively farther links on a non-flat
+    topology.  At two or more devices every schedule moves dirty buffers
+    between devices; placement-aware schedulers keep the moves on cheap
+    links.
+    """
+    mask = 0xFFFFFFFF
+    saxpy = get_kernel_spec("saxpy").build()
+    ndrange = NDRange(size, 64)
+    alpha = 3
+    hosts = [
+        ((np.arange(size, dtype=np.int64) * 5 + 13 * lane + seed) % 65521) & mask
+        for lane in range(lanes)
+    ]
+    buffers = [queue.create_buffer(host) for host in hosts]
+    events: List[Optional[Any]] = [None] * lanes
+    for stage in range(1, stages + 1):
+        shift = stage % lanes
+        next_hosts, next_buffers, next_events = [], [], []
+        for lane in range(lanes):
+            peer = (lane + shift) % lanes
+            out = queue.allocate_buffer(size)
+            waits = tuple(
+                event
+                for event in {
+                    id(events[lane]): events[lane],
+                    id(events[peer]): events[peer],
+                }.values()
+                if event is not None
+            )
+            event = queue.enqueue(
+                saxpy,
+                ndrange,
+                {
+                    "x": buffers[lane],
+                    "y": buffers[peer],
+                    "out": out,
+                    "alpha": alpha,
+                    "n": size,
+                },
+                label=f"shuffle[{stage}][{lane}]",
+                wait_for=waits,
+                writes=("out",),
+            )
+            next_hosts.append((alpha * hosts[lane] + hosts[peer]) & mask)
+            next_buffers.append(out)
+            next_events.append(event)
+        hosts, buffers, events = next_hosts, next_buffers, next_events
+    return [
+        (f"shuffle[{stages}][{lane}]", buffers[lane], hosts[lane])
+        for lane in range(lanes)
+    ]
+
+
+def _run_topology_cell_on_queue(
+    queue: OutOfOrderQueue,
+    dag: str,
+    width: int,
+    depth: int,
+    size: int,
+    lanes: int,
+    stages: int,
+    seed: int,
+) -> TopologyCell:
+    """Build, run, and verify one DAG on one queue; snapshot the stats."""
+    if dag == "layered":
+        checks = _build_layered_dag(queue, width, depth, size, seed)
+    elif dag == "shuffle":
+        checks = _build_shuffle_dag(queue, lanes, stages, size, seed)
+    else:
+        raise KernelError(f"unknown topology DAG {dag!r}: pick from {TOPOLOGY_DAGS}")
+    queue.finish()
+    stats = queue.stats
+    makespan = stats.makespan  # before read-back charges: the DAG makespan
+    cell = TopologyCell(
+        dag=dag,
+        topology="",  # filled by the caller
+        scheduler=queue.scheduler,
+        device_count=queue.num_devices,
+        makespan=makespan,
+        compute_cycles=stats.compute_cycles,
+        transfer_cycles=stats.transfer_cycles,
+        critical_path_cycles=stats.critical_path_cycles,
+        mean_utilization=stats.utilization,
+        transfers_to_device=stats.transfers_to_device,
+        transfers_from_device=stats.transfers_from_device,
+        transfers_p2p=stats.transfers_p2p,
+        transfers_skipped=stats.transfers_skipped,
+        schedule=_schedule_entries(queue),
+    )
+    for label, buffer, expected in checks:
+        observed = queue.enqueue_read(buffer).astype(np.int64)
+        expected_u32 = np.asarray(expected, dtype=np.int64) & 0xFFFFFFFF
+        if not np.array_equal(observed, expected_u32):
+            raise KernelError(
+                f"topology DAG {dag!r} produced wrong values in {label!r} with "
+                f"scheduler {queue.scheduler!r} on {queue.num_devices} devices"
+            )
+    return cell
+
+
+def _topology_queue_options(
+    topology_name: str, scheduler: str, device_count: int
+) -> Tuple[Topology, str]:
+    """(topology, scheduler) of one ablation cell, both validated."""
+    if scheduler not in TOPOLOGY_SCHEDULERS:
+        raise KernelError(
+            f"unknown ablation scheduler {scheduler!r}: pick from "
+            f"{TOPOLOGY_SCHEDULERS}"
+        )
+    return Topology.preset(topology_name, device_count), scheduler
+
+
+def _run_topology_cell_task(task: tuple) -> TopologyCell:
+    """Worker entry for one ablation cell (module level: picklable)."""
+    (
+        dag,
+        topology_name,
+        scheduler,
+        device_count,
+        width,
+        depth,
+        size,
+        lanes,
+        stages,
+        seed,
+        config,
+        transfer,
+        prefetch_depth,
+        steal_seed,
+    ) = task
+    topology, scheduler = _topology_queue_options(
+        topology_name, scheduler, device_count
+    )
+    queue = OutOfOrderQueue(
+        config=config,
+        num_devices=device_count,
+        memory_bytes=TOPOLOGY_CELL_MEMORY_BYTES,
+        transfer=transfer,
+        scheduler=scheduler,
+        topology=topology,
+        prefetch_depth=prefetch_depth,
+        steal_seed=steal_seed,
+    )
+    cell = _run_topology_cell_on_queue(
+        queue, dag, width, depth, size, lanes, stages, seed
+    )
+    cell.topology = topology_name
+    return cell
+
+
+def run_topology_table(
+    device_counts: Sequence[int] = (4, 8, 16),
+    dags: Sequence[str] = TOPOLOGY_DAGS,
+    topologies: Sequence[str] = TOPOLOGY_PRESETS,
+    schedulers: Sequence[str] = TOPOLOGY_SCHEDULERS,
+    width: int = 96,
+    depth: int = 20,
+    size: int = 256,
+    lanes: int = 16,
+    stages: int = 4,
+    seed: int = DEFAULT_SEED,
+    config: Optional[GGPUConfig] = None,
+    transfer: Optional[TransferConfig] = None,
+    prefetch_depth: int = 0,
+    steal_seed: int = 0,
+    jobs: Optional[int] = None,
+) -> TopologyTable:
+    """Measure the topology DAGs under every topology × scheduler cell.
+
+    The ablation where placement actually bites: a layered inference-style
+    DAG (deep backbone + wide heads — the LPT trap HEFT escapes) and a
+    multi-stage shuffle (growing shuffle distances — where locality-aware
+    stealing pays on non-flat fabrics), each run over the named topology
+    presets and the LPT / HEFT / work-stealing flush orders at every device
+    count.  ``jobs=None`` honours ``REPRO_JOBS``; serial runs recycle one
+    device pool, fanned-out runs build one per worker — the table is
+    bit-identical either way.
+
+    The standing invariant is asserted cell by cell: kernel results are
+    verified in every cell, and each launch's simulated cycle count must be
+    bit-identical across every (topology, scheduler, device count) cell of
+    its DAG — topology and scheduler choice reshape the schedule only.
+    """
+    if not device_counts:
+        raise KernelError("need at least one device count")
+    counts = list(device_counts)
+    if len(set(counts)) != len(counts):
+        raise KernelError(f"duplicate device counts: {counts}")
+    dag_list = list(dags)
+    topology_list = list(topologies)
+    scheduler_list = list(schedulers)
+    if "lpt" not in scheduler_list:
+        raise KernelError("the topology ablation needs the 'lpt' baseline scheduler")
+    config = config or GGPUConfig()
+    effective_jobs = jobs if jobs is not None else default_jobs()
+
+    table = TopologyTable(
+        dags=dag_list,
+        topologies=topology_list,
+        schedulers=scheduler_list,
+        width=width,
+        depth=depth,
+        size=size,
+        lanes=lanes,
+        stages=stages,
+    )
+    grid = [
+        (dag, topology, scheduler, count)
+        for dag in dag_list
+        for topology in topology_list
+        for scheduler in scheduler_list
+        for count in counts
+    ]
+    tasks = [
+        (
+            dag,
+            topology,
+            scheduler,
+            count,
+            width,
+            depth,
+            size,
+            lanes,
+            stages,
+            seed,
+            config,
+            transfer,
+            prefetch_depth,
+            steal_seed,
+        )
+        for dag, topology, scheduler, count in grid
+    ]
+
+    def _collect(position: int, cell: TopologyCell) -> None:
+        table.cells[(cell.dag, cell.topology, cell.scheduler, cell.device_count)] = cell
+
+    if effective_jobs == 1 or len(tasks) <= 1:
+        # Shared pool: build the widest cell once, reuse (reset) for the rest.
+        pool = [
+            GGPUSimulator(config, memory_bytes=TOPOLOGY_CELL_MEMORY_BYTES)
+            for _ in range(max(counts, default=0))
+        ]
+        for position, task in enumerate(tasks):
+            dag, topology_name, scheduler, count = task[:4]
+            topology, scheduler = _topology_queue_options(
+                topology_name, scheduler, count
+            )
+            queue = OutOfOrderQueue(
+                devices=pool[:count],
+                transfer=transfer,
+                scheduler=scheduler,
+                topology=topology,
+                prefetch_depth=prefetch_depth,
+                steal_seed=steal_seed,
+            )
+            cell = _run_topology_cell_on_queue(
+                queue, dag, width, depth, size, lanes, stages, seed
+            )
+            cell.topology = topology_name
+            _collect(position, cell)
+    else:
+        parallel_map(
+            _run_topology_cell_task, tasks, jobs=effective_jobs, on_result=_collect
+        )
+
+    # The invariant, cell by cell: the same launch simulates the same cycle
+    # count in every (topology, scheduler, device count) cell of its DAG.
+    for dag in dag_list:
+        reference_cell = table.cell(dag, topology_list[0], scheduler_list[0], min(counts))
+        reference = {
+            label: compute for label, _, _, _, _, compute in reference_cell.schedule
+        }
+        for key, cell in table.cells.items():
+            if key[0] != dag:
+                continue
+            for label, _, _, _, _, compute in cell.schedule:
+                if reference.get(label) != compute:
+                    raise KernelError(
+                        f"launch {label!r} simulated {compute} cycles with "
+                        f"topology {cell.topology!r} / scheduler "
+                        f"{cell.scheduler!r} at {cell.device_count} devices but "
+                        f"{reference.get(label)} in the reference cell"
+                    )
     return table

@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.eval.benchmarks import Table3Data
 from repro.eval.comparison import SpeedupSeries
 from repro.eval.energy import EnergyComparison
-from repro.eval.multidevice import MultiDeviceTable, PipelineTable
+from repro.eval.multidevice import MultiDeviceTable, PipelineTable, TopologyTable
 from repro.physical.routing import RoutingEstimate
 from repro.runtime.checkpoint import atomic_write_text
 from repro.synth.logic import SynthesisResult
@@ -236,6 +236,55 @@ def pipeline_to_markdown(table: PipelineTable) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# Topology × scheduler ablation (PR 8)
+# --------------------------------------------------------------------------- #
+_TOPOLOGY_HEADER = (
+    "dag",
+    "topology",
+    "scheduler",
+    "devices",
+    "makespan_kcycles",
+    "speedup_vs_lpt",
+    "transfer_kcycles",
+    "p2p_transfers",
+    "mean_utilization",
+)
+
+
+def _topology_rows(table: TopologyTable) -> List[Sequence]:
+    rows = []
+    for dag in table.dags:
+        for topology in table.topologies:
+            for scheduler in table.schedulers:
+                for count in table.device_counts:
+                    cell = table.cell(dag, topology, scheduler, count)
+                    rows.append(
+                        (
+                            dag,
+                            topology,
+                            scheduler,
+                            count,
+                            f"{cell.makespan_kcycles:.1f}",
+                            f"{table.speedup_vs_lpt(dag, topology, scheduler, count):.2f}",
+                            f"{cell.transfer_cycles / 1e3:.1f}",
+                            cell.transfers_p2p,
+                            f"{cell.mean_utilization:.3f}",
+                        )
+                    )
+    return rows
+
+
+def topology_to_csv(table: TopologyTable) -> str:
+    """The topology × scheduler ablation as CSV text."""
+    return _csv_text(_TOPOLOGY_HEADER, _topology_rows(table))
+
+
+def topology_to_markdown(table: TopologyTable) -> str:
+    """The topology × scheduler ablation as a Markdown table."""
+    return _markdown_table(_TOPOLOGY_HEADER, _topology_rows(table))
+
+
+# --------------------------------------------------------------------------- #
 # Figs. 5 / 6 and the energy extension
 # --------------------------------------------------------------------------- #
 def speedups_to_csv(series: SpeedupSeries) -> str:
@@ -288,6 +337,7 @@ def write_report_bundle(
     energy: Optional[EnergyComparison] = None,
     multidevice: Optional[MultiDeviceTable] = None,
     pipeline: Optional[PipelineTable] = None,
+    topology: Optional[TopologyTable] = None,
 ) -> Dict[str, str]:
     """Write every provided table/figure as CSV (and Markdown) into ``directory``.
 
@@ -329,4 +379,7 @@ def write_report_bundle(
     if pipeline is not None:
         _write("pipeline_transfer_modes.csv", pipeline_to_csv(pipeline))
         _write("pipeline_transfer_modes.md", pipeline_to_markdown(pipeline))
+    if topology is not None:
+        _write("topology_schedulers.csv", topology_to_csv(topology))
+        _write("topology_schedulers.md", topology_to_markdown(topology))
     return written

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.eval.benchmarks import Table3Data, run_table3
-from repro.eval.multidevice import MultiDeviceTable, PipelineTable
+from repro.eval.multidevice import MultiDeviceTable, PipelineTable, TopologyTable
 from repro.physical.layout import LayoutResult, PhysicalSynthesis
 from repro.physical.routing import RoutingEstimate
 from repro.planner.dse import DesignPoint, DesignSpaceExplorer
@@ -166,6 +166,57 @@ def format_pipeline_table(table: PipelineTable) -> str:
                     ]
                 )
             )
+    return "\n".join(lines)
+
+
+def format_topology_table(table: TopologyTable) -> str:
+    """Render the topology × scheduler ablation as fixed-width text.
+
+    One row per (DAG, topology, scheduler, device count): makespan
+    (k-cycles), the improvement over LPT in the same (DAG, topology, device
+    count) cell, the transfer cycle total, the P2P copy count, and the mean
+    device utilization.
+    """
+    header_cells = [
+        "DAG".ljust(8),
+        "Topology".ljust(11),
+        "Scheduler".ljust(9),
+        "Devices".rjust(7),
+        "Makespan k".rjust(11),
+        "vs LPT".rjust(7),
+        "Transfer k".rjust(11),
+        "P2P".rjust(5),
+        "Util %".rjust(7),
+    ]
+    header = " ".join(header_cells)
+    lines = [
+        (
+            f"Topology ablation: layered {table.width}x{table.depth}@{table.size}, "
+            f"shuffle {table.lanes}x{table.stages}@{table.size}"
+        ),
+        header,
+        "-" * len(header),
+    ]
+    for dag in table.dags:
+        for topology in table.topologies:
+            for scheduler in table.schedulers:
+                for count in table.device_counts:
+                    cell = table.cell(dag, topology, scheduler, count)
+                    lines.append(
+                        " ".join(
+                            [
+                                dag.ljust(8),
+                                topology.ljust(11),
+                                scheduler.ljust(9),
+                                f"{count}".rjust(7),
+                                f"{cell.makespan_kcycles:.1f}".rjust(11),
+                                f"{table.speedup_vs_lpt(dag, topology, scheduler, count):.2f}x".rjust(7),
+                                f"{cell.transfer_cycles / 1e3:.1f}".rjust(11),
+                                f"{cell.transfers_p2p}".rjust(5),
+                                f"{100 * cell.mean_utilization:.1f}".rjust(7),
+                            ]
+                        )
+                    )
     return "\n".join(lines)
 
 

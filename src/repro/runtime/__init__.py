@@ -35,6 +35,7 @@ from repro.runtime.faults import (
     FaultSpec,
 )
 from repro.runtime.multidevice import (
+    SCHEDULERS,
     DeviceBuffer,
     Event,
     MultiDeviceQueue,
@@ -64,6 +65,7 @@ __all__ = [
     "FaultSpec",
     "MultiDeviceQueue",
     "OutOfOrderQueue",
+    "SCHEDULERS",
     "QueueBatch",
     "QueueStats",
     "SweepJournal",

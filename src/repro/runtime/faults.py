@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -271,6 +271,18 @@ class FaultInjector:
 
     def alive_devices(self) -> List[int]:
         return [d for d in range(self.num_devices) if d not in self._dead]
+
+    def surviving(self, devices: Iterable[int]) -> List[int]:
+        """The alive subset of ``devices``, in the order given.
+
+        The one filter every topology-aware consumer shares: the stealing
+        scheduler's thief pool, HEFT/LPT placement candidates, and P2P
+        source selection all exclude retired devices through it, so a dead
+        device leaves the link fabric everywhere at once — it can neither
+        claim work nor serve as a copy source, while its matrix rows stay in
+        the (immutable) :class:`~repro.arch.config.Topology`.
+        """
+        return [device for device in devices if device not in self._dead]
 
     def mark_dead(self, device: int) -> None:
         self._dead.add(device)

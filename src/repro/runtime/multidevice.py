@@ -78,12 +78,13 @@ change (``tests/test_runtime_faults.py`` fuzzes exactly that contract).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.arch.config import GGPUConfig, TransferConfig
+from repro.arch.config import GGPUConfig, Topology, TransferConfig
 from repro.arch.kernel import Kernel, NDRange
 from repro.errors import DeviceFailureError, KernelError
 from repro.runtime.faults import (
@@ -97,6 +98,21 @@ from repro.simt.gpu import GGPUSimulator, LaunchResult
 from repro.simt.memory import WORD_BYTES
 
 ArgValue = Union[int, np.integer, "DeviceBuffer"]
+
+#: Flush-order schedulers of :class:`OutOfOrderQueue`.  ``fifo`` drains in
+#: enqueue order, ``lpt`` longest-projected-time first, ``heft`` by HEFT
+#: upward rank over the event graph (per-link communication costs included),
+#: ``stealing`` lets the idlest device deterministically claim the
+#: topology-nearest ready command.
+SCHEDULERS = ("fifo", "lpt", "heft", "stealing")
+
+#: Deterministic compute-time proxy used by the HEFT ranks and the stealing
+#: scheduler's virtual device clocks: estimated cycles per NDRange work-item.
+#: It only weighs schedule decisions — simulation timing never uses it — so
+#: any positive constant is *correct*; this one is in the ballpark of the
+#: library kernels' measured cycles-per-item, which keeps compute and
+#: per-link communication estimates on one scale.
+SCHEDULE_CYCLES_PER_ITEM = 8.0
 
 
 class DeviceBuffer:
@@ -274,6 +290,7 @@ class MultiDeviceQueue:
         transfer: Optional[TransferConfig] = None,
         devices: Optional[Sequence[GGPUSimulator]] = None,
         faults: Optional[FaultPlan] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         if devices is not None:
             if config is not None:
@@ -297,13 +314,27 @@ class MultiDeviceQueue:
                 GGPUSimulator(self.config, memory_bytes=memory_bytes)
                 for _ in range(num_devices)
             ]
-        self.transfer = transfer if transfer is not None else self.config.transfer
+        if topology is not None and topology.num_devices != len(self.devices):
+            raise KernelError(
+                f"topology describes {topology.num_devices} devices, "
+                f"but the queue has {len(self.devices)}"
+            )
+        self.topology = topology
+        if transfer is not None:
+            self.transfer = transfer
+        elif topology is not None and topology.host is not None:
+            self.transfer = topology.host
+        else:
+            self.transfer = self.config.transfer
         self.faults = faults
         self._injector = (
             FaultInjector(faults, len(self.devices)) if faults is not None else None
         )
         self._failures: List[DeviceFailureError] = []
-        self.lpt = False
+        self.scheduler = "fifo"
+        self.prefetch_depth = 0
+        self._steal_rng = random.Random(0)
+        self._comm_cache: Dict[int, float] = {}
         self.stats = QueueStats(
             device_compute_cycles={index: 0.0 for index in range(len(self.devices))},
             device_transfer_cycles={index: 0.0 for index in range(len(self.devices))},
@@ -344,15 +375,83 @@ class MultiDeviceQueue:
 
     @property
     def alive_devices(self) -> List[int]:
-        """Device indices still accepting work (all of them without faults)."""
+        """Device indices still accepting work (all of them without faults).
+
+        Every topology-aware consumer (thief pool, placement candidates)
+        filters through :meth:`~repro.runtime.faults.FaultInjector.surviving`
+        so a retired device leaves the link fabric everywhere at once.
+        """
         if self._injector is None:
             return list(range(len(self.devices)))
-        return self._injector.alive_devices()
+        return self._injector.surviving(range(len(self.devices)))
 
     @property
     def failures(self) -> List[DeviceFailureError]:
         """Every root permanent failure this queue has recorded, in order."""
         return list(self._failures)
+
+    @property
+    def lpt(self) -> bool:
+        """Whether the LPT flush order is active (``scheduler == "lpt"``)."""
+        return self.scheduler == "lpt"
+
+    # ------------------------------------------------------------------ #
+    # Link costs (topology-aware when a Topology is attached)
+    # ------------------------------------------------------------------ #
+    @property
+    def _p2p_direct(self) -> bool:
+        """Whether a direct device↔device link exists (any pair).
+
+        A :class:`~repro.arch.config.Topology` always provides a direct
+        fabric; without one the single ``TransferConfig`` P2P knob decides.
+        """
+        return self.topology is not None or self.transfer.p2p_enabled
+
+    def _p2p_link_cycles(self, src: int, dst: int, num_bytes: int) -> float:
+        """Cycle cost of one direct ``src``→``dst`` copy on this fabric."""
+        if self.topology is not None:
+            return self.topology.p2p_cycles(src, dst, num_bytes)
+        return self.transfer.p2p_cycles(num_bytes)
+
+    def _nearest_source(self, buffer: DeviceBuffer, device: int) -> int:
+        """The valid device cheapest to copy ``buffer`` to ``device`` from.
+
+        Ties break toward the lower index, so the flat/default fabric (every
+        pair priced identically) picks ``min(valid_on)`` — bit-identical to
+        the pre-topology runtime.
+        """
+        return min(
+            buffer.valid_on,
+            key=lambda source: (
+                self._p2p_link_cycles(source, device, buffer.num_bytes),
+                source,
+            ),
+        )
+
+    def _comm_estimate(self, num_bytes: int) -> float:
+        """Mean device↔device cost of ``num_bytes`` — the HEFT edge weight.
+
+        HEFT weighs a dependency edge before knowing the placement of either
+        endpoint, so it uses the mean over all ordered device pairs (the
+        classic rank formulation); without a topology every pair costs the
+        same and the mean collapses to ``TransferConfig.p2p_cycles``.
+        """
+        cached = self._comm_cache.get(num_bytes)
+        if cached is not None:
+            return cached
+        count = len(self.devices)
+        if self.topology is not None and count > 1:
+            total = sum(
+                self.topology.p2p_cycles(src, dst, num_bytes)
+                for src in range(count)
+                for dst in range(count)
+                if src != dst
+            )
+            value = total / float(count * (count - 1))
+        else:
+            value = self.transfer.p2p_cycles(num_bytes)
+        self._comm_cache[num_bytes] = value
+        return value
 
     def allocate_buffer(self, num_words: int) -> DeviceBuffer:
         """Allocate one logical buffer (zero-filled) on every device.
@@ -648,11 +747,33 @@ class MultiDeviceQueue:
             raise KernelError("buffer does not belong to this queue")
 
     def _check_device_hint(self, device: Optional[int]) -> None:
+        """Enqueue-time validation of a ``device=`` hint (range only).
+
+        Liveness is deliberately *not* checked here: a device may die
+        between enqueue and flush, so hints honor-then-degrade at execution
+        time through :meth:`_live_hint` — the one shared rule for launch
+        affinity and prefetch-write targets alike.
+        """
         if device is not None and not 0 <= device < len(self.devices):
             raise KernelError(
                 f"device hint {device} out of range for a "
                 f"{len(self.devices)}-device queue"
             )
+
+    def _live_hint(self, device: Optional[int]) -> Optional[int]:
+        """The hint if it still points at a live device, else ``None``.
+
+        Used at execution time by launch dispatch *and* the prefetch path of
+        :meth:`_execute_write`: a hint at a retired device degrades to
+        scheduler placement (launches) or to a host-only write (prefetches)
+        instead of erroring or re-populating a dead device's residency.
+        """
+        self._check_device_hint(device)
+        if device is None:
+            return None
+        if self._injector is not None and self._injector.is_dead(device):
+            return None
+        return device
 
     def _hazard_waits(self, candidates: Sequence[Optional[Event]]) -> Tuple[Event, ...]:
         """Dependency list: in-order chain + deduplicated hazard edges."""
@@ -668,20 +789,44 @@ class MultiDeviceQueue:
         return tuple(unique)
 
     def _flush_order(self, pending: List[_Command]) -> List[_Command]:
-        """Execution order for one flush: enqueue order, or LPT when enabled.
+        """Execution order for one flush, per the active ``scheduler``.
 
-        LPT (longest-projected-time first) repeatedly picks, among the
-        commands whose dependencies are met, the launch with the largest
-        NDRange (work-items are the deterministic proxy for projected
-        compute time; ties break toward the earlier sequence).  Ready
-        transfer commands always go first — they are host bookkeeping and
-        DMA setup that should never wait behind compute.  The order is
+        ``fifo`` keeps enqueue order (a valid topological order of the event
+        graph, since an event can only be waited on after it was created);
+        ``lpt`` drains longest-projected-time first, ``heft`` by descending
+        HEFT upward rank, and ``stealing`` lets the idlest device claim the
+        nearest ready command (see the dedicated methods).  Every order is
         deterministic and respects every event edge; as with any
         out-of-order execution, two launches touching one buffer without an
-        event between them have no defined order.
+        event between them have no defined order.  A positive
+        ``prefetch_depth`` then retargets placement-determined input writes
+        as prefetches (double buffering on the DMA timelines).
         """
-        if not self.lpt:
-            return pending
+        if self.scheduler == "lpt":
+            order = self._lpt_order(pending)
+        elif self.scheduler == "heft":
+            order = self._heft_order(pending)
+        elif self.scheduler == "stealing":
+            order = self._stealing_order(pending)
+        else:
+            order = pending
+        if self.prefetch_depth > 0:
+            self._apply_prefetch_depth(order)
+        return order
+
+    def _ready_order(
+        self,
+        pending: List[_Command],
+        pick: Callable[[List[_Command]], _Command],
+    ) -> List[_Command]:
+        """Drain ``pending`` respecting event edges; ``pick`` breaks the tie.
+
+        Repeatedly collects the commands whose dependencies are met.  Ready
+        transfer commands always go first (lowest sequence) — they are host
+        bookkeeping and DMA setup that should never wait behind compute;
+        among ready launches, ``pick`` chooses (LPT weight, HEFT rank, or a
+        stealing claim).
+        """
         remaining = list(pending)
         placed: set = set()
         order: List[_Command] = []
@@ -697,14 +842,245 @@ class MultiDeviceQueue:
             if transfers:
                 choice = min(transfers, key=lambda c: c.event.sequence)
             else:
-                choice = max(
-                    ready,
-                    key=lambda c: (c.ndrange.global_size, -c.event.sequence),
-                )
+                choice = pick(ready)
             remaining.remove(choice)
             placed.add(choice.event.sequence)
             order.append(choice)
         return order
+
+    def _lpt_order(self, pending: List[_Command]) -> List[_Command]:
+        """LPT: largest NDRange first among the ready launches.
+
+        Work-items are the deterministic proxy for projected compute time;
+        ties break toward the earlier sequence.
+        """
+        return self._ready_order(
+            pending,
+            lambda ready: max(
+                ready, key=lambda c: (c.ndrange.global_size, -c.event.sequence)
+            ),
+        )
+
+    def _command_inputs(self, command: _Command) -> List[DeviceBuffer]:
+        """Buffers the command consumes (all buffer args of a launch)."""
+        if command.kind == "launch":
+            return [buffer for _, buffer in self._command_buffers(command)]
+        if command.kind == "read":
+            return [command.buffer]
+        return []
+
+    def _command_outputs(self, command: _Command) -> List[DeviceBuffer]:
+        """Buffers the command (re)defines."""
+        if command.kind == "launch":
+            return [
+                command.args[name]
+                for name in command.writes
+                if isinstance(command.args.get(name), DeviceBuffer)
+            ]
+        if command.kind == "write":
+            return [command.buffer]
+        return []
+
+    def _compute_estimate(self, command: _Command) -> float:
+        """Deterministic projected compute cycles of one command."""
+        if command.kind == "launch":
+            return command.ndrange.global_size * SCHEDULE_CYCLES_PER_ITEM
+        return 0.0
+
+    def _heft_order(self, pending: List[_Command]) -> List[_Command]:
+        """HEFT: descending upward rank over the pending event graph.
+
+        The upward rank of a command is its projected compute time plus the
+        most expensive downstream path — per-edge communication (the bytes
+        the successor consumes, priced at the mean per-link cost of the
+        attached topology) plus the successor's own rank.  Draining by
+        descending rank runs the critical chain eagerly instead of letting
+        big-but-leafy launches monopolize the pool the way pure LPT does.
+        Ties break toward the earlier sequence, so the order is fully
+        deterministic.
+        """
+        by_sequence = {command.event.sequence: command for command in pending}
+        successors: Dict[int, List[_Command]] = {
+            sequence: [] for sequence in by_sequence
+        }
+        for command in pending:
+            for wait in command.waits:
+                if wait.sequence in by_sequence:
+                    successors[wait.sequence].append(command)
+        rank: Dict[int, float] = {}
+        # Enqueue order is topological, so reversed sequence order visits
+        # every successor before its producers.
+        for command in sorted(pending, key=lambda c: -c.event.sequence):
+            outputs = {id(buffer) for buffer in self._command_outputs(command)}
+            downstream = 0.0
+            for successor in successors[command.event.sequence]:
+                comm_bytes = sum(
+                    buffer.num_bytes
+                    for buffer in self._command_inputs(successor)
+                    if id(buffer) in outputs
+                )
+                downstream = max(
+                    downstream,
+                    self._comm_estimate(comm_bytes)
+                    + rank[successor.event.sequence],
+                )
+            rank[command.event.sequence] = (
+                self._compute_estimate(command) + downstream
+            )
+        return self._ready_order(
+            pending,
+            lambda ready: max(
+                ready, key=lambda c: (rank[c.event.sequence], -c.event.sequence)
+            ),
+        )
+
+    def _stealing_order(self, pending: List[_Command]) -> List[_Command]:
+        """Deterministic work stealing: idle devices claim the nearest work.
+
+        A greedy list schedule over virtual per-device clocks: each round the
+        idlest *alive* device (lowest virtual clock, then lowest index) steals
+        the ready launch it could *start* soonest — a launch's virtual start
+        is its dependencies' virtual finish plus the cost of bringing its
+        inputs over: resident inputs are free, dirty inputs pay the per-pair
+        link cost from their planned location, host-valid inputs pay the host
+        bridge.  Equal starts prefer the larger launch; exact ties break with
+        the queue's seeded RNG.  Readiness-aware claims keep the steal
+        breadth-first — a chain's next hop looks cheap but cannot start
+        before its producer, so independent work wins the idle gap.  The
+        claim advances the thief's virtual clock, records the launch's
+        virtual finish, and updates the planned buffer locations, so data
+        gravity steers later claims; placement itself stays with the
+        dispatcher's projected-start rule (which sees the real DMA
+        timelines), keeping the steal a flush *order*.
+        Explicit user hints are honored: a pre-hinted launch contributes to
+        its own device's clock, not the thief's.  Dead devices never steal
+        (and a hint at a device that dies before execution degrades through
+        the normal hint path), so retired devices leave the fabric
+        consistently.
+        """
+        alive = set(self.alive_devices)
+        thieves = sorted(alive) if alive else list(range(len(self.devices)))
+        clock = {device: self._compute_available[device] for device in thieves}
+        # Virtual finish time per claimed event sequence (dependency model).
+        finish: Dict[int, float] = {}
+        # Planned residency per buffer handle: (host_valid, owner devices).
+        location: Dict[int, Tuple[bool, frozenset]] = {}
+
+        def spot(buffer: DeviceBuffer) -> Tuple[bool, frozenset]:
+            state = location.get(buffer.handle)
+            if state is None:
+                state = (buffer.host_valid, frozenset(buffer.valid_on & alive))
+                location[buffer.handle] = state
+            return state
+
+        def claim_cost(command: _Command, thief: int) -> float:
+            cost = 0.0
+            for buffer in self._command_inputs(command):
+                host_valid, owners = spot(buffer)
+                if thief in owners:
+                    continue
+                if not host_valid and owners:
+                    source = min(
+                        owners,
+                        key=lambda s: (
+                            self._p2p_link_cycles(s, thief, buffer.num_bytes),
+                            s,
+                        ),
+                    )
+                    cost += self._p2p_link_cycles(source, thief, buffer.num_bytes)
+                else:
+                    cost += self.transfer.cycles(buffer.num_bytes)
+            return cost
+
+        def settle(command: _Command, device: Optional[int]) -> None:
+            if command.kind == "write":
+                owners = frozenset() if device is None else frozenset({device})
+                location[command.buffer.handle] = (True, owners)
+                return
+            if command.kind == "read":
+                host_valid, owners = spot(command.buffer)
+                location[command.buffer.handle] = (True, owners)
+                return
+            for buffer in self._command_inputs(command):
+                host_valid, owners = spot(buffer)
+                if device is not None:
+                    location[buffer.handle] = (host_valid, owners | {device})
+            for buffer in self._command_outputs(command):
+                owners = frozenset() if device is None else frozenset({device})
+                location[buffer.handle] = (False, owners)
+
+        def ready_at(command: _Command) -> float:
+            return max(
+                (finish.get(w.sequence, 0.0) for w in command.waits), default=0.0
+            )
+
+        def pick(ready: List[_Command]) -> _Command:
+            thief = min(thieves, key=lambda device: (clock[device], device))
+            scored = []
+            for command in ready:
+                target = command.device if command.device in alive else thief
+                start = max(clock[target], ready_at(command)) + claim_cost(
+                    command, target
+                )
+                scored.append(
+                    (start, -command.ndrange.global_size, target, command)
+                )
+            best = min((start, size) for start, size, _, _ in scored)
+            ties = [entry for entry in scored if (entry[0], entry[1]) == best]
+            if len(ties) == 1:
+                start, _, target, choice = ties[0]
+            else:
+                start, _, target, choice = ties[self._steal_rng.randrange(len(ties))]
+            clock[target] = start + self._compute_estimate(choice)
+            finish[choice.event.sequence] = clock[target]
+            settle(choice, target)
+            return choice
+
+        order: List[_Command] = []
+        remaining = list(pending)
+        placed: set = set()
+        while remaining:
+            ready = [
+                command
+                for command in remaining
+                if all(w.settled or w.sequence in placed for w in command.waits)
+            ]
+            if not ready:  # pragma: no cover - the event graph is acyclic
+                raise KernelError("event graph deadlock: no ready command")
+            transfers = [command for command in ready if command.kind != "launch"]
+            if transfers:
+                choice = min(transfers, key=lambda c: c.event.sequence)
+                settle(choice, choice.device)
+            else:
+                choice = pick(ready)
+            remaining.remove(choice)
+            placed.add(choice.event.sequence)
+            order.append(choice)
+        return order
+
+    def _apply_prefetch_depth(self, order: List[_Command]) -> None:
+        """Retarget input writes as prefetches to their consumer's device.
+
+        Double buffering: once the flush order and launch placements are
+        known, a write whose consuming launch (within ``prefetch_depth``
+        commands downstream) has a pinned device becomes a prefetch to that
+        device, so the copy streams on the DMA engine while earlier compute
+        runs.  Writes the user already hinted are left alone, and a consumer
+        without a pinned placement gets no prefetch — exactly the behaviour
+        of ``prefetch_depth=0``.
+        """
+        for index, command in enumerate(order):
+            if command.kind != "write" or command.device is not None:
+                continue
+            for later in order[index + 1 : index + 1 + self.prefetch_depth]:
+                if later.kind != "launch" or later.device is None:
+                    continue
+                if command.event in later.waits and any(
+                    buffer is command.buffer
+                    for buffer in self._command_inputs(later)
+                ):
+                    command.device = later.device
+                    break
 
     def _command_buffers(self, command: _Command) -> List[Tuple[str, DeviceBuffer]]:
         """The command's buffer arguments in kernel-signature order."""
@@ -729,11 +1105,11 @@ class MultiDeviceQueue:
                 )
                 continue
             if not buffer.host_valid:
-                if self.transfer.p2p_enabled:
-                    source = min(buffer.valid_on)
+                if self._p2p_direct:
+                    source = self._nearest_source(buffer, device)
                     dma = max(
                         dma, self._dma_available[source], buffer.ready_cycle
-                    ) + self.transfer.p2p_cycles(buffer.num_bytes)
+                    ) + self._p2p_link_cycles(source, device, buffer.num_bytes)
                     arrival = max(arrival, dma)
                     continue
                 source = min(buffer.valid_on)
@@ -827,9 +1203,9 @@ class MultiDeviceQueue:
                 )
                 continue
             if not buffer.host_valid:
-                if self.transfer.p2p_enabled:
-                    source = min(buffer.valid_on)
-                    cycles = self.transfer.p2p_cycles(buffer.num_bytes)
+                if self._p2p_direct:
+                    source = self._nearest_source(buffer, device)
+                    cycles = self._p2p_link_cycles(source, device, buffer.num_bytes)
                     contents = (
                         self.devices[source]
                         .read_buffer(buffer.address, buffer.num_words)
@@ -935,7 +1311,7 @@ class MultiDeviceQueue:
     def _failed_dependency(self, command: _Command) -> Optional[Event]:
         return next((wait for wait in command.waits if wait.failed), None)
 
-    def _retire_device(self, device: int) -> None:
+    def _retire_device(self, device: int, casualty: Event) -> None:
         """Permanently retire a device, evacuating its sole-copy buffers.
 
         The failure model is fail-stop with host-readable memory: the
@@ -945,10 +1321,17 @@ class MultiDeviceQueue:
         lives on the dying device is read back to the host through the
         normal priced path; then the device disappears from every residency
         set and from placement forever.
+
+        ``casualty`` is the event whose faulted dispatch killed the device:
+        the salvage read-backs are charged to its ``readback_cycles`` so the
+        per-event totals keep reconciling with the per-device transfer stats
+        under a fired plan (evacuations used to be charged to no event at
+        all, breaking ``sum(events) == sum(device_transfer_cycles)``).
         """
         for buffer in self._buffers:
             if not buffer.host_valid and buffer.valid_on == {device}:
-                self._read_back(buffer)
+                _, cycles = self._read_back(buffer)
+                casualty.readback_cycles += cycles
                 self.stats.evacuated_buffers += 1
         for buffer in self._buffers:
             buffer.valid_on.discard(device)
@@ -1012,10 +1395,9 @@ class MultiDeviceQueue:
                         reason="every device of the queue has failed",
                     )
                     return None
-            if command.device is not None and (
-                injector is None or not injector.is_dead(command.device)
-            ):
-                device = command.device
+            hint = self._live_hint(command.device)
+            if hint is not None:
+                device = hint
             else:
                 device = min(
                     candidates,
@@ -1043,7 +1425,7 @@ class MultiDeviceQueue:
             self.stats.fault_cycles += fault.detect_cycles
             self.stats.makespan = max(self.stats.makespan, detect_end)
             if fault.kind == DEVICE_FAIL:
-                self._retire_device(device)
+                self._retire_device(device, command.event)
             if attempts > self.faults.max_retries:
                 self._fail_root(
                     command,
@@ -1094,8 +1476,10 @@ class MultiDeviceQueue:
         event.start_cycle = start
         event.end_cycle = end
         event.compute_cycles = result.cycles
-        event.transfer_cycles = transfer_cycles
-        event.readback_cycles = readback_cycles
+        # Accumulate (never assign): a faulted dispatch may already have
+        # charged evacuation read-backs to this event via _retire_device.
+        event.transfer_cycles += transfer_cycles
+        event.readback_cycles += readback_cycles
         event.critical_path_cycles = (
             max((dep.critical_path_cycles for dep in command.waits), default=0.0)
             + result.cycles
@@ -1131,8 +1515,8 @@ class MultiDeviceQueue:
         buffer.ready_cycle = 0.0  # host data is available immediately
         event.start_cycle = ready
         event.end_cycle = ready
-        if command.device is not None:
-            device = command.device
+        device = self._live_hint(command.device)
+        if device is not None:
             end, cycles = self._copy_host_to_device(buffer, device, ready)
             buffer.device_ready = {device: end}
             event.device = device
@@ -1182,10 +1566,29 @@ class OutOfOrderQueue(MultiDeviceQueue):
     them have no defined order — declare the dependency (or rely on the
     in-order :class:`MultiDeviceQueue`).
 
-    ``lpt=True`` switches the flush order from enqueue order to
-    longest-projected-time first (see :meth:`MultiDeviceQueue._flush_order`):
-    big launches grab devices before small ones, which tightens makespans for
-    mixed batches at 4+ devices while staying fully deterministic.
+    ``scheduler`` picks the flush order (see
+    :meth:`MultiDeviceQueue._flush_order`):
+
+    * ``"fifo"`` (default) — enqueue order.
+    * ``"lpt"`` — longest-projected-time first: big launches grab devices
+      before small ones, which tightens makespans for mixed independent
+      batches at 4+ devices.  ``lpt=True`` is the backward-compatible spelling.
+    * ``"heft"`` — HEFT upward-rank order over the event graph with per-link
+      communication costs: the critical chain runs eagerly, which beats LPT
+      on layered DAGs (a deep chain next to wide independent work) at 8+
+      devices.
+    * ``"stealing"`` — deterministic work stealing: the idlest alive device
+      claims the topology-nearest ready launch (seeded tie-breaks via
+      ``steal_seed``), pinning its placement; data gravity steers later
+      claims, which pays off on shuffle DAGs over non-flat topologies.
+
+    ``topology`` attaches a per-pair :class:`~repro.arch.config.Topology`
+    link-cost model (``None`` keeps the single ``TransferConfig`` pricing —
+    bit-identical to the pre-topology runtime).  ``prefetch_depth`` > 0
+    retargets input writes as prefetches to their consumer's pinned device
+    within that lookahead window (double buffering).  All of these reshape
+    the *schedule only*: kernel results and per-launch simulated cycles are
+    bit-identical across every scheduler/topology choice.
     """
 
     in_order = False
@@ -1199,6 +1602,10 @@ class OutOfOrderQueue(MultiDeviceQueue):
         devices: Optional[Sequence[GGPUSimulator]] = None,
         lpt: bool = False,
         faults: Optional[FaultPlan] = None,
+        scheduler: Optional[str] = None,
+        topology: Optional[Topology] = None,
+        prefetch_depth: int = 0,
+        steal_seed: int = 0,
     ) -> None:
         super().__init__(
             config=config,
@@ -1207,5 +1614,23 @@ class OutOfOrderQueue(MultiDeviceQueue):
             transfer=transfer,
             devices=devices,
             faults=faults,
+            topology=topology,
         )
-        self.lpt = bool(lpt)
+        if scheduler is None:
+            scheduler = "lpt" if lpt else "fifo"
+        elif lpt and scheduler != "lpt":
+            raise KernelError(
+                f"conflicting flush orders: lpt=True but scheduler={scheduler!r}"
+            )
+        if scheduler not in SCHEDULERS:
+            raise KernelError(
+                f"unknown scheduler {scheduler!r}; choose from {', '.join(SCHEDULERS)}"
+            )
+        if prefetch_depth < 0:
+            raise KernelError(
+                f"prefetch depth must be non-negative, got {prefetch_depth}"
+            )
+        self.scheduler = scheduler
+        self.prefetch_depth = int(prefetch_depth)
+        self.steal_seed = int(steal_seed)
+        self._steal_rng = random.Random(self.steal_seed)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch.config import AxiConfig, CacheConfig, GGPUConfig, TransferConfig
+from repro.arch.config import AxiConfig, CacheConfig, GGPUConfig, Topology, TransferConfig
 from repro.errors import ConfigurationError
 
 
@@ -136,3 +136,90 @@ def test_axi_config_matches_fgpu_limits():
         AxiConfig(memory_latency_cycles=0)
     with pytest.raises(ConfigurationError):
         AxiConfig(control_ports=2)
+
+
+def test_topology_flat_matches_single_p2p_link():
+    # The flat preset's defaults price every pair exactly like the PR 5
+    # single-link P2P model, so attaching it changes nothing.
+    flat = Topology.flat(4)
+    p2p = TransferConfig().with_p2p(150, 32.0)
+    for num_bytes in (1, 32, 33, 1024, 4096):
+        for src in range(4):
+            for dst in range(4):
+                if src == dst:
+                    assert flat.p2p_cycles(src, dst, num_bytes) == 0.0
+                else:
+                    assert flat.p2p_cycles(src, dst, num_bytes) == p2p.p2p_cycles(num_bytes)
+    assert flat.num_devices == 4
+    assert flat.p2p_cycles(0, 1, 0) == 0.0  # zero-byte copies are free
+    with pytest.raises(ConfigurationError):
+        flat.p2p_cycles(0, 1, -4)
+
+
+def test_topology_two_switch_prices_the_cross_domain_hop():
+    topo = Topology.two_switch(4)
+    # Devices {0, 1} and {2, 3} are the two switch domains.
+    intra = topo.p2p_cycles(0, 1, 1024)
+    inter = topo.p2p_cycles(0, 2, 1024)
+    assert intra == 150.0 + 32.0  # 150-cycle setup + 1024/32 beats
+    assert inter == 900.0 + 128.0  # inter hop: 900-cycle setup + 1024/8 beats
+    assert inter > intra
+    assert topo.p2p_cycles(2, 3, 1024) == intra
+    assert topo.distance(0, 2) > topo.distance(0, 1)
+    # Odd device counts put the extra device in the first domain.
+    odd = Topology.two_switch(5)
+    assert odd.p2p_cycles(0, 2, 1024) == intra
+    assert odd.p2p_cycles(0, 3, 1024) == inter
+
+
+def test_topology_ring_scales_with_hop_distance():
+    topo = Topology.ring(8)
+    one_hop = topo.p2p_cycles(0, 1, 1024)
+    two_hops = topo.p2p_cycles(0, 2, 1024)
+    assert one_hop == 150.0 + 32.0
+    assert two_hops == 300.0 + 64.0  # 2x setup, half bandwidth
+    # The ring is bidirectional: 0->7 is one hop, not seven.
+    assert topo.p2p_cycles(0, 7, 1024) == one_hop
+    assert topo.p2p_cycles(0, 4, 1024) == topo.p2p_cycles(4, 0, 1024)
+
+
+def test_topology_preset_dispatch_and_host_override():
+    for name in ("flat", "two-switch", "ring"):
+        topo = Topology.preset(name, 4)
+        assert topo.name == name
+        assert topo.num_devices == 4
+        assert topo.host is None
+    with pytest.raises(ConfigurationError):
+        Topology.preset("torus", 4)
+    host = TransferConfig(latency_cycles=7, bytes_per_cycle=16.0)
+    assert Topology.preset("flat", 4, host=host).host == host
+    assert Topology.flat(4).with_host(host).host == host
+
+
+def test_topology_matrix_validation():
+    with pytest.raises(ConfigurationError):
+        Topology.flat(0)
+    with pytest.raises(ConfigurationError):  # non-square latency matrix
+        Topology(
+            name="bad",
+            latency_cycles=((0.0, 1.0),),
+            bytes_per_cycle=((float("inf"), 8.0), (8.0, float("inf"))),
+        )
+    with pytest.raises(ConfigurationError):  # non-zero diagonal latency
+        Topology(
+            name="bad",
+            latency_cycles=((1.0, 1.0), (1.0, 0.0)),
+            bytes_per_cycle=((float("inf"), 8.0), (8.0, float("inf"))),
+        )
+    with pytest.raises(ConfigurationError):  # negative off-diagonal latency
+        Topology(
+            name="bad",
+            latency_cycles=((0.0, -1.0), (1.0, 0.0)),
+            bytes_per_cycle=((float("inf"), 8.0), (8.0, float("inf"))),
+        )
+    with pytest.raises(ConfigurationError):  # non-positive bandwidth
+        Topology(
+            name="bad",
+            latency_cycles=((0.0, 1.0), (1.0, 0.0)),
+            bytes_per_cycle=((float("inf"), 0.0), (8.0, float("inf"))),
+        )

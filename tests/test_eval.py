@@ -228,3 +228,71 @@ def test_paper_data_consistency():
     assert paper_speedup_per_area("mat_mul", 1) == pytest.approx(10.2, rel=0.05)
     # Derated by area the 8-CU configuration is the worst (paper's Fig. 6 trend).
     assert paper_speedup_per_area("mat_mul", 8) < paper_speedup_per_area("mat_mul", 1)
+
+
+def test_topology_table_structure_and_rendering():
+    from repro.eval.multidevice import run_topology_table
+    from repro.eval.reports import topology_to_csv, topology_to_markdown
+    from repro.eval.tables import format_topology_table
+
+    table = run_topology_table(
+        device_counts=(2, 4),
+        width=8,
+        depth=4,
+        size=128,
+        lanes=4,
+        stages=2,
+        jobs=1,
+    )
+    assert table.device_counts == [2, 4]
+    assert table.dags == ["layered", "shuffle"]
+    assert table.topologies == ["flat", "two-switch", "ring"]
+    assert table.schedulers == ["lpt", "heft", "stealing"]
+    # LPT is its own baseline in every cell.
+    for dag in table.dags:
+        for topo in table.topologies:
+            assert table.speedup_vs_lpt(dag, topo, "lpt", 2) == pytest.approx(1.0)
+    # Per-launch cycles identical across every (topology, scheduler, count)
+    # cell of a DAG — run_topology_table asserts it internally; spot-check.
+    reference = {
+        entry[0]: entry[5] for entry in table.cell("layered", "flat", "lpt", 2).schedule
+    }
+    other = table.cell("layered", "ring", "stealing", 4)
+    assert {entry[0]: entry[5] for entry in other.schedule} == reference
+    with pytest.raises(KernelError):
+        table.cell("layered", "flat", "lpt", 8)
+    with pytest.raises(KernelError):
+        run_topology_table(device_counts=())
+    with pytest.raises(KernelError):
+        run_topology_table(device_counts=(2, 2))
+    with pytest.raises(KernelError):
+        run_topology_table(device_counts=(2,), schedulers=("heft",))
+
+    text = format_topology_table(table)
+    assert "Topology" in text and "stealing" in text and "vs LPT" in text
+    csv_text = topology_to_csv(table)
+    assert csv_text.splitlines()[0].startswith("dag,topology,scheduler,devices")
+    assert len(csv_text.strip().splitlines()) == 1 + 2 * 3 * 3 * 2
+    markdown = topology_to_markdown(table)
+    assert markdown.startswith("| dag |")
+
+
+def test_topology_table_identical_serial_vs_fanned_out():
+    from repro.eval.multidevice import run_topology_table
+
+    kwargs = dict(
+        device_counts=(2, 4),
+        dags=("shuffle",),
+        topologies=("flat", "ring"),
+        width=8,
+        depth=4,
+        size=128,
+        lanes=4,
+        stages=2,
+    )
+    serial = run_topology_table(jobs=1, **kwargs)
+    fanned = run_topology_table(jobs=2, **kwargs)
+    assert set(serial.cells) == set(fanned.cells)
+    for key in serial.cells:
+        assert serial.cells[key].schedule == fanned.cells[key].schedule
+        assert serial.cells[key].makespan == fanned.cells[key].makespan

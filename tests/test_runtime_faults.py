@@ -497,3 +497,105 @@ def test_fuzz_fault_kinds_cover_the_registry(seed):
     for spec in plan.specs:
         assert spec.kind in FAULT_KINDS
         assert 0 <= spec.device < 4
+
+
+# --------------------------------------------------------------------------- #
+# PR 8 bugfix batch: accounting reconciliation, prefetch degrade, zero-safety
+# --------------------------------------------------------------------------- #
+def test_transfer_accounting_reconciles_with_a_fired_plan():
+    """Regression: evacuation read-backs were charged to the device stats but
+    to no event, so ``sum(events) == sum(device_transfer_cycles)`` broke the
+    moment a ``device-fail`` salvaged a sole-copy buffer.  They now land on
+    the casualty command's event (``readback_cycles``), and stall / corrupt
+    charges stay on the transfer's own event."""
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(kind=TRANSFER_STALL, device=0, at_command=0, stall_cycles=500.0),
+            FaultSpec(kind=TRANSFER_CORRUPT, device=1, at_command=1),
+            FaultSpec(kind=DEVICE_FAIL, device=0, at_command=1),
+        )
+    )
+    queue = _queue(num_devices=8, faults=plan)
+    src = queue.create_buffer(np.arange(N))
+    mid = queue.allocate_buffer(N)
+    out = queue.allocate_buffer(N)
+    # Dirty sole copy on device 0, then kill device 0 on the next dispatch:
+    # the salvage read-back must be charged to the killing command's event.
+    _enqueue_copy(queue, src, mid, label="produce", device=0)
+    queue.flush()
+    assert not mid.host_valid and mid.valid_on == {0}
+    _enqueue_copy(queue, mid, out, label="consume", device=0)
+    queue.flush()
+    queue.enqueue_read(out)
+    assert queue.stats.devices_lost == 1
+    assert queue.stats.transfer_faults >= 1
+    per_event = sum(e.transfer_cycles + e.readback_cycles for e in queue.events)
+    per_device = sum(queue.stats.device_transfer_cycles.values())
+    assert per_event == pytest.approx(per_device)
+    assert per_event == pytest.approx(queue.stats.transfer_cycles)
+    # The casualty event carries the evacuation read-back explicitly.
+    consume = next(e for e in queue.events if e.label == "consume")
+    assert consume.readback_cycles > 0.0
+    assert np.array_equal(queue.enqueue_read(out), np.arange(N, dtype=np.uint32))
+
+
+def test_dead_device_prefetch_write_degrades_like_a_launch_hint():
+    """Regression: a launch hinted at a retired device degrades to scheduler
+    placement, but an ``enqueue_write`` prefetch hinted at the same corpse
+    re-polluted its residency (or targeted it outright).  Both hints now
+    degrade through the same liveness check."""
+    plan = FaultPlan(specs=(FaultSpec(kind=DEVICE_FAIL, device=0, at_command=0),))
+    queue = _queue(num_devices=8, faults=plan)
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    _enqueue_copy(queue, src, dst, label="kill", device=0)
+    queue.flush()
+    assert queue.fault_injector.is_dead(0)
+    # Prefetch hinted at the corpse: the write must degrade to a host-only
+    # update instead of erroring or marking the dead device resident.
+    payload = np.arange(N) + 42
+    queue.enqueue_write(src, payload, device=0)
+    queue.flush()
+    assert 0 not in src.valid_on
+    out = queue.allocate_buffer(N)
+    _enqueue_copy(queue, src, out, label="consume")
+    queue.flush()
+    assert np.array_equal(
+        queue.enqueue_read(out).astype(np.int64), payload
+    )
+
+
+def test_queue_stats_are_zero_safe_at_scale():
+    """Regression: empty flushes with faults armed and devices that retire
+    before executing anything must never divide by zero."""
+    plan = FaultPlan(specs=(FaultSpec(kind=DEVICE_FAIL, device=3, at_command=0),))
+    # Empty flush, faults armed: makespan 0 ⇒ every utilization is 0.0.
+    idle = _queue(num_devices=8, faults=plan)
+    idle.flush()
+    assert idle.stats.makespan == 0.0
+    assert idle.stats.utilization == 0.0
+    assert idle.stats.degraded_fraction == 0.0
+    assert all(value == 0.0 for value in idle.stats.device_utilization().values())
+    # Device 3 dies on its first dispatch: it retires having executed
+    # nothing, and its utilization reads 0.0 rather than raising.
+    queue = _queue(num_devices=8, faults=plan)
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    _enqueue_copy(queue, src, dst, label="first", device=3)
+    queue.flush()
+    assert queue.stats.devices_lost == 1
+    utilization = queue.stats.device_utilization()
+    assert utilization[3] == 0.0
+    assert 0.0 <= queue.stats.degraded_fraction <= 1.0
+    assert np.array_equal(queue.enqueue_read(dst), np.arange(N, dtype=np.uint32))
+
+
+def test_injector_surviving_filters_an_arbitrary_subset():
+    plan = FaultPlan(specs=(FaultSpec(kind=DEVICE_FAIL, device=1, at_command=0),))
+    injector = FaultInjector(plan, num_devices=4)
+    assert injector.surviving(range(4)) == [0, 1, 2, 3]
+    injector.mark_dead(1)
+    assert injector.is_dead(1)
+    assert injector.surviving(range(4)) == [0, 2, 3]
+    assert injector.surviving([1]) == []
+    assert injector.surviving([3, 2]) == [3, 2]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.arch.config import GGPUConfig, TransferConfig
+from repro.arch.config import GGPUConfig, Topology, TransferConfig
 from repro.arch.kernel import NDRange
 from repro.errors import KernelError
 from repro.kernels import get_kernel_spec
@@ -523,3 +523,164 @@ def test_lpt_respects_event_dependencies():
     assert order[0] == "big"  # the big independent launch jumped the queue
     assert second.start_cycle >= first.end_cycle
     assert np.array_equal(queue.enqueue_read(dst).astype(np.int64), np.arange(N))
+
+
+# --------------------------------------------------------------------------- #
+# Topology-aware scheduling (PR 8)
+# --------------------------------------------------------------------------- #
+def _shuffle_dag(queue, lanes=6):
+    """A small two-stage shuffle; returns (outputs, expecteds) per lane."""
+    saxpy = get_kernel_spec("saxpy").build()
+    ndrange = NDRange(N, 64)
+    mask = 0xFFFFFFFF
+    stage1, hosts = [], []
+    outs = []
+    for lane in range(lanes):
+        x_host = (np.arange(N, dtype=np.int64) + 17 * lane) & mask
+        y_host = ((np.arange(N, dtype=np.int64) * 3 + lane) % 251) & mask
+        x = queue.create_buffer(x_host)
+        y = queue.create_buffer(y_host)
+        out = queue.allocate_buffer(N)
+        stage1.append(
+            queue.enqueue(
+                saxpy,
+                ndrange,
+                {"x": x, "y": y, "out": out, "alpha": 3, "n": N},
+                label=f"s1[{lane}]",
+                writes=("out",),
+            )
+        )
+        outs.append(out)
+        hosts.append((3 * x_host + y_host) & mask)
+    checks = []
+    for lane in range(lanes):
+        peer = (lane + 1) % lanes
+        out = queue.allocate_buffer(N)
+        queue.enqueue(
+            saxpy,
+            ndrange,
+            {"x": outs[lane], "y": outs[peer], "out": out, "alpha": 5, "n": N},
+            label=f"s2[{lane}]",
+            wait_for=(stage1[lane], stage1[peer]),
+            writes=("out",),
+        )
+        checks.append((out, (5 * hosts[lane] + hosts[peer]) & mask))
+    return checks
+
+
+@pytest.mark.parametrize("scheduler", ["fifo", "lpt", "heft", "stealing"])
+@pytest.mark.parametrize("topology_name", ["flat", "two-switch", "ring"])
+def test_every_scheduler_topology_cell_is_bit_exact(topology_name, scheduler):
+    """The standing invariant: topology and scheduler reshape the schedule
+    only — kernel results and per-launch simulated cycles are bit-identical
+    to the default-fabric FIFO run in every cell."""
+    reference = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1), num_devices=4, memory_bytes=MEM
+    )
+    ref_checks = _shuffle_dag(reference)
+    reference.finish()
+    ref_cycles = {e.label: e.compute_cycles for e in reference.schedule}
+
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=4,
+        memory_bytes=MEM,
+        topology=Topology.preset(topology_name, 4),
+        scheduler=scheduler,
+    )
+    checks = _shuffle_dag(queue)
+    queue.finish()
+    for (out, expected), (ref_out, _) in zip(checks, ref_checks, strict=True):
+        assert np.array_equal(queue.enqueue_read(out).astype(np.int64), expected)
+        assert np.array_equal(
+            reference.enqueue_read(ref_out).astype(np.int64), expected
+        )
+    assert {e.label: e.compute_cycles for e in queue.schedule} == ref_cycles
+
+
+def test_topology_must_match_the_device_count():
+    with pytest.raises(KernelError):
+        OutOfOrderQueue(
+            config=GGPUConfig(num_cus=1),
+            num_devices=4,
+            memory_bytes=MEM,
+            topology=Topology.flat(2),
+        )
+
+
+def test_topology_host_override_prices_the_host_bridge():
+    host = TransferConfig(latency_cycles=40, bytes_per_cycle=4.0)
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=2,
+        memory_bytes=MEM,
+        topology=Topology.flat(2, host=host),
+    )
+    assert queue.transfer == host
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    event = _enqueue_copy(queue, src, dst)
+    queue.flush()
+    assert event.transfer_cycles == host.cycles(N * 4)
+    # An explicit transfer= still wins over the topology's host model.
+    explicit = TransferConfig(latency_cycles=7, bytes_per_cycle=16.0)
+    other = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=2,
+        memory_bytes=MEM,
+        transfer=explicit,
+        topology=Topology.flat(2, host=host),
+    )
+    assert other.transfer == explicit
+
+
+def test_topology_routes_p2p_over_the_cheapest_link():
+    """With a topology attached, a dirty hand-off goes P2P over the per-pair
+    link — and the nearest valid source wins on a non-uniform fabric."""
+    topo = Topology.ring(4)
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=4,
+        memory_bytes=MEM,
+        topology=topo,
+    )
+    payload = np.arange(N) + 7
+    src = queue.create_buffer(payload)
+    mid = queue.allocate_buffer(N)
+    dst = queue.allocate_buffer(N)
+    produce = _enqueue_copy(queue, src, mid, label="produce", device=1)
+    consume = _enqueue_copy(queue, mid, dst, wait_for=(produce,), label="consume", device=2)
+    queue.finish()
+    assert queue.stats.transfers_p2p == 1
+    # One ring hop (1 -> 2) for N words.
+    assert consume.transfer_cycles == topo.p2p_cycles(1, 2, N * 4)
+    assert np.array_equal(queue.enqueue_read(dst), (payload & 0xFFFFFFFF).astype(np.uint32))
+
+
+def test_prefetch_depth_retargets_input_writes():
+    """With prefetch_depth > 0, an unhinted write whose consumer is pinned
+    within the window turns into a prefetch onto the consumer's device."""
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=2,
+        memory_bytes=MEM,
+        transfer=TransferConfig(latency_cycles=50, bytes_per_cycle=4.0).with_p2p(10, 32.0),
+        prefetch_depth=4,
+    )
+    src = queue.create_buffer(np.arange(N))
+    dst = queue.allocate_buffer(N)
+    write = queue.enqueue_write(src, np.arange(N) + 5)  # no device hint
+    _enqueue_copy(queue, src, dst, wait_for=(write,), label="consume", device=1)
+    queue.flush()
+    # The write was retargeted: the consumer found its input resident.
+    assert 1 in src.valid_on
+    assert np.array_equal(
+        queue.enqueue_read(dst).astype(np.int64), np.arange(N) + 5
+    )
+    with pytest.raises(KernelError):
+        OutOfOrderQueue(
+            config=GGPUConfig(num_cus=1),
+            num_devices=2,
+            memory_bytes=MEM,
+            prefetch_depth=-1,
+        )

@@ -339,3 +339,119 @@ def test_batch_cycles_match_independent_measurements():
     for kernel, cycles in zip(result.kernels, result.cycles, strict=True):
         fresh, _ = _fresh_run(kernel, num_cus=2, size=256)
         assert cycles == fresh.cycles
+
+
+# --------------------------------------------------------------------------- #
+# Topology-aware flush orders (PR 8)
+# --------------------------------------------------------------------------- #
+def _build_trap_dag(queue, depth=3, chain_size=128, fat_size=512):
+    """A deep chain next to one fat independent launch — the LPT trap.
+
+    LPT drains the fat launch first (largest projected time); HEFT ranks the
+    chain head highest (its upward rank sums the whole chain) and dispatches
+    it first.  Returns (labels of the chain, fat label, outputs, expecteds).
+    """
+    copy_kernel = get_kernel_spec("copy").build()
+    chain_payload = np.arange(chain_size, dtype=np.int64)
+    stages = [queue.create_buffer(chain_payload)]
+    previous = None
+    for step in range(depth):
+        stages.append(queue.allocate_buffer(chain_size))
+        previous = queue.enqueue(
+            copy_kernel,
+            NDRange(chain_size, 64),
+            {"src": stages[-2], "dst": stages[-1], "n": chain_size},
+            label=f"chain.{step}",
+            wait_for=() if previous is None else (previous,),
+            writes=("dst",),
+        )
+    fat_payload = np.arange(fat_size, dtype=np.int64) * 3
+    fat_src = queue.create_buffer(fat_payload)
+    fat_dst = queue.allocate_buffer(fat_size)
+    queue.enqueue(
+        copy_kernel,
+        NDRange(fat_size, 64),
+        {"src": fat_src, "dst": fat_dst, "n": fat_size},
+        label="fat",
+        writes=("dst",),
+    )
+    outputs = {"chain": stages[-1], "fat": fat_dst}
+    expecteds = {"chain": chain_payload, "fat": fat_payload}
+    return outputs, expecteds
+
+
+def _run_trap_dag(scheduler, steal_seed=0):
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=2,
+        memory_bytes=8 * 1024 * 1024,
+        scheduler=scheduler,
+        steal_seed=steal_seed,
+    )
+    outputs, expecteds = _build_trap_dag(queue)
+    queue.finish()
+    for name, output in outputs.items():
+        assert np.array_equal(
+            queue.enqueue_read(output).astype(np.int64), expecteds[name]
+        )
+    return queue
+
+
+def test_heft_ranks_the_critical_chain_ahead_of_fat_independent_work():
+    lpt = _run_trap_dag("lpt")
+    heft = _run_trap_dag("heft")
+    # LPT picks the fat launch first (largest size); HEFT dispatches the
+    # chain head first — its upward rank carries the whole chain behind it.
+    assert lpt.schedule[0].label == "fat"
+    assert heft.schedule[0].label == "chain.0"
+    # The chain's rank order survives into the schedule: hops in order.
+    chain_positions = {
+        event.label: index
+        for index, event in enumerate(heft.schedule)
+        if event.label.startswith("chain.")
+    }
+    assert chain_positions["chain.0"] < chain_positions["chain.1"] < chain_positions["chain.2"]
+    # Same launches, same per-launch cycles — the scheduler only reorders.
+    assert sorted(e.compute_cycles for e in lpt.schedule) == sorted(
+        e.compute_cycles for e in heft.schedule
+    )
+
+
+def test_stealing_is_deterministic_for_a_fixed_seed():
+    first = _run_trap_dag("stealing", steal_seed=7)
+    second = _run_trap_dag("stealing", steal_seed=7)
+    assert [
+        (e.label, e.device, e.start_cycle, e.end_cycle) for e in first.schedule
+    ] == [(e.label, e.device, e.start_cycle, e.end_cycle) for e in second.schedule]
+    # And bit-exact versus every other flush order.
+    fifo = _run_trap_dag("fifo")
+    assert sorted(e.compute_cycles for e in first.schedule) == sorted(
+        e.compute_cycles for e in fifo.schedule
+    )
+
+
+def test_scheduler_name_validation_and_lpt_compat():
+    with pytest.raises(KernelError):
+        OutOfOrderQueue(
+            config=GGPUConfig(num_cus=1),
+            num_devices=2,
+            memory_bytes=8 * 1024 * 1024,
+            scheduler="random",
+        )
+    with pytest.raises(KernelError):  # conflicting flush orders
+        OutOfOrderQueue(
+            config=GGPUConfig(num_cus=1),
+            num_devices=2,
+            memory_bytes=8 * 1024 * 1024,
+            lpt=True,
+            scheduler="heft",
+        )
+    # The legacy boolean still works and maps onto the scheduler name.
+    queue = OutOfOrderQueue(
+        config=GGPUConfig(num_cus=1),
+        num_devices=2,
+        memory_bytes=8 * 1024 * 1024,
+        lpt=True,
+    )
+    assert queue.scheduler == "lpt"
+    assert queue.lpt is True

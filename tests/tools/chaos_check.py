@@ -34,7 +34,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.arch.config import GGPUConfig  # noqa: E402
+from repro.arch.config import GGPUConfig, Topology  # noqa: E402
 from repro.errors import KernelError  # noqa: E402
 from repro.eval.benchmarks import BenchmarkSizes  # noqa: E402
 from repro.kernels import all_kernel_names, get_kernel_spec  # noqa: E402
@@ -52,14 +52,26 @@ MEMORY_BYTES = 64 * 1024 * 1024
 
 
 def run_batch(
-    num_devices: int, scale: float, seed: int, faults: Optional[FaultPlan]
+    num_devices: int,
+    scale: float,
+    seed: int,
+    faults: Optional[FaultPlan],
+    topology_name: Optional[str] = None,
+    scheduler: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the whole kernel suite once; verify outputs; return the metrics."""
+    topology = (
+        Topology.preset(topology_name, num_devices)
+        if topology_name is not None
+        else None
+    )
     queue = OutOfOrderQueue(
         config=GGPUConfig(num_cus=1),
         num_devices=num_devices,
         memory_bytes=MEMORY_BYTES,
         faults=faults,
+        topology=topology,
+        scheduler=scheduler,
     )
     checks = []
     for name in all_kernel_names():
@@ -139,6 +151,13 @@ def main() -> int:
         "--seeds", type=int, default=8, help="number of random fault-plan arms (default 8)"
     )
     parser.add_argument("--seed", type=int, default=2022, help="workload seed")
+    parser.add_argument(
+        "--topology",
+        default=None,
+        choices=("flat", "two-switch", "ring"),
+        help="add one topology-enabled fault arm (HEFT scheduler on the "
+        "named preset) that must also recover bit-exactly",
+    )
     args = parser.parse_args()
 
     start = time.perf_counter()
@@ -191,10 +210,52 @@ def main() -> int:
             f"degraded {arm['degraded_fraction']:.3f}"
         )
 
+    extra_arms = 0
+    if args.topology is not None:
+        # The topology arm compares against its *own* fault-free baseline:
+        # a different scheduler legitimately changes the makespan, so the
+        # degradation invariant only holds within the same topology cell.
+        topo_kwargs = {"topology_name": args.topology, "scheduler": "heft"}
+        topo_base = run_batch(
+            args.devices, args.scale, args.seed, faults=None, **topo_kwargs
+        )
+        if topo_base["total_cycles"] != baseline["total_cycles"]:
+            raise SystemExit(
+                f"topology {args.topology!r} changed kernel compute cycles: "
+                "the fabric reached the simulation layer"
+            )
+        plan = handcrafted_arms()["burst"]
+        arm = run_batch(
+            args.devices, args.scale, args.seed, faults=plan, **topo_kwargs
+        )
+        if arm["commands_failed"]:
+            raise SystemExit("topology arm permanently failed commands")
+        if arm["makespan"] < topo_base["makespan"]:
+            raise SystemExit(
+                f"topology arm makespan {arm['makespan']:.0f} < its fault-free "
+                f"baseline {topo_base['makespan']:.0f}"
+            )
+        if arm["total_cycles"] != baseline["total_cycles"]:
+            raise SystemExit(
+                "topology arm changed kernel compute cycles: a fault reached "
+                "the simulation layer"
+            )
+        replay = run_batch(
+            args.devices, args.scale, args.seed, faults=plan, **topo_kwargs
+        )
+        if replay != arm:
+            raise SystemExit("topology arm is not deterministic across replays")
+        extra_arms = 1
+        print(
+            f"arm topology-{args.topology}+burst: ok  makespan "
+            f"{arm['makespan']:>9.0f}  retries {arm['total_retries']}  "
+            f"lost {arm['devices_lost']}"
+        )
+
     elapsed = time.perf_counter() - start
     print(
-        f"chaos check ok: {len(arms)} fault arms x {len(all_kernel_names())} kernels, "
-        f"all outputs bit-exact, in {elapsed:.1f}s"
+        f"chaos check ok: {len(arms) + extra_arms} fault arms x "
+        f"{len(all_kernel_names())} kernels, all outputs bit-exact, in {elapsed:.1f}s"
     )
     return 0
 

@@ -2,20 +2,24 @@
 """Canonical digest of the multi-device event-graph schedules, for CI diffing.
 
 Runs the multi-device makespan sweep
-(:func:`repro.eval.multidevice.run_multidevice_table`) and the two-stage-DAG
+(:func:`repro.eval.multidevice.run_multidevice_table`), the two-stage-DAG
 transfer-mode sweep (:func:`repro.eval.multidevice.run_pipeline_table` —
 host-hop vs P2P vs P2P+prefetch, the latter with affinity hints and the LPT
-flush order) and writes a canonical JSON digest of everything the scheduler
-decided: per cell, the full event-graph schedule (label, device, start, end,
-transfer and compute cycles), the makespan, the critical path, the
-per-device utilization, and the transfer counters.
+flush order), and the topology × scheduler ablation
+(:func:`repro.eval.multidevice.run_topology_table` — {flat, two-switch,
+ring} × {LPT, HEFT, stealing} at 8 and 16 devices) and writes a canonical
+JSON digest of everything the scheduler decided: per cell, the full
+event-graph schedule (label, device, start, end, transfer and compute
+cycles), the makespan, the critical path, the per-device utilization, and
+the transfer counters.
 
 The CI determinism job runs this twice in one checkout and once more with a
 different ``REPRO_JOBS``, then diffs the three files byte for byte: every
 schedule and its cycle statistics must be identical across repeated runs and
 across the serial (shared device pool, recycled via ``GGPUSimulator.reset``)
 and fanned-out (fresh pool per worker process) sweep paths — for the default
-transfer model *and* for every P2P/prefetch/LPT mode.
+transfer model, for every P2P/prefetch/LPT mode, and for every topology ×
+scheduler cell (including the seeded work-stealing tie-breaks).
 
     PYTHONPATH=src python tests/tools/determinism_check.py --output run_a.json
     PYTHONPATH=src REPRO_JOBS=4 python tests/tools/determinism_check.py --output run_b.json
@@ -35,6 +39,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.eval.multidevice import (  # noqa: E402
     run_multidevice_table,
     run_pipeline_table,
+    run_topology_table,
 )
 from repro.runtime.checkpoint import atomic_write_text  # noqa: E402
 
@@ -50,6 +55,11 @@ def main() -> int:
         help="comma-separated device counts to sweep (default 1,2,4)",
     )
     parser.add_argument(
+        "--topology-device-counts",
+        default="8,16",
+        help="comma-separated device counts for the topology ablation (default 8,16)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -57,9 +67,20 @@ def main() -> int:
     )
     args = parser.parse_args()
     counts = tuple(int(field) for field in args.device_counts.split(","))
+    topology_counts = tuple(
+        int(field) for field in args.topology_device_counts.split(",")
+    )
 
     table = run_multidevice_table(device_counts=counts, scale=args.scale)
     pipeline = run_pipeline_table(device_counts=counts, lanes=8, size=256)
+    topology = run_topology_table(
+        device_counts=topology_counts,
+        width=8,
+        depth=4,
+        size=128,
+        lanes=8,
+        stages=2,
+    )
     digest = {
         "scale": args.scale,
         "kernels": table.kernels,
@@ -88,6 +109,25 @@ def main() -> int:
             }
             for mode in pipeline.modes
             for count in pipeline.device_counts
+        },
+        "topology": {
+            f"{dag}/{topo}/{scheduler}@{count}": {
+                "schedule": [
+                    list(entry)
+                    for entry in topology.cell(dag, topo, scheduler, count).schedule
+                ],
+                "makespan": topology.cell(dag, topo, scheduler, count).makespan,
+                "transfer_cycles": topology.cell(
+                    dag, topo, scheduler, count
+                ).transfer_cycles,
+                "transfers_p2p": topology.cell(
+                    dag, topo, scheduler, count
+                ).transfers_p2p,
+            }
+            for dag in topology.dags
+            for topo in topology.topologies
+            for scheduler in topology.schedulers
+            for count in topology.device_counts
         },
     }
     text = json.dumps(digest, indent=2, sort_keys=True) + "\n"
