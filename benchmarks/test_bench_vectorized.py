@@ -1,0 +1,133 @@
+"""Benchmark: cross-wavefront vectorized issue engine (PR 9).
+
+Times the scale-0.25 Table III sweep and every paper kernel at 1 and 8 CUs
+with the batched cross-wavefront issue engine on and off, asserting cycle
+counts bit-identical between the two modes in every timed cell, and records
+the honest numbers to ``BENCH_PR9.json`` in the repository root.
+
+The recorded ``speedup`` fields report what the engine actually achieves on
+this machine, not a target: batching wins on long straight-line ALU runs
+(``mat_mul``) and roughly breaks even elsewhere, because ~45% of the dynamic
+instruction stream (loads, stores, branches, barriers) must stay on the
+cycle-exact scalar path to preserve bit-exact shared-cache and AXI-port
+ordering — see ``docs/performance.md`` for the full analysis.  The PR 2
+baseline wall from ``BENCH_PR2.json`` is carried alongside for the
+trajectory table (``tests/tools/bench_trajectory.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.eval.benchmarks import BenchmarkSizes, measure_gpu_kernel, run_table3
+from repro.kernels import PAPER_KERNEL_NAMES
+from repro.runtime.checkpoint import atomic_write_json
+from repro.runtime.parallel import default_jobs
+
+_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PR9_PATH = _ROOT / "BENCH_PR9.json"
+BENCH_PR2_PATH = _ROOT / "BENCH_PR2.json"
+
+# The sweep the acceptance numbers are quoted at (matches BENCH_PR2's
+# table3_sweep section): every paper kernel, 1/2/4/8 CUs, quarter-scale
+# inputs.  REPRO_BENCH_SCALE is deliberately not applied here so the
+# recorded walls stay comparable across harness configurations.
+SWEEP_SCALE = 0.25
+SEED = 2022
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_PR9_PATH.exists():
+        try:
+            data = json.loads(BENCH_PR9_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[section] = {
+        "meta": {"bench_scale": SWEEP_SCALE, "repro_jobs": default_jobs()},
+        **payload,
+    }
+    atomic_write_json(BENCH_PR9_PATH, data)
+
+
+def _pr2_sweep_wall() -> float | None:
+    """PR 2's recorded scale-0.25 sweep wall, if the baseline file is intact."""
+    try:
+        data = json.loads(BENCH_PR2_PATH.read_text())
+        return float(data["table3_sweep"]["wall_seconds"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _time_kernel(name: str, num_cus: int, vectorized: bool):
+    size = BenchmarkSizes.paper(name).scaled(SWEEP_SCALE).gpu_size
+    start = time.perf_counter()
+    measurement = measure_gpu_kernel(name, num_cus, size, SEED, True, vectorized)
+    return time.perf_counter() - start, measurement.cycles
+
+
+@pytest.mark.benchmark(group="engine")
+def test_vectorized_issue_engine(benchmark):
+    # Per-kernel on/off cells at the sweep's extreme CU counts.  Every cell
+    # checks results (check=True inside measure_gpu_kernel) and the off/on
+    # cycle counts are asserted identical — the bench re-verifies, at bench
+    # scale, the bit-exactness the golden/differential/fuzz suites pin.
+    cells: dict = {}
+    for name in PAPER_KERNEL_NAMES:
+        for num_cus in (1, 8):
+            wall_off, cycles_off = _time_kernel(name, num_cus, False)
+            wall_on, cycles_on = _time_kernel(name, num_cus, True)
+            assert cycles_on == cycles_off, (name, num_cus, cycles_on, cycles_off)
+            cells[f"{name}/{num_cus}cu"] = {
+                "cycles": cycles_on,
+                "wall_scalar": round(wall_off, 4),
+                "wall_vectorized": round(wall_on, 4),
+                "speedup": round(wall_off / wall_on, 3),
+            }
+
+    # The full sweep, both engines, through the production run_table3 path.
+    start = time.perf_counter()
+    table_off = run_table3(scale=SWEEP_SCALE, seed=SEED, vectorized=False)
+    sweep_off = time.perf_counter() - start
+    start = time.perf_counter()
+    table_on = benchmark.pedantic(
+        lambda: run_table3(scale=SWEEP_SCALE, seed=SEED, vectorized=True),
+        rounds=1,
+        iterations=1,
+    )
+    sweep_on = time.perf_counter() - start
+
+    for kernel, row in table_on.rows.items():
+        off_row = table_off.rows[kernel]
+        for num_cus in table_on.cu_counts:
+            assert row.gpu_kcycles(num_cus) == off_row.gpu_kcycles(num_cus), (
+                kernel,
+                num_cus,
+            )
+
+    pr2_wall = _pr2_sweep_wall()
+    _record(
+        "vectorized_issue",
+        {
+            "kernels": list(PAPER_KERNEL_NAMES),
+            "sweep_wall_scalar": round(sweep_off, 3),
+            "sweep_wall_vectorized": round(sweep_on, 3),
+            "sweep_speedup": round(sweep_off / sweep_on, 3),
+            "pr2_sweep_wall_baseline": pr2_wall,
+            "sweep_speedup_vs_pr2": (
+                round(pr2_wall / sweep_on, 3) if pr2_wall else None
+            ),
+            "per_kernel": cells,
+        },
+    )
+
+    # Acceptance (honest): both engines agree bit-for-bit on every cell and
+    # the vectorized engine is the production default.  The wall-clock bound
+    # is a catastrophic-regression guard only — the measured ratio is ~1.16
+    # on a 1-core container (BENCH_PR9.json holds the real numbers), and a
+    # tighter bound flakes under CI runner load.
+    assert sweep_on <= sweep_off * 1.6, (sweep_on, sweep_off)

@@ -129,12 +129,18 @@ def measure_gpu_kernel(
     input_size: Optional[int] = None,
     seed: int = DEFAULT_SEED,
     check: bool = True,
+    vectorized: bool = True,
 ) -> GpuMeasurement:
-    """Run one kernel on a G-GPU with ``num_cus`` CUs and measure its cycles."""
+    """Run one kernel on a G-GPU with ``num_cus`` CUs and measure its cycles.
+
+    ``vectorized`` selects between the batched cross-wavefront issue engine
+    (the default) and the scalar reference path; both produce identical
+    results and cycle counts (see ``tests/test_simt_golden.py``).
+    """
     spec = get_kernel_spec(kernel_name)
     size = input_size if input_size is not None else spec.paper_gpu_size
     workload = spec.workload(size, seed)
-    simulator = GGPUSimulator(GGPUConfig(num_cus=num_cus))
+    simulator = GGPUSimulator(GGPUConfig(num_cus=num_cus), vectorized=vectorized)
     result, _ = run_workload(simulator, spec.build(), workload, check=check)
     return GpuMeasurement(
         kernel=kernel_name,
@@ -161,10 +167,10 @@ def measure_riscv_program(
 
 def _run_table3_task(task: tuple):
     """Worker entry for one Table III measurement (module level: picklable)."""
-    kind, kernel, size, seed, check, num_cus = task
+    kind, kernel, size, seed, check, num_cus, vectorized = task
     if kind == "riscv":
         return measure_riscv_program(kernel, size, seed, check)
-    return measure_gpu_kernel(kernel, num_cus, size, seed, check)
+    return measure_gpu_kernel(kernel, num_cus, size, seed, check, vectorized)
 
 
 # --------------------------------------------------------------------------- #
@@ -205,6 +211,7 @@ def run_table3(
     check: bool = True,
     jobs: Optional[int] = None,
     journal: Union[None, PathLike, SweepJournal] = None,
+    vectorized: bool = True,
 ) -> Table3Data:
     """Measure every kernel on the RISC-V and on G-GPUs with ``cu_counts`` CUs.
 
@@ -229,9 +236,9 @@ def run_table3(
         sizes = BenchmarkSizes.paper(name)
         if scale != 1.0:
             sizes = sizes.scaled(scale)
-        tasks.append(("riscv", name, sizes.riscv_size, seed, check, 0))
+        tasks.append(("riscv", name, sizes.riscv_size, seed, check, 0, vectorized))
         for num_cus in cu_counts:
-            tasks.append(("gpu", name, sizes.gpu_size, seed, check, num_cus))
+            tasks.append(("gpu", name, sizes.gpu_size, seed, check, num_cus, vectorized))
     book = open_journal(
         journal,
         meta={
@@ -248,8 +255,12 @@ def run_table3(
     keys: List[str] = []
     if book is not None:
         keys = [
+            # ``vectorized`` is deliberately not part of the key: both issue
+            # engines produce bit-identical measurements, so a journal
+            # written by either mode resumes the other (and digests stay
+            # comparable across engine revisions).
             cell_key(kind=kind, kernel=kernel, size=size, seed=s, check=c, num_cus=n)
-            for kind, kernel, size, s, c, n in tasks
+            for kind, kernel, size, s, c, n, _vec in tasks
         ]
         missing = []
         for index, key in enumerate(keys):

@@ -95,6 +95,17 @@ class DataCache:
         # size maps to pairwise-distinct direct-mapped sets, so the aliasing
         # probe of access_lines reduces to one span comparison.
         self._span_bytes = self._line_bytes * self._num_lines
+        # Power-of-two line sizes (the overwhelmingly common configuration)
+        # turn the per-access floor/divide/modulo address math into single
+        # bitwise operations; ``num_lines`` is already enforced power of two.
+        if self._line_bytes & (self._line_bytes - 1) == 0:
+            self._line_floor_mask = ~(self._line_bytes - 1)
+            self._line_shift = self._line_bytes.bit_length() - 1
+            self._index_mask = self._num_lines - 1
+        else:
+            self._line_floor_mask = 0
+            self._line_shift = -1
+            self._index_mask = 0
 
     # ------------------------------------------------------------------ #
     # Address helpers
@@ -112,9 +123,12 @@ class DataCache:
         with one difference pass.  Scattered patterns fall back to the sort.
         """
         addresses = np.asarray(byte_addresses, dtype=np.int64)
+        if self._line_shift >= 0:
+            lines = addresses & self._line_floor_mask
+        else:
+            lines = addresses - (addresses % self._line_bytes)
         if addresses.size <= 1:
-            return addresses - (addresses % self._line_bytes)
-        lines = addresses - (addresses % self._line_bytes)
+            return lines
         steps = lines[1:] - lines[:-1]
         smallest_step = int(steps.min())
         if smallest_step > 0:
@@ -131,6 +145,8 @@ class DataCache:
         return [int(line) for line in self.coalesce_lines(byte_addresses)]
 
     def _index(self, line_address: int) -> int:
+        if self._line_shift >= 0:
+            return (line_address >> self._line_shift) & self._index_mask
         return (line_address // self.config.line_bytes) % self.config.num_lines
 
     # ------------------------------------------------------------------ #
@@ -177,7 +193,10 @@ class DataCache:
         count = lines.size
         if count == 0:
             return np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)
-        indices = (lines // self._line_bytes) % self._num_lines
+        if self._line_shift >= 0:
+            indices = (lines >> self._line_shift) & self._index_mask
+        else:
+            indices = (lines // self._line_bytes) % self._num_lines
         # Distinct lines alias the same direct-mapped set only when the
         # access spans at least the whole cache, so the common case needs a
         # span comparison, not a sorted-uniqueness probe.
@@ -232,7 +251,10 @@ class DataCache:
         count = lines.size
         if count == 0:
             return None, None, 0
-        indices = (lines // self._line_bytes) % self._num_lines
+        if self._line_shift >= 0:
+            indices = (lines >> self._line_shift) & self._index_mask
+        else:
+            indices = (lines // self._line_bytes) % self._num_lines
         if count > 1 and int(lines[-1]) - int(lines[0]) >= self._span_bytes:
             if np.unique(indices).size != count:
                 # Aliasing inside one access: replay sequentially so the

@@ -1,0 +1,528 @@
+"""Cross-wavefront batched execution of deferred batch-safe regions.
+
+The vectorized issue engine (see :meth:`repro.simt.cu.ComputeUnit._step_batch`)
+splits a scheduling event into two halves: the *timing* of a batch-safe
+instruction run is replayed exactly at event time (it is data-independent),
+while the *functional* effect — registers and the execution-mask stack, all
+wavefront-private state — is deferred here.  Each deferred window is one
+contiguous pc range of one wavefront; windows accumulate across scheduling
+events, wavefronts, and compute units until something needs real register
+state (a load, store, branch, barrier, LRAM access, or the end of the
+launch), at which point :meth:`BatchExecutor.flush` executes everything.
+
+At flush time the pending windows are grouped by ``(program, start)``.  The
+round-robin phase stagger of a compute unit means the wavefronts of one
+group usually stopped at *different* end pcs (the wavefront that reached the
+batch boundary first froze the others mid-window), so a group is a **ragged**
+set of windows ``[start, end_i)`` sharing a start.  The group executes as
+*stacked* numpy operations over a ``(num_wavefronts, wavefront_size)`` array
+per register: the wavefronts are sorted by descending end so the rows still
+covering the current pc always form a prefix of the stack, and a wavefront
+whose window ends simply drops out of the prefix (its state is scattered
+back at that point).  One ufunc call per instruction thus replaces up to
+``num_wavefronts`` per-wavefront calls.  A group with a single wavefront
+skips the stacking entirely and executes directly on the register rows.
+
+Because batch-safe instructions touch no shared state, the order in which
+groups (or wavefronts within a group) execute is unobservable, and every
+lane computes the exact value the scalar path would have produced: the lane
+arithmetic in :mod:`repro.simt.pe` is element-wise, so stacking wavefronts
+along a new axis is bit-identical per lane.
+
+Divergence support mirrors the scalar mask stack: regions containing mask
+instructions run a general path that tracks a stacked ``(k, lanes)`` active
+mask, a region-local stack for masks pushed inside the window, and a
+``consumed`` count for pops that reach into masks pushed *before* the window
+(which still live on the per-wavefront stacks).  Active-lane statistics are
+mask-dependent, so they are accounted here, per instruction position, rather
+than in the timing replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.arch.isa import Opcode
+from repro.errors import SimulationError
+from repro.simt.decode import (
+    DecodedProgram,
+    RegionPlan,
+    K_ALU_BIN,
+    K_ALU_CONST,
+    K_ALU_IMM,
+    K_CMASK,
+    K_INVM,
+    K_PARAM,
+    K_POPM,
+    K_PUSHM,
+    K_SPECIAL,
+)
+from repro.simt.wavefront import Wavefront
+
+
+def _special_rows(opcode, wavefronts: List[Wavefront], lanes: int) -> np.ndarray:
+    """Stacked result rows of a work-item-identification instruction."""
+    if opcode is Opcode.LID:
+        return np.stack([wavefront.local_ids for wavefront in wavefronts])
+    if opcode is Opcode.GID:
+        return np.stack([wavefront.global_ids for wavefront in wavefronts])
+    count = len(wavefronts)
+    if opcode is Opcode.WGID:
+        column = np.fromiter(
+            (wavefront.workgroup_id for wavefront in wavefronts),
+            dtype=np.int64,
+            count=count,
+        )
+        return np.broadcast_to(column[:, None], (count, lanes))
+    first = wavefronts[0]
+    if opcode is Opcode.WGSIZE:
+        value = first.workgroup_size
+    elif opcode is Opcode.GSIZE:
+        value = first.global_size
+    elif opcode is Opcode.NWG:
+        value = first.num_workgroups
+    else:  # pragma: no cover - defensive
+        raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
+    return np.full((count, lanes), value, dtype=np.int64)
+
+
+def _special_row(opcode, wavefront: Wavefront, lanes: int) -> np.ndarray:
+    """Single-wavefront result row of a work-item-identification instruction."""
+    if opcode is Opcode.LID:
+        return wavefront.local_ids
+    if opcode is Opcode.GID:
+        return wavefront.global_ids
+    if opcode is Opcode.WGID:
+        value = wavefront.workgroup_id
+    elif opcode is Opcode.WGSIZE:
+        value = wavefront.workgroup_size
+    elif opcode is Opcode.GSIZE:
+        value = wavefront.global_size
+    elif opcode is Opcode.NWG:
+        value = wavefront.num_workgroups
+    else:  # pragma: no cover - defensive
+        raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
+    return np.full(lanes, value, dtype=np.int64)
+
+
+def _outer_mask_rows(
+    wavefronts: List[Wavefront], consumed: int, mnemonic: str
+) -> np.ndarray:
+    """Stack the mask-stack entries ``consumed`` levels below each top.
+
+    Reaches into masks pushed *before* the deferred window; raises exactly
+    like the scalar path when a wavefront's stack is too shallow.
+    """
+    rows = []
+    for wavefront in wavefronts:
+        stack = wavefront._mask_stack
+        if len(stack) <= consumed:
+            raise SimulationError(f"{mnemonic} executed with an empty mask stack")
+        rows.append(stack[-1 - consumed])
+    return np.stack(rows)
+
+
+class BatchExecutor:
+    """Accumulates deferred batch-safe windows and executes them stacked."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        # wavefront -> [program, cu, start_pc, end_pc]; windows of one
+        # wavefront are always contiguous (any scalar-path activity flushes
+        # first), so a later deferral merely extends the recorded end.
+        self._pending: Dict[Wavefront, list] = {}
+
+    def has_pending(self) -> bool:
+        """Whether any deferred window awaits execution."""
+        return bool(self._pending)
+
+    def clear(self) -> None:
+        """Drop all deferred windows (start of a new launch)."""
+        self._pending.clear()
+
+    def defer(
+        self,
+        wavefront: Wavefront,
+        program: DecodedProgram,
+        cu,
+        start: int,
+        end: int,
+    ) -> None:
+        """Record that ``wavefront`` issued program window ``[start, end)``."""
+        entry = self._pending.get(wavefront)
+        if entry is not None:
+            if entry[0] is program and entry[3] == start:
+                entry[3] = end
+                return
+            self.flush()  # defensive: a non-contiguous window cannot merge
+        self._pending[wavefront] = [program, cu, start, end]
+
+    def flush(self) -> None:
+        """Execute every deferred window, stacked across wavefronts and CUs."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = {}
+        groups: dict = {}
+        for wavefront, (program, cu, start, end) in pending.items():
+            key = (id(program), start)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = (program, start, [])
+            bucket[2].append((end, wavefront, cu))
+        for program, start, members in groups.values():
+            if len(members) == 1:
+                end, wavefront, cu = members[0]
+                self._execute_single(
+                    program.region_plan(start, end), wavefront, cu
+                )
+            else:
+                self._execute_ragged(program, start, members)
+
+    def flush_wavefront(self, wavefront: Wavefront) -> None:
+        """Materialize ``wavefront``'s private state before a scalar step.
+
+        Deferred windows touch only wavefront-private state, so a load,
+        store, branch, or LRAM access of one wavefront needs *its* window
+        executed — every other wavefront's window can stay deferred and keep
+        accumulating.  The whole same-start group is executed together
+        anyway: it costs one stacked pass now instead of several single-row
+        passes later (the group's other members would each flush alone at
+        their own next scalar step), and it is unobservable — batch-safe
+        windows of different wavefronts commute.
+        """
+        pending = self._pending
+        entry = pending.pop(wavefront, None)
+        if entry is None:
+            return
+        program, cu, start, end = entry
+        members = [(end, wavefront, cu)]
+        if pending:
+            same_start = [
+                other
+                for other, (other_program, _, other_start, _) in pending.items()
+                if other_program is program and other_start == start
+            ]
+            for other in same_start:
+                _, other_cu, _, other_end = pending.pop(other)
+                members.append((other_end, other, other_cu))
+        if len(members) == 1:
+            self._execute_single(program.region_plan(start, end), wavefront, cu)
+        else:
+            self._execute_ragged(program, start, members)
+
+    # ------------------------------------------------------------------ #
+    # Single-wavefront execution (no stacking overhead)
+    # ------------------------------------------------------------------ #
+    def _execute_single(self, plan: RegionPlan, wavefront: Wavefront, cu) -> None:
+        """Execute one wavefront's window directly on its register rows.
+
+        Mirrors the functional half of the scalar issue loop; used when a
+        flush group holds a single wavefront, where stacking into a
+        ``(1, lanes)`` array would cost more than it saves.
+        """
+        rows = wavefront.registers._values
+        lanes = wavefront.wavefront_size
+        rtm = cu._rtm
+        if not plan.has_mask_ops and wavefront._active_count == lanes:
+            for kind, rd, rs, rt, fn, const, imm, opcode in plan.steps:
+                if kind == K_ALU_BIN:
+                    rows[rd] = fn(rows[rs], rows[rt])
+                elif kind == K_ALU_IMM:
+                    rows[rd] = fn(rows[rs], const)
+                elif kind == K_ALU_CONST:
+                    rows[rd] = const
+                elif kind == K_SPECIAL:
+                    rows[rd] = _special_row(opcode, wavefront, lanes)
+                elif kind == K_PARAM:
+                    value = rtm.read_arg(imm)
+                    if rd:
+                        rows[rd] = value
+                # K_SKIP: no functional effect.
+            issues = plan.length * lanes
+            wavefront.active_lane_issues += issues
+            cu.stats.active_lane_issues += issues
+            return
+        mask = wavefront.active_mask
+        count = wavefront._active_count
+        issues = 0
+        for kind, rd, rs, rt, fn, const, imm, opcode in plan.steps:
+            if kind == K_ALU_BIN:
+                rows[rd] = np.where(mask, fn(rows[rs], rows[rt]), rows[rd])
+            elif kind == K_ALU_IMM:
+                rows[rd] = np.where(mask, fn(rows[rs], const), rows[rd])
+            elif kind == K_ALU_CONST:
+                rows[rd] = np.where(mask, const, rows[rd])
+            elif kind == K_SPECIAL:
+                result = _special_row(opcode, wavefront, lanes)
+                rows[rd] = np.where(mask, result, rows[rd])
+            elif kind == K_PARAM:
+                value = rtm.read_arg(imm)
+                if rd:
+                    rows[rd] = np.where(mask, value, rows[rd])
+            elif kind == K_PUSHM:
+                wavefront.push_mask()
+                mask = wavefront.active_mask
+            elif kind == K_CMASK:
+                wavefront.constrain_mask(rows[rs])
+                mask = wavefront.active_mask
+                count = wavefront._active_count
+            elif kind == K_INVM:
+                wavefront.invert_mask()
+                mask = wavefront.active_mask
+                count = wavefront._active_count
+            elif kind == K_POPM:
+                wavefront.pop_mask()
+                mask = wavefront.active_mask
+                count = wavefront._active_count
+            issues += count
+        wavefront.active_lane_issues += issues
+        cu.stats.active_lane_issues += issues
+
+    # ------------------------------------------------------------------ #
+    # Ragged group execution
+    # ------------------------------------------------------------------ #
+    def _execute_ragged(self, program: DecodedProgram, start: int, members) -> None:
+        """Execute a same-start group of windows with possibly ragged ends.
+
+        The members are sorted by descending end pc so the windows still
+        covering the current instruction always occupy a prefix of the
+        stacked arrays; when the walk reaches a member's end, that row's
+        state is scattered back and the active prefix shrinks.  Splitting
+        the group at the distinct ends instead would re-stack the shared
+        prefix once per distinct end.
+        """
+        members.sort(key=lambda member: member[0], reverse=True)
+        ends = [member[0] for member in members]
+        wavefronts = [member[1] for member in members]
+        cus = [member[2] for member in members]
+        plan = program.region_plan(start, ends[0])
+        count = len(wavefronts)
+        lanes = wavefronts[0].wavefront_size
+        if not plan.has_mask_ops and all(
+            wavefront._active_count == lanes for wavefront in wavefronts
+        ):
+            self._execute_full(plan, wavefronts, cus, ends, start, count, lanes)
+        else:
+            self._execute_masked(plan, wavefronts, cus, ends, start, count, lanes)
+
+    def _execute_full(
+        self,
+        plan: RegionPlan,
+        wavefronts: List[Wavefront],
+        cus: List,
+        ends: List[int],
+        start: int,
+        count: int,
+        lanes: int,
+    ) -> None:
+        """Every lane of every wavefront active and no mask traffic: the
+        stacked operations write destinations unconditionally."""
+        stacked = {
+            reg: np.stack([wavefront.registers._values[reg] for wavefront in wavefronts])
+            for reg in plan.live_in
+        }
+        rtm = cus[0]._rtm
+        written: List[int] = []
+        written_seen = set()
+        # ``alive``: rows [0, alive) still cover the current pc.
+        alive = count
+        pc = start
+        for kind, rd, rs, rt, fn, const, imm, opcode in plan.steps:
+            while alive and ends[alive - 1] <= pc:
+                alive -= 1
+                self._scatter_row(
+                    stacked, written, wavefronts, alive, cus, (pc - start) * lanes
+                )
+            pc += 1
+            if kind == K_ALU_BIN:
+                result = fn(stacked[rs][:alive], stacked[rt][:alive])
+            elif kind == K_ALU_IMM:
+                result = fn(stacked[rs][:alive], const)
+            elif kind == K_ALU_CONST:
+                result = np.broadcast_to(const, (alive, lanes))
+            elif kind == K_SPECIAL:
+                result = _special_rows(opcode, wavefronts[:alive], lanes)
+            elif kind == K_PARAM:
+                value = rtm.read_arg(imm)
+                if rd == 0:
+                    continue
+                result = np.full((alive, lanes), value, dtype=np.int64)
+            else:  # K_SKIP
+                continue
+            target = stacked.get(rd)
+            if target is None or target.shape[0] != count:
+                # First write to this register, or a prior write happened
+                # while fewer rows were alive (impossible for a shrinking
+                # prefix, kept for clarity): allocate the full stack.
+                full = np.empty((count, lanes), dtype=np.int64)
+                if target is not None:
+                    full[: target.shape[0]] = target
+                stacked[rd] = full
+                target = full
+            target[:alive] = result
+            if rd not in written_seen:
+                written_seen.add(rd)
+                written.append(rd)
+        issues = (pc - start) * lanes
+        for index in range(alive):
+            self._scatter_row(stacked, written, wavefronts, index, cus, issues)
+
+    @staticmethod
+    def _scatter_row(
+        stacked: dict,
+        written: List[int],
+        wavefronts: List[Wavefront],
+        index: int,
+        cus: List,
+        issues: int,
+    ) -> None:
+        """Write one wavefront's computed registers and lane stats back."""
+        wavefront = wavefronts[index]
+        rows = wavefront.registers._values
+        for reg in written:
+            rows[reg] = stacked[reg][index]
+        wavefront.active_lane_issues += issues
+        cus[index].stats.active_lane_issues += issues
+
+    def _execute_masked(
+        self,
+        plan: RegionPlan,
+        wavefronts: List[Wavefront],
+        cus: List,
+        ends: List[int],
+        start: int,
+        count: int,
+        lanes: int,
+    ) -> None:
+        """General path: stacked execution under the stacked active masks."""
+        stacked = {
+            reg: np.stack([wavefront.registers._values[reg] for wavefront in wavefronts])
+            for reg in plan.touched
+        }
+        masks = np.stack([wavefront.active_mask for wavefront in wavefronts])
+        counts = np.fromiter(
+            (wavefront._active_count for wavefront in wavefronts),
+            dtype=np.int64,
+            count=count,
+        )
+        lane_acc = np.zeros(count, dtype=np.int64)
+        region_stack: List[np.ndarray] = []
+        consumed = 0
+        rtm = cus[0]._rtm
+        alive = count
+        pc = start
+        for kind, rd, rs, rt, fn, const, imm, opcode in plan.steps:
+            while alive and ends[alive - 1] <= pc:
+                alive -= 1
+                self._scatter_masked_row(
+                    wavefronts[alive],
+                    cus[alive],
+                    stacked,
+                    plan.writes,
+                    masks,
+                    counts,
+                    region_stack,
+                    consumed,
+                    int(lane_acc[alive]),
+                    alive,
+                )
+            pc += 1
+            view = masks[:alive]
+            if kind == K_ALU_BIN:
+                stacked[rd][:alive] = np.where(
+                    view, fn(stacked[rs][:alive], stacked[rt][:alive]), stacked[rd][:alive]
+                )
+            elif kind == K_ALU_IMM:
+                stacked[rd][:alive] = np.where(
+                    view, fn(stacked[rs][:alive], const), stacked[rd][:alive]
+                )
+            elif kind == K_ALU_CONST:
+                stacked[rd][:alive] = np.where(view, const, stacked[rd][:alive])
+            elif kind == K_SPECIAL:
+                result = _special_rows(opcode, wavefronts[:alive], lanes)
+                stacked[rd][:alive] = np.where(view, result, stacked[rd][:alive])
+            elif kind == K_PARAM:
+                value = rtm.read_arg(imm)
+                if rd:
+                    stacked[rd][:alive] = np.where(view, value, stacked[rd][:alive])
+            elif kind == K_PUSHM:
+                # Nothing below ever mutates a mask array in place, so the
+                # push can keep a reference instead of the scalar path's copy.
+                region_stack.append(masks)
+            elif kind == K_CMASK:
+                # A fresh array (never mutated in place) so region-stack
+                # entries holding the previous masks stay intact; dropped
+                # rows keep their frozen state, which later scatters never
+                # read.
+                masks = masks.copy()
+                masks[:alive] &= stacked[rs][:alive] != 0
+                counts = counts.copy()
+                counts[:alive] = np.count_nonzero(masks[:alive], axis=1)
+            elif kind == K_INVM:
+                if region_stack:
+                    top = region_stack[-1][:alive]
+                else:
+                    top = _outer_mask_rows(wavefronts[:alive], consumed, "INVM")
+                masks = masks.copy()
+                masks[:alive] = top & ~masks[:alive]
+                counts = counts.copy()
+                counts[:alive] = np.count_nonzero(masks[:alive], axis=1)
+            elif kind == K_POPM:
+                if region_stack:
+                    masks = region_stack.pop()
+                else:
+                    popped = _outer_mask_rows(wavefronts[:alive], consumed, "POPM")
+                    consumed += 1
+                    masks = masks.copy()
+                    masks[:alive] = popped
+                counts = counts.copy()
+                counts[:alive] = np.count_nonzero(masks[:alive], axis=1)
+            # K_SKIP: no functional effect, but the slot still counts below.
+            lane_acc[:alive] += counts[:alive]
+        for index in range(alive):
+            self._scatter_masked_row(
+                wavefronts[index],
+                cus[index],
+                stacked,
+                plan.writes,
+                masks,
+                counts,
+                region_stack,
+                consumed,
+                int(lane_acc[index]),
+                index,
+            )
+
+    @staticmethod
+    def _scatter_masked_row(
+        wavefront: Wavefront,
+        cu,
+        stacked: dict,
+        writes,
+        masks: np.ndarray,
+        counts: np.ndarray,
+        region_stack: List[np.ndarray],
+        consumed: int,
+        issues: int,
+        index: int,
+    ) -> None:
+        """Write one wavefront's registers, mask state, and stats back."""
+        rows = wavefront.registers._values
+        for reg in writes:
+            rows[reg] = stacked[reg][index]
+        if consumed:
+            del wavefront._mask_stack[-consumed:]
+        # Row views of the stacked arrays are safe to install directly:
+        # later in-place scalar mask updates touch only that wavefront's
+        # row.  Stack entries get copies because the scalar path may
+        # mutate a popped mask in place while the entry must survive.
+        wavefront.active_mask = masks[index]
+        wavefront._active_count = int(counts[index])
+        for entry in region_stack:
+            wavefront._mask_stack.append(entry[index].copy())
+        wavefront.active_lane_issues += issues
+        cu.stats.active_lane_issues += issues

@@ -1,0 +1,179 @@
+"""Regenerate the performance-trajectory table from ``BENCH_PR*.json``.
+
+Every PR that touches performance records its headline numbers to a
+``BENCH_PR<n>.json`` file in the repository root (see
+``benchmarks/conftest.py`` and the per-PR ``benchmarks/test_bench_*.py``
+recorders).  This tool reads whatever subset of those files exists and
+renders one markdown table per recorded headline — the machine-derived
+counterpart of the hand-written history in ``docs/performance.md``.
+
+Usage::
+
+    python tests/tools/bench_trajectory.py              # print to stdout
+    python tests/tools/bench_trajectory.py --output docs/trajectory.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_benches(root: Path) -> dict:
+    """``{pr_number: parsed_json}`` for every readable BENCH_PR*.json."""
+    benches = {}
+    for path in sorted(root.glob("BENCH_PR*.json")):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if not match:
+            continue
+        try:
+            benches[int(match.group(1))] = json.loads(path.read_text())
+        except (ValueError, OSError):
+            continue
+    return benches
+
+
+def _get(data: dict, *path, default=None):
+    for key in path:
+        if not isinstance(data, dict) or key not in data:
+            return default
+        data = data[key]
+    return data
+
+
+def _headline_rows(benches: dict) -> list:
+    """One ``(pr, metric, value, context)`` row per recorded headline."""
+    rows = []
+
+    def add(pr: int, metric: str, value, context: str) -> None:
+        if value is not None:
+            rows.append((pr, metric, value, context))
+
+    b2 = benches.get(2, {})
+    add(2, "SIMT engine throughput",
+        _fmt_num(_get(b2, "engine", "instructions_per_second"), "instr/s"),
+        "mixed-kernel issue loop")
+    add(2, "RISC-V ISS throughput",
+        _fmt_num(_get(b2, "riscv_iss", "decoded_instr_per_second"), "instr/s"),
+        "pre-decoded, all 13 programs")
+    add(2, "Table III sweep wall",
+        _fmt_num(_get(b2, "table3_sweep", "wall_seconds"), "s"),
+        "scale %s, %s job(s)" % (
+            _get(b2, "table3_sweep", "meta", "bench_scale", default="?"),
+            _get(b2, "table3_sweep", "meta", "repro_jobs", default="?")))
+
+    b3 = benches.get(3, {})
+    q = _get(b3, "queue_vs_independent", default={})
+    if q.get("independent_wall_seconds") and q.get("queued_wall_seconds"):
+        add(3, "Command-queue speedup",
+            "%.2fx" % (q["independent_wall_seconds"] / q["queued_wall_seconds"]),
+            "%s launches of %s" % (q.get("launches", "?"), q.get("kernel", "?")))
+
+    b4 = benches.get(4, {})
+    speedup = _get(b4, "multidevice_makespan", "speedup", default={})
+    if isinstance(speedup, dict) and speedup:
+        last = sorted(speedup, key=lambda k: int(k))[-1]
+        add(4, "Multi-device makespan speedup", "%.2fx" % speedup[last],
+            "13-kernel batch @ %s devices" % last)
+
+    b5 = benches.get(5, {})
+    imp = _get(b5, "pipeline_transfer_modes", "improvement_vs_host", default={})
+    if isinstance(imp, dict) and imp:
+        best_mode = max(imp, key=lambda k: max(imp[k].values()) if imp[k] else 0)
+        counts = imp[best_mode]
+        if counts:
+            best_count = max(counts, key=lambda k: counts[k])
+            add(5, "P2P transfer speedup", "%.2fx" % counts[best_count],
+                "%s @ %s devices vs host bounce" % (best_mode, best_count))
+
+    b7 = benches.get(7, {})
+    add(7, "Warm journal resume",
+        _fmt_ratio(_get(b7, "checkpoint_journal_overhead", "warm_resume_speedup")),
+        "vs recomputing the sweep")
+    add(7, "Armed-idle fault overhead",
+        _fmt_pct(_get(b7, "fault_injection_overhead", "armed_idle_overhead")),
+        "empty FaultPlan vs none")
+
+    b8 = benches.get(8, {})
+    lpt = _get(b8, "topology_scheduler_ablation", "speedup_vs_lpt", default={})
+    best = None
+    for cell, counts in lpt.items() if isinstance(lpt, dict) else ():
+        if not cell.startswith("layered/flat/"):
+            continue
+        for count, value in counts.items():
+            if best is None or value > best[0]:
+                best = (value, cell.rsplit("/", 1)[1], count)
+    if best:
+        add(8, "Topology-aware scheduling", "%.2fx vs LPT" % best[0],
+            "layered DAG, %s @ %s devices" % (best[1], best[2]))
+
+    b9 = benches.get(9, {})
+    v9 = _get(b9, "vectorized_issue", default={})
+    add(9, "Table III sweep wall",
+        _fmt_num(v9.get("sweep_wall_vectorized"), "s"),
+        "scale %s, vectorized issue on" % _get(v9, "meta", "bench_scale", default="?"))
+    add(9, "Vectorized issue sweep ratio",
+        _fmt_ratio(v9.get("sweep_speedup")),
+        "vs scalar issue, same run (honest: batching wins only on "
+        "long straight-line kernels — see docs/performance.md)")
+    return rows
+
+
+def _fmt_num(value, unit: str):
+    if value is None:
+        return None
+    if value >= 10000:
+        return f"{value:,.0f} {unit}"
+    return f"{value:g} {unit}"
+
+
+def _fmt_ratio(value):
+    return None if value is None else "%.2fx" % value
+
+
+def _fmt_pct(value):
+    return None if value is None else "%.1f%%" % (100.0 * value)
+
+
+def render(benches: dict) -> str:
+    lines = [
+        "# Performance trajectory",
+        "",
+        "Regenerated from the `BENCH_PR*.json` files in the repository root",
+        "by `tests/tools/bench_trajectory.py`; do not edit by hand.",
+        "",
+        "| PR | Headline | Value | Context |",
+        "| --- | --- | --- | --- |",
+    ]
+    for pr, metric, value, context in _headline_rows(benches):
+        lines.append(f"| {pr} | {metric} | {value} | {context} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=ROOT,
+                        help="repository root holding the BENCH_PR*.json files")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the markdown table here (default: stdout)")
+    args = parser.parse_args()
+    benches = _load_benches(args.root)
+    if not benches:
+        print(f"no BENCH_PR*.json files found under {args.root}")
+        return 1
+    text = render(benches)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.output} ({len(benches)} bench files)")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
