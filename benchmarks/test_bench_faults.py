@@ -3,7 +3,7 @@
 Two acceptance measurements for the fault-tolerant runtime, recorded to
 ``BENCH_PR7.json`` in the repository root:
 
-* **Fault-path overhead** — the 13-kernel multi-device batch scheduled with
+* **Fault-path overhead** — the 16-kernel multi-device batch scheduled with
   no fault plan, with an *armed but empty* plan (the injector is consulted
   on every launch and transfer but never fires), and with a representative
   mixed fault arm.  The armed-empty run must produce the bit-identical

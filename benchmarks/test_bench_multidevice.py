@@ -1,7 +1,7 @@
 """Benchmark: multi-device makespan scaling for an independent-launch batch.
 
 Acceptance measurement for the multi-device runtime: scheduling the
-13-kernel suite (one independent launch per kernel, host↔device transfers
+16-kernel suite (one independent launch per kernel, host↔device transfers
 charged) across 4 G-GPU devices must improve the batch makespan by at least
 1.5x over a single device, with bit-identical kernel results and per-launch
 cycle counts at every device count (the sweep itself asserts both).  The

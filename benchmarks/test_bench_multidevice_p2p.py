@@ -6,7 +6,7 @@ with peer-to-peer transfers, ``enqueue_write`` prefetch, and device-affinity
 hints must improve the makespan by at least 10% over the PR 4 host-hop path
 at the same device count, with bit-identical kernel results and per-launch
 cycle counts in every (mode, device count) cell (the sweep itself asserts
-both).  The LPT flush order is measured on the mixed-size 13-kernel
+both).  The LPT flush order is measured on the mixed-size 16-kernel
 independent batch, where it tightens the 4-device makespan.  The numbers are
 recorded to ``BENCH_PR5.json`` in the repository root.
 """

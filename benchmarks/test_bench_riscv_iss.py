@@ -19,6 +19,7 @@ import time
 
 import pytest
 
+from repro.kernels import get_kernel_spec
 from repro.riscv.cpu import RiscvCpu
 from repro.riscv.programs import all_riscv_program_names, get_riscv_program_spec
 
@@ -26,7 +27,10 @@ from repro.riscv.programs import all_riscv_program_names, get_riscv_program_spec
 def _scaled_size(spec, scale: float) -> int:
     if scale >= 1.0:
         return spec.paper_size
-    return max(64, (int(spec.paper_size * scale) // 64) * 64)
+    # Round to the kernel's declared input-size step (64 for the 1-D
+    # kernels; e.g. 128 for matmul2d's 2-D workgroup grid).
+    step = get_kernel_spec(spec.name).size_granularity
+    return max(step, (int(spec.paper_size * scale) // step) * step)
 
 
 def _run_program(name: str, scale: float, predecode: bool):

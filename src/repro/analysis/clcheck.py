@@ -23,6 +23,15 @@ The guard machinery gives one important precision win without sacrificing
 soundness: accesses inside ``if (lid == <loop-stable uniform expr>)`` are
 known to be executed by (at most) one lane per workgroup, which is what
 proves the classic "lane 0 publishes the partial" idiom race-free.
+
+Kernels that query dimension 1 of a work-item builtin are analyzed in
+**rank-2 mode**: lanes then vary along two axes, so flat-lane injectivity
+(``lane_coeff != 0``) and single-dimension equality guards stop being
+single-lane proofs.  In that mode the checker keeps exact judgments only for
+lane-uniform forms (which stay provably racy when written by all lanes) and
+degrades everything it can no longer decide to RACE003/RACE004 warnings —
+never to silence, so the dynamic race oracle's soundness cross-check still
+holds.
 """
 
 from __future__ import annotations
@@ -57,6 +66,8 @@ from repro.cl.nodes import (
 )
 
 #: Builtin call results: (affine form, value range); atoms are launch-uniform.
+#: Keyed by (name, dimension); dimension 0 covers every rank-1 kernel,
+#: dimension 1 appears only in kernels written for rank-2 NDRanges.
 _BUILTIN_VALUES = {
     "get_local_id": (Affine(lid=1), lattice.LID_RANGE),
     "get_global_id": (Affine(gid=1), lattice.NONNEG),
@@ -65,6 +76,66 @@ _BUILTIN_VALUES = {
     "get_global_size": (Affine.atom("u:get_global_size"), lattice.SIZE_RANGE),
     "get_num_groups": (Affine.atom("u:get_num_groups"), lattice.SIZE_RANGE),
 }
+
+_BUILTIN_VALUES_DIM1 = {
+    "get_local_id": (Affine(lid1=1), lattice.LID_RANGE),
+    "get_global_id": (Affine(gid1=1), lattice.NONNEG),
+    "get_group_id": (Affine(wgid1=1), lattice.NONNEG),
+    "get_local_size": (Affine.atom("u:get_local_size.1"), (1, LANE_MAX)),
+    "get_global_size": (Affine.atom("u:get_global_size.1"), lattice.SIZE_RANGE),
+    "get_num_groups": (Affine.atom("u:get_num_groups.1"), lattice.SIZE_RANGE),
+}
+
+
+def _builtin_dim(expr: Call) -> int:
+    """Literal dimension argument of a work-item builtin (0 when absent)."""
+    if expr.args and isinstance(expr.args[0], IntLiteral):
+        return expr.args[0].value
+    return 0
+
+
+def _expr_uses_dim1(expr: Optional[Expr]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, Call):
+        if expr.name in _BUILTIN_VALUES and _builtin_dim(expr) >= 1:
+            return True
+        return any(_expr_uses_dim1(arg) for arg in expr.args)
+    if isinstance(expr, BinaryOp):
+        return _expr_uses_dim1(expr.left) or _expr_uses_dim1(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _expr_uses_dim1(expr.operand)
+    if isinstance(expr, Index):
+        return _expr_uses_dim1(expr.index)
+    return False
+
+
+def _stmt_uses_dim1(statement: Stmt) -> bool:
+    if isinstance(statement, DeclStmt):
+        return any(_expr_uses_dim1(init) for init in statement.inits)
+    if isinstance(statement, AssignStmt):
+        return _expr_uses_dim1(statement.target) or _expr_uses_dim1(statement.value)
+    if isinstance(statement, IfStmt):
+        return (
+            _expr_uses_dim1(statement.condition)
+            or _uses_dim1(statement.then_body)
+            or _uses_dim1(statement.else_body)
+        )
+    if isinstance(statement, WhileStmt):
+        return _expr_uses_dim1(statement.condition) or _uses_dim1(statement.body)
+    if isinstance(statement, ForStmt):
+        return (
+            (statement.init is not None and _stmt_uses_dim1(statement.init))
+            or _expr_uses_dim1(statement.condition)
+            or (statement.step is not None and _stmt_uses_dim1(statement.step))
+            or _uses_dim1(statement.body)
+        )
+    return False
+
+
+def _uses_dim1(statements: Sequence[Stmt]) -> bool:
+    """Whether any statement queries dimension 1 of a work-item builtin."""
+    return any(_stmt_uses_dim1(statement) for statement in statements)
 
 
 @dataclass(frozen=True)
@@ -133,6 +204,11 @@ class _KernelChecker:
         self._atom_serial = 0
         self._token_serial = 0
         self._recording = True
+        #: Kernels that query dimension 1 are written for rank-2 NDRanges;
+        #: there the flat-lane injectivity arguments (lane_coeff, single-lane
+        #: equality guards) are unsound, so provable-race machinery degrades
+        #: to warnings.  Rank-1 kernels are analyzed exactly as before.
+        self._rank2 = _uses_dim1(kernel.body)
         #: Atom names havoc'd inside each currently open loop (stack).
         self._loop_atoms: List[Set[str]] = []
         self._reported: Set[Tuple[object, ...]] = set()
@@ -231,6 +307,8 @@ class _KernelChecker:
             return (None, lattice.FULL)
         if isinstance(expr, Call):
             if expr.name in _BUILTIN_VALUES:
+                if _builtin_dim(expr) == 1:
+                    return _BUILTIN_VALUES_DIM1[expr.name]
                 return _BUILTIN_VALUES[expr.name]
             values = [self._eval(arg) for arg in expr.args]
             if expr.name in ("min", "max") and len(values) == 2:
@@ -484,6 +562,11 @@ class _KernelChecker:
 
     def _is_single_lane(self, condition: Optional[Expr]) -> bool:
         """``<lane-injective> == <loop-stable uniform>``: at most one lane."""
+        if self._rank2:
+            # Pinning one dimension's id selects a row/column of lanes, not a
+            # single lane; without the workgroup shape no equality over a
+            # single dimension is a single-lane proof.
+            return False
         if not isinstance(condition, BinaryOp) or condition.op != "==":
             return False
         left, right = condition.left, condition.right
@@ -622,6 +705,12 @@ class _KernelChecker:
             return
         if a.guard == b.guard and a.guard.single_lane:
             return  # the same single lane performs both accesses
+        if self._rank2 and not (self._lane_uniform(a.affine) and self._lane_uniform(b.affine)):
+            # Rank-2 mode: work-items vary in two lane dimensions, so the
+            # one-variable divisibility argument below neither proves nor
+            # refutes a collision.  Degrade to a warning, never to silence.
+            self._report_race(a, b, Severity.WARNING, "RACE003", both_writes)
+            return
         delta = a.affine.sub(b.affine)
         if delta.atoms or delta.wgid != 0:
             self._report_race(a, b, Severity.WARNING, "RACE003", both_writes)
@@ -645,6 +734,11 @@ class _KernelChecker:
             self._report_proven(a, b, proven, both_writes)
 
     @staticmethod
+    def _lane_uniform(form: Affine) -> bool:
+        """The form's value is identical for every lane of a workgroup."""
+        return form.lane_coeff == 0 and form.lid1 + form.gid1 == 0
+
+    @staticmethod
     def _distinct_lane_solution(coeff_a: int, coeff_b: int, offset: int) -> bool:
         """Do distinct lanes i, j exist with a*i + offset == b*j?"""
         for i in range(LANE_MAX):
@@ -665,6 +759,12 @@ class _KernelChecker:
         if access.affine is None:
             if access.guard.single_lane:
                 return
+            self._report_race(access, access, Severity.WARNING, "RACE003", True)
+            return
+        if self._rank2 and not self._lane_uniform(access.affine):
+            # Injectivity over the flat lane set cannot be read off one
+            # dimension's coefficient under a rank-2 launch: ``out[gid0]``
+            # collides across the dim-1 lanes even though lane_coeff != 0.
             self._report_race(access, access, Severity.WARNING, "RACE003", True)
             return
         if access.affine.lane_coeff != 0 or access.guard.single_lane:
@@ -730,6 +830,14 @@ class _KernelChecker:
             # Mirrors the intra-workgroup unknown-pattern warning; the dedupe
             # key keeps this from double-reporting the same span pair.
             self._report_race(a, b, Severity.WARNING, "RACE003", both_writes)
+            return
+        if self._rank2:
+            # Both cross-workgroup proofs below (gid-injectivity, one lane
+            # per group keyed by wgid) are single-dimension facts; neither
+            # holds over the flat work-item set of a rank-2 launch.
+            self._report_race(
+                a, b, Severity.WARNING, "RACE004", both_writes, cross_workgroup=True
+            )
             return
         if a.affine == b.affine:
             form = a.affine

@@ -35,7 +35,13 @@ LANE_MAX = 256
 
 @dataclass(frozen=True)
 class Affine:
-    """A linear index form; ``None`` (not an instance) is the domain top."""
+    """A linear index form; ``None`` (not an instance) is the domain top.
+
+    ``lid``/``gid``/``wgid`` are the dimension-0 work-item ids (the only ids
+    of a rank-1 launch); ``lid1``/``gid1``/``wgid1`` are their dimension-1
+    counterparts, populated when a kernel queries ``get_*_id(1)`` on a rank-2
+    NDRange.
+    """
 
     lid: int = 0
     gid: int = 0
@@ -43,6 +49,9 @@ class Affine:
     const: int = 0
     #: Sorted (atom-name, coefficient) pairs, all coefficients non-zero.
     atoms: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+    lid1: int = 0
+    gid1: int = 0
+    wgid1: int = 0
 
     @staticmethod
     def constant(value: int) -> "Affine":
@@ -64,7 +73,18 @@ class Affine:
 
     @property
     def is_constant(self) -> bool:
-        return self.lid == 0 and self.gid == 0 and self.wgid == 0 and not self.atoms
+        return (
+            self.lid == 0
+            and self.gid == 0
+            and self.wgid == 0
+            and self.dim1_free
+            and not self.atoms
+        )
+
+    @property
+    def dim1_free(self) -> bool:
+        """True when the form has no dimension-1 id terms (every rank-1 form)."""
+        return self.lid1 == 0 and self.gid1 == 0 and self.wgid1 == 0
 
     @property
     def launch_uniform_atoms(self) -> bool:
@@ -82,6 +102,9 @@ class Affine:
             wgid=self.wgid + sign * other.wgid,
             const=self.const + sign * other.const,
             atoms=atoms,
+            lid1=self.lid1 + sign * other.lid1,
+            gid1=self.gid1 + sign * other.gid1,
+            wgid1=self.wgid1 + sign * other.wgid1,
         )
 
     def add(self, other: "Affine") -> "Affine":
@@ -99,12 +122,22 @@ class Affine:
             wgid=self.wgid * factor,
             const=self.const * factor,
             atoms=tuple((n, c * factor) for n, c in self.atoms),
+            lid1=self.lid1 * factor,
+            gid1=self.gid1 * factor,
+            wgid1=self.wgid1 * factor,
         )
 
     def describe(self) -> str:
         """Compact human-readable rendering for diagnostics."""
         parts = []
-        for label, coeff in (("lid", self.lid), ("gid", self.gid), ("wgid", self.wgid)):
+        for label, coeff in (
+            ("lid", self.lid),
+            ("gid", self.gid),
+            ("wgid", self.wgid),
+            ("lid1", self.lid1),
+            ("gid1", self.gid1),
+            ("wgid1", self.wgid1),
+        ):
             if coeff == 1:
                 parts.append(label)
             elif coeff:

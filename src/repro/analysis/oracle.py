@@ -61,6 +61,19 @@ def _signed(value: int) -> int:
     return value - (1 << 32) if value & 0x80000000 else value
 
 
+def _as_shape(size: "int | Sequence[int]") -> Tuple[int, ...]:
+    if isinstance(size, int):
+        return (size,)
+    return tuple(int(extent) for extent in size)
+
+
+def _prod(shape: Tuple[int, ...]) -> int:
+    total = 1
+    for extent in shape:
+        total *= extent
+    return total
+
+
 @dataclass(frozen=True)
 class OracleRace:
     """One concrete race observed by the oracle."""
@@ -108,17 +121,31 @@ class _OracleRun:
     def __init__(
         self,
         kernel: KernelDecl,
-        global_size: int,
-        workgroup_size: int,
+        global_size: "int | Sequence[int]",
+        workgroup_size: "int | Sequence[int]",
         buffers: Mapping[str, Sequence[int]],
         scalars: Mapping[str, int],
         max_steps: int,
     ) -> None:
-        if global_size % workgroup_size != 0:
-            raise SimulationError("global size must be a multiple of the workgroup size")
+        self.global_shape = _as_shape(global_size)
+        self.workgroup_shape = _as_shape(workgroup_size)
+        if len(self.global_shape) != len(self.workgroup_shape):
+            raise SimulationError(
+                "global and workgroup sizes must have the same rank "
+                f"({self.global_shape} vs {self.workgroup_shape})"
+            )
+        for dim, (gs, ws) in enumerate(zip(self.global_shape, self.workgroup_shape)):
+            if ws <= 0 or gs % ws != 0:
+                raise SimulationError(
+                    "global size must be a multiple of the workgroup size "
+                    f"(dimension {dim}: {gs} vs {ws})"
+                )
+        self.rank = len(self.global_shape)
         self.kernel = kernel
-        self.global_size = global_size
-        self.workgroup_size = workgroup_size
+        # Flat sizes drive the workgroup/lane loops; per-dimension ids are
+        # recovered from the shapes in _call (dimension 0 fastest).
+        self.global_size = _prod(self.global_shape)
+        self.workgroup_size = _prod(self.workgroup_shape)
         self.buffers: Dict[str, List[int]] = {
             name: [int(v) & _MASK for v in contents] for name, contents in buffers.items()
         }
@@ -342,19 +369,42 @@ class _OracleRun:
             return self._call(expr, workgroup, lane, env)
         raise SimulationError(f"oracle cannot evaluate {type(expr).__name__}")
 
+    _ID_BUILTINS = (
+        "get_local_id",
+        "get_global_id",
+        "get_group_id",
+        "get_local_size",
+        "get_global_size",
+        "get_num_groups",
+    )
+
     def _call(self, expr: Call, workgroup: int, lane: int, env: Dict[str, int]) -> int:
-        if expr.name == "get_local_id":
-            return lane
-        if expr.name == "get_global_id":
-            return workgroup * self.workgroup_size + lane
-        if expr.name == "get_group_id":
-            return workgroup
-        if expr.name == "get_local_size":
-            return self.workgroup_size
-        if expr.name == "get_global_size":
-            return self.global_size
-        if expr.name == "get_num_groups":
-            return self.global_size // self.workgroup_size
+        if expr.name in self._ID_BUILTINS:
+            dim = 0
+            if expr.args and isinstance(expr.args[0], IntLiteral):
+                dim = expr.args[0].value
+            if dim >= self.rank:
+                raise SimulationError(
+                    f"{expr.name} queries dimension {dim} of a rank-{self.rank} launch"
+                )
+            # Row-major decomposition, dimension 0 fastest: flat lane and
+            # workgroup numbers factor over the dim-0 extents exactly the way
+            # the G-GPU dispatcher assigns them.
+            ws0 = self.workgroup_shape[0]
+            nwg0 = self.global_shape[0] // ws0
+            local = lane % ws0 if dim == 0 else lane // ws0
+            group = workgroup % nwg0 if dim == 0 else workgroup // nwg0
+            if expr.name == "get_local_id":
+                return local
+            if expr.name == "get_global_id":
+                return group * self.workgroup_shape[dim] + local
+            if expr.name == "get_group_id":
+                return group
+            if expr.name == "get_local_size":
+                return self.workgroup_shape[dim]
+            if expr.name == "get_global_size":
+                return self.global_shape[dim]
+            return self.global_shape[dim] // self.workgroup_shape[dim]
         values = [self._eval(arg, workgroup, lane, env) for arg in expr.args]
         if expr.name == "min":
             return min(_signed(values[0]), _signed(values[1])) & _MASK
@@ -460,8 +510,8 @@ class _OracleRun:
 def run_oracle(
     kernel: KernelDecl,
     *,
-    global_size: int,
-    workgroup_size: int,
+    global_size: "int | Sequence[int]",
+    workgroup_size: "int | Sequence[int]",
     buffers: Mapping[str, Sequence[int]],
     scalars: Mapping[str, int],
     max_steps: int = 2_000_000,
@@ -470,6 +520,8 @@ def run_oracle(
 
     ``buffers`` maps pointer parameters to integer sequences (copied; the
     oracle mutates its own copies), ``scalars`` maps value parameters.
+    ``global_size``/``workgroup_size`` accept an int (rank-1) or a tuple of
+    per-dimension extents (rank-2 NDRange, dimension 0 fastest).
     """
     if not kernel.symbols:
         raise SimulationError(

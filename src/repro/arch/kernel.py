@@ -45,26 +45,116 @@ class KernelArg:
             raise KernelError(f"argument kind must be 'buffer' or 'scalar', got {self.kind!r}")
 
 
-@dataclass(frozen=True)
+MAX_NDRANGE_RANK = 2
+
+
+def _as_shape(value, what: str) -> Tuple[int, ...]:
+    """Normalize an int-or-tuple launch size into a shape tuple of rank 1 or 2."""
+    if isinstance(value, (tuple, list)):
+        shape = tuple(int(extent) for extent in value)
+    else:
+        shape = (int(value),)
+    if not 1 <= len(shape) <= MAX_NDRANGE_RANK:
+        raise KernelError(
+            f"NDRange {what} must have rank 1..{MAX_NDRANGE_RANK}, got rank {len(shape)}"
+        )
+    if any(extent <= 0 for extent in shape):
+        raise KernelError(f"NDRange sizes must be positive, got {what} {shape}")
+    return shape
+
+
 class NDRange:
-    """Launch geometry of a kernel (1-D, as in all the paper's benchmarks)."""
+    """Launch geometry of a kernel, rank 1 or rank 2.
 
-    global_size: int
-    workgroup_size: int = 64
+    Sizes may be given as plain ints (rank 1, as in all the paper's
+    benchmarks) or as tuples of per-dimension extents (rank 2 for the dense
+    workloads).  Dimension 0 is the fastest-varying one, exactly as in
+    OpenCL's row-major work-item enumeration; workgroups are linearized
+    row-major into flat workgroup ids before the dispatcher deals them
+    round-robin across the CUs.
 
-    def __post_init__(self) -> None:
-        if self.global_size <= 0 or self.workgroup_size <= 0:
-            raise KernelError("NDRange sizes must be positive")
-        if self.global_size % self.workgroup_size != 0:
+    ``global_size``/``workgroup_size``/``num_workgroups`` stay *flat* totals
+    so every geometry consumer of the 1-D era (dispatcher capacity checks,
+    LRAM slot geometry, runtime descriptors, stats, digests) is untouched;
+    the per-dimension extents live in ``global_shape``/``workgroup_shape``/
+    ``groups_shape``.
+    """
+
+    __slots__ = ("global_shape", "workgroup_shape")
+
+    def __init__(self, global_size, workgroup_size=64) -> None:
+        global_shape = _as_shape(global_size, "global size")
+        workgroup_shape = _as_shape(workgroup_size, "workgroup size")
+        if len(global_shape) != len(workgroup_shape):
             raise KernelError(
-                f"global size {self.global_size} must be a multiple of the workgroup "
-                f"size {self.workgroup_size}"
+                f"global size {global_shape} (rank {len(global_shape)}) and workgroup "
+                f"size {workgroup_shape} (rank {len(workgroup_shape)}) must have the "
+                f"same rank"
             )
+        for dim, (extent, local) in enumerate(zip(global_shape, workgroup_shape)):
+            if extent % local != 0:
+                raise KernelError(
+                    f"global size {extent} must be a multiple of the workgroup size "
+                    f"{local} in dimension {dim} "
+                    f"(global {global_shape} vs workgroup {workgroup_shape})"
+                )
+        self.global_shape = global_shape
+        self.workgroup_shape = workgroup_shape
+
+    @property
+    def rank(self) -> int:
+        """Number of launch dimensions (1 or 2)."""
+        return len(self.global_shape)
+
+    @property
+    def global_size(self) -> int:
+        """Flat total number of work-items (product over the dimensions)."""
+        total = 1
+        for extent in self.global_shape:
+            total *= extent
+        return total
+
+    @property
+    def total_items(self) -> int:
+        """Alias for the flat work-item total; the scheduler cost-model key."""
+        return self.global_size
+
+    @property
+    def workgroup_size(self) -> int:
+        """Flat number of work-items per workgroup."""
+        total = 1
+        for extent in self.workgroup_shape:
+            total *= extent
+        return total
+
+    @property
+    def groups_shape(self) -> Tuple[int, ...]:
+        """Per-dimension workgroup-grid extents."""
+        return tuple(
+            extent // local
+            for extent, local in zip(self.global_shape, self.workgroup_shape)
+        )
 
     @property
     def num_workgroups(self) -> int:
         """Number of workgroups the dispatcher will distribute across the CUs."""
         return self.global_size // self.workgroup_size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NDRange):
+            return NotImplemented
+        return (
+            self.global_shape == other.global_shape
+            and self.workgroup_shape == other.workgroup_shape
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.global_shape, self.workgroup_shape))
+
+    def __repr__(self) -> str:
+        if self.rank == 1:
+            return f"NDRange({self.global_shape[0]}, {self.workgroup_shape[0]})"
+        return f"NDRange({self.global_shape}, {self.workgroup_shape})"
 
 
 @dataclass(frozen=True)
@@ -198,9 +288,22 @@ class KernelBuilder:
             raise KernelError(f"kernel {self.name!r} has no argument {arg_name!r}")
         self.emit(Opcode.LP, rd=rd, imm=index)
 
-    def global_id(self, rd: int) -> None:
-        """Store the flattened global work-item index into ``rd``."""
-        self.emit(Opcode.GID, rd=rd)
+    def global_id(self, rd: int, dim: int = 0) -> None:
+        """Store the global work-item index along ``dim`` into ``rd``.
+
+        For rank-1 launches dimension 0 is the flattened global index; for
+        rank-2 launches each dimension is indexed separately (row-major,
+        dimension 0 fastest).
+        """
+        self.emit(Opcode.GID, rd=rd, imm=dim)
+
+    def local_id(self, rd: int, dim: int = 0) -> None:
+        """Store the local work-item index along ``dim`` into ``rd``."""
+        self.emit(Opcode.LID, rd=rd, imm=dim)
+
+    def workgroup_id(self, rd: int, dim: int = 0) -> None:
+        """Store the workgroup index along ``dim`` into ``rd``."""
+        self.emit(Opcode.WGID, rd=rd, imm=dim)
 
     def declare_local(self, name: str, num_words: int) -> int:
         """Reserve a ``__local`` array of ``num_words`` and return its byte offset.

@@ -347,7 +347,11 @@ class GGPUCodeGenerator:
     def _eval_call(self, expr: Call, preferred: Optional[int]) -> int:
         destination = preferred if preferred is not None else self._acquire()
         if expr.name in _BUILTIN_OPCODES:
-            self.builder.emit(_BUILTIN_OPCODES[expr.name], rd=destination)
+            # Semantic analysis guarantees the dimension argument is a literal
+            # 0 or 1; it becomes the SPECIAL instruction's dimension immediate.
+            dimension = expr.args[0]
+            dim = dimension.value if isinstance(dimension, IntLiteral) else 0
+            self.builder.emit(_BUILTIN_OPCODES[expr.name], rd=destination, imm=dim)
             return destination
         if expr.name in ("min", "max"):
             left = self._eval(expr.args[0])

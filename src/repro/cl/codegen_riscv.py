@@ -8,6 +8,13 @@ against that loop (``get_global_id`` is the loop counter, ``get_local_id`` is
 ``gid % workgroup_size``, and so on), and ``barrier()`` becomes a no-op because
 a single in-order core is always "synchronized".
 
+Rank-2 launches lower to a row-major loop *nest* in workgroup-major order —
+``for wg1: for wg0: for lid1: for lid0: body`` — so the work-items of one
+workgroup run contiguously (lowest local id first) before the next workgroup
+starts.  Each dimension's id lives in its own register and the builtins
+resolve per dimension; the rank-1 path is emitted exactly as before the nest
+existed, so every 1-D compiled program is bit-identical.
+
 ``__local`` arrays become zero-initialized data-memory regions shared by all
 workgroups of the serialized loop.  That serialization is faithful exactly
 for kernels whose cross-work-item ``__local`` reads only depend on work-items
@@ -86,26 +93,62 @@ class RiscvCodeGenerator:
         self,
         kernel: KernelDecl,
         param_values: Dict[str, int],
-        global_size: int,
-        workgroup_size: int,
+        global_size,
+        workgroup_size,
         name: Optional[str] = None,
         local_addresses: Optional[Dict[str, int]] = None,
     ) -> None:
-        if global_size <= 0 or workgroup_size <= 0:
-            raise CompilationError("NDRange sizes must be positive")
+        global_shape = self._as_shape(global_size)
+        workgroup_shape = self._as_shape(workgroup_size)
+        if len(global_shape) != len(workgroup_shape):
+            raise CompilationError(
+                f"global shape {global_shape} and workgroup shape {workgroup_shape} "
+                f"must have the same rank"
+            )
+        for extent, local in zip(global_shape, workgroup_shape):
+            if extent % local != 0:
+                raise CompilationError(
+                    f"global shape {global_shape} is not divisible by workgroup "
+                    f"shape {workgroup_shape}"
+                )
         self.kernel = kernel
         self.param_values = dict(param_values)
         self.local_addresses = dict(local_addresses or {})
-        self.global_size = global_size
-        self.workgroup_size = workgroup_size
+        self.global_shape = global_shape
+        self.workgroup_shape = workgroup_shape
+        self.rank = len(global_shape)
+        self.global_size = global_shape[0] if self.rank == 1 else None
+        self.workgroup_size = workgroup_shape[0] if self.rank == 1 else None
         self.asm = RvAssembler(name or f"{kernel.name}_riscv")
         self._free: List[int] = list(_AVAILABLE_REGISTERS)
         self._var_regs: Dict[str, int] = {}
         self._temp_regs: set = set()
-        # Loop bookkeeping registers.
-        self._gid_reg = self._reserve()
-        self._gsize_reg = self._reserve()
-        self._wgsize_reg = self._reserve()
+        # Loop bookkeeping registers.  The rank-1 trio is reserved in the
+        # exact order the 1-D generator always used, keeping its register
+        # assignment (and therefore every compiled 1-D program) unchanged.
+        if self.rank == 1:
+            self._gid_reg = self._reserve()
+            self._gsize_reg = self._reserve()
+            self._wgsize_reg = self._reserve()
+        else:
+            self._wg_regs = (self._reserve(), self._reserve())
+            self._lid_regs = (self._reserve(), self._reserve())
+            self._gid_regs = (self._reserve(), self._reserve())
+            self._wgbase_regs = (self._reserve(), self._reserve())
+            self._ws_regs = (self._reserve(), self._reserve())
+            self._nwg_regs = (self._reserve(), self._reserve())
+
+    @staticmethod
+    def _as_shape(value) -> tuple:
+        if isinstance(value, (tuple, list)):
+            shape = tuple(int(extent) for extent in value)
+        else:
+            shape = (int(value),)
+        if not 1 <= len(shape) <= 2:
+            raise CompilationError(f"NDRange rank must be 1 or 2, got {len(shape)}")
+        if any(extent <= 0 for extent in shape):
+            raise CompilationError("NDRange sizes must be positive")
+        return shape
 
     # ------------------------------------------------------------------ #
     # Register management
@@ -137,22 +180,90 @@ class RiscvCodeGenerator:
     # Entry point
     # ------------------------------------------------------------------ #
     def generate(self) -> RvProgram:
-        """Emit the work-item loop and the lowered kernel body."""
+        """Emit the work-item loop (or rank-2 loop nest) and the lowered body."""
         self._allocate_variables()
         self._load_parameters()
-        self.asm.li(self._gid_reg, 0)
-        self.asm.li(self._gsize_reg, self.global_size)
-        self.asm.li(self._wgsize_reg, self.workgroup_size)
-        loop = self.asm.unique_label("wi_loop")
-        end = self.asm.unique_label("wi_end")
-        self.asm.label(loop)
-        self.asm.emit(RvOpcode.BGE, rs1=self._gid_reg, rs2=self._gsize_reg, label=end)
-        self._gen_statements(self.kernel.body)
-        self.asm.emit(RvOpcode.ADDI, rd=self._gid_reg, rs1=self._gid_reg, imm=1)
-        self.asm.j(loop)
-        self.asm.label(end)
+        if self.rank == 1:
+            self.asm.li(self._gid_reg, 0)
+            self.asm.li(self._gsize_reg, self.global_size)
+            self.asm.li(self._wgsize_reg, self.workgroup_size)
+            loop = self.asm.unique_label("wi_loop")
+            end = self.asm.unique_label("wi_end")
+            self.asm.label(loop)
+            self.asm.emit(RvOpcode.BGE, rs1=self._gid_reg, rs2=self._gsize_reg, label=end)
+            self._gen_statements(self.kernel.body)
+            self.asm.emit(RvOpcode.ADDI, rd=self._gid_reg, rs1=self._gid_reg, imm=1)
+            self.asm.j(loop)
+            self.asm.label(end)
+            self.asm.halt()
+            return self.asm.assemble()
+        self._generate_rank2_nest()
         self.asm.halt()
         return self.asm.assemble()
+
+    def _generate_rank2_nest(self) -> None:
+        """Row-major, workgroup-major loop nest for a rank-2 launch.
+
+        Workgroups execute one after another (wg1-major, wg0 within), and the
+        work-items of each workgroup run in row-major local-id order.  This
+        keeps the serialization-safe ``__local`` contract of the 1-D loop: a
+        work-item only observes local slots already written by work-items
+        with lower local ids of its *own* workgroup.
+        """
+        ws0, ws1 = self.workgroup_shape
+        nwg0 = self.global_shape[0] // ws0
+        nwg1 = self.global_shape[1] // ws1
+        self.asm.li(self._ws_regs[0], ws0)
+        self.asm.li(self._ws_regs[1], ws1)
+        self.asm.li(self._nwg_regs[0], nwg0)
+        self.asm.li(self._nwg_regs[1], nwg1)
+        loops = (
+            # (counter, bound, label stem) from outermost to innermost.
+            (self._wg_regs[1], self._nwg_regs[1], "wg1"),
+            (self._wg_regs[0], self._nwg_regs[0], "wg0"),
+            (self._lid_regs[1], self._ws_regs[1], "lid1"),
+            (self._lid_regs[0], self._ws_regs[0], "lid0"),
+        )
+        opened = []
+        for counter, bound, stem in loops:
+            start = self.asm.unique_label(f"{stem}_loop")
+            end = self.asm.unique_label(f"{stem}_end")
+            self.asm.li(counter, 0)
+            self.asm.label(start)
+            self.asm.emit(RvOpcode.BGE, rs1=counter, rs2=bound, label=end)
+            opened.append((counter, start, end))
+            if stem == "wg1":
+                self.asm.emit(
+                    RvOpcode.MUL,
+                    rd=self._wgbase_regs[1],
+                    rs1=self._wg_regs[1],
+                    rs2=self._ws_regs[1],
+                )
+            elif stem == "wg0":
+                self.asm.emit(
+                    RvOpcode.MUL,
+                    rd=self._wgbase_regs[0],
+                    rs1=self._wg_regs[0],
+                    rs2=self._ws_regs[0],
+                )
+            elif stem == "lid1":
+                self.asm.emit(
+                    RvOpcode.ADD,
+                    rd=self._gid_regs[1],
+                    rs1=self._wgbase_regs[1],
+                    rs2=self._lid_regs[1],
+                )
+        self.asm.emit(
+            RvOpcode.ADD,
+            rd=self._gid_regs[0],
+            rs1=self._wgbase_regs[0],
+            rs2=self._lid_regs[0],
+        )
+        self._gen_statements(self.kernel.body)
+        for counter, start, end in reversed(opened):
+            self.asm.emit(RvOpcode.ADDI, rd=counter, rs1=counter, imm=1)
+            self.asm.j(start)
+            self.asm.label(end)
 
     def _allocate_variables(self) -> None:
         for param in self.kernel.params:
@@ -311,9 +422,45 @@ class RiscvCodeGenerator:
             return self._eval_binary(expr, preferred)
         raise CompilationError(f"unsupported expression {type(expr).__name__}")
 
+    _ID_BUILTINS = (
+        "get_global_id",
+        "get_global_size",
+        "get_local_size",
+        "get_local_id",
+        "get_group_id",
+        "get_num_groups",
+    )
+
+    def _builtin_dim(self, expr: Call) -> int:
+        """Literal dimension argument of a work-item builtin, rank-checked."""
+        dimension = expr.args[0]
+        dim = dimension.value if isinstance(dimension, IntLiteral) else 0
+        if dim >= self.rank:
+            raise CompilationError(
+                f"{expr.name} queries dimension {dim} of a rank-{self.rank} launch"
+            )
+        return dim
+
     def _eval_call(self, expr: Call, preferred: Optional[int]) -> int:
         destination = preferred if preferred is not None else self._acquire()
         name = expr.name
+        if name in self._ID_BUILTINS and self.rank == 2:
+            dim = self._builtin_dim(expr)
+            if name == "get_global_id":
+                self.asm.mv(destination, self._gid_regs[dim])
+            elif name == "get_global_size":
+                self.asm.li(destination, self.global_shape[dim])
+            elif name == "get_local_size":
+                self.asm.mv(destination, self._ws_regs[dim])
+            elif name == "get_local_id":
+                self.asm.mv(destination, self._lid_regs[dim])
+            elif name == "get_group_id":
+                self.asm.mv(destination, self._wg_regs[dim])
+            else:  # get_num_groups
+                self.asm.mv(destination, self._nwg_regs[dim])
+            return destination
+        if name in self._ID_BUILTINS:
+            self._builtin_dim(expr)
         if name == "get_global_id":
             self.asm.mv(destination, self._gid_reg)
         elif name == "get_global_size":
@@ -486,8 +633,8 @@ def generate_riscv_case(
     generator = RiscvCodeGenerator(
         kernel,
         values,
-        global_size=workload.ndrange.global_size,
-        workgroup_size=workload.ndrange.workgroup_size,
+        global_size=workload.ndrange.global_shape,
+        workgroup_size=workload.ndrange.workgroup_shape,
         name=name,
         local_addresses=local_addresses,
     )

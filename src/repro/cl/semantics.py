@@ -296,9 +296,11 @@ class KernelAnalyzer:
                     raise _error(f"{expr.name} arguments must be integers", expr)
             if expr.name in VARYING_BUILTINS or expr.name in UNIFORM_BUILTINS:
                 dimension = expr.args[0]
-                if not isinstance(dimension, IntLiteral) or dimension.value != 0:
+                if not isinstance(dimension, IntLiteral) or not 0 <= dimension.value <= 1:
                     raise _error(
-                        f"{expr.name} only supports dimension 0 (1-D NDRanges)", expr
+                        f"{expr.name} requires a literal dimension 0 or 1 "
+                        f"(rank-1 and rank-2 NDRanges)",
+                        expr,
                     )
             expr.ctype = CType.UINT if expr.name in (set(VARYING_BUILTINS) | set(UNIFORM_BUILTINS)) else CType.INT
             expr.varying = expr.name in VARYING_BUILTINS or any(arg.varying for arg in expr.args)

@@ -45,13 +45,14 @@ class BenchmarkSizes:
         return cls(kernel, spec.paper_riscv_size, spec.paper_gpu_size)
 
     def scaled(self, factor: float) -> "BenchmarkSizes":
-        """Scale both sizes down (rounded to the 64-work-item granularity)."""
+        """Scale both sizes down (rounded to the kernel's size granularity)."""
         if factor <= 0 or factor > 1:
             raise KernelError(f"scale factor must be in (0, 1], got {factor}")
+        step = get_kernel_spec(self.kernel).size_granularity
 
         def _scale(size: int) -> int:
-            scaled = max(64, int(size * factor))
-            return max(64, (scaled // 64) * 64)
+            scaled = max(step, int(size * factor))
+            return max(step, (scaled // step) * step)
 
         return BenchmarkSizes(self.kernel, _scale(self.riscv_size), _scale(self.gpu_size))
 

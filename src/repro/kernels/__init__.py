@@ -21,6 +21,7 @@ The matching RISC-V programs live in :mod:`repro.riscv.programs`.
 """
 
 from repro.kernels.library import (
+    DENSE_KERNEL_NAMES,
     EXTENDED_KERNEL_NAMES,
     GpuWorkload,
     KernelSpec,
@@ -32,6 +33,8 @@ from repro.kernels.library import (
     run_workload,
 )
 from repro.kernels import (
+    bitonic_sort,
+    conv2d,
     copy,
     div_int,
     dot,
@@ -39,6 +42,7 @@ from repro.kernels import (
     histogram,
     inclusive_scan,
     mat_mul,
+    matmul2d,
     parallel_sel,
     reduce_sum,
     saxpy,
@@ -48,6 +52,7 @@ from repro.kernels import (
 )
 
 __all__ = [
+    "DENSE_KERNEL_NAMES",
     "EXTENDED_KERNEL_NAMES",
     "GpuWorkload",
     "KernelSpec",
@@ -57,6 +62,8 @@ __all__ = [
     "pick_pow2_workgroup_size",
     "pick_workgroup_size",
     "run_workload",
+    "bitonic_sort",
+    "conv2d",
     "copy",
     "div_int",
     "dot",
@@ -64,6 +71,7 @@ __all__ = [
     "histogram",
     "inclusive_scan",
     "mat_mul",
+    "matmul2d",
     "parallel_sel",
     "reduce_sum",
     "saxpy",

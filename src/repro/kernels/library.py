@@ -55,6 +55,10 @@ class KernelSpec:
     paper_gpu_size: int
     paper_riscv_size: int
     parallel_friendly: bool
+    #: Smallest input-size step ``workload`` accepts.  64 (one wavefront) for
+    #: every 1-D kernel; the rank-2 dense workloads need a full workgroup
+    #: grid row, e.g. 128 for matmul2d's (8, 8) workgroups over 16 columns.
+    size_granularity: int = 64
 
     def default_workload(self, seed: int = 2022) -> GpuWorkload:
         """Workload at the G-GPU input size used in the paper."""
@@ -94,10 +98,20 @@ EXTENDED_KERNEL_NAMES: Tuple[str, ...] = (
     "transpose",
 )
 
+# The dense workloads added with rank-2 NDRange support: tiled GEMM and a 3x3
+# stencil on 2-D launches, plus the in-LRAM bitonic sorting network.
+DENSE_KERNEL_NAMES: Tuple[str, ...] = (
+    "matmul2d",
+    "conv2d",
+    "bitonic_sort",
+)
+
 
 def all_kernel_names() -> List[str]:
     """Names of all registered benchmark kernels, in extended-table order."""
-    order = list(PAPER_KERNEL_NAMES) + list(EXTENDED_KERNEL_NAMES)
+    order = (
+        list(PAPER_KERNEL_NAMES) + list(EXTENDED_KERNEL_NAMES) + list(DENSE_KERNEL_NAMES)
+    )
     known = [name for name in order if name in _REGISTRY]
     extras = sorted(name for name in _REGISTRY if name not in order)
     return known + extras

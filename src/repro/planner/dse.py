@@ -42,6 +42,9 @@ EXTENDED_WORKLOAD_SUITE: Tuple[str, ...] = PAPER_WORKLOAD_SUITE + (
     "inclusive_scan",
     "histogram",
     "transpose",
+    "matmul2d",
+    "conv2d",
+    "bitonic_sort",
 )
 
 

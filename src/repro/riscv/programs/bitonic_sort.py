@@ -1,0 +1,101 @@
+"""Scalar RISC-V version of the ``bitonic_sort`` benchmark.
+
+Sorted output is unique, so the scalar side does not replay the bitonic
+network: it runs a plain in-place exchange sort over each 64-element chunk
+(copy the chunk to ``out``, then compare-swap every pair), which is the
+natural scalar formulation and still agrees with the GPU bit-exactly.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import bitonic_sort as gpu_bitonic_sort
+from repro.kernels.bitonic_sort import CHUNK
+from repro.riscv.assembler import (
+    A0,
+    A1,
+    A3,
+    RvAssembler,
+    S2,
+    S3,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+)
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "bitonic_sort"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """Copy ``a`` to ``out``, then exchange-sort each 64-element chunk."""
+    workload = gpu_bitonic_sort.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+
+    asm = RvAssembler(NAME)
+    asm.li(A0, addresses["a"])
+    asm.li(A1, addresses["out"])
+    asm.li(A3, size)
+    # out[i] = a[i]
+    asm.li(T0, 0)
+    asm.label("copy")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="copy_end")
+    asm.emit(RvOpcode.SLLI, rd=T1, rs1=T0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=T1, rs2=A0)
+    asm.emit(RvOpcode.LW, rd=T3, rs1=T2, imm=0)
+    asm.emit(RvOpcode.ADD, rd=T2, rs1=T1, rs2=A1)
+    asm.emit(RvOpcode.SW, rs1=T2, rs2=T3, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("copy")
+    asm.label("copy_end")
+    # For each chunk base: for i, for j > i: swap out[i], out[j] if needed.
+    asm.li(T0, 0)  # chunk base (element index)
+    asm.label("chunk")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.emit(RvOpcode.ADDI, rd=T5, rs1=T0, imm=CHUNK)  # chunk limit
+    asm.mv(T1, T0)  # i
+    asm.label("outer")
+    asm.emit(RvOpcode.BGE, rs1=T1, rs2=T5, label="outer_end")
+    asm.emit(RvOpcode.ADDI, rd=T2, rs1=T1, imm=1)  # j
+    asm.label("inner")
+    asm.emit(RvOpcode.BGE, rs1=T2, rs2=T5, label="inner_end")
+    asm.emit(RvOpcode.SLLI, rd=T3, rs1=T1, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T3, rs1=T3, rs2=A1)  # &out[i]
+    asm.emit(RvOpcode.SLLI, rd=T4, rs1=T2, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T4, rs1=T4, rs2=A1)  # &out[j]
+    asm.emit(RvOpcode.LW, rd=S2, rs1=T3, imm=0)
+    asm.emit(RvOpcode.LW, rd=S3, rs1=T4, imm=0)
+    asm.emit(RvOpcode.BGE, rs1=S3, rs2=S2, label="no_swap")
+    asm.emit(RvOpcode.SW, rs1=T3, rs2=S3, imm=0)
+    asm.emit(RvOpcode.SW, rs1=T4, rs2=S2, imm=0)
+    asm.label("no_swap")
+    asm.emit(RvOpcode.ADDI, rd=T2, rs1=T2, imm=1)
+    asm.j("inner")
+    asm.label("inner_end")
+    asm.emit(RvOpcode.ADDI, rd=T1, rs1=T1, imm=1)
+    asm.j("outer")
+    asm.label("outer_end")
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=CHUNK)
+    asm.j("chunk")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar per-chunk exchange sort (sorted output is unique)",
+        build_case=build_case,
+        paper_size=128,
+    )
+)

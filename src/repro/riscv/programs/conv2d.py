@@ -1,0 +1,79 @@
+"""Scalar RISC-V version of the ``conv2d`` benchmark."""
+
+from __future__ import annotations
+
+from repro.kernels import conv2d as gpu_conv2d
+from repro.kernels.conv2d import KSIZE, WIDTH
+from repro.riscv.assembler import (
+    A0,
+    A1,
+    A2,
+    A3,
+    RvAssembler,
+    S2,
+    S3,
+    T0,
+    T1,
+    T2,
+    T3,
+    T6,
+)
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "conv2d"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """Fully unrolled 3x3 stencil per pixel, walking the image row-major."""
+    workload = gpu_conv2d.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+    stride = WIDTH + 2
+
+    asm = RvAssembler(NAME)
+    asm.li(A0, addresses["src"])
+    asm.li(A1, addresses["krn"])
+    asm.li(A2, addresses["out"])
+    asm.li(A3, size)
+    asm.li(T0, 0)  # i: flat pixel index, y = i / 16, x = i % 16
+    asm.label("loop")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    # T1 = &src[y][x]: the stencil's top-left tap (input rows carry a halo).
+    asm.emit(RvOpcode.SRLI, rd=T1, rs1=T0, imm=4)  # y
+    asm.li(T2, stride)
+    asm.emit(RvOpcode.MUL, rd=T1, rs1=T1, rs2=T2)
+    asm.emit(RvOpcode.ANDI, rd=T2, rs1=T0, imm=WIDTH - 1)  # x
+    asm.emit(RvOpcode.ADD, rd=T1, rs1=T1, rs2=T2)
+    asm.emit(RvOpcode.SLLI, rd=T1, rs1=T1, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T1, rs1=T1, rs2=A0)
+    asm.li(T3, 0)  # acc
+    for ky in range(KSIZE):
+        for kx in range(KSIZE):
+            asm.emit(RvOpcode.LW, rd=S2, rs1=T1, imm=4 * (ky * stride + kx))
+            asm.emit(RvOpcode.LW, rd=S3, rs1=A1, imm=4 * (ky * KSIZE + kx))
+            asm.emit(RvOpcode.MUL, rd=S2, rs1=S2, rs2=S3)
+            asm.emit(RvOpcode.ADD, rd=T3, rs1=T3, rs2=S2)
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A2)
+    asm.emit(RvOpcode.SW, rs1=T6, rs2=T3, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("loop")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar unrolled 3x3 stencil over the haloed image",
+        build_case=build_case,
+        paper_size=128,
+    )
+)

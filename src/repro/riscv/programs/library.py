@@ -78,9 +78,15 @@ def register_riscv_program(spec: RiscvProgramSpec) -> RiscvProgramSpec:
 
 def all_riscv_program_names() -> List[str]:
     """Registered program names in extended-table order (mirrors the GPU side)."""
-    from repro.kernels.library import EXTENDED_KERNEL_NAMES, PAPER_KERNEL_NAMES
+    from repro.kernels.library import (
+        DENSE_KERNEL_NAMES,
+        EXTENDED_KERNEL_NAMES,
+        PAPER_KERNEL_NAMES,
+    )
 
-    order = list(PAPER_KERNEL_NAMES) + list(EXTENDED_KERNEL_NAMES)
+    order = (
+        list(PAPER_KERNEL_NAMES) + list(EXTENDED_KERNEL_NAMES) + list(DENSE_KERNEL_NAMES)
+    )
     known = [name for name in order if name in _REGISTRY]
     extras = sorted(name for name in _REGISTRY if name not in order)
     return known + extras

@@ -1,0 +1,89 @@
+"""Scalar RISC-V version of the ``matmul2d`` benchmark."""
+
+from __future__ import annotations
+
+from repro.kernels import matmul2d as gpu_matmul2d
+from repro.kernels.matmul2d import INNER_DIM, NUM_COLS
+from repro.riscv.assembler import (
+    A0,
+    A1,
+    A2,
+    A3,
+    RvAssembler,
+    S2,
+    S3,
+    T0,
+    T1,
+    T2,
+    T3,
+    T4,
+    T5,
+    T6,
+)
+from repro.riscv.isa import RvOpcode
+from repro.riscv.programs.library import (
+    RiscvCase,
+    RiscvProgramSpec,
+    load_workload_into_memory,
+    register_riscv_program,
+)
+
+NAME = "matmul2d"
+
+
+def build_case(size: int, seed: int = 2022) -> RiscvCase:
+    """One 16-long dot product per output element of the (m x 16) result."""
+    workload = gpu_matmul2d.workload(size, seed)
+    memory, addresses = load_workload_into_memory(workload)
+
+    asm = RvAssembler(NAME)
+    asm.li(A0, addresses["a"])
+    asm.li(A1, addresses["b"])
+    asm.li(A2, addresses["c"])
+    asm.li(A3, size)
+    asm.li(T5, INNER_DIM)
+    asm.li(T0, 0)  # i: flat output index, row = i / 16, col = i % 16
+    asm.label("outer")
+    asm.emit(RvOpcode.BGE, rs1=T0, rs2=A3, label="end")
+    asm.emit(RvOpcode.SRLI, rd=T1, rs1=T0, imm=4)
+    asm.emit(RvOpcode.SLLI, rd=T1, rs1=T1, imm=4)  # row_off = (i / 16) * 16
+    asm.emit(RvOpcode.ANDI, rd=T2, rs1=T0, imm=NUM_COLS - 1)  # col
+    asm.li(T3, 0)  # acc
+    asm.li(T4, 0)  # k
+    asm.label("inner")
+    asm.emit(RvOpcode.BGE, rs1=T4, rs2=T5, label="inner_end")
+    # A[row_off + k]
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T1, rs2=T4)
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T6, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A0)
+    asm.emit(RvOpcode.LW, rd=S2, rs1=T6, imm=0)
+    # B[k * 16 + col]
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T4, imm=4)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=T2)
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T6, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A1)
+    asm.emit(RvOpcode.LW, rd=S3, rs1=T6, imm=0)
+    asm.emit(RvOpcode.MUL, rd=S2, rs1=S2, rs2=S3)
+    asm.emit(RvOpcode.ADD, rd=T3, rs1=T3, rs2=S2)
+    asm.emit(RvOpcode.ADDI, rd=T4, rs1=T4, imm=1)
+    asm.j("inner")
+    asm.label("inner_end")
+    asm.emit(RvOpcode.SLLI, rd=T6, rs1=T0, imm=2)
+    asm.emit(RvOpcode.ADD, rd=T6, rs1=T6, rs2=A2)
+    asm.emit(RvOpcode.SW, rs1=T6, rs2=T3, imm=0)
+    asm.emit(RvOpcode.ADDI, rd=T0, rs1=T0, imm=1)
+    asm.j("outer")
+    asm.label("end")
+    asm.halt()
+
+    return RiscvCase(NAME, asm.assemble(), memory, addresses, workload.expected)
+
+
+SPEC = register_riscv_program(
+    RiscvProgramSpec(
+        name=NAME,
+        description="scalar (m x 16) x (16 x 16) matrix multiply",
+        build_case=build_case,
+        paper_size=128,
+    )
+)

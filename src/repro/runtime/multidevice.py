@@ -851,13 +851,14 @@ class MultiDeviceQueue:
     def _lpt_order(self, pending: List[_Command]) -> List[_Command]:
         """LPT: largest NDRange first among the ready launches.
 
-        Work-items are the deterministic proxy for projected compute time;
-        ties break toward the earlier sequence.
+        The flat work-item total (``total_items``, rank-independent) is the
+        deterministic proxy for projected compute time; ties break toward the
+        earlier sequence.
         """
         return self._ready_order(
             pending,
             lambda ready: max(
-                ready, key=lambda c: (c.ndrange.global_size, -c.event.sequence)
+                ready, key=lambda c: (c.ndrange.total_items, -c.event.sequence)
             ),
         )
 
@@ -884,7 +885,7 @@ class MultiDeviceQueue:
     def _compute_estimate(self, command: _Command) -> float:
         """Deterministic projected compute cycles of one command."""
         if command.kind == "launch":
-            return command.ndrange.global_size * SCHEDULE_CYCLES_PER_ITEM
+            return command.ndrange.total_items * SCHEDULE_CYCLES_PER_ITEM
         return 0.0
 
     def _heft_order(self, pending: List[_Command]) -> List[_Command]:
@@ -1023,7 +1024,7 @@ class MultiDeviceQueue:
                     command, target
                 )
                 scored.append(
-                    (start, -command.ndrange.global_size, target, command)
+                    (start, -command.ndrange.total_items, target, command)
                 )
             best = min((start, size) for start, size, _, _ in scored)
             ties = [entry for entry in scored if (entry[0], entry[1]) == best]

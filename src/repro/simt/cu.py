@@ -642,18 +642,21 @@ class ComputeUnit:
     def _execute_special(self, wavefront: Wavefront, op) -> None:
         opcode = op.opcode
         lanes = wavefront.wavefront_size
+        dim = op.imm
+        if dim:
+            wavefront.check_dim(dim, opcode.mnemonic)
         if opcode is Opcode.LID:
-            values = wavefront.local_ids
+            values = wavefront.local_id_dims[dim]
         elif opcode is Opcode.WGID:
-            values = np.full(lanes, wavefront.workgroup_id, dtype=np.int64)
+            values = np.full(lanes, wavefront.workgroup_id_dims[dim], dtype=np.int64)
         elif opcode is Opcode.WGSIZE:
-            values = np.full(lanes, wavefront.workgroup_size, dtype=np.int64)
+            values = np.full(lanes, wavefront.workgroup_shape[dim], dtype=np.int64)
         elif opcode is Opcode.GID:
-            values = wavefront.global_ids
+            values = wavefront.global_id_dims[dim]
         elif opcode is Opcode.GSIZE:
-            values = np.full(lanes, wavefront.global_size, dtype=np.int64)
+            values = np.full(lanes, wavefront.global_shape[dim], dtype=np.int64)
         elif opcode is Opcode.NWG:
-            values = np.full(lanes, wavefront.num_workgroups, dtype=np.int64)
+            values = np.full(lanes, wavefront.groups_shape[dim], dtype=np.int64)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
         self._write_register(wavefront, op.rd, values)

@@ -73,6 +73,9 @@ class WorkgroupDispatcher:
                 workgroup_size=self.ndrange.workgroup_size,
                 global_size=self.ndrange.global_size,
                 num_workgroups=self.ndrange.num_workgroups,
+                global_shape=self.ndrange.global_shape,
+                workgroup_shape=self.ndrange.workgroup_shape,
+                groups_shape=self.ndrange.groups_shape,
             )
             wavefront.ready_time = ready_time
             self._next_wavefront_id += 1

@@ -62,46 +62,57 @@ from repro.simt.decode import (
 from repro.simt.wavefront import Wavefront
 
 
-def _special_rows(opcode, wavefronts: List[Wavefront], lanes: int) -> np.ndarray:
-    """Stacked result rows of a work-item-identification instruction."""
+def _special_rows(
+    opcode, wavefronts: List[Wavefront], lanes: int, dim: int = 0
+) -> np.ndarray:
+    """Stacked result rows of a work-item-identification instruction.
+
+    All wavefronts of a group come from the same launch, so the dimension
+    check against the launch rank only needs the first one — and it raises
+    the exact error the scalar path would have.
+    """
+    if dim:
+        wavefronts[0].check_dim(dim, opcode.mnemonic)
     if opcode is Opcode.LID:
-        return np.stack([wavefront.local_ids for wavefront in wavefronts])
+        return np.stack([wavefront.local_id_dims[dim] for wavefront in wavefronts])
     if opcode is Opcode.GID:
-        return np.stack([wavefront.global_ids for wavefront in wavefronts])
+        return np.stack([wavefront.global_id_dims[dim] for wavefront in wavefronts])
     count = len(wavefronts)
     if opcode is Opcode.WGID:
         column = np.fromiter(
-            (wavefront.workgroup_id for wavefront in wavefronts),
+            (wavefront.workgroup_id_dims[dim] for wavefront in wavefronts),
             dtype=np.int64,
             count=count,
         )
         return np.broadcast_to(column[:, None], (count, lanes))
     first = wavefronts[0]
     if opcode is Opcode.WGSIZE:
-        value = first.workgroup_size
+        value = first.workgroup_shape[dim]
     elif opcode is Opcode.GSIZE:
-        value = first.global_size
+        value = first.global_shape[dim]
     elif opcode is Opcode.NWG:
-        value = first.num_workgroups
+        value = first.groups_shape[dim]
     else:  # pragma: no cover - defensive
         raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
     return np.full((count, lanes), value, dtype=np.int64)
 
 
-def _special_row(opcode, wavefront: Wavefront, lanes: int) -> np.ndarray:
+def _special_row(opcode, wavefront: Wavefront, lanes: int, dim: int = 0) -> np.ndarray:
     """Single-wavefront result row of a work-item-identification instruction."""
+    if dim:
+        wavefront.check_dim(dim, opcode.mnemonic)
     if opcode is Opcode.LID:
-        return wavefront.local_ids
+        return wavefront.local_id_dims[dim]
     if opcode is Opcode.GID:
-        return wavefront.global_ids
+        return wavefront.global_id_dims[dim]
     if opcode is Opcode.WGID:
-        value = wavefront.workgroup_id
+        value = wavefront.workgroup_id_dims[dim]
     elif opcode is Opcode.WGSIZE:
-        value = wavefront.workgroup_size
+        value = wavefront.workgroup_shape[dim]
     elif opcode is Opcode.GSIZE:
-        value = wavefront.global_size
+        value = wavefront.global_shape[dim]
     elif opcode is Opcode.NWG:
-        value = wavefront.num_workgroups
+        value = wavefront.groups_shape[dim]
     else:  # pragma: no cover - defensive
         raise SimulationError(f"unhandled special opcode {opcode.mnemonic}")
     return np.full(lanes, value, dtype=np.int64)
@@ -236,7 +247,7 @@ class BatchExecutor:
                 elif kind == K_ALU_CONST:
                     rows[rd] = const
                 elif kind == K_SPECIAL:
-                    rows[rd] = _special_row(opcode, wavefront, lanes)
+                    rows[rd] = _special_row(opcode, wavefront, lanes, imm)
                 elif kind == K_PARAM:
                     value = rtm.read_arg(imm)
                     if rd:
@@ -257,7 +268,7 @@ class BatchExecutor:
             elif kind == K_ALU_CONST:
                 rows[rd] = np.where(mask, const, rows[rd])
             elif kind == K_SPECIAL:
-                result = _special_row(opcode, wavefront, lanes)
+                result = _special_row(opcode, wavefront, lanes, imm)
                 rows[rd] = np.where(mask, result, rows[rd])
             elif kind == K_PARAM:
                 value = rtm.read_arg(imm)
@@ -345,7 +356,7 @@ class BatchExecutor:
             elif kind == K_ALU_CONST:
                 result = np.broadcast_to(const, (alive, lanes))
             elif kind == K_SPECIAL:
-                result = _special_rows(opcode, wavefronts[:alive], lanes)
+                result = _special_rows(opcode, wavefronts[:alive], lanes, imm)
             elif kind == K_PARAM:
                 value = rtm.read_arg(imm)
                 if rd == 0:
@@ -443,7 +454,7 @@ class BatchExecutor:
             elif kind == K_ALU_CONST:
                 stacked[rd][:alive] = np.where(view, const, stacked[rd][:alive])
             elif kind == K_SPECIAL:
-                result = _special_rows(opcode, wavefronts[:alive], lanes)
+                result = _special_rows(opcode, wavefronts[:alive], lanes, imm)
                 stacked[rd][:alive] = np.where(view, result, stacked[rd][:alive])
             elif kind == K_PARAM:
                 value = rtm.read_arg(imm)

@@ -10,7 +10,7 @@ divergent kernels lose efficiency on the real hardware.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ class Wavefront:
         workgroup_size: int,
         global_size: int,
         num_workgroups: int,
+        global_shape: Optional[Tuple[int, ...]] = None,
+        workgroup_shape: Optional[Tuple[int, ...]] = None,
+        groups_shape: Optional[Tuple[int, ...]] = None,
     ) -> None:
         self.wavefront_id = wavefront_id
         self.workgroup_id = workgroup_id
@@ -48,7 +51,37 @@ class Wavefront:
 
         first_lid = index_in_workgroup * wavefront_size
         self.local_ids = np.arange(first_lid, first_lid + wavefront_size, dtype=np.int64)
-        self.global_ids = self.local_ids + workgroup_id * workgroup_size
+        if global_shape is not None and len(global_shape) == 2:
+            # Rank-2 launch: OpenCL row-major enumeration, dimension 0 fastest.
+            # The flat local id walks dimension 0 first within the workgroup,
+            # and the flat workgroup id walks the workgroup grid the same way.
+            gs0, _gs1 = global_shape
+            ws0, ws1 = workgroup_shape
+            nwg0 = groups_shape[0]
+            wg0 = workgroup_id % nwg0
+            wg1 = workgroup_id // nwg0
+            lid0 = self.local_ids % ws0
+            lid1 = self.local_ids // ws0
+            gid0 = wg0 * ws0 + lid0
+            gid1 = wg1 * ws1 + lid1
+            # Row-major flattened global index over the full grid.  Note this
+            # differs from ``wgid * workgroup_size + lid``: a 2-D workgroup's
+            # cells are not contiguous in the flattened grid.
+            self.global_ids = gid1 * gs0 + gid0
+            self.local_id_dims = (lid0, lid1)
+            self.global_id_dims = (gid0, gid1)
+            self.workgroup_id_dims = (wg0, wg1)
+            self.global_shape = tuple(global_shape)
+            self.workgroup_shape = tuple(workgroup_shape)
+            self.groups_shape = tuple(groups_shape)
+        else:
+            self.global_ids = self.local_ids + workgroup_id * workgroup_size
+            self.local_id_dims = (self.local_ids,)
+            self.global_id_dims = (self.global_ids,)
+            self.workgroup_id_dims = (workgroup_id,)
+            self.global_shape = (global_size,)
+            self.workgroup_shape = (workgroup_size,)
+            self.groups_shape = (num_workgroups,)
         # Lanes beyond the global size (possible only if the NDRange is not a
         # multiple of the wavefront size) start permanently inactive.
         self.active_mask &= self.global_ids < global_size
@@ -64,6 +97,22 @@ class Wavefront:
         self.instructions_issued = 0
         self.active_lane_issues = 0
         self.completion_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Launch geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        """Rank of the launch geometry this wavefront belongs to."""
+        return len(self.global_shape)
+
+    def check_dim(self, dim: int, mnemonic: str) -> None:
+        """Reject a work-item-identification query outside the launch rank."""
+        if not 0 <= dim < len(self.global_shape):
+            raise SimulationError(
+                f"{mnemonic} queries dimension {dim} of a rank-{len(self.global_shape)} "
+                f"launch (global shape {self.global_shape})"
+            )
 
     # ------------------------------------------------------------------ #
     # Mask stack

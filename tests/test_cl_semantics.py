@@ -75,9 +75,13 @@ def test_builtin_arity_is_checked():
         analyze_kernel("int x = min(1);")
 
 
-def test_only_dimension_zero_is_supported():
-    with pytest.raises(CompilationError, match="dimension 0"):
-        analyze_kernel("int x = get_global_id(1);")
+def test_dimensions_zero_and_one_are_supported():
+    kernel = analyze_kernel("int x = get_global_id(1); int y = get_local_id(1);")
+    assert kernel.symbols["x"].ctype is CType.INT
+    with pytest.raises(CompilationError, match="dimension 0 or 1"):
+        analyze_kernel("int x = get_global_id(2);")
+    with pytest.raises(CompilationError, match="dimension 0 or 1"):
+        analyze_kernel("int x = get_global_id(n);")
 
 
 def test_return_must_be_the_last_top_level_statement():

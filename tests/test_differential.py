@@ -173,6 +173,44 @@ def _ref_transpose(w: GpuWorkload) -> Dict[str, List[int]]:
     return {"out": out}
 
 
+def _ref_matmul2d(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) for v in w.buffers["a"]]
+    b = [int(v) for v in w.buffers["b"]]
+    rows = int(w.scalars["m"])
+    out = []
+    for row in range(rows):
+        for col in range(16):
+            acc = 0
+            for k in range(16):
+                acc = (acc + a[row * 16 + k] * b[k * 16 + col]) & MASK
+            out.append(acc)
+    return {"c": out}
+
+
+def _ref_conv2d(w: GpuWorkload) -> Dict[str, List[int]]:
+    src = [int(v) for v in w.buffers["src"]]
+    krn = [int(v) for v in w.buffers["krn"]]
+    height = int(w.scalars["h"])
+    stride = 16 + 2
+    out = []
+    for y in range(height):
+        for x in range(16):
+            acc = 0
+            for ky in range(3):
+                for kx in range(3):
+                    acc = (acc + src[(y + ky) * stride + x + kx] * krn[ky * 3 + kx]) & MASK
+            out.append(acc)
+    return {"out": out}
+
+
+def _ref_bitonic_sort(w: GpuWorkload) -> Dict[str, List[int]]:
+    a = [int(v) & MASK for v in w.buffers["a"]]
+    out: List[int] = []
+    for base in range(0, len(a), 64):
+        out.extend(sorted(a[base : base + 64]))
+    return {"out": out}
+
+
 PYTHON_REFERENCES = {
     "mat_mul": _ref_mat_mul,
     "copy": _ref_copy,
@@ -187,6 +225,9 @@ PYTHON_REFERENCES = {
     "inclusive_scan": _ref_inclusive_scan,
     "histogram": _ref_histogram,
     "transpose": _ref_transpose,
+    "matmul2d": _ref_matmul2d,
+    "conv2d": _ref_conv2d,
+    "bitonic_sort": _ref_bitonic_sort,
 }
 
 

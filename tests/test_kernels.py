@@ -19,7 +19,8 @@ EXTENDED_KERNELS = [
     "histogram",
     "transpose",
 ]
-ALL_KERNELS = PAPER_KERNELS + EXTENDED_KERNELS
+DENSE_KERNELS = ["matmul2d", "conv2d", "bitonic_sort"]
+ALL_KERNELS = PAPER_KERNELS + EXTENDED_KERNELS + DENSE_KERNELS
 SMALL_SIZE = 128
 SEED = 7
 

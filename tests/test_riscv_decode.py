@@ -177,6 +177,9 @@ GOLDEN_CYCLES = {
     "inclusive_scan": 5665,
     "histogram": 7690,
     "transpose": 8715,
+    "matmul2d": 43147,
+    "conv2d": 11530,
+    "bitonic_sort": 69397,
 }
 
 

@@ -58,7 +58,18 @@ EXTENDED_GOLDEN = {
     "transpose": (2048, {1: 3588.0, 2: 1800.0, 4: 923.0, 8: 614.0}, 480),
 }
 
-ALL_GOLDEN = {**GOLDEN, **EXTENDED_GOLDEN}
+# The rank-2 dense workloads: tiled matmul2d (LRAM tiles + barriers under a
+# (8, 8) workgroup), conv2d (pure 2-D indexing), and bitonic_sort (barriered
+# per-workgroup exchange network).  These pin the 2-D workgroup distribution
+# and per-dimension GID/LID/WGID machinery of the dispatcher and both issue
+# engines at the same 1/2/4/8 CU grid.
+DENSE_GOLDEN = {
+    "matmul2d": (512, {1: 10692.0, 2: 5382.0, 4: 2794.0, 8: 2087.0}, 1688),
+    "conv2d": (512, {1: 3338.0, 2: 1723.0, 4: 993.0, 8: 836.0}, 424),
+    "bitonic_sort": (512, {1: 19204.0, 2: 9635.0, 4: 4995.0, 8: 3806.0}, 3744),
+}
+
+ALL_GOLDEN = {**GOLDEN, **EXTENDED_GOLDEN, **DENSE_GOLDEN}
 
 SEED = 2022
 

@@ -120,6 +120,18 @@ def _headline_rows(benches: dict) -> list:
         _fmt_ratio(v9.get("sweep_speedup")),
         "vs scalar issue, same run (honest: batching wins only on "
         "long straight-line kernels — see docs/performance.md)")
+
+    b10 = benches.get(10, {})
+    d10 = _get(b10, "dense_rank2", default={})
+    scaling = d10.get("cu_scaling_1_to_8", {})
+    if isinstance(scaling, dict) and scaling:
+        best = max(scaling, key=lambda k: scaling[k])
+        add(10, "Dense 2-D kernel CU scaling", "%.2fx" % scaling[best],
+            "%s cycles @ 1 CU vs 8 CUs" % best)
+    add(10, "Table III sweep wall (16 kernels)",
+        _fmt_num(d10.get("sweep_wall_seconds"), "s"),
+        "scale %s, rank-2 dense trio included" % _get(
+            d10, "meta", "bench_scale", default="?"))
     return rows
 
 

@@ -100,6 +100,7 @@ def main() -> int:
     sections = [
         ("GOLDEN", test_simt_golden.GOLDEN, measure_simt, format_simt),
         ("EXTENDED_GOLDEN", test_simt_golden.EXTENDED_GOLDEN, measure_simt, format_simt),
+        ("DENSE_GOLDEN", test_simt_golden.DENSE_GOLDEN, measure_simt, format_simt),
     ]
     for dict_name, pinned, measure, formatter in sections:
         measured = measure(pinned)
@@ -128,6 +129,7 @@ def main() -> int:
         total = (
             len(test_simt_golden.GOLDEN)
             + len(test_simt_golden.EXTENDED_GOLDEN)
+            + len(test_simt_golden.DENSE_GOLDEN)
             + len(test_riscv_decode.GOLDEN_CYCLES)
         )
         print(f"all {total} golden entries match")
